@@ -1,0 +1,101 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic benchmark datasets and prints them as
+// text tables.
+//
+// Usage:
+//
+//	experiments [-scale S] [-workers N] [-seed N] [-random N] <name>...
+//
+// where each name is one of: table2, table3, table4, figure5, figure6,
+// figure7, figure8, figure9, figure10, figure11, q3, appendixf, motif4, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mochy/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "dataset scale factor in (0, 1]")
+	workers := flag.Int("workers", 1, "worker goroutines for counting")
+	seed := flag.Int64("seed", 1, "seed for sampling and randomization")
+	numRandom := flag.Int("random", 5, "randomized hypergraphs per CP")
+	trials := flag.Int("trials", 5, "trials per point in figure8")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table2|table3|table4|figure5..figure11|q3|appendixf|motif4|all>...")
+		os.Exit(2)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	cfg.NumRandom = *numRandom
+
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table2", "table3", "table4", "figure5", "figure6",
+			"figure7", "figure8", "figure9", "figure10", "figure11", "q3", "appendixf", "motif4"}
+	}
+	for _, name := range names {
+		if err := run(name, cfg, *trials, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderer is implemented by every experiment result.
+type renderer interface {
+	Render(io.Writer) error
+}
+
+// run executes one experiment by name and renders it.
+func run(name string, cfg experiments.Config, trials int, w io.Writer) error {
+	start := time.Now()
+	var (
+		res renderer
+		err error
+	)
+	switch name {
+	case "table2":
+		res, err = experiments.RunTable2(cfg)
+	case "table3":
+		res, err = experiments.RunTable3(cfg)
+	case "table4":
+		res, err = experiments.RunTable4(cfg)
+	case "figure5", "figure1":
+		res, err = experiments.RunFigure5(cfg)
+	case "figure6":
+		res, err = experiments.RunFigure6(cfg)
+	case "figure7":
+		res, err = experiments.RunFigure7(cfg)
+	case "figure8":
+		res, err = experiments.RunFigure8(cfg, trials)
+	case "figure9":
+		res, err = experiments.RunFigure9(cfg)
+	case "figure10":
+		res, err = experiments.RunFigure10(cfg, 8)
+	case "figure11":
+		res, err = experiments.RunFigure11(cfg)
+	case "q3":
+		res, err = experiments.RunQ3(cfg)
+	case "appendixf":
+		res, err = experiments.RunAppendixF(5)
+	case "motif4":
+		res, err = experiments.RunMotif4(cfg, 8)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Fprintf(w, "\n######## %s (%.1fs) ########\n", name, time.Since(start).Seconds())
+	return res.Render(w)
+}

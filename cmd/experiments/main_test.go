@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mochy/internal/experiments"
+)
+
+// TestRunDispatch exercises the subcommand dispatcher on the cheapest
+// experiment and on error paths; the experiments themselves are tested in
+// internal/experiments.
+func TestRunDispatch(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	var buf bytes.Buffer
+	if err := run("appendixf", cfg, 1, &buf); err != nil {
+		t.Fatalf("appendixf: %v", err)
+	}
+	if !strings.Contains(buf.String(), "18656322") {
+		t.Fatalf("appendixf render missing the k=5 census:\n%s", buf.String())
+	}
+	if err := run("no-such-experiment", cfg, 1, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseDomain(t *testing.T) {
+	for _, name := range []string{"coauth", "contact", "email", "tags", "threads"} {
+		d, err := parseDomain(name)
+		if err != nil {
+			t.Fatalf("parseDomain(%q): %v", name, err)
+		}
+		if d.String() != name {
+			t.Fatalf("parseDomain(%q) = %v", name, d)
+		}
+	}
+	if _, err := parseDomain("bogus"); err == nil {
+		t.Fatal("unknown domain should error")
+	}
+}
+
+func TestBuildModes(t *testing.T) {
+	if _, err := build("", "", 0, 0, 1, false); err == nil {
+		t.Fatal("no mode selected should error")
+	}
+	g, err := build("email-Enron", "", 0, 0, 1, false)
+	if err != nil || g.NumEdges() == 0 {
+		t.Fatalf("dataset mode: %v", err)
+	}
+	g, err = build("", "tags", 100, 200, 1, false)
+	if err != nil || g.NumEdges() == 0 {
+		t.Fatalf("domain mode: %v", err)
+	}
+	g, err = build("", "", 0, 0, 1, true)
+	if err != nil || !g.Timed() {
+		t.Fatalf("temporal mode: %v", err)
+	}
+	if _, err := build("nope", "", 0, 0, 1, false); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := build("", "nope", 10, 10, 1, false); err == nil {
+		t.Fatal("unknown domain should error")
+	}
+}

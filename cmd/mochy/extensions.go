@@ -1,0 +1,187 @@
+// Subcommands for the library extensions: motif-based ranking and
+// clustering of hyperedges, and fixed-memory streaming estimation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mochy"
+)
+
+// runRank implements "mochy rank": motif-aware PageRank over hyperedges.
+func runRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	scheme := fs.String("weights", "motif", "edge weights: overlap|motif|closed")
+	damping := fs.Float64("damping", 0.85, "PageRank damping factor")
+	top := fs.Int("top", 10, "number of top hyperedges to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	var w mochy.Weighting
+	switch *scheme {
+	case "overlap":
+		w = mochy.WeightOverlap
+	case "motif":
+		w = mochy.WeightMotif
+	case "closed":
+		w = mochy.WeightClosedMotif
+	default:
+		return fmt.Errorf("unknown -weights %q (overlap|motif|closed)", *scheme)
+	}
+	p := mochy.Project(g)
+	scores, err := mochy.RankScores(g, p, mochy.RankConfig{Weights: w, Damping: *damping})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d of %d hyperedges by %s-weighted PageRank:\n", *top, g.NumEdges(), *scheme)
+	for rankPos, e := range mochy.TopRanked(scores, *top) {
+		fmt.Printf("%3d. edge %-6d score %.6f  size %d  nodes %v\n",
+			rankPos+1, e, scores[e], g.EdgeSize(e), g.Edge(e))
+	}
+	return nil
+}
+
+// runCluster implements "mochy cluster": motif-based hyperedge clustering.
+func runCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	closedOnly := fs.Bool("closed-only", true, "weight only closed h-motif instances")
+	minWeight := fs.Int64("min-weight", 0, "drop pairs sharing fewer instances")
+	seed := fs.Int64("seed", 1, "propagation order seed")
+	show := fs.Int("show", 8, "clusters to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	p := mochy.Project(g)
+	labels := mochy.ClusterLabels(g, p, mochy.ClusterConfig{
+		ClosedOnly: *closedOnly, MinWeight: *minWeight, Seed: *seed,
+	})
+	members := mochy.ClusterMembers(labels)
+	fmt.Printf("%d hyperedges in %d clusters\n", g.NumEdges(), len(members))
+	for i, m := range members {
+		if i == *show {
+			fmt.Printf("... %d more clusters\n", len(members)-*show)
+			break
+		}
+		preview := m
+		if len(preview) > 8 {
+			preview = preview[:8]
+		}
+		fmt.Printf("cluster %-4d size %-5d edges %v\n", i, len(m), preview)
+	}
+	return nil
+}
+
+// runStream implements "mochy stream": fixed-memory streaming estimation.
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	capacity := fs.Int("reservoir", 1000, "hyperedges kept in memory")
+	seed := fs.Int64("seed", 1, "reservoir sampling seed")
+	compare := fs.Bool("compare", false, "also compute exact counts and report the error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	est, err := mochy.NewStreamEstimator(*capacity, *seed)
+	if err != nil {
+		return err
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if err := est.Ingest(g.Edge(e)); err != nil {
+			return err
+		}
+	}
+	counts := est.Estimates()
+	fmt.Printf("streamed %d hyperedges through a %d-edge reservoir\n",
+		est.EdgesSeen(), *capacity)
+	fmt.Printf("estimated instances: %.0f\n", counts.Total())
+	fmt.Println(counts.String())
+	if *compare {
+		exact := mochy.CountExact(g, mochy.Project(g), 1)
+		fmt.Printf("exact instances:     %.0f (relative error %.4f)\n",
+			exact.Total(), counts.RelativeError(&exact))
+	}
+	return nil
+}
+
+// runWindow implements "mochy window": temporal sliding-window censuses.
+func runWindow(args []string) error {
+	fs := flag.NewFlagSet("window", flag.ExitOnError)
+	in := fs.String("in", "", "timed hypergraph file (node ids plus t=<timestamp> per line)")
+	width := fs.Int64("width", 3, "window width (time units)")
+	stride := fs.Int64("stride", 1, "window stride (time units)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in (a timed hypergraph file)")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := mochy.Parse(f)
+	if err != nil {
+		return err
+	}
+	if !g.Timed() {
+		return fmt.Errorf("%s has no t=<timestamp> fields", *in)
+	}
+	windows, err := mochy.SweepWindows(g, mochy.WindowConfig{Width: *width, Stride: *stride})
+	if err != nil {
+		return err
+	}
+	drift := mochy.WindowDrift(windows)
+	fmt.Println("window            edges  instances  open-frac  drift")
+	for i, w := range windows {
+		d := "    -"
+		if i > 0 {
+			d = fmt.Sprintf("%.3f", drift[i-1])
+		}
+		fmt.Printf("[%6d,%6d)  %6d  %9.0f  %9.3f  %s\n",
+			w.Start, w.End, w.Edges, w.Counts.Total(), w.OpenFraction(), d)
+	}
+	if a := mochy.MostAnomalousWindow(windows); a >= 0 {
+		fmt.Printf("largest shift at window [%d,%d)\n", windows[a].Start, windows[a].End)
+	}
+	return nil
+}
+
+// runAnomaly implements "mochy anomaly": flag hyperedges whose h-motif
+// participation deviates from the dataset's aggregate.
+func runAnomaly(args []string) error {
+	fs := flag.NewFlagSet("anomaly", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	top := fs.Int("top", 10, "number of anomalies to print")
+	workers := fs.Int("workers", 1, "worker goroutines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	scores := mochy.AnomalyScores(g, mochy.Project(g), *workers)
+	fmt.Printf("top %d structurally anomalous hyperedges of %d:\n", *top, g.NumEdges())
+	for i, s := range mochy.TopAnomalies(scores, *top) {
+		fmt.Printf("%3d. edge %-6d deviation %.4f  instances %-8d dominant motif %-3d nodes %v\n",
+			i+1, s.Edge, s.Deviation, s.Participation, s.Dominant, g.Edge(s.Edge))
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Command mochy counts hypergraph motifs: it loads a hypergraph from a file
+// (or generates a named benchmark dataset), runs one of the MoCHy algorithms,
+// and prints counts, statistics, the motif catalog, or a characteristic
+// profile.
+//
+// Usage:
+//
+//	mochy stats     (-in FILE | -dataset NAME)
+//	mochy count     (-in FILE | -dataset NAME) [-algorithm exact|a|a+] [-samples N] [-workers N] [-seed N]
+//	mochy profile   (-in FILE | -dataset NAME) [-random N] [-workers N] [-seed N]
+//	mochy enumerate (-in FILE | -dataset NAME) [-limit N]
+//	mochy motifs
+//	mochy rank      (-in FILE | -dataset NAME) [-weights overlap|motif|closed] [-top N]
+//	mochy cluster   (-in FILE | -dataset NAME) [-closed-only] [-min-weight N] [-show N]
+//	mochy stream    (-in FILE | -dataset NAME) [-reservoir N] [-compare]
+//	mochy window    -in FILE [-width W] [-stride S]
+//	mochy anomaly   (-in FILE | -dataset NAME) [-top N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mochy"
+	"mochy/internal/generator"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "stats":
+		err = runStats(args)
+	case "count":
+		err = runCount(args)
+	case "profile":
+		err = runProfile(args)
+	case "enumerate":
+		err = runEnumerate(args)
+	case "motifs":
+		err = runMotifs()
+	case "rank":
+		err = runRank(args)
+	case "cluster":
+		err = runCluster(args)
+	case "stream":
+		err = runStream(args)
+	case "window":
+		err = runWindow(args)
+	case "anomaly":
+		err = runAnomaly(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochy:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mochy <stats|count|profile|enumerate|motifs|rank|cluster|stream|window|anomaly> [flags]
+run "mochy <subcommand> -h" for flags`)
+}
+
+// inputFlags registers the shared input flags on fs.
+func inputFlags(fs *flag.FlagSet) (in, dataset *string) {
+	in = fs.String("in", "", "hypergraph file (one hyperedge per line)")
+	dataset = fs.String("dataset", "", "named benchmark dataset (e.g. email-Enron)")
+	return in, dataset
+}
+
+// loadInput loads a hypergraph from -in or -dataset.
+func loadInput(in, dataset string) (*mochy.Hypergraph, error) {
+	switch {
+	case in != "" && dataset != "":
+		return nil, fmt.Errorf("use -in or -dataset, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mochy.Parse(f)
+	case dataset != "":
+		return generator.Dataset(dataset)
+	default:
+		return nil, fmt.Errorf("missing -in or -dataset (datasets: %v)", generator.DatasetNames())
+	}
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	fs.Parse(args)
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	st := mochy.ComputeStats(g)
+	p := mochy.Project(g)
+	fmt.Printf("nodes:          %d\n", st.NumNodes)
+	fmt.Printf("hyperedges:     %d\n", st.NumEdges)
+	fmt.Printf("incidences:     %d\n", st.TotalIncidence)
+	fmt.Printf("max edge size:  %d\n", st.MaxEdgeSize)
+	fmt.Printf("mean edge size: %.2f\n", st.MeanEdgeSize)
+	fmt.Printf("max degree:     %d\n", st.MaxDegree)
+	fmt.Printf("mean degree:    %.2f\n", st.MeanDegree)
+	fmt.Printf("hyperwedges:    %d\n", p.NumWedges())
+	return nil
+}
+
+func runCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	algorithm := fs.String("algorithm", "exact", "exact, a (hyperedge sampling), or a+ (hyperwedge sampling)")
+	samples := fs.Int("samples", 0, "sample count for a / a+ (default: 20% of |E| or |∧|)")
+	workers := fs.Int("workers", 1, "worker goroutines")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	p := mochy.Project(g)
+	var counts mochy.Counts
+	switch *algorithm {
+	case "exact":
+		counts = mochy.CountExact(g, p, *workers)
+	case "a":
+		s := *samples
+		if s == 0 {
+			s = max(1, g.NumEdges()/5)
+		}
+		counts = mochy.CountEdgeSamples(g, p, s, *seed, *workers)
+	case "a+":
+		r := *samples
+		if r == 0 {
+			r = max(1, int(p.NumWedges()/5))
+		}
+		counts = mochy.CountWedgeSamples(g, p, p, r, *seed, *workers)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	for id := 1; id <= mochy.NumMotifs; id++ {
+		fmt.Printf("h-motif %2d  %-32s %.6g\n",
+			id, mochy.MotifByID(id).Name, counts.Get(id))
+	}
+	fmt.Printf("total: %.6g (open fraction %.3f)\n", counts.Total(), counts.OpenFraction())
+	return nil
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	numRandom := fs.Int("random", 5, "number of randomized hypergraphs")
+	workers := fs.Int("workers", 1, "worker goroutines")
+	seed := fs.Int64("seed", 1, "randomization seed")
+	fs.Parse(args)
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	p := mochy.Project(g)
+	real := mochy.CountExact(g, p, *workers)
+	rz := mochy.NewRandomizer(g)
+	var randCounts []*mochy.Counts
+	for i := 0; i < *numRandom; i++ {
+		rg := rz.Generate(rand.New(rand.NewSource(*seed + int64(i))))
+		rp := mochy.Project(rg)
+		c := mochy.CountExact(rg, rp, *workers)
+		randCounts = append(randCounts, &c)
+	}
+	prof := mochy.ComputeProfile(&real, randCounts)
+	for id := 1; id <= mochy.NumMotifs; id++ {
+		fmt.Printf("CP[%2d] = %+.4f\n", id, prof.Get(id))
+	}
+	return nil
+}
+
+func runEnumerate(args []string) error {
+	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
+	in, dataset := inputFlags(fs)
+	limit := fs.Int("limit", 0, "stop after this many instances (0 = all)")
+	fs.Parse(args)
+	g, err := loadInput(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	p := mochy.Project(g)
+	n := 0
+	mochy.Enumerate(g, p, func(ins mochy.Instance) bool {
+		fmt.Printf("{e%d, e%d, e%d} -> h-motif %d\n", ins.A, ins.B, ins.C, ins.Motif)
+		n++
+		return *limit == 0 || n < *limit
+	})
+	fmt.Printf("%d instances\n", n)
+	return nil
+}
+
+func runMotifs() error {
+	fmt.Println("The 26 h-motifs (IDs 17-22 are open):")
+	for _, info := range mochy.Motifs() {
+		kind := "closed"
+		if info.Open {
+			kind = "open"
+		}
+		fmt.Printf("h-motif %2d  %-6s  weight %d  regions %v\n",
+			info.ID, kind, info.Weight, info.Pattern)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Anomaly: flag hyperedges whose local structure deviates from the rest of
+// the dataset — the anomaly-detection application of motifs cited in the
+// paper's introduction [11, 57], lifted from edges to hyperedges.
+//
+// The population is a homogeneous "shift schedule": working groups of three
+// arranged in a ring, each group sharing one member with the next, plus
+// periodic all-hands supersets. One planted hyperedge exhibits the
+// subset-heavy configuration real datasets avoid (a group with two disjoint
+// sub-groups — the motif 17/18 pattern of Section 4.2, which Section 4.2
+// shows is characteristic of *randomized*, not real, hypergraphs). Scoring
+// every hyperedge by the deviation of its h-motif participation
+// distribution surfaces the plant.
+package main
+
+import (
+	"fmt"
+
+	"mochy"
+)
+
+func main() {
+	b := mochy.NewBuilder(400)
+	// Ring of 60 triads, each overlapping the next in one member.
+	const groups = 60
+	for i := 0; i < groups; i++ {
+		base := int32(i * 2)
+		b.AddEdge([]int32{base, base + 1, (base + 2) % (2 * groups)})
+	}
+	// The planted configuration, on fresh members: one large meeting with
+	// two disjoint breakout subsets, repeated across four breakouts so the
+	// plant participates in several instances.
+	plant := []int32{300, 301, 302, 303, 304, 305, 306, 307}
+	b.AddEdge(plant)
+	b.AddEdge([]int32{300, 301})
+	b.AddEdge([]int32{302, 303})
+	b.AddEdge([]int32{304, 305})
+	b.AddEdge([]int32{306, 307})
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	// Locate the plant after deduplication (indices can shift).
+	plantIndex := -1
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.EdgeSize(e) == len(plant) && g.EdgeContains(e, 300) {
+			plantIndex = e
+			break
+		}
+	}
+	fmt.Printf("hypergraph: %d groups, planted anomaly is edge %d\n\n",
+		g.NumEdges(), plantIndex)
+
+	scores := mochy.AnomalyScores(g, mochy.Project(g), 1)
+	fmt.Println("top structurally anomalous hyperedges:")
+	hit := false
+	for i, s := range mochy.TopAnomalies(scores, 5) {
+		marker := ""
+		if s.Edge == plantIndex {
+			marker = "  <-- planted"
+			hit = true
+		}
+		fmt.Printf("%2d. edge %-5d deviation %.4f  instances %-6d dominant motif %d%s\n",
+			i+1, s.Edge, s.Deviation, s.Participation, s.Dominant, marker)
+	}
+	if !hit {
+		panic("planted anomaly not flagged — scoring regression")
+	}
+	fmt.Println("\nthe planted subset-heavy meeting is flagged: its instances")
+	fmt.Println("concentrate on open motifs the rest of the schedule never forms.")
+}

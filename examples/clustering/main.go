@@ -1,0 +1,72 @@
+// Clustering and ranking: the two application directions named in the
+// paper's conclusion ("incorporating h-motifs into various tasks, such as
+// hypergraph embedding, ranking, and clustering").
+//
+// The example builds a coauthorship hypergraph with community structure,
+// groups publications by their h-motif co-participation, and ranks
+// publications by motif-aware PageRank, contrasting the motif weighting
+// with the plain overlap weighting.
+package main
+
+import (
+	"fmt"
+
+	"mochy"
+	"mochy/internal/generator"
+)
+
+func main() {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Coauthorship,
+		Nodes:  400,
+		Edges:  600,
+		Seed:   2020,
+	})
+	p := mochy.Project(g)
+	fmt.Printf("hypergraph: %d authors, %d publications, %d hyperwedges\n\n",
+		g.NumNodes(), g.NumEdges(), p.NumWedges())
+
+	// --- Clustering ------------------------------------------------------
+	labels := mochy.ClusterLabels(g, p, mochy.ClusterConfig{ClosedOnly: true, Seed: 1})
+	members := mochy.ClusterMembers(labels)
+	fmt.Printf("motif-based clustering found %d clusters\n", len(members))
+	fmt.Println("largest research groups (publications per cluster):")
+	for i, m := range members {
+		if i == 5 || len(m) < 2 {
+			break
+		}
+		fmt.Printf("  cluster %d: %d publications, e.g. authors of #%d: %v\n",
+			i, len(m), m[0], g.Edge(m[0]))
+	}
+
+	// --- Ranking ---------------------------------------------------------
+	motifScores, err := mochy.RankScores(g, p, mochy.RankConfig{Weights: mochy.WeightMotif})
+	if err != nil {
+		panic(err)
+	}
+	overlapScores, err := mochy.RankScores(g, p, mochy.RankConfig{Weights: mochy.WeightOverlap})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\ntop publications by motif-aware PageRank:")
+	for _, e := range mochy.TopRanked(motifScores, 5) {
+		fmt.Printf("  #%-4d score %.5f  (overlap-rank score %.5f)  authors %v\n",
+			e, motifScores[e], overlapScores[e], g.Edge(e))
+	}
+
+	// How differently do the two weightings see the hypergraph?
+	top := mochy.TopRanked(motifScores, 20)
+	overlapTop := make(map[int]bool)
+	for _, e := range mochy.TopRanked(overlapScores, 20) {
+		overlapTop[e] = true
+	}
+	shared := 0
+	for _, e := range top {
+		if overlapTop[e] {
+			shared++
+		}
+	}
+	fmt.Printf("\ntop-20 agreement between motif and overlap weighting: %d/20\n", shared)
+	fmt.Println("(disagreements are publications with many pairwise overlaps but few triple patterns)")
+}

@@ -1,0 +1,55 @@
+// Domains: compute characteristic profiles (CPs) of synthetic hypergraphs
+// from different domains and show that CPs cluster by domain — the paper's
+// Q2/Q3 use case ("which domain is this hypergraph from?").
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mochy"
+	"mochy/internal/generator"
+)
+
+func main() {
+	// Two coauthorship hypergraphs (different scales and seeds) and one
+	// tags hypergraph.
+	specs := []struct {
+		name string
+		cfg  generator.Config
+	}{
+		{"coauth-A", generator.Config{Domain: generator.Coauthorship, Nodes: 800, Edges: 1600, Seed: 1}},
+		{"coauth-B", generator.Config{Domain: generator.Coauthorship, Nodes: 500, Edges: 1000, Seed: 2}},
+		{"tags-A", generator.Config{Domain: generator.Tags, Nodes: 300, Edges: 1200, Seed: 3}},
+	}
+
+	profiles := make([]mochy.Profile, len(specs))
+	for i, spec := range specs {
+		g := generator.Generate(spec.cfg)
+		profiles[i] = profile(g, 3, int64(100+i))
+		fmt.Printf("%-9s CP computed over %d hyperedges\n", spec.name, g.NumEdges())
+	}
+
+	// Same-domain CPs correlate strongly; cross-domain CPs do not.
+	sameDomain := mochy.ProfileCorrelation(profiles[0], profiles[1])
+	crossDomain := mochy.ProfileCorrelation(profiles[0], profiles[2])
+	fmt.Printf("\ncorr(coauth-A, coauth-B) = %.3f   <- same domain\n", sameDomain)
+	fmt.Printf("corr(coauth-A, tags-A)   = %.3f   <- different domains\n", crossDomain)
+	if sameDomain > crossDomain {
+		fmt.Println("CPs identify the domain, as in Figures 1 and 5 of the paper.")
+	}
+}
+
+// profile computes a CP against numRandom Chung-Lu randomizations.
+func profile(g *mochy.Hypergraph, numRandom int, seed int64) mochy.Profile {
+	p := mochy.Project(g)
+	real := mochy.CountExact(g, p, 1)
+	rz := mochy.NewRandomizer(g)
+	var randCounts []*mochy.Counts
+	for i := 0; i < numRandom; i++ {
+		rg := rz.Generate(rand.New(rand.NewSource(seed + int64(i))))
+		c := mochy.CountExact(rg, mochy.Project(rg), 1)
+		randCounts = append(randCounts, &c)
+	}
+	return mochy.ComputeProfile(&real, randCounts)
+}

@@ -1,0 +1,44 @@
+// Prediction: the Table 4 application — predict future hyperedges
+// (publications) against corrupted fakes using h-motif participation
+// features (HM26) versus the hand-crafted baseline (HC).
+package main
+
+import (
+	"fmt"
+
+	"mochy/internal/features"
+	"mochy/internal/generator"
+	"mochy/internal/ml"
+)
+
+func main() {
+	// An evolving coauthorship hypergraph; train on three years, test on
+	// the next.
+	g := generator.GenerateTemporal(generator.TemporalConfig{
+		Nodes: 1200, FirstYear: 2010, LastYear: 2016,
+		EdgesFirst: 150, EdgesLast: 400, MixingDrift: 0.2, Seed: 11,
+	})
+	task, err := features.BuildPredictionTask(g, features.TaskConfig{
+		TrainFrom: 2013, TrainTo: 2015, TestYear: 2016,
+		CorruptFraction: 0.5, MaxPerSplit: 250, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("train: %d real + %d fake hyperedges; test: %d + %d\n",
+		len(task.TrainPos), len(task.TrainNeg), len(task.TestPos), len(task.TestNeg))
+
+	for _, kind := range []features.Kind{features.HM26, features.HM7, features.HC} {
+		Xtr, ytr, Xte, yte := task.Matrices(kind)
+		scaler := ml.FitScaler(Xtr)
+		Ztr, Zte := scaler.Transform(Xtr), scaler.Transform(Xte)
+
+		clf := &ml.RandomForest{Trees: 30, Seed: 5}
+		if err := clf.Fit(Ztr, ytr); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-5s random forest: ACC %.3f, AUC %.3f\n",
+			kind, ml.Accuracy(clf, Zte, yte), ml.AUC(clf, Zte, yte))
+	}
+	fmt.Println("h-motif features (HM26) should beat the hand-crafted baseline (HC), as in Table 4.")
+}

@@ -1,0 +1,50 @@
+// Streaming: estimate h-motif counts over a hyperedge stream with a fixed
+// memory budget.
+//
+// MoCHy-A/A+ (Section 3.3) sample from a stored hypergraph; here the
+// hypergraph arrives as a stream and only a reservoir of hyperedges is ever
+// kept, adapting the reservoir-based triangle counting the paper cites
+// (Trièst [22]) to h-motifs. The example streams a coauthorship hypergraph
+// at several budgets and compares the estimates to the exact counts.
+package main
+
+import (
+	"fmt"
+
+	"mochy"
+	"mochy/internal/generator"
+)
+
+func main() {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Coauthorship,
+		Nodes:  300,
+		Edges:  900,
+		Seed:   99,
+	})
+	p := mochy.Project(g)
+	exact := mochy.CountExact(g, p, 1)
+	fmt.Printf("stream: %d hyperedges, %.0f h-motif instances (exact)\n\n",
+		g.NumEdges(), exact.Total())
+
+	fmt.Println("reservoir   memory vs full   estimate      relative error")
+	for _, capacity := range []int{g.NumEdges(), 400, 200, 100, 50} {
+		est, err := mochy.NewStreamEstimator(capacity, 7)
+		if err != nil {
+			panic(err)
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if err := est.Ingest(g.Edge(e)); err != nil {
+				panic(err)
+			}
+		}
+		counts := est.Estimates()
+		fmt.Printf("%9d   %13.1f%%   %9.0f      %.4f\n",
+			capacity,
+			100*float64(min(capacity, g.NumEdges()))/float64(g.NumEdges()),
+			counts.Total(),
+			counts.RelativeError(&exact))
+	}
+	fmt.Println("\nreservoir = stream length reproduces the exact counts;")
+	fmt.Println("smaller budgets trade memory for variance, unbiasedly.")
+}

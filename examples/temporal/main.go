@@ -1,0 +1,56 @@
+// Temporal: monitor how the local structure of an evolving collaboration
+// hypergraph changes, the temporal-hypergraph direction named in the
+// paper's conclusion.
+//
+// A synthetic 30-year coauthorship stream (the Figure 7 workload) is swept
+// with a 3-year sliding window. Each window's exact h-motif census is
+// maintained incrementally by the dynamic counter; the example prints the
+// open-motif fraction per window (Figure 7(b)'s series), the drift between
+// consecutive windows, and the window whose structure shifted the most.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"mochy"
+	"mochy/internal/generator"
+)
+
+func main() {
+	cfg := generator.DefaultTemporal()
+	cfg.Nodes = 600
+	cfg.EdgesFirst = 100
+	cfg.EdgesLast = 420
+	g := generator.GenerateTemporal(cfg)
+	fmt.Printf("temporal hypergraph: %d authors, %d publications, %d-%d\n\n",
+		g.NumNodes(), g.NumEdges(), cfg.FirstYear, cfg.LastYear)
+
+	windows, err := mochy.SweepWindows(g, mochy.WindowConfig{Width: 3, Stride: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	drift := mochy.WindowDrift(windows)
+	fmt.Println("window      edges  instances  open-fraction  drift")
+	for i, w := range windows {
+		c := w.Counts
+		d := "     -"
+		if i > 0 {
+			d = fmt.Sprintf("%6.3f", drift[i-1])
+		}
+		bar := strings.Repeat("#", int(w.OpenFraction()*40))
+		fmt.Printf("[%d,%d)  %5d  %9.0f  %6.3f %s  %s\n",
+			w.Start, w.End, w.Edges, c.Total(), w.OpenFraction(), d, bar)
+	}
+
+	if a := mochy.MostAnomalousWindow(windows); a >= 0 {
+		fmt.Printf("\nlargest structural shift enters at window [%d,%d)\n",
+			windows[a].Start, windows[a].End)
+	}
+
+	series := mochy.OpenFractionSeries(windows)
+	fmt.Printf("open-motif fraction: first window %.3f -> last window %.3f\n",
+		series[0], series[len(series)-1])
+	fmt.Println("(rising open fraction = collaborations becoming less clustered, Figure 7(b))")
+}

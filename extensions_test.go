@@ -1,0 +1,255 @@
+package mochy_test
+
+import (
+	"testing"
+
+	"mochy"
+	"mochy/internal/generator"
+)
+
+// figure2 returns the paper's running example hypergraph.
+func figure2(t *testing.T) *mochy.Hypergraph {
+	t.Helper()
+	g, err := mochy.ParseString("0 1 2\n0 3 1\n4 5 0\n6 7 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeDynamicCounter(t *testing.T) {
+	g := figure2(t)
+	c, ids, err := mochy.DynamicFromHypergraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.Counts()
+	if counts.Total() != 3 {
+		t.Fatalf("figure 2 has %v instances, want 3", counts.Total())
+	}
+	if err := c.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	counts = c.Counts()
+	if counts.Total() != 0 {
+		t.Fatalf("deleting e1 must destroy all instances, still %v", counts.Total())
+	}
+	fresh := mochy.NewDynamicCounter()
+	if fresh.NumEdges() != 0 {
+		t.Fatal("fresh counter not empty")
+	}
+}
+
+func TestFacadeTemporal(t *testing.T) {
+	b := mochy.NewBuilder(6)
+	b.AddTimedEdge([]int32{0, 1, 2}, 0)
+	b.AddTimedEdge([]int32{1, 2, 3}, 1)
+	b.AddTimedEdge([]int32{2, 3, 4}, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := mochy.SweepWindows(g, mochy.WindowConfig{Width: 3, Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) == 0 {
+		t.Fatal("no windows")
+	}
+	w0 := windows[0].Counts
+	if w0.Total() != 1 {
+		t.Fatalf("first window: %v instances, want 1", w0.Total())
+	}
+	if got := len(mochy.OpenFractionSeries(windows)); got != len(windows) {
+		t.Fatalf("series length %d, want %d", got, len(windows))
+	}
+	if len(windows) >= 2 {
+		if got := len(mochy.WindowDrift(windows)); got != len(windows)-1 {
+			t.Fatalf("drift length %d", got)
+		}
+		if a := mochy.MostAnomalousWindow(windows); a < 1 || a >= len(windows) {
+			t.Fatalf("MostAnomalousWindow = %d", a)
+		}
+	}
+}
+
+func TestFacadeMotifSpace(t *testing.T) {
+	got, err := mochy.CountMotifClasses(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(mochy.NumMotifs) {
+		t.Fatalf("CountMotifClasses(3) = %d, want %d", got, mochy.NumMotifs)
+	}
+	if got, err := mochy.CountMotifClasses(4); err != nil || got != 1853 {
+		t.Fatalf("CountMotifClasses(4) = %d, %v", got, err)
+	}
+	if got := mochy.CountLabeledMotifPatterns(3); got != 86 {
+		t.Fatalf("CountLabeledMotifPatterns(3) = %d, want 86", got)
+	}
+	if _, err := mochy.CountMotifClasses(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestFacadeClusterAndRank(t *testing.T) {
+	g := figure2(t)
+	p := mochy.Project(g)
+
+	labels := mochy.ClusterLabels(g, p, mochy.ClusterConfig{Seed: 1})
+	if len(labels) != g.NumEdges() {
+		t.Fatalf("%d labels for %d edges", len(labels), g.NumEdges())
+	}
+	sizes := mochy.ClusterSizes(labels)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("sizes sum %d", total)
+	}
+	if members := mochy.ClusterMembers(labels); len(members) != len(sizes) {
+		t.Fatalf("members/sizes mismatch: %d vs %d", len(members), len(sizes))
+	}
+
+	co := mochy.MotifCooccurrence(g, p, false)
+	if co[[2]int32{0, 1}] != 2 {
+		t.Fatalf("cooccurrence(e1,e2) = %d, want 2", co[[2]int32{0, 1}])
+	}
+
+	scores, err := mochy.RankScores(g, p, mochy.RankConfig{Weights: mochy.WeightMotif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := mochy.TopRanked(scores, 1); top[0] != 0 {
+		t.Fatalf("top hyperedge %d, want e1 (index 0): it is in every instance", top[0])
+	}
+}
+
+func TestFacadeStream(t *testing.T) {
+	g := figure2(t)
+	est, err := mochy.NewStreamEstimator(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if err := est.Ingest(g.Edge(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := est.Estimates()
+	if counts.Total() != 3 {
+		t.Fatalf("reservoir covers the stream: %v instances, want exactly 3", counts.Total())
+	}
+	if _, err := mochy.NewStreamEstimator(1, 1); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+}
+
+// TestNullModelRobustness: a dataset's characteristic profile must not be
+// an artifact of the Chung-Lu null's soft degree constraint — the CP
+// computed against degree-exact (swap-chain) randomizations has to agree
+// strongly with the CP computed against Chung-Lu randomizations.
+func TestNullModelRobustness(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Email, Nodes: 100, Edges: 350, Seed: 17})
+	p := mochy.Project(g)
+	real := mochy.CountExact(g, p, 1)
+
+	countAll := func(copies []*mochy.Hypergraph) []*mochy.Counts {
+		out := make([]*mochy.Counts, len(copies))
+		for i, c := range copies {
+			cc := mochy.CountExact(c, mochy.Project(c), 1)
+			out[i] = &cc
+		}
+		return out
+	}
+	chungLu := mochy.NewRandomizer(g).GenerateN(5, 23)
+	swaps := mochy.NewSwapRandomizer(g).GenerateN(5, 23)
+
+	cpCL := mochy.ComputeProfile(&real, countAll(chungLu))
+	cpSW := mochy.ComputeProfile(&real, countAll(swaps))
+	if corr := mochy.ProfileCorrelation(cpCL, cpSW); corr < 0.8 {
+		t.Fatalf("CPs under the two null models correlate at only %.3f", corr)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	names := mochy.DatasetNames()
+	if len(names) != 11 {
+		t.Fatalf("%d dataset names, want 11", len(names))
+	}
+	g, err := mochy.Dataset(names[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatalf("dataset %s is empty", names[5])
+	}
+	if _, err := mochy.Dataset("no-such-dataset"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFacadeDendrogram(t *testing.T) {
+	// Two tight CP families must merge within-family before across.
+	var a, b [mochy.NumMotifs]float64
+	for i := 0; i < 13; i++ {
+		a[i] = 1
+		b[25-i] = 1
+	}
+	profiles := []mochy.Profile{
+		mochy.ProfileFromSignificance(a), mochy.ProfileFromSignificance(a),
+		mochy.ProfileFromSignificance(b), mochy.ProfileFromSignificance(b),
+	}
+	d := mochy.BuildDendrogram(profiles)
+	labels := d.Cut(2)
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Fatalf("cut failed to recover families: %v", labels)
+	}
+	if purity := mochy.DomainPurity(labels, []string{"x", "x", "y", "y"}); purity != 1 {
+		t.Fatalf("purity %v", purity)
+	}
+}
+
+func TestFacadeAnomaly(t *testing.T) {
+	g := figure2(t)
+	p := mochy.Project(g)
+	serial := mochy.AnomalyScores(g, p, 1)
+	parallel := mochy.AnomalyScores(g, p, 4)
+	if len(serial) != g.NumEdges() || len(parallel) != len(serial) {
+		t.Fatalf("score lengths %d/%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("edge %d: serial %+v parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+	top := mochy.TopAnomalies(serial, 1)
+	// The three instances of the figure-2 graph realize three different
+	// motifs, and e1 is in all of them — its participation distribution IS
+	// the aggregate, so it must score strictly below the peripheral edges
+	// (which tie by symmetry, each seeing two of the three motifs).
+	if top[0].Edge == 0 {
+		t.Fatalf("e1 flagged as top anomaly: %+v", top[0])
+	}
+	if top[0].Deviation <= 0 {
+		t.Fatalf("top anomaly has no deviation: %+v", top[0])
+	}
+	if e1 := serial[0]; e1.Deviation >= top[0].Deviation {
+		t.Fatalf("e1 (deviation %v) not below peripheral edges (%v)",
+			e1.Deviation, top[0].Deviation)
+	}
+}
+
+func TestFacadeClosedMotifClasses(t *testing.T) {
+	got, err := mochy.CountClosedMotifClasses(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("closed 3-edge classes = %d, want 20 (the paper's closed motifs)", got)
+	}
+	if _, err := mochy.CountClosedMotifClasses(5); err == nil {
+		t.Fatal("k=5 accepted for the complete census")
+	}
+}

@@ -1,0 +1,110 @@
+// Package anomaly scores hyperedges by how unusual their h-motif
+// participation is — the anomaly-detection application of motifs the
+// paper's introduction cites for graphs [11, 57], lifted to h-motifs.
+//
+// Every hyperedge participates in some number of instances of each of the
+// 26 h-motifs (the paper's HM26 feature, Section 4.4). Normalized to a
+// distribution over motifs, most hyperedges of a dataset look alike —
+// that is exactly the paper's finding that domains have characteristic
+// motif compositions. A hyperedge whose participation distribution deviates
+// strongly from the dataset's aggregate is structurally anomalous: it sits
+// in local configurations the dataset otherwise avoids.
+package anomaly
+
+import (
+	"math"
+	"sort"
+
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+// Score is one hyperedge's anomaly assessment.
+type Score struct {
+	Edge int
+	// Deviation is the L2 distance between the hyperedge's motif
+	// participation distribution and the dataset aggregate, scaled by
+	// log(1 + participation) so that hyperedges with tiny samples are not
+	// flagged on noise.
+	Deviation float64
+	// Participation is the total number of instances containing the edge.
+	Participation int64
+	// Dominant is the motif ID contributing most to the deviation, 0 when
+	// the hyperedge participates in no instance.
+	Dominant int
+}
+
+// Scores computes an anomaly score per hyperedge from exact per-edge
+// participation counts. Hyperedges participating in no instance score zero:
+// they are isolated, not structurally anomalous.
+func Scores(g *hypergraph.Hypergraph, p projection.Projector) []Score {
+	perEdge, _ := counting.PerEdgeCounts(g, p)
+	return fromPerEdge(perEdge)
+}
+
+// ScoresParallel is Scores with a worker pool for the counting pass.
+func ScoresParallel(g *hypergraph.Hypergraph, p projection.Projector, workers int) []Score {
+	perEdge, _ := counting.PerEdgeCountsParallel(g, p, workers)
+	return fromPerEdge(perEdge)
+}
+
+func fromPerEdge(perEdge [][]int64) []Score {
+	n := len(perEdge)
+	scores := make([]Score, n)
+
+	// Dataset aggregate participation distribution.
+	var aggregate [motif.Count]float64
+	var aggTotal float64
+	for _, row := range perEdge {
+		for t, c := range row {
+			aggregate[t] += float64(c)
+			aggTotal += float64(c)
+		}
+	}
+	if aggTotal > 0 {
+		for t := range aggregate {
+			aggregate[t] /= aggTotal
+		}
+	}
+
+	for e, row := range perEdge {
+		var total int64
+		for _, c := range row {
+			total += c
+		}
+		scores[e] = Score{Edge: e, Participation: total}
+		if total == 0 {
+			continue
+		}
+		var dist float64
+		var worst float64
+		for t, c := range row {
+			d := float64(c)/float64(total) - aggregate[t]
+			dist += d * d
+			if ad := math.Abs(d); ad > worst {
+				worst = ad
+				scores[e].Dominant = t + 1
+			}
+		}
+		scores[e].Deviation = math.Sqrt(dist) * math.Log1p(float64(total))
+	}
+	return scores
+}
+
+// Top returns the k highest-deviation scores, ties broken by smaller edge
+// index. k is clamped to the number of hyperedges.
+func Top(scores []Score, k int) []Score {
+	sorted := append([]Score(nil), scores...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Deviation != sorted[b].Deviation {
+			return sorted[a].Deviation > sorted[b].Deviation
+		}
+		return sorted[a].Edge < sorted[b].Edge
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

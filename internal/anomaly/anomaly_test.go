@@ -1,0 +1,111 @@
+package anomaly
+
+import (
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+func TestScoresEmptyAndIsolated(t *testing.T) {
+	g := hypergraph.FromEdges(9, [][]int32{{0, 1}, {3, 4}, {6, 7}})
+	scores := Scores(g, projection.Build(g))
+	if len(scores) != 3 {
+		t.Fatalf("%d scores", len(scores))
+	}
+	for _, s := range scores {
+		if s.Deviation != 0 || s.Participation != 0 || s.Dominant != 0 {
+			t.Fatalf("isolated edge scored: %+v", s)
+		}
+	}
+	empty := hypergraph.FromEdges(4, nil)
+	if got := Scores(empty, projection.Build(empty)); len(got) != 0 {
+		t.Fatalf("empty hypergraph produced %d scores", len(got))
+	}
+}
+
+// plantedAnomalyGraph builds a homogeneous background — a long chain of
+// size-3 hyperedges, each overlapping only its neighbors in one node — and
+// one planted anomaly: a hyperedge contained in another with two disjoint
+// contained subsets around it (the subset-heavy configuration real datasets
+// avoid, per Section 4.2's discussion of motifs 17-18).
+func plantedAnomalyGraph() (*hypergraph.Hypergraph, int) {
+	var edges [][]int32
+	for i := 0; i < 40; i++ {
+		base := int32(i * 2)
+		edges = append(edges, []int32{base, base + 1, base + 2})
+	}
+	// Planted: a large hyperedge plus two disjoint subsets of it.
+	big := []int32{200, 201, 202, 203, 204, 205}
+	edges = append(edges, big)
+	anomaly := len(edges) - 1
+	edges = append(edges, []int32{200, 201}, []int32{203, 204})
+	return hypergraph.FromEdges(220, edges), anomaly
+}
+
+func TestTopFlagsPlantedAnomaly(t *testing.T) {
+	g, planted := plantedAnomalyGraph()
+	scores := Scores(g, projection.Build(g))
+	top := Top(scores, 3)
+	found := false
+	for _, s := range top {
+		if s.Edge == planted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted anomaly %d not in top 3: %+v", planted, top)
+	}
+}
+
+func TestScoresParallelMatchesSerial(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Email, Nodes: 90, Edges: 200, Seed: 3})
+	p := projection.Build(g)
+	a := Scores(g, p)
+	b := ScoresParallel(g, p, 4)
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d: serial %+v, parallel %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScoreFieldsConsistent(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Tags, Nodes: 80, Edges: 150, Seed: 5})
+	scores := Scores(g, projection.Build(g))
+	for _, s := range scores {
+		if s.Participation > 0 && (s.Dominant < 1 || s.Dominant > 26) {
+			t.Fatalf("edge %d participates but has dominant %d", s.Edge, s.Dominant)
+		}
+		if s.Deviation < 0 {
+			t.Fatalf("negative deviation: %+v", s)
+		}
+		if s.Participation == 0 && s.Deviation != 0 {
+			t.Fatalf("isolated edge has deviation: %+v", s)
+		}
+	}
+}
+
+func TestTopOrderingAndClamp(t *testing.T) {
+	scores := []Score{
+		{Edge: 0, Deviation: 0.3},
+		{Edge: 1, Deviation: 0.9},
+		{Edge: 2, Deviation: 0.9},
+		{Edge: 3, Deviation: 0.1},
+	}
+	top := Top(scores, 3)
+	if top[0].Edge != 1 || top[1].Edge != 2 || top[2].Edge != 0 {
+		t.Fatalf("ordering wrong: %+v", top)
+	}
+	if got := len(Top(scores, 99)); got != 4 {
+		t.Fatalf("clamp gave %d", got)
+	}
+	// Top must not mutate its input.
+	if scores[0].Edge != 0 || scores[0].Deviation != 0.3 {
+		t.Fatal("Top mutated input")
+	}
+}

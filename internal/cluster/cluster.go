@@ -1,0 +1,186 @@
+// Package cluster groups hyperedges by their h-motif co-participation —
+// the "incorporating h-motifs into clustering" direction named in the
+// paper's conclusion, following the motif-based community detection it
+// builds on for graphs [13, 62, 68].
+//
+// Two hyperedges are pulled into the same cluster in proportion to the
+// number of h-motif instances they share. Sharing a closed instance is a
+// strictly stronger signal than sharing a hyperwedge: all three hyperedges
+// pairwise overlap. Open instances connect their two adjacent pairs only —
+// the far pair of an open instance is disjoint and carries no weight.
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+// Config parameterizes Labels.
+type Config struct {
+	// ClosedOnly restricts the co-participation weights to closed h-motif
+	// instances (IDs outside 17-22). Open instances are noisier joiners:
+	// their center is adjacent to two hyperedges that may belong to
+	// different communities.
+	ClosedOnly bool
+	// MinWeight drops hyperedge pairs sharing fewer instances than this
+	// before propagation; 0 keeps every pair.
+	MinWeight int64
+	// MaxIter bounds the label-propagation rounds; 0 means 50.
+	MaxIter int
+	// Seed drives the propagation order shuffle.
+	Seed int64
+}
+
+// Cooccurrence returns the h-motif co-participation weights: for every pair
+// of adjacent hyperedges, the number of h-motif instances containing both.
+// Keys are [2]int32 with the smaller hyperedge ID first. If closedOnly is
+// set, only closed instances contribute; otherwise open instances also
+// contribute to their two adjacent pairs.
+func Cooccurrence(g *hypergraph.Hypergraph, p projection.Projector, closedOnly bool) map[[2]int32]int64 {
+	w := make(map[[2]int32]int64)
+	add := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		w[[2]int32{a, b}]++
+	}
+	counting.Enumerate(g, p, func(inst counting.Instance) bool {
+		open := motif.IsOpen(inst.Motif)
+		if closedOnly && open {
+			return true
+		}
+		if !open {
+			add(inst.A, inst.B)
+			add(inst.B, inst.C)
+			add(inst.A, inst.C)
+			return true
+		}
+		// Open instance: weight only the two overlapping pairs.
+		if p.Overlap(inst.A, inst.B) > 0 {
+			add(inst.A, inst.B)
+		}
+		if p.Overlap(inst.B, inst.C) > 0 {
+			add(inst.B, inst.C)
+		}
+		if p.Overlap(inst.A, inst.C) > 0 {
+			add(inst.A, inst.C)
+		}
+		return true
+	})
+	return w
+}
+
+// Labels assigns a cluster label to every hyperedge of g by weighted label
+// propagation over the h-motif co-participation graph. Labels are densely
+// renumbered in order of first appearance over hyperedge indices, so two
+// runs with the same Config are identical. Hyperedges sharing no instance
+// with anything (after MinWeight filtering) each form a singleton cluster.
+func Labels(g *hypergraph.Hypergraph, p projection.Projector, cfg Config) []int {
+	n := g.NumEdges()
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 50
+	}
+
+	type arc struct {
+		to int32
+		w  int64
+	}
+	adj := make([][]arc, n)
+	for pair, w := range Cooccurrence(g, p, cfg.ClosedOnly) {
+		if w < cfg.MinWeight {
+			continue
+		}
+		a, b := pair[0], pair[1]
+		adj[a] = append(adj[a], arc{b, w})
+		adj[b] = append(adj[b], arc{a, w})
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	votes := make(map[int]int64)
+	for iter := 0; iter < maxIter; iter++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, e := range order {
+			if len(adj[e]) == 0 {
+				continue
+			}
+			clear(votes)
+			for _, a := range adj[e] {
+				votes[labels[a.to]] += a.w
+			}
+			best, bestW := labels[e], votes[labels[e]]
+			for l, w := range votes {
+				if w > bestW || (w == bestW && l < best) {
+					best, bestW = l, w
+				}
+			}
+			if best != labels[e] {
+				labels[e] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Dense renumbering in first-appearance order.
+	remap := make(map[int]int)
+	for i, l := range labels {
+		if _, ok := remap[l]; !ok {
+			remap[l] = len(remap)
+		}
+		labels[i] = remap[l]
+	}
+	return labels
+}
+
+// Sizes returns the number of hyperedges in each cluster, indexed by label.
+func Sizes(labels []int) []int {
+	maxLabel := -1
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	sizes := make([]int, maxLabel+1)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// Members returns the hyperedge indices of every cluster, largest cluster
+// first (ties by smallest label).
+func Members(labels []int) [][]int {
+	groups := make(map[int][]int)
+	for e, l := range labels {
+		groups[l] = append(groups[l], e)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		return out[a][0] < out[b][0]
+	})
+	return out
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+// paperGraph is the Figure 2(b) hypergraph: e0={L,K,F}, e1={L,H,K},
+// e2={B,G,L}, e3={S,R,F} with L=0 K=1 F=2 H=3 B=4 G=5 S=6 R=7.
+func paperGraph() *hypergraph.Hypergraph {
+	return hypergraph.FromEdges(8, [][]int32{
+		{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2},
+	})
+}
+
+func TestCooccurrencePaperExample(t *testing.T) {
+	g := paperGraph()
+	p := projection.Build(g)
+
+	// Instances: {e0,e1,e2} closed; {e0,e1,e3} and {e0,e2,e3} open with e3
+	// disjoint from e1 and e2.
+	got := Cooccurrence(g, p, false)
+	want := map[[2]int32]int64{
+		{0, 1}: 2, // closed + open {e0,e1,e3}
+		{0, 2}: 2, // closed + open {e0,e2,e3}
+		{1, 2}: 1, // closed only
+		{0, 3}: 2, // adjacent pair of both open instances
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Cooccurrence = %v, want %v", got, want)
+	}
+
+	closed := Cooccurrence(g, p, true)
+	wantClosed := map[[2]int32]int64{
+		{0, 1}: 1, {0, 2}: 1, {1, 2}: 1,
+	}
+	if !reflect.DeepEqual(closed, wantClosed) {
+		t.Fatalf("Cooccurrence(closed) = %v, want %v", closed, wantClosed)
+	}
+}
+
+// plantedGraph builds two structurally identical dense blocks with no
+// overlap between them: block 0 over nodes [0,8), block 1 over [20,28).
+func plantedGraph() (*hypergraph.Hypergraph, []int) {
+	var edges [][]int32
+	var truth []int
+	for b, base := range []int32{0, 20} {
+		for i := int32(0); i < 6; i++ {
+			edges = append(edges, []int32{
+				base + i%8, base + (i+1)%8, base + (i+2)%8, base + (i+4)%8,
+			})
+			truth = append(truth, b)
+		}
+	}
+	return hypergraph.FromEdges(40, edges), truth
+}
+
+// samePartition checks two labelings induce identical partitions.
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int]int)
+	rev := make(map[int]int)
+	for i := range a {
+		if l, ok := fwd[a[i]]; ok && l != b[i] {
+			return false
+		}
+		if l, ok := rev[b[i]]; ok && l != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestLabelsRecoverPlantedBlocks(t *testing.T) {
+	g, truth := plantedGraph()
+	p := projection.Build(g)
+	for _, closedOnly := range []bool{false, true} {
+		labels := Labels(g, p, Config{ClosedOnly: closedOnly, Seed: 1})
+		if !samePartition(labels, truth) {
+			t.Fatalf("closedOnly=%v: labels %v do not match planted %v",
+				closedOnly, labels, truth)
+		}
+	}
+}
+
+func TestLabelsDeterministic(t *testing.T) {
+	g, _ := plantedGraph()
+	p := projection.Build(g)
+	a := Labels(g, p, Config{Seed: 7})
+	b := Labels(g, p, Config{Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different labels: %v vs %v", a, b)
+	}
+	// A different propagation order may renumber but must find the same
+	// two-block partition on this unambiguous instance.
+	c := Labels(g, p, Config{Seed: 8})
+	if !samePartition(a, c) {
+		t.Fatalf("different seed found different partition: %v vs %v", a, c)
+	}
+}
+
+func TestLabelsSingletons(t *testing.T) {
+	// Pairwise disjoint hyperedges: no instances, so every hyperedge is a
+	// singleton cluster labeled in index order.
+	g := hypergraph.FromEdges(9, [][]int32{{0, 1}, {3, 4}, {6, 7}})
+	p := projection.Build(g)
+	labels := Labels(g, p, Config{Seed: 3})
+	if !reflect.DeepEqual(labels, []int{0, 1, 2}) {
+		t.Fatalf("labels = %v, want [0 1 2]", labels)
+	}
+}
+
+func TestLabelsMinWeight(t *testing.T) {
+	g, truth := plantedGraph()
+	p := projection.Build(g)
+	// An absurd threshold removes every arc: all singletons.
+	labels := Labels(g, p, Config{MinWeight: 1 << 40, Seed: 2})
+	for i, l := range labels {
+		if l != i {
+			t.Fatalf("labels[%d] = %d, want singleton %d", i, l, i)
+		}
+	}
+	// Threshold 1 keeps everything (weights are at least 1).
+	labels = Labels(g, p, Config{MinWeight: 1, Seed: 2})
+	if !samePartition(labels, truth) {
+		t.Fatalf("MinWeight=1 broke the planted partition: %v", labels)
+	}
+}
+
+func TestLabelsBridgedBlocksClosedOnly(t *testing.T) {
+	// Two blocks joined by a thin bridge hyperedge that overlaps one edge
+	// of each block. The bridge creates only open instances across blocks,
+	// so ClosedOnly keeps the blocks apart.
+	gBase, _ := plantedGraph()
+	var edges [][]int32
+	for e := 0; e < gBase.NumEdges(); e++ {
+		edges = append(edges, gBase.Edge(e))
+	}
+	edges = append(edges, []int32{0, 20}) // touches one node of each block
+	g := hypergraph.FromEdges(40, edges)
+	p := projection.Build(g)
+	labels := Labels(g, p, Config{ClosedOnly: true, Seed: 4})
+	if labels[0] == labels[6] {
+		t.Fatalf("bridge merged the blocks under ClosedOnly: %v", labels)
+	}
+}
+
+func TestSizesAndMembers(t *testing.T) {
+	labels := []int{0, 1, 0, 2, 1, 0}
+	sizes := Sizes(labels)
+	if !reflect.DeepEqual(sizes, []int{3, 2, 1}) {
+		t.Fatalf("Sizes = %v", sizes)
+	}
+	members := Members(labels)
+	want := [][]int{{0, 2, 5}, {1, 4}, {3}}
+	if !reflect.DeepEqual(members, want) {
+		t.Fatalf("Members = %v, want %v", members, want)
+	}
+}
+
+func TestLabelsOnGeneratedGraph(t *testing.T) {
+	// Smoke test on a realistic hypergraph: labels are a dense relabeling
+	// with in-range values, and cluster sizes partition the edges.
+	g := generator.Generate(generator.Config{Domain: generator.Coauthorship, Nodes: 150, Edges: 200, Seed: 42})
+	p := projection.Build(g)
+	labels := Labels(g, p, Config{Seed: 42})
+	if len(labels) != g.NumEdges() {
+		t.Fatalf("%d labels for %d edges", len(labels), g.NumEdges())
+	}
+	sizes := Sizes(labels)
+	total := 0
+	for _, s := range sizes {
+		if s == 0 {
+			t.Fatal("dense relabeling left an empty cluster")
+		}
+		total += s
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("cluster sizes sum to %d, want %d", total, g.NumEdges())
+	}
+}

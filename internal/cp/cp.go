@@ -1,0 +1,151 @@
+// Package cp computes h-motif significances and characteristic profiles
+// (CPs) — Equations 1 and 2 of the MoCHy paper — and the similarity matrices
+// used to compare hypergraphs across domains (Section 4.3).
+package cp
+
+import (
+	"math"
+
+	"mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/stats"
+)
+
+// Epsilon is the ε of Equation 1; the paper fixes it to 1.
+const Epsilon = 1.0
+
+// Significance returns Δt for every motif: (M[t] - Mrand[t]) /
+// (M[t] + Mrand[t] + ε), where Mrand is the mean count over randomized
+// hypergraphs (Equation 1).
+func Significance(real *mochy.Counts, rand []*mochy.Counts) [motif.Count]float64 {
+	var delta [motif.Count]float64
+	for t := 0; t < motif.Count; t++ {
+		mr := 0.0
+		for _, rc := range rand {
+			mr += rc[t]
+		}
+		if len(rand) > 0 {
+			mr /= float64(len(rand))
+		}
+		delta[t] = (real[t] - mr) / (real[t] + mr + Epsilon)
+	}
+	return delta
+}
+
+// Profile is a characteristic profile: the L2-normalized significance vector
+// (Equation 2). Every component lies in [-1, 1].
+type Profile [motif.Count]float64
+
+// FromSignificance normalizes a significance vector into a Profile. A zero
+// significance vector yields a zero profile.
+func FromSignificance(delta [motif.Count]float64) Profile {
+	norm := 0.0
+	for _, d := range delta {
+		norm += d * d
+	}
+	norm = math.Sqrt(norm)
+	var p Profile
+	if norm == 0 {
+		return p
+	}
+	for t, d := range delta {
+		p[t] = d / norm
+	}
+	return p
+}
+
+// Compute builds the CP of a hypergraph from its real counts and the counts
+// in randomized copies (Equations 1 and 2 composed).
+func Compute(real *mochy.Counts, rand []*mochy.Counts) Profile {
+	return FromSignificance(Significance(real, rand))
+}
+
+// Get returns the profile entry of motif id (1..26).
+func (p Profile) Get(id int) float64 { return p[id-1] }
+
+// Norm returns the L2 norm of the profile (1 for any non-zero profile).
+func (p Profile) Norm() float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Correlation returns the Pearson correlation between two profiles, the
+// similarity measure used in Figure 6.
+func Correlation(a, b Profile) float64 {
+	return stats.Pearson(a[:], b[:])
+}
+
+// SimilarityMatrix returns the pairwise Pearson-correlation matrix of a set
+// of profiles.
+func SimilarityMatrix(profiles []Profile) [][]float64 {
+	n := len(profiles)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = 1
+				continue
+			}
+			m[i][j] = Correlation(profiles[i], profiles[j])
+		}
+	}
+	return m
+}
+
+// DomainGap summarizes a similarity matrix given domain labels: the average
+// within-domain correlation, the average across-domain correlation, and
+// their difference (the "gap" the paper reports: 0.324 for h-motif CPs vs
+// 0.069 for network-motif CPs).
+func DomainGap(sim [][]float64, domains []string) (within, across, gap float64) {
+	var wSum, aSum float64
+	var wN, aN int
+	for i := range sim {
+		for j := i + 1; j < len(sim); j++ {
+			if domains[i] == domains[j] {
+				wSum += sim[i][j]
+				wN++
+			} else {
+				aSum += sim[i][j]
+				aN++
+			}
+		}
+	}
+	if wN > 0 {
+		within = wSum / float64(wN)
+	}
+	if aN > 0 {
+		across = aSum / float64(aN)
+	}
+	return within, across, within - across
+}
+
+// RelativeCount returns the Table 3 per-motif comparison statistic
+// (M[t] - Mrand[t]) / (M[t] + Mrand[t]), in [-1, 1]; 0 when both are zero.
+func RelativeCount(real, randMean float64) float64 {
+	den := real + randMean
+	if den == 0 {
+		return 0
+	}
+	return (real - randMean) / den
+}
+
+// MeanCounts averages a set of count vectors component-wise.
+func MeanCounts(cs []*mochy.Counts) mochy.Counts {
+	var m mochy.Counts
+	if len(cs) == 0 {
+		return m
+	}
+	for _, c := range cs {
+		for t := range m {
+			m[t] += c[t]
+		}
+	}
+	for t := range m {
+		m[t] /= float64(len(cs))
+	}
+	return m
+}

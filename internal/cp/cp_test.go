@@ -1,0 +1,150 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mochy/internal/mochy"
+	"mochy/internal/motif"
+)
+
+func TestSignificanceFormula(t *testing.T) {
+	var real mochy.Counts
+	real.Set(1, 100)
+	var r1, r2 mochy.Counts
+	r1.Set(1, 40)
+	r2.Set(1, 60) // mean 50
+	delta := Significance(&real, []*mochy.Counts{&r1, &r2})
+	want := (100.0 - 50.0) / (100.0 + 50.0 + Epsilon)
+	if math.Abs(delta[0]-want) > 1e-12 {
+		t.Fatalf("Δ1 = %v, want %v", delta[0], want)
+	}
+	// Motif absent everywhere: Δ = 0.
+	if delta[1] != 0 {
+		t.Fatalf("Δ2 = %v, want 0", delta[1])
+	}
+}
+
+func TestSignificanceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var real, r1 mochy.Counts
+		for i := range real {
+			real[i] = float64(rng.Intn(1000))
+			r1[i] = float64(rng.Intn(1000))
+		}
+		delta := Significance(&real, []*mochy.Counts{&r1})
+		for _, d := range delta {
+			if d < -1 || d > 1 {
+				t.Fatalf("significance %v out of [-1, 1]", d)
+			}
+		}
+	}
+}
+
+func TestProfileNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		var delta [motif.Count]float64
+		for i := range delta {
+			delta[i] = rng.Float64()*2 - 1
+		}
+		p := FromSignificance(delta)
+		if math.Abs(p.Norm()-1) > 1e-9 {
+			t.Fatalf("profile norm = %v, want 1", p.Norm())
+		}
+		for id := 1; id <= motif.Count; id++ {
+			if v := p.Get(id); v < -1 || v > 1 {
+				t.Fatalf("CP_%d = %v out of [-1, 1]", id, v)
+			}
+		}
+	}
+}
+
+func TestZeroProfile(t *testing.T) {
+	p := FromSignificance([motif.Count]float64{})
+	if p.Norm() != 0 {
+		t.Fatalf("zero significance should give zero profile, norm = %v", p.Norm())
+	}
+}
+
+func TestCorrelationSelfIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var delta [motif.Count]float64
+	for i := range delta {
+		delta[i] = rng.NormFloat64()
+	}
+	p := FromSignificance(delta)
+	if c := Correlation(p, p); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("self correlation = %v", c)
+	}
+}
+
+func TestSimilarityMatrixAndDomainGap(t *testing.T) {
+	// Two tight clusters of profiles: within-domain correlation must exceed
+	// across-domain correlation.
+	rng := rand.New(rand.NewSource(4))
+	base1, base2 := [motif.Count]float64{}, [motif.Count]float64{}
+	for i := range base1 {
+		base1[i] = rng.NormFloat64()
+		base2[i] = rng.NormFloat64()
+	}
+	mk := func(base [motif.Count]float64) Profile {
+		var d [motif.Count]float64
+		for i := range d {
+			d[i] = base[i] + 0.05*rng.NormFloat64()
+		}
+		return FromSignificance(d)
+	}
+	profiles := []Profile{mk(base1), mk(base1), mk(base2), mk(base2)}
+	domains := []string{"x", "x", "y", "y"}
+	sim := SimilarityMatrix(profiles)
+	for i := range sim {
+		if sim[i][i] != 1 {
+			t.Fatalf("diagonal sim[%d][%d] = %v", i, i, sim[i][i])
+		}
+		for j := range sim {
+			if math.Abs(sim[i][j]-sim[j][i]) > 1e-12 {
+				t.Fatalf("similarity matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	within, across, gap := DomainGap(sim, domains)
+	if within <= across {
+		t.Fatalf("within = %.3f should exceed across = %.3f", within, across)
+	}
+	if math.Abs(gap-(within-across)) > 1e-12 {
+		t.Fatalf("gap = %v, want within-across", gap)
+	}
+}
+
+func TestRelativeCount(t *testing.T) {
+	if rc := RelativeCount(100, 50); math.Abs(rc-1.0/3) > 1e-12 {
+		t.Errorf("RelativeCount(100,50) = %v", rc)
+	}
+	if rc := RelativeCount(0, 0); rc != 0 {
+		t.Errorf("RelativeCount(0,0) = %v", rc)
+	}
+	if rc := RelativeCount(0, 10); rc != -1 {
+		t.Errorf("RelativeCount(0,10) = %v, want -1", rc)
+	}
+	if rc := RelativeCount(10, 0); rc != 1 {
+		t.Errorf("RelativeCount(10,0) = %v, want 1", rc)
+	}
+}
+
+func TestMeanCounts(t *testing.T) {
+	var a, b mochy.Counts
+	a.Set(1, 10)
+	b.Set(1, 20)
+	b.Set(2, 4)
+	m := MeanCounts([]*mochy.Counts{&a, &b})
+	if m.Get(1) != 15 || m.Get(2) != 2 {
+		t.Fatalf("MeanCounts = %v", m.String())
+	}
+	empty := MeanCounts(nil)
+	if empty.Total() != 0 {
+		t.Fatalf("MeanCounts(nil) = %v", empty.String())
+	}
+}

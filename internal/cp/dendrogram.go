@@ -1,0 +1,207 @@
+package cp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Merge records one agglomeration step: clusters A and B (leaf IDs are
+// 0..n-1, internal IDs continue upward in merge order) joined at the given
+// average pairwise CP correlation.
+type Merge struct {
+	A, B       int
+	Similarity float64
+	Size       int // leaves under the merged cluster
+}
+
+// Dendrogram is the result of average-linkage agglomerative clustering of
+// characteristic profiles, extending the flat similarity matrix of
+// Figure 6: cutting it at k clusters recovers domain groupings without
+// fixing k in advance.
+type Dendrogram struct {
+	NumLeaves int
+	Merges    []Merge
+}
+
+// BuildDendrogram clusters the profiles bottom-up: at every step the two
+// clusters with the highest average pairwise correlation merge, until one
+// remains. n profiles produce exactly n-1 merges.
+func BuildDendrogram(profiles []Profile) *Dendrogram {
+	n := len(profiles)
+	d := &Dendrogram{NumLeaves: n}
+	if n == 0 {
+		return d
+	}
+	sim := SimilarityMatrix(profiles)
+
+	type clusterState struct {
+		id     int
+		leaves []int
+	}
+	active := make([]clusterState, n)
+	for i := range active {
+		active[i] = clusterState{id: i, leaves: []int{i}}
+	}
+	avg := func(a, b clusterState) float64 {
+		s := 0.0
+		for _, x := range a.leaves {
+			for _, y := range b.leaves {
+				s += sim[x][y]
+			}
+		}
+		return s / float64(len(a.leaves)*len(b.leaves))
+	}
+	nextID := n
+	for len(active) > 1 {
+		bi, bj, best := 0, 1, avg(active[0], active[1])
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if s := avg(active[i], active[j]); s > best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		merged := clusterState{id: nextID, leaves: append(append([]int(nil), a.leaves...), b.leaves...)}
+		d.Merges = append(d.Merges, Merge{
+			A: a.id, B: b.id, Similarity: best, Size: len(merged.leaves),
+		})
+		nextID++
+		// Remove bj first (larger index), then bi.
+		active[bj] = active[len(active)-1]
+		active = active[:len(active)-1]
+		if bi == len(active) {
+			bi = bj
+		}
+		active[bi] = merged
+	}
+	return d
+}
+
+// Cut returns k-cluster labels (dense, in leaf order of first appearance)
+// by undoing the last k-1 merges. k is clamped to [1, NumLeaves].
+func (d *Dendrogram) Cut(k int) []int {
+	n := d.NumLeaves
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Union-find over leaf and internal IDs, replaying all but the last
+	// k-1 merges.
+	parent := make([]int, n+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	keep := len(d.Merges) - (k - 1)
+	for i := 0; i < keep; i++ {
+		m := d.Merges[i]
+		id := n + i
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+	}
+	labels := make([]int, n)
+	remap := make(map[int]int)
+	for leaf := 0; leaf < n; leaf++ {
+		root := find(leaf)
+		if _, ok := remap[root]; !ok {
+			remap[root] = len(remap)
+		}
+		labels[leaf] = remap[root]
+	}
+	return labels
+}
+
+// Render prints the merge sequence with leaf names, most similar merges
+// first (the order they happened).
+func (d *Dendrogram) Render(w io.Writer, names []string) error {
+	label := func(id int) string {
+		if id < d.NumLeaves {
+			if id < len(names) {
+				return names[id]
+			}
+			return fmt.Sprintf("leaf-%d", id)
+		}
+		return fmt.Sprintf("cluster-%d", id-d.NumLeaves)
+	}
+	for i, m := range d.Merges {
+		if _, err := fmt.Fprintf(w, "%2d. %-28s + %-28s sim %.3f (%d leaves)\n",
+			i, label(m.A), label(m.B), m.Similarity, m.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Coph returns the cophenetic similarity of two leaves: the similarity at
+// which they first end up in the same cluster.
+func (d *Dendrogram) Coph(a, b int) float64 {
+	if a == b {
+		return 1
+	}
+	members := make(map[int][]int)
+	for leaf := 0; leaf < d.NumLeaves; leaf++ {
+		members[leaf] = []int{leaf}
+	}
+	for i, m := range d.Merges {
+		id := d.NumLeaves + i
+		merged := append(append([]int(nil), members[m.A]...), members[m.B]...)
+		members[id] = merged
+		if containsBoth(merged, a, b) {
+			return m.Similarity
+		}
+	}
+	return -1
+}
+
+func containsBoth(xs []int, a, b int) bool {
+	foundA, foundB := false, false
+	for _, x := range xs {
+		foundA = foundA || x == a
+		foundB = foundB || x == b
+	}
+	return foundA && foundB
+}
+
+// DomainPurity evaluates labels against domain names: the fraction of
+// leaves whose cluster's majority domain matches their own.
+func DomainPurity(labels []int, domains []string) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	byCluster := make(map[int]map[string]int)
+	for i, l := range labels {
+		if byCluster[l] == nil {
+			byCluster[l] = make(map[string]int)
+		}
+		byCluster[l][domains[i]]++
+	}
+	correct := 0
+	for _, counts := range byCluster {
+		keys := make([]string, 0, len(counts))
+		for d := range counts {
+			keys = append(keys, d)
+		}
+		sort.Strings(keys)
+		best := 0
+		for _, d := range keys {
+			if counts[d] > best {
+				best = counts[d]
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,127 @@
+package cp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mochy/internal/motif"
+)
+
+// syntheticProfiles builds two well-separated profile families: family A
+// loads the first half of the motif axes, family B the second half, with a
+// small per-profile perturbation.
+func syntheticProfiles() ([]Profile, []string) {
+	mk := func(offset int, tweak float64) Profile {
+		var delta [motif.Count]float64
+		for i := 0; i < motif.Count/2; i++ {
+			delta[(offset+i)%motif.Count] = 1 + tweak*float64(i%3)
+		}
+		return FromSignificance(delta)
+	}
+	profiles := []Profile{
+		mk(0, 0.01), mk(0, 0.02), mk(0, 0.03), // domain "a"
+		mk(13, 0.01), mk(13, 0.02), mk(13, 0.03), // domain "b"
+	}
+	return profiles, []string{"a", "a", "a", "b", "b", "b"}
+}
+
+func TestBuildDendrogramShape(t *testing.T) {
+	profiles, _ := syntheticProfiles()
+	d := BuildDendrogram(profiles)
+	if d.NumLeaves != 6 || len(d.Merges) != 5 {
+		t.Fatalf("leaves %d merges %d, want 6 and 5", d.NumLeaves, len(d.Merges))
+	}
+	if last := d.Merges[len(d.Merges)-1]; last.Size != 6 {
+		t.Fatalf("final merge covers %d leaves, want 6", last.Size)
+	}
+	empty := BuildDendrogram(nil)
+	if empty.NumLeaves != 0 || len(empty.Merges) != 0 {
+		t.Fatal("empty input produced merges")
+	}
+}
+
+func TestCutRecoversFamilies(t *testing.T) {
+	profiles, domains := syntheticProfiles()
+	d := BuildDendrogram(profiles)
+	labels := d.Cut(2)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("family A split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatalf("family B split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("families merged: %v", labels)
+	}
+	if purity := DomainPurity(labels, domains); purity != 1 {
+		t.Fatalf("purity %.3f, want 1", purity)
+	}
+}
+
+func TestCutClamping(t *testing.T) {
+	profiles, _ := syntheticProfiles()
+	d := BuildDendrogram(profiles)
+	if got := d.Cut(0); len(got) != 6 {
+		t.Fatalf("Cut(0) returned %d labels", len(got))
+	}
+	for _, l := range d.Cut(-3) {
+		if l != 0 {
+			t.Fatal("Cut below 1 must give a single cluster")
+		}
+	}
+	labels := d.Cut(99)
+	seen := make(map[int]bool)
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("Cut(99) gave %d clusters, want 6 singletons", len(seen))
+	}
+	if BuildDendrogram(nil).Cut(3) != nil {
+		t.Fatal("empty dendrogram cut non-nil")
+	}
+}
+
+func TestCophenetic(t *testing.T) {
+	profiles, _ := syntheticProfiles()
+	d := BuildDendrogram(profiles)
+	if got := d.Coph(2, 2); got != 1 {
+		t.Fatalf("Coph(x,x) = %v", got)
+	}
+	within := d.Coph(0, 1)
+	across := d.Coph(0, 3)
+	if !(within > across) {
+		t.Fatalf("within-family cophenetic similarity %.3f not above across %.3f",
+			within, across)
+	}
+	if math.IsNaN(within) || math.IsNaN(across) {
+		t.Fatal("NaN cophenetic similarity")
+	}
+}
+
+func TestDendrogramRender(t *testing.T) {
+	profiles, domains := syntheticProfiles()
+	d := BuildDendrogram(profiles)
+	var buf bytes.Buffer
+	if err := d.Render(&buf, domains); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "cluster-") {
+		t.Fatalf("render missing labels:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 5 {
+		t.Fatalf("%d render lines, want 5", got)
+	}
+}
+
+func TestDomainPurityDegenerate(t *testing.T) {
+	if got := DomainPurity(nil, nil); got != 0 {
+		t.Fatalf("empty purity = %v", got)
+	}
+	if got := DomainPurity([]int{0, 0}, []string{"x", "y"}); got != 0.5 {
+		t.Fatalf("mixed cluster purity = %v, want 0.5", got)
+	}
+}

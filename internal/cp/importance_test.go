@@ -1,0 +1,61 @@
+package cp
+
+import (
+	"math/rand"
+	"testing"
+
+	"mochy/internal/motif"
+)
+
+func TestMotifSeparationImportance(t *testing.T) {
+	// Two domains whose profiles agree on every component except motif 3,
+	// which takes opposite signs: removing motif 3 must shrink the gap, so
+	// its importance is the largest and positive.
+	rng := rand.New(rand.NewSource(1))
+	var shared [motif.Count]float64
+	for i := range shared {
+		shared[i] = rng.NormFloat64()
+	}
+	mk := func(domainSign float64) Profile {
+		d := shared
+		d[2] = domainSign * 3 // motif 3 separates the domains
+		for i := range d {
+			d[i] += 0.02 * rng.NormFloat64()
+		}
+		return FromSignificance(d)
+	}
+	profiles := []Profile{mk(1), mk(1), mk(-1), mk(-1)}
+	domains := []string{"x", "x", "y", "y"}
+	imp := MotifSeparationImportance(profiles, domains)
+	best := 0
+	for t2 := 1; t2 < 26; t2++ {
+		if imp[t2] > imp[best] {
+			best = t2
+		}
+	}
+	if best != 2 {
+		t.Fatalf("most separating motif = %d, want 3 (importance %v)", best+1, imp[best])
+	}
+	if imp[2] <= 0 {
+		t.Fatalf("motif 3 importance %v should be positive", imp[2])
+	}
+}
+
+func TestMotifSeparationImportanceFlat(t *testing.T) {
+	// Identical profiles everywhere: the gap is zero with or without any
+	// component, so importances are ~zero.
+	rng := rand.New(rand.NewSource(2))
+	var base [motif.Count]float64
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	p := FromSignificance(base)
+	profiles := []Profile{p, p, p, p}
+	domains := []string{"x", "x", "y", "y"}
+	imp := MotifSeparationImportance(profiles, domains)
+	for t2, v := range imp {
+		if v < -1e-9 || v > 1e-9 {
+			t.Fatalf("motif %d importance %v, want ~0", t2+1, v)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package domainid answers the paper's Q3 — "how can we identify domains
+// which hypergraphs are from?" — by classifying hypergraphs from their
+// characteristic profiles: a labeled CP library acts as the reference, and a
+// query CP is assigned the domain of its most correlated references
+// (k-nearest-neighbor under Pearson correlation, the similarity of
+// Figure 6).
+package domainid
+
+import (
+	"fmt"
+	"sort"
+
+	"mochy/internal/cp"
+)
+
+// Reference is one labeled characteristic profile.
+type Reference struct {
+	Name    string
+	Domain  string
+	Profile cp.Profile
+}
+
+// Classifier identifies domains by CP similarity.
+type Classifier struct {
+	refs []Reference
+	k    int
+}
+
+// NewClassifier builds a k-NN domain classifier over labeled references.
+// k defaults to 1 if non-positive; it is capped at the reference count.
+func NewClassifier(refs []Reference, k int) (*Classifier, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("domainid: no references")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(refs) {
+		k = len(refs)
+	}
+	c := &Classifier{refs: append([]Reference(nil), refs...), k: k}
+	return c, nil
+}
+
+// Match is one scored reference.
+type Match struct {
+	Reference   Reference
+	Correlation float64
+}
+
+// Rank returns all references ordered by decreasing correlation with the
+// query profile.
+func (c *Classifier) Rank(query cp.Profile) []Match {
+	out := make([]Match, len(c.refs))
+	for i, ref := range c.refs {
+		out[i] = Match{Reference: ref, Correlation: cp.Correlation(query, ref.Profile)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Correlation > out[j].Correlation
+	})
+	return out
+}
+
+// Classify returns the majority domain among the k most correlated
+// references, breaking ties toward the higher summed correlation.
+func (c *Classifier) Classify(query cp.Profile) string {
+	ranked := c.Rank(query)[:c.k]
+	score := make(map[string]float64)
+	votes := make(map[string]int)
+	for _, m := range ranked {
+		votes[m.Reference.Domain]++
+		score[m.Reference.Domain] += m.Correlation
+	}
+	best, bestVotes, bestScore := "", -1, 0.0
+	for domain, v := range votes {
+		if v > bestVotes || (v == bestVotes && score[domain] > bestScore) {
+			best, bestVotes, bestScore = domain, v, score[domain]
+		}
+	}
+	return best
+}
+
+// LeaveOneOutAccuracy classifies every reference against the remaining ones
+// and returns the fraction identified correctly — the paper's Q2/Q3 claim
+// quantified (CPs are similar within domains, distinct across domains).
+func LeaveOneOutAccuracy(refs []Reference, k int) (float64, error) {
+	if len(refs) < 2 {
+		return 0, fmt.Errorf("domainid: need at least 2 references")
+	}
+	correct := 0
+	for i := range refs {
+		rest := make([]Reference, 0, len(refs)-1)
+		rest = append(rest, refs[:i]...)
+		rest = append(rest, refs[i+1:]...)
+		c, err := NewClassifier(rest, k)
+		if err != nil {
+			return 0, err
+		}
+		if c.Classify(refs[i].Profile) == refs[i].Domain {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(refs)), nil
+}

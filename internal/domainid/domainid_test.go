@@ -1,0 +1,107 @@
+package domainid
+
+import (
+	"math/rand"
+	"testing"
+
+	"mochy/internal/cp"
+	"mochy/internal/motif"
+)
+
+// clusterProfile perturbs a base significance vector and normalizes it.
+func clusterProfile(rng *rand.Rand, base [motif.Count]float64, noise float64) cp.Profile {
+	var d [motif.Count]float64
+	for i := range d {
+		d[i] = base[i] + noise*rng.NormFloat64()
+	}
+	return cp.FromSignificance(d)
+}
+
+func makeRefs(rng *rand.Rand, perDomain int) []Reference {
+	domains := []string{"coauth", "contact", "email"}
+	var refs []Reference
+	for _, dom := range domains {
+		var base [motif.Count]float64
+		for i := range base {
+			base[i] = rng.NormFloat64()
+		}
+		for j := 0; j < perDomain; j++ {
+			refs = append(refs, Reference{
+				Name:    dom,
+				Domain:  dom,
+				Profile: clusterProfile(rng, base, 0.1),
+			})
+		}
+	}
+	return refs
+}
+
+func TestClassifyRecoversCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	refs := makeRefs(rng, 4)
+	c, err := NewClassifier(refs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range refs {
+		if got := c.Classify(ref.Profile); got != ref.Domain {
+			t.Fatalf("profile from %s classified as %s", ref.Domain, got)
+		}
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	refs := makeRefs(rng, 3)
+	c, err := NewClassifier(refs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := c.Rank(refs[0].Profile)
+	if len(ranked) != len(refs) {
+		t.Fatalf("Rank returned %d matches", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Correlation < ranked[i].Correlation {
+			t.Fatal("Rank not sorted by correlation")
+		}
+	}
+	// The query is itself a reference: the top match must share its domain.
+	if ranked[0].Reference.Domain != refs[0].Domain {
+		t.Fatalf("top match domain %s, want %s", ranked[0].Reference.Domain, refs[0].Domain)
+	}
+}
+
+func TestLeaveOneOutAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	refs := makeRefs(rng, 4)
+	acc, err := LeaveOneOutAccuracy(refs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("leave-one-out accuracy %.2f on well-separated clusters", acc)
+	}
+}
+
+func TestClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(nil, 1); err == nil {
+		t.Fatal("empty references should error")
+	}
+	if _, err := LeaveOneOutAccuracy([]Reference{{}}, 1); err == nil {
+		t.Fatal("single reference should error")
+	}
+	rng := rand.New(rand.NewSource(4))
+	refs := makeRefs(rng, 1) // 3 refs
+	c, err := NewClassifier(refs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k capped at len(refs): Classify must not panic.
+	_ = c.Classify(refs[0].Profile)
+	c2, err := NewClassifier(refs, 0) // k defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c2.Classify(refs[0].Profile)
+}

@@ -1,0 +1,85 @@
+// Package evolution reproduces the Figure 7 case study: per-year h-motif
+// instance fractions of an evolving coauthorship hypergraph, and the
+// open-vs-closed split over time.
+package evolution
+
+import (
+	"fmt"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+// YearPoint is one yearly snapshot: exact motif-instance fractions of the
+// hypergraph formed by that year's hyperedges.
+type YearPoint struct {
+	Year         int
+	Edges        int
+	Instances    float64
+	Fractions    [motif.Count]float64
+	OpenFraction float64
+}
+
+// Analyze slices a timed hypergraph into yearly snapshots over
+// [firstYear, lastYear] and counts each snapshot exactly with the given
+// worker count. Years without edges yield zero-valued points.
+func Analyze(g *hypergraph.Hypergraph, firstYear, lastYear, workers int) ([]YearPoint, error) {
+	if !g.Timed() {
+		return nil, fmt.Errorf("evolution: hypergraph is untimed")
+	}
+	if lastYear < firstYear {
+		return nil, fmt.Errorf("evolution: lastYear %d before firstYear %d", lastYear, firstYear)
+	}
+	points := make([]YearPoint, 0, lastYear-firstYear+1)
+	for y := firstYear; y <= lastYear; y++ {
+		slice := g.TimeSlice(int64(y), int64(y+1))
+		pt := YearPoint{Year: y, Edges: slice.NumEdges()}
+		if slice.NumEdges() > 0 {
+			p := projection.Build(slice)
+			counts := mochy.CountExact(slice, p, workers)
+			pt.Instances = counts.Total()
+			pt.Fractions = counts.Fractions()
+			pt.OpenFraction = counts.OpenFraction()
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Trend summarizes a series of YearPoints: the average open fraction over
+// the first and last thirds of the series, exposing the direction of drift
+// (Figure 7(b) reports a steady increase after 2001).
+func Trend(points []YearPoint) (early, late float64) {
+	n := len(points)
+	if n == 0 {
+		return 0, 0
+	}
+	third := n / 3
+	if third == 0 {
+		third = 1
+	}
+	var eSum, lSum float64
+	var eN, lN int
+	for i, p := range points {
+		if p.Instances == 0 {
+			continue
+		}
+		if i < third {
+			eSum += p.OpenFraction
+			eN++
+		}
+		if i >= n-third {
+			lSum += p.OpenFraction
+			lN++
+		}
+	}
+	if eN > 0 {
+		early = eSum / float64(eN)
+	}
+	if lN > 0 {
+		late = lSum / float64(lN)
+	}
+	return early, late
+}

@@ -1,0 +1,93 @@
+package evolution
+
+import (
+	"math"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+)
+
+func TestAnalyzeBasic(t *testing.T) {
+	g := generator.GenerateTemporal(generator.TemporalConfig{
+		Nodes: 500, FirstYear: 2000, LastYear: 2006,
+		EdgesFirst: 80, EdgesLast: 200, MixingDrift: 0.3, Seed: 3,
+	})
+	points, err := Analyze(g, 2000, 2006, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("got %d points, want 7", len(points))
+	}
+	for _, p := range points {
+		if p.Edges == 0 {
+			t.Fatalf("year %d has no edges", p.Year)
+		}
+		if p.Instances > 0 {
+			sum := 0.0
+			for _, f := range p.Fractions {
+				if f < 0 || f > 1 {
+					t.Fatalf("year %d has fraction %v out of [0,1]", p.Year, f)
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("year %d fractions sum to %v", p.Year, sum)
+			}
+			if p.OpenFraction < 0 || p.OpenFraction > 1 {
+				t.Fatalf("year %d open fraction %v", p.Year, p.OpenFraction)
+			}
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	untimed := hypergraph.FromEdges(3, [][]int32{{0, 1, 2}})
+	if _, err := Analyze(untimed, 2000, 2001, 1); err == nil {
+		t.Fatal("untimed should error")
+	}
+	timed := generator.GenerateTemporal(generator.TemporalConfig{
+		Nodes: 200, FirstYear: 2000, LastYear: 2001,
+		EdgesFirst: 20, EdgesLast: 30, Seed: 1,
+	})
+	if _, err := Analyze(timed, 2005, 2001, 1); err == nil {
+		t.Fatal("reversed year range should error")
+	}
+}
+
+func TestAnalyzeEmptyYears(t *testing.T) {
+	b := hypergraph.NewBuilder(10)
+	b.AddTimedEdge([]int32{0, 1}, 2000)
+	b.AddTimedEdge([]int32{1, 2}, 2000)
+	b.AddTimedEdge([]int32{0, 2}, 2002)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Analyze(g, 2000, 2002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[1].Edges != 0 || points[1].Instances != 0 {
+		t.Fatalf("empty year 2001 should be zero-valued: %+v", points[1])
+	}
+}
+
+func TestTrendDetectsDrift(t *testing.T) {
+	points := []YearPoint{
+		{Year: 1, Instances: 10, OpenFraction: 0.2},
+		{Year: 2, Instances: 10, OpenFraction: 0.3},
+		{Year: 3, Instances: 10, OpenFraction: 0.4},
+		{Year: 4, Instances: 10, OpenFraction: 0.5},
+		{Year: 5, Instances: 10, OpenFraction: 0.6},
+		{Year: 6, Instances: 10, OpenFraction: 0.7},
+	}
+	early, late := Trend(points)
+	if early >= late {
+		t.Fatalf("Trend: early %v should be below late %v", early, late)
+	}
+	if e, l := Trend(nil); e != 0 || l != 0 {
+		t.Fatal("empty trend should be zeros")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mochy/internal/generator"
+	"mochy/internal/mochy"
+	"mochy/internal/projection"
+)
+
+// Figure11Point is one memory-budget measurement of on-the-fly MoCHy-A+.
+type Figure11Point struct {
+	// BudgetPercent is the memoization budget as a percentage of the
+	// projected graph's adjacency entries.
+	BudgetPercent float64
+	Policy        string
+	ElapsedMS     float64
+	Speedup       float64 // relative to the 0% budget of the same policy
+	// Computes and Hits expose the cache behaviour behind the timing; the
+	// recompute ratio is what the budget buys down.
+	Computes int64
+	Hits     int64
+}
+
+// Figure11Result reproduces Figure 11: the effect of the memoization budget
+// (and retention policy — the paper's degree prioritization vs random/LRU)
+// on on-the-fly MoCHy-A+.
+type Figure11Result struct {
+	Dataset string
+	Samples int
+	Points  []Figure11Point
+}
+
+// RunFigure11 measures on-the-fly MoCHy-A+ with budgets
+// {0, 0.1, 1, 10, 100}% of the projected graph's edges under each policy.
+func RunFigure11(cfg Config) (*Figure11Result, error) {
+	spec, err := findSpec("threads-ubuntu")
+	if err != nil {
+		return nil, err
+	}
+	g := generator.Generate(cfg.scaled(spec))
+	// Size the budget against the true adjacency volume (2|∧| entries).
+	totalEntries := 2 * projection.CountWedges(g)
+	sampler := projection.NewRejectionWedgeSampler(g)
+	if !sampler.HasWedges() {
+		return nil, fmt.Errorf("experiments: %s has no hyperwedges", spec.Name)
+	}
+	r := max(500, int(0.02*float64(totalEntries/2)))
+
+	res := &Figure11Result{Dataset: spec.Name, Samples: r}
+	budgets := []float64{0, 0.1, 1, 10, 100}
+	for _, policy := range []projection.Policy{
+		projection.PolicyDegree, projection.PolicyRandom, projection.PolicyLRU,
+	} {
+		var base float64
+		for _, pct := range budgets {
+			budget := int64(float64(totalEntries) * pct / 100)
+			m := projection.NewMemoized(g, budget, policy)
+			start := time.Now()
+			mochy.CountWedgeSamples(g, m, sampler, r, cfg.Seed, 1)
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if pct == 0 {
+				base = ms
+			}
+			speedup := 0.0
+			if ms > 0 {
+				speedup = base / ms
+			}
+			res.Points = append(res.Points, Figure11Point{
+				BudgetPercent: pct,
+				Policy:        policy.String(),
+				ElapsedMS:     ms,
+				Speedup:       speedup,
+				Computes:      m.Computes(),
+				Hits:          m.Hits(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the budget sweep per policy.
+func (r *Figure11Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== %s (on-the-fly MoCHy-A+, r=%d) ==\n", r.Dataset, r.Samples)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "policy\tbudget %\telapsed (ms)\tspeedup\tcomputes\thits")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%.2fx\t%d\t%d\n",
+			p.Policy, p.BudgetPercent, p.ElapsedMS, p.Speedup, p.Computes, p.Hits)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mochy/internal/cp"
+	"mochy/internal/generator"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+// Figure5Profile is one dataset's characteristic profile (also the data
+// behind Figure 1).
+type Figure5Profile struct {
+	Dataset string
+	Domain  string
+	Profile cp.Profile
+}
+
+// Figure5Result is the set of CPs of the 11 benchmark datasets.
+type Figure5Result struct {
+	Profiles []Figure5Profile
+}
+
+// RunFigure5 computes the CP of every benchmark dataset against NumRandom
+// Chung-Lu randomizations (Figures 1 and 5).
+func RunFigure5(cfg Config) (*Figure5Result, error) {
+	res := &Figure5Result{}
+	for i, spec := range generator.Datasets() {
+		g := generator.Generate(cfg.scaled(spec))
+		p := projection.Build(g)
+		real, _ := cfg.countAdaptive(g, p, cfg.Seed+int64(i))
+		randomized := cfg.randomCounts(g, cfg.Seed+int64(1000+i))
+		res.Profiles = append(res.Profiles, Figure5Profile{
+			Dataset: spec.Name,
+			Domain:  spec.Domain.String(),
+			Profile: cp.Compute(&real, randomized),
+		})
+	}
+	return res, nil
+}
+
+// Render prints each CP as 26 normalized significances.
+func (r *Figure5Result) Render(w io.Writer) error {
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "Dataset")
+	for t := 1; t <= motif.Count; t++ {
+		fmt.Fprintf(tw, "\tCP%d", t)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range r.Profiles {
+		fmt.Fprint(tw, p.Dataset)
+		for t := 1; t <= motif.Count; t++ {
+			fmt.Fprintf(tw, "\t%+.2f", p.Profile.Get(t))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Domains returns the domain label of each profile, aligned with Profiles.
+func (r *Figure5Result) Domains() []string {
+	out := make([]string, len(r.Profiles))
+	for i, p := range r.Profiles {
+		out[i] = p.Domain
+	}
+	return out
+}
+
+// RawProfiles returns the profile vectors, aligned with Profiles.
+func (r *Figure5Result) RawProfiles() []cp.Profile {
+	out := make([]cp.Profile, len(r.Profiles))
+	for i, p := range r.Profiles {
+		out[i] = p.Profile
+	}
+	return out
+}

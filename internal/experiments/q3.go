@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mochy/internal/domainid"
+)
+
+// Q3Result quantifies the paper's Q3 claim — CPs identify the domain a
+// hypergraph comes from — via leave-one-out domain classification over the
+// 11 benchmark datasets.
+type Q3Result struct {
+	// PerDataset lists each dataset with its true domain and the domain
+	// predicted from the remaining ten CPs.
+	PerDataset []Q3Row
+	Accuracy   float64
+}
+
+// Q3Row is one leave-one-out classification outcome.
+type Q3Row struct {
+	Dataset   string
+	Domain    string
+	Predicted string
+}
+
+// RunQ3 computes CPs for all datasets (reusing the Figure 5 pipeline) and
+// evaluates 1-NN leave-one-out domain identification under Pearson
+// correlation.
+func RunQ3(cfg Config) (*Q3Result, error) {
+	f5, err := RunFigure5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]domainid.Reference, len(f5.Profiles))
+	for i, p := range f5.Profiles {
+		refs[i] = domainid.Reference{Name: p.Dataset, Domain: p.Domain, Profile: p.Profile}
+	}
+	res := &Q3Result{}
+	correct := 0
+	for i, ref := range refs {
+		rest := make([]domainid.Reference, 0, len(refs)-1)
+		rest = append(rest, refs[:i]...)
+		rest = append(rest, refs[i+1:]...)
+		c, err := domainid.NewClassifier(rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		pred := c.Classify(ref.Profile)
+		if pred == ref.Domain {
+			correct++
+		}
+		res.PerDataset = append(res.PerDataset, Q3Row{
+			Dataset: ref.Name, Domain: ref.Domain, Predicted: pred,
+		})
+	}
+	res.Accuracy = float64(correct) / float64(len(refs))
+	return res, nil
+}
+
+// Render prints per-dataset predictions and the overall accuracy.
+func (r *Q3Result) Render(w io.Writer) error {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "dataset\ttrue domain\tpredicted\tcorrect")
+	for _, row := range r.PerDataset {
+		ok := "yes"
+		if row.Domain != row.Predicted {
+			ok = "NO"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", row.Dataset, row.Domain, row.Predicted, ok)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "leave-one-out domain identification accuracy: %.2f\n", r.Accuracy)
+	return nil
+}

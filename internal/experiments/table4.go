@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mochy/internal/features"
+	"mochy/internal/generator"
+	"mochy/internal/ml"
+)
+
+// Table4Cell is one (classifier, feature set) cell: accuracy and AUC.
+type Table4Cell struct {
+	Classifier string
+	Features   string
+	Accuracy   float64
+	AUC        float64
+}
+
+// Table4Result is the full hyperedge-prediction table.
+type Table4Result struct {
+	Cells []Table4Cell
+}
+
+// classifierSpecs mirrors the paper's five models.
+func classifierSpecs(seed int64) []struct {
+	name string
+	mk   func() ml.Classifier
+} {
+	return []struct {
+		name string
+		mk   func() ml.Classifier
+	}{
+		{"Logistic Regression", func() ml.Classifier { return &ml.LogisticRegression{Seed: seed} }},
+		{"Random Forest", func() ml.Classifier { return &ml.RandomForest{Trees: 30, Seed: seed} }},
+		{"Decision Tree", func() ml.Classifier { return &ml.DecisionTree{Seed: seed} }},
+		{"K-Nearest Neighbors", func() ml.Classifier { return &ml.KNN{K: 5} }},
+		{"MLP Classifier", func() ml.Classifier { return &ml.MLP{Hidden: 32, Seed: seed} }},
+	}
+}
+
+// RunTable4 regenerates Table 4: predict next-period hyperedges vs corrupted
+// fakes with HM26, HM7, and HC features across five classifiers.
+func RunTable4(cfg Config) (*Table4Result, error) {
+	tcfg := generator.DefaultTemporal()
+	if cfg.Scale > 0 && cfg.Scale < 1 {
+		tcfg.Nodes = max(200, int(float64(tcfg.Nodes)*cfg.Scale))
+		tcfg.EdgesFirst = max(20, int(float64(tcfg.EdgesFirst)*cfg.Scale))
+		tcfg.EdgesLast = max(40, int(float64(tcfg.EdgesLast)*cfg.Scale))
+	}
+	g := generator.GenerateTemporal(tcfg)
+	task, err := features.BuildPredictionTask(g, features.TaskConfig{
+		TrainFrom:       int64(tcfg.LastYear - 3),
+		TrainTo:         int64(tcfg.LastYear - 1),
+		TestYear:        int64(tcfg.LastYear),
+		CorruptFraction: 0.5,
+		MaxPerSplit:     scaleCap(cfg, 400),
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{}
+	for _, kind := range []features.Kind{features.HM26, features.HM7, features.HC} {
+		Xtr, ytr, Xte, yte := task.Matrices(kind)
+		scaler := ml.FitScaler(Xtr)
+		Ztr, Zte := scaler.Transform(Xtr), scaler.Transform(Xte)
+		for _, spec := range classifierSpecs(cfg.Seed) {
+			c := spec.mk()
+			if err := c.Fit(Ztr, ytr); err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", spec.name, kind, err)
+			}
+			res.Cells = append(res.Cells, Table4Cell{
+				Classifier: spec.name,
+				Features:   kind.String(),
+				Accuracy:   ml.Accuracy(c, Zte, yte),
+				AUC:        ml.AUC(c, Zte, yte),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the classifier × feature-set grid.
+func (r *Table4Result) Render(w io.Writer) error {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Classifier\tFeatures\tACC\tAUC")
+	for _, c := range r.Cells {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\n", c.Classifier, c.Features, c.Accuracy, c.AUC)
+	}
+	return tw.Flush()
+}
+
+// MeanAUC returns the average AUC of a feature set across classifiers.
+func (r *Table4Result) MeanAUC(featureSet string) float64 {
+	var sum float64
+	var n int
+	for _, c := range r.Cells {
+		if c.Features == featureSet {
+			sum += c.AUC
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// scaleCap scales an experiment cap with Config.Scale.
+func scaleCap(cfg Config, cap int) int {
+	if cfg.Scale > 0 && cfg.Scale < 1 {
+		scaled := int(float64(cap) * cfg.Scale)
+		if scaled < 20 {
+			scaled = 20
+		}
+		return scaled
+	}
+	return cap
+}

@@ -1,0 +1,188 @@
+// Package features extracts the hyperedge feature sets of the Table 4
+// prediction study: HM26 (per-hyperedge h-motif participation counts), HM7
+// (the seven highest-variance HM26 columns), and the hand-crafted baseline
+// HC (degree statistics, neighbor statistics, and size).
+package features
+
+import (
+	"math"
+	"sort"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/mochy"
+	"mochy/internal/projection"
+)
+
+// Kind selects one of the three feature sets of Table 4.
+type Kind int
+
+const (
+	// HM26 is the 26-dimensional h-motif participation count vector.
+	HM26 Kind = iota
+	// HM7 is the 7 highest-variance HM26 features (variance measured on the
+	// training matrix).
+	HM7
+	// HC is the 7-feature hand-crafted baseline: mean/max/min node degree,
+	// mean/max/min node neighbor count, and hyperedge size.
+	HC
+)
+
+// String names the feature set.
+func (k Kind) String() string {
+	switch k {
+	case HM26:
+		return "HM26"
+	case HM7:
+		return "HM7"
+	default:
+		return "HC"
+	}
+}
+
+// Dim returns the dimensionality of the feature set.
+func (k Kind) Dim() int {
+	if k == HM26 {
+		return 26
+	}
+	return 7
+}
+
+// Extractor computes hyperedge features against a fixed base hypergraph
+// (the training-period graph in the prediction study).
+type Extractor struct {
+	g *hypergraph.Hypergraph
+	p projection.Projector
+	// neighborCount[v] is |{u : u ≠ v, u co-appears with v}|, computed
+	// lazily once for the HC features.
+	neighborCount []int
+}
+
+// NewExtractor prepares an extractor over base graph g with projector p.
+func NewExtractor(g *hypergraph.Hypergraph, p projection.Projector) *Extractor {
+	return &Extractor{g: g, p: p}
+}
+
+// HM26Vector returns the 26 motif participation counts of a candidate
+// hyperedge (which need not be an edge of the base graph), log-compressed
+// with log1p: participation counts are heavy-tailed and the classifiers of
+// Table 4 operate on their scale-compressed values.
+func (x *Extractor) HM26Vector(nodes []int32) []float64 {
+	counts := mochy.CountForNodeSet(x.g, x.p, nodes)
+	out := make([]float64, 26)
+	for t, c := range counts {
+		out[t] = math.Log1p(c)
+	}
+	return out
+}
+
+// HM26RawVector returns the uncompressed participation counts.
+func (x *Extractor) HM26RawVector(nodes []int32) []float64 {
+	counts := mochy.CountForNodeSet(x.g, x.p, nodes)
+	out := make([]float64, 26)
+	copy(out, counts[:])
+	return out
+}
+
+// HCVector returns the 7 hand-crafted features of a candidate hyperedge.
+func (x *Extractor) HCVector(nodes []int32) []float64 {
+	x.ensureNeighborCounts()
+	var degSum, degMax, degMin float64
+	var nbSum, nbMax, nbMin float64
+	degMin, nbMin = 1e18, 1e18
+	n := 0
+	for _, v := range nodes {
+		if v < 0 || int(v) >= x.g.NumNodes() {
+			continue
+		}
+		n++
+		d := float64(x.g.Degree(v))
+		nb := float64(x.neighborCount[v])
+		degSum += d
+		nbSum += nb
+		if d > degMax {
+			degMax = d
+		}
+		if d < degMin {
+			degMin = d
+		}
+		if nb > nbMax {
+			nbMax = nb
+		}
+		if nb < nbMin {
+			nbMin = nb
+		}
+	}
+	if n == 0 {
+		return make([]float64, 7)
+	}
+	return []float64{
+		degSum / float64(n), degMax, degMin,
+		nbSum / float64(n), nbMax, nbMin,
+		float64(len(nodes)),
+	}
+}
+
+// ensureNeighborCounts computes per-node co-appearance neighbor counts once.
+func (x *Extractor) ensureNeighborCounts() {
+	if x.neighborCount != nil {
+		return
+	}
+	x.neighborCount = make([]int, x.g.NumNodes())
+	seen := make(map[int32]struct{})
+	for v := 0; v < x.g.NumNodes(); v++ {
+		clear(seen)
+		for _, e := range x.g.IncidentEdges(int32(v)) {
+			for _, u := range x.g.Edge(int(e)) {
+				if u != int32(v) {
+					seen[u] = struct{}{}
+				}
+			}
+		}
+		x.neighborCount[v] = len(seen)
+	}
+}
+
+// TopVarianceColumns returns the indices of the k columns of X with the
+// largest sample variance, in descending variance order. Ties break by
+// column index.
+func TopVarianceColumns(X [][]float64, k int) []int {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	variances := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mean := 0.0
+		for _, row := range X {
+			mean += row[j]
+		}
+		mean /= float64(len(X))
+		for _, row := range X {
+			dv := row[j] - mean
+			variances[j] += dv * dv
+		}
+	}
+	cols := make([]int, d)
+	for j := range cols {
+		cols[j] = j
+	}
+	sort.SliceStable(cols, func(a, b int) bool { return variances[cols[a]] > variances[cols[b]] })
+	if k > d {
+		k = d
+	}
+	out := append([]int(nil), cols[:k]...)
+	return out
+}
+
+// SelectColumns projects every row of X onto the given column indices.
+func SelectColumns(X [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(cols))
+		for p, c := range cols {
+			r[p] = row[c]
+		}
+		out[i] = r
+	}
+	return out
+}

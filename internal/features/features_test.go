@@ -1,0 +1,239 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	"mochy/internal/mochy"
+	"mochy/internal/projection"
+)
+
+func paperExample() *hypergraph.Hypergraph {
+	return hypergraph.FromEdges(8, [][]int32{
+		{0, 1, 2},
+		{0, 3, 1},
+		{4, 5, 0},
+		{6, 7, 2},
+	})
+}
+
+func TestHM26MatchesPerEdgeCounts(t *testing.T) {
+	// For an edge already in the graph, the candidate path must agree with
+	// the per-edge counts of the exact enumerator.
+	rng := rand.New(rand.NewSource(3))
+	b := hypergraph.NewBuilder(30)
+	for i := 0; i < 40; i++ {
+		size := 2 + rng.Intn(4)
+		e := make([]int32, 0, size)
+		seen := map[int32]bool{}
+		for len(e) < size {
+			v := int32(rng.Intn(30))
+			if !seen[v] {
+				seen[v] = true
+				e = append(e, v)
+			}
+		}
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := projection.Build(g)
+	per, _ := mochy.PerEdgeCounts(g, p)
+	x := NewExtractor(g, p)
+	for e := 0; e < g.NumEdges(); e++ {
+		raw := x.HM26RawVector(g.Edge(e))
+		logged := x.HM26Vector(g.Edge(e))
+		for tt := 0; tt < 26; tt++ {
+			if raw[tt] != float64(per[e][tt]) {
+				t.Fatalf("edge %d motif %d: candidate path %v, enumerator %d",
+					e, tt+1, raw[tt], per[e][tt])
+			}
+			if want := math.Log1p(raw[tt]); logged[tt] != want {
+				t.Fatalf("edge %d motif %d: log feature %v, want %v", e, tt+1, logged[tt], want)
+			}
+		}
+	}
+}
+
+func TestHM26ForAbsentCandidate(t *testing.T) {
+	g := paperExample()
+	p := projection.Build(g)
+	x := NewExtractor(g, p)
+	// Candidate {K, F} overlaps e1 (2 nodes), e2 (1), e4 (1): it forms
+	// triples with pairs of its neighbors and open triples via them.
+	v := x.HM26Vector([]int32{1, 2})
+	total := 0.0
+	for _, c := range v {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("absent candidate with overlaps must participate in instances")
+	}
+	// A candidate of isolated (out-of-range) nodes participates in nothing.
+	v2 := x.HM26Vector([]int32{999})
+	for _, c := range v2 {
+		if c != 0 {
+			t.Fatal("out-of-range candidate must have zero features")
+		}
+	}
+}
+
+func TestHCVector(t *testing.T) {
+	g := paperExample()
+	p := projection.Build(g)
+	x := NewExtractor(g, p)
+	// e1 = {L, K, F}: degrees L=3, K=2, F=2; neighbors: L co-appears with
+	// K,F,H,B,G = 5; K with L,F,H = 3; F with L,K,S,R = 4.
+	v := x.HCVector([]int32{0, 1, 2})
+	want := []float64{
+		(3.0 + 2 + 2) / 3, 3, 2,
+		(5.0 + 3 + 4) / 3, 5, 3,
+		3,
+	}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("HC[%d] = %v, want %v (full %v)", i, v[i], want[i], v)
+		}
+	}
+}
+
+func TestTopVarianceColumns(t *testing.T) {
+	X := [][]float64{
+		{1, 0, 10, 5},
+		{2, 0, 20, 5},
+		{3, 0, 30, 5},
+	}
+	cols := TopVarianceColumns(X, 2)
+	if len(cols) != 2 || cols[0] != 2 || cols[1] != 0 {
+		t.Fatalf("cols = %v, want [2 0]", cols)
+	}
+	sel := SelectColumns(X, cols)
+	if sel[1][0] != 20 || sel[1][1] != 2 {
+		t.Fatalf("SelectColumns row = %v", sel[1])
+	}
+	if got := TopVarianceColumns(X, 99); len(got) != 4 {
+		t.Fatalf("k beyond dim: %v", got)
+	}
+	if TopVarianceColumns(nil, 3) != nil {
+		t.Fatal("empty X should give nil")
+	}
+}
+
+func TestBuildPredictionTask(t *testing.T) {
+	g := generator.GenerateTemporal(generator.TemporalConfig{
+		Nodes: 400, FirstYear: 2000, LastYear: 2005,
+		EdgesFirst: 60, EdgesLast: 120, MixingDrift: 0.2, Seed: 5,
+	})
+	task, err := BuildPredictionTask(g, TaskConfig{
+		TrainFrom: 2002, TrainTo: 2004, TestYear: 2005,
+		CorruptFraction: 0.5, MaxPerSplit: 80, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.TrainPos) == 0 || len(task.TestPos) == 0 {
+		t.Fatal("empty splits")
+	}
+	if len(task.TrainPos) != len(task.TrainNeg) || len(task.TestPos) != len(task.TestNeg) {
+		t.Fatal("splits not balanced")
+	}
+	// Fakes differ from their positives but keep the same size.
+	for i := range task.TrainPos {
+		if len(task.TrainPos[i]) != len(task.TrainNeg[i]) {
+			t.Fatal("fake changed edge size")
+		}
+		same := true
+		posSet := map[int32]bool{}
+		for _, v := range task.TrainPos[i] {
+			posSet[v] = true
+		}
+		for _, v := range task.TrainNeg[i] {
+			if !posSet[v] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("fake equals positive")
+		}
+	}
+	// Base graph covers only the training period.
+	if task.Base.NumEdges() == 0 {
+		t.Fatal("empty base graph")
+	}
+}
+
+func TestBuildPredictionTaskErrors(t *testing.T) {
+	untimed := paperExample()
+	if _, err := BuildPredictionTask(untimed, TaskConfig{CorruptFraction: 0.5}); err == nil {
+		t.Fatal("untimed hypergraph should error")
+	}
+	timed := generator.GenerateTemporal(generator.TemporalConfig{
+		Nodes: 200, FirstYear: 2000, LastYear: 2002,
+		EdgesFirst: 30, EdgesLast: 40, Seed: 2,
+	})
+	if _, err := BuildPredictionTask(timed, TaskConfig{
+		TrainFrom: 2000, TrainTo: 2001, TestYear: 2002, CorruptFraction: 0,
+	}); err == nil {
+		t.Fatal("zero corrupt fraction should error")
+	}
+	if _, err := BuildPredictionTask(timed, TaskConfig{
+		TrainFrom: 1990, TrainTo: 1991, TestYear: 2002, CorruptFraction: 0.5,
+	}); err == nil {
+		t.Fatal("empty training period should error")
+	}
+	if _, err := BuildPredictionTask(timed, TaskConfig{
+		TrainFrom: 2000, TrainTo: 2001, TestYear: 2050, CorruptFraction: 0.5,
+	}); err == nil {
+		t.Fatal("empty test year should error")
+	}
+}
+
+func TestMatricesShapes(t *testing.T) {
+	g := generator.GenerateTemporal(generator.TemporalConfig{
+		Nodes: 300, FirstYear: 2000, LastYear: 2003,
+		EdgesFirst: 50, EdgesLast: 90, MixingDrift: 0.2, Seed: 8,
+	})
+	task, err := BuildPredictionTask(g, TaskConfig{
+		TrainFrom: 2000, TrainTo: 2002, TestYear: 2003,
+		CorruptFraction: 0.5, MaxPerSplit: 40, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{HM26, HM7, HC} {
+		Xtr, ytr, Xte, yte := task.Matrices(kind)
+		if len(Xtr) != len(ytr) || len(Xte) != len(yte) {
+			t.Fatalf("%v: shape mismatch", kind)
+		}
+		if len(Xtr) == 0 || len(Xte) == 0 {
+			t.Fatalf("%v: empty matrices", kind)
+		}
+		for _, row := range Xtr {
+			if len(row) != kind.Dim() {
+				t.Fatalf("%v: row dim %d, want %d", kind, len(row), kind.Dim())
+			}
+		}
+		// Balanced labels.
+		pos := 0
+		for _, v := range ytr {
+			pos += v
+		}
+		if pos*2 != len(ytr) {
+			t.Fatalf("%v: train labels unbalanced: %d/%d", kind, pos, len(ytr))
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if HM26.String() != "HM26" || HM7.String() != "HM7" || HC.String() != "HC" {
+		t.Fatal("Kind.String broken")
+	}
+	if HM26.Dim() != 26 || HM7.Dim() != 7 || HC.Dim() != 7 {
+		t.Fatal("Kind.Dim broken")
+	}
+}

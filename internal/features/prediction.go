@@ -1,0 +1,163 @@
+package features
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+	"mochy/internal/stats"
+)
+
+// PredictionTask is the Table 4 hyperedge prediction setup: classify real
+// future hyperedges against corrupted fakes, with features computed on the
+// training-period hypergraph only.
+type PredictionTask struct {
+	// Base is the training-period hypergraph that features are computed
+	// against.
+	Base *hypergraph.Hypergraph
+	// TrainPos/TrainNeg and TestPos/TestNeg are candidate hyperedges (node
+	// sets) with binary labels implied by the split.
+	TrainPos, TrainNeg [][]int32
+	TestPos, TestNeg   [][]int32
+}
+
+// TaskConfig parameterizes BuildPredictionTask.
+type TaskConfig struct {
+	// TrainFrom..TrainTo (inclusive) are the years whose hyperedges form
+	// the base graph and the positive training candidates; TestYear's
+	// hyperedges are the positive test candidates.
+	TrainFrom, TrainTo, TestYear int64
+	// CorruptFraction is the fraction of nodes of each real hyperedge
+	// replaced with uniform random nodes to make a fake (paper Appendix E
+	// uses ~one half).
+	CorruptFraction float64
+	// MaxPerSplit caps positives per split (0 = no cap) to bound cost.
+	MaxPerSplit int
+	Seed        int64
+}
+
+// BuildPredictionTask slices a timed hypergraph into the prediction setup.
+// Every positive gets exactly one fake counterpart, so both splits are
+// balanced.
+func BuildPredictionTask(g *hypergraph.Hypergraph, cfg TaskConfig) (*PredictionTask, error) {
+	if !g.Timed() {
+		return nil, fmt.Errorf("features: prediction task needs a timed hypergraph")
+	}
+	if cfg.CorruptFraction <= 0 || cfg.CorruptFraction > 1 {
+		return nil, fmt.Errorf("features: CorruptFraction %v out of (0, 1]", cfg.CorruptFraction)
+	}
+	base := g.TimeSlice(cfg.TrainFrom, cfg.TrainTo+1)
+	if base.NumEdges() == 0 {
+		return nil, fmt.Errorf("features: empty training period [%d, %d]", cfg.TrainFrom, cfg.TrainTo)
+	}
+	test := g.TimeSlice(cfg.TestYear, cfg.TestYear+1)
+	if test.NumEdges() == 0 {
+		return nil, fmt.Errorf("features: empty test year %d", cfg.TestYear)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	task := &PredictionTask{Base: base}
+	// Replacement nodes are sampled proportionally to degree in the
+	// training-period graph (+1 smoothing so unseen nodes stay possible).
+	// Degree-matched fakes keep the task non-trivial: with uniform random
+	// replacements, plain degree statistics separate real from fake and
+	// structural features are never needed.
+	weights := make([]float64, g.NumNodes())
+	for v := range weights {
+		weights[v] = float64(base.Degree(int32(v))) + 1
+	}
+	nodeAlias := stats.NewAlias(weights)
+	collect := func(src *hypergraph.Hypergraph) [][]int32 {
+		idx := rng.Perm(src.NumEdges())
+		if cfg.MaxPerSplit > 0 && len(idx) > cfg.MaxPerSplit {
+			idx = idx[:cfg.MaxPerSplit]
+		}
+		out := make([][]int32, 0, len(idx))
+		for _, e := range idx {
+			if src.EdgeSize(e) < 2 {
+				continue // singleton edges carry no structure to corrupt
+			}
+			out = append(out, append([]int32(nil), src.Edge(e)...))
+		}
+		return out
+	}
+	task.TrainPos = collect(base)
+	task.TestPos = collect(test)
+	task.TrainNeg = corruptAll(task.TrainPos, nodeAlias, cfg.CorruptFraction, rng)
+	task.TestNeg = corruptAll(task.TestPos, nodeAlias, cfg.CorruptFraction, rng)
+	return task, nil
+}
+
+// corruptAll builds one fake per positive by node replacement.
+func corruptAll(pos [][]int32, nodeAlias *stats.Alias, frac float64, rng *rand.Rand) [][]int32 {
+	out := make([][]int32, len(pos))
+	for i, edge := range pos {
+		out[i] = corruptEdge(edge, nodeAlias, frac, rng)
+	}
+	return out
+}
+
+// corruptEdge replaces ⌈frac·|e|⌉ nodes of e with degree-weighted random
+// nodes not already in the edge.
+func corruptEdge(edge []int32, nodeAlias *stats.Alias, frac float64, rng *rand.Rand) []int32 {
+	fake := append([]int32(nil), edge...)
+	k := int(frac*float64(len(edge)) + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(edge) {
+		k = len(edge)
+	}
+	members := make(map[int32]bool, len(edge))
+	for _, v := range edge {
+		members[v] = true
+	}
+	positions := rng.Perm(len(fake))[:k]
+	for _, pos := range positions {
+		for {
+			v := int32(nodeAlias.Sample(rng))
+			if !members[v] {
+				delete(members, fake[pos])
+				members[v] = true
+				fake[pos] = v
+				break
+			}
+		}
+	}
+	return fake
+}
+
+// Matrices materializes feature matrices for a task and feature kind. For
+// HM7, the top-variance columns are selected on the training matrix and
+// applied to the test matrix (no test leakage).
+func (t *PredictionTask) Matrices(kind Kind) (Xtr [][]float64, ytr []int, Xte [][]float64, yte []int) {
+	p := projection.Build(t.Base)
+	x := NewExtractor(t.Base, p)
+	vector := func(nodes []int32) []float64 {
+		if kind == HC {
+			return x.HCVector(nodes)
+		}
+		return x.HM26Vector(nodes)
+	}
+	build := func(pos, neg [][]int32) ([][]float64, []int) {
+		X := make([][]float64, 0, len(pos)+len(neg))
+		y := make([]int, 0, len(pos)+len(neg))
+		for _, e := range pos {
+			X = append(X, vector(e))
+			y = append(y, 1)
+		}
+		for _, e := range neg {
+			X = append(X, vector(e))
+			y = append(y, 0)
+		}
+		return X, y
+	}
+	Xtr, ytr = build(t.TrainPos, t.TrainNeg)
+	Xte, yte = build(t.TestPos, t.TestNeg)
+	if kind == HM7 {
+		cols := TopVarianceColumns(Xtr, 7)
+		Xtr = SelectColumns(Xtr, cols)
+		Xte = SelectColumns(Xte, cols)
+	}
+	return Xtr, ytr, Xte, yte
+}

@@ -1,0 +1,71 @@
+package generator
+
+import (
+	"fmt"
+	"sort"
+
+	"mochy/internal/hypergraph"
+)
+
+// DatasetSpec names one of the 11 benchmark datasets mirroring Table 2 of
+// the paper (at laptop scale; see DESIGN.md for the substitution note).
+type DatasetSpec struct {
+	Name   string
+	Domain Domain
+	Config Config
+}
+
+// datasetSpecs lists the 11 datasets. Two datasets of the same domain share
+// the generative mechanism but differ in scale and seed, so within-domain CP
+// similarity is an emergent property of the mechanism, not of shared data.
+var datasetSpecs = []DatasetSpec{
+	{"coauth-DBLP", Coauthorship, Config{Coauthorship, 4000, 9000, 101}},
+	{"coauth-geology", Coauthorship, Config{Coauthorship, 2600, 5200, 102}},
+	{"coauth-history", Coauthorship, Config{Coauthorship, 1500, 2600, 103}},
+	{"contact-primary", Contact, Config{Contact, 242, 3200, 201}},
+	{"contact-high", Contact, Config{Contact, 327, 2100, 202}},
+	{"email-Enron", Email, Config{Email, 143, 1500, 301}},
+	{"email-EU", Email, Config{Email, 600, 4200, 302}},
+	{"tags-ubuntu", Tags, Config{Tags, 1200, 5200, 401}},
+	{"tags-math", Tags, Config{Tags, 820, 5600, 402}},
+	{"threads-ubuntu", Threads, Config{Threads, 3000, 4200, 501}},
+	{"threads-math", Threads, Config{Threads, 4200, 6400, 502}},
+}
+
+// Datasets returns the specs of the 11 benchmark datasets in Table 2 order.
+func Datasets() []DatasetSpec {
+	out := make([]DatasetSpec, len(datasetSpecs))
+	copy(out, datasetSpecs)
+	return out
+}
+
+// DatasetNames returns the 11 dataset names in Table 2 order.
+func DatasetNames() []string {
+	names := make([]string, len(datasetSpecs))
+	for i, s := range datasetSpecs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Dataset generates the named benchmark dataset. The name must be one of
+// DatasetNames.
+func Dataset(name string) (*hypergraph.Hypergraph, error) {
+	for _, s := range datasetSpecs {
+		if s.Name == name {
+			return Generate(s.Config), nil
+		}
+	}
+	known := DatasetNames()
+	sort.Strings(known)
+	return nil, fmt.Errorf("generator: unknown dataset %q (known: %v)", name, known)
+}
+
+// MustDataset is Dataset for trusted names; it panics on error.
+func MustDataset(name string) *hypergraph.Hypergraph {
+	g, err := Dataset(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

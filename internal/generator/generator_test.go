@@ -1,0 +1,203 @@
+package generator
+
+import (
+	"testing"
+
+	"mochy/internal/hypergraph"
+)
+
+func TestGenerateAllDomains(t *testing.T) {
+	for _, d := range []Domain{Coauthorship, Contact, Email, Tags, Threads} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			g := Generate(Config{Domain: d, Nodes: 200, Edges: 400, Seed: 1})
+			if g.NumEdges() == 0 {
+				t.Fatal("no edges generated")
+			}
+			if g.NumNodes() != 200 {
+				t.Fatalf("NumNodes = %d, want 200", g.NumNodes())
+			}
+			// All edges are valid: non-empty, sorted, distinct nodes in range.
+			for e := 0; e < g.NumEdges(); e++ {
+				nodes := g.Edge(e)
+				if len(nodes) == 0 {
+					t.Fatalf("edge %d empty", e)
+				}
+				for i, v := range nodes {
+					if v < 0 || int(v) >= 200 {
+						t.Fatalf("edge %d node %d out of range", e, v)
+					}
+					if i > 0 && nodes[i-1] >= v {
+						t.Fatalf("edge %d not sorted/distinct: %v", e, nodes)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Domain: Tags, Nodes: 150, Edges: 300, Seed: 42}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		x, y := a.Edge(e), b.Edge(e)
+		if len(x) != len(y) {
+			t.Fatalf("edge %d differs in size", e)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("edge %d differs", e)
+			}
+		}
+	}
+	cfg.Seed = 43
+	c := Generate(cfg)
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		for e := 0; e < a.NumEdges() && same; e++ {
+			x, y := a.Edge(e), c.Edge(e)
+			if len(x) != len(y) {
+				same = false
+				break
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical hypergraphs")
+		}
+	}
+}
+
+func TestGeneratePanicsOnDegenerateConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate config did not panic")
+		}
+	}()
+	Generate(Config{Domain: Contact, Nodes: 2, Edges: 1, Seed: 1})
+}
+
+func TestDatasets(t *testing.T) {
+	specs := Datasets()
+	if len(specs) != 11 {
+		t.Fatalf("got %d datasets, want 11", len(specs))
+	}
+	domains := make(map[string]int)
+	for _, s := range specs {
+		domains[s.Domain.String()]++
+	}
+	if len(domains) != 5 {
+		t.Fatalf("got %d domains, want 5: %v", len(domains), domains)
+	}
+	names := DatasetNames()
+	if len(names) != 11 {
+		t.Fatalf("DatasetNames = %d entries", len(names))
+	}
+}
+
+func TestDatasetLookup(t *testing.T) {
+	g, err := Dataset("email-Enron")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 143 {
+		t.Fatalf("email-Enron nodes = %d, want 143", g.NumNodes())
+	}
+	if _, err := Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDataset with bad name did not panic")
+		}
+	}()
+	MustDataset("nope")
+}
+
+func TestDomainString(t *testing.T) {
+	want := map[Domain]string{
+		Coauthorship: "coauth", Contact: "contact", Email: "email",
+		Tags: "tags", Threads: "threads",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Domain(%d).String() = %q, want %q", d, d.String(), s)
+		}
+	}
+}
+
+func TestEmailEdgesContainSender(t *testing.T) {
+	g := Generate(Config{Domain: Email, Nodes: 100, Edges: 300, Seed: 9})
+	// Senders are nodes [0, 25); every email contains at least one of them.
+	for e := 0; e < g.NumEdges(); e++ {
+		found := false
+		for _, v := range g.Edge(e) {
+			if v < 25 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d has no sender: %v", e, g.Edge(e))
+		}
+	}
+}
+
+func TestGenerateTemporal(t *testing.T) {
+	cfg := TemporalConfig{
+		Nodes: 400, FirstYear: 2000, LastYear: 2004,
+		EdgesFirst: 50, EdgesLast: 100, MixingDrift: 0.2, Seed: 5,
+	}
+	g := GenerateTemporal(cfg)
+	if !g.Timed() {
+		t.Fatal("temporal hypergraph must be timed")
+	}
+	min, max := g.TimeRange()
+	if min != 2000 || max != 2004 {
+		t.Fatalf("TimeRange = (%d, %d)", min, max)
+	}
+	// Later years have more edges (growth ramp), modulo dedup noise.
+	first := g.TimeSlice(2000, 2001).NumEdges()
+	last := g.TimeSlice(2004, 2005).NumEdges()
+	if first == 0 || last == 0 {
+		t.Fatal("empty year slices")
+	}
+	if last <= first {
+		t.Fatalf("expected growth: first year %d edges, last year %d", first, last)
+	}
+}
+
+func TestTemporalSlicesNonEmptyEveryYear(t *testing.T) {
+	cfg := DefaultTemporal()
+	cfg.Nodes = 600
+	cfg.EdgesFirst, cfg.EdgesLast = 40, 120
+	g := GenerateTemporal(cfg)
+	for y := cfg.FirstYear; y <= cfg.LastYear; y++ {
+		if s := g.TimeSlice(int64(y), int64(y+1)); s.NumEdges() == 0 {
+			t.Fatalf("year %d has no edges", y)
+		}
+	}
+}
+
+var _ = hypergraph.Hypergraph{} // keep the import explicit for test helpers
+
+// Regression test: with a tiny author universe the coauthorship model's
+// distinct-author picker collides constantly; it previously looped forever
+// once 60 straight collisions occurred because the fallback branch never
+// drew a candidate. Generation must stay total even at the minimum scale.
+func TestGenerateCoauthTinyUniverse(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := Generate(Config{Domain: Coauthorship, Nodes: 8, Edges: 400, Seed: seed})
+		if g.NumEdges() == 0 {
+			t.Fatalf("seed %d: no edges", seed)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package hypergraph
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeDegreesAndEdgeSizes(t *testing.T) {
+	g := FromEdges(5, [][]int32{{0, 1, 2}, {1, 2}, {2, 3, 4}, {2}})
+	if got := g.NodeDegrees(); !reflect.DeepEqual(got, []int{1, 2, 4, 1, 1}) {
+		t.Fatalf("NodeDegrees = %v", got)
+	}
+	if got := g.EdgeSizes(); !reflect.DeepEqual(got, []int{3, 2, 3, 1}) {
+		t.Fatalf("EdgeSizes = %v", got)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := FromEdges(5, [][]int32{{0, 1, 2}, {3, 4}})
+	s := g.String()
+	for _, want := range []string{"|V|=5", "|E|=2", "incidences=5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestNumPendingEdges(t *testing.T) {
+	b := NewBuilder(4)
+	if b.NumPendingEdges() != 0 {
+		t.Fatal("fresh builder has pending edges")
+	}
+	b.AddEdge([]int32{0, 1})
+	b.AddEdge([]int32{1, 2})
+	if got := b.NumPendingEdges(); got != 2 {
+		t.Fatalf("NumPendingEdges = %d, want 2", got)
+	}
+}
+
+func TestHashNodeSetProperties(t *testing.T) {
+	if _, err := HashNodeSet(nil); !errors.Is(err, ErrBadNodeSet) {
+		t.Fatalf("empty set: %v", err)
+	}
+	if _, err := HashNodeSet([]int32{2, -7}); !errors.Is(err, ErrBadNodeSet) {
+		t.Fatalf("negative id: %v", err)
+	}
+	// Property: hashing is invariant under permutation and duplication.
+	property := func(raw []int32) bool {
+		set := make([]int32, 0, len(raw)+1)
+		for _, v := range raw {
+			if v < 0 {
+				v = -v
+			}
+			set = append(set, v%1000)
+		}
+		set = append(set, 7) // never empty
+		h1, err1 := HashNodeSet(set)
+		reversed := make([]int32, 0, 2*len(set))
+		for i := len(set) - 1; i >= 0; i-- {
+			reversed = append(reversed, set[i], set[i]) // duplicate every entry
+		}
+		h2, err2 := HashNodeSet(reversed)
+		return err1 == nil && err2 == nil && h1 == h2
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failWriter fails after n bytes, for Write error-path injection.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("injected write failure")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteFailureInjection(t *testing.T) {
+	g := FromEdges(600, [][]int32{{0, 1, 2}, {3, 4, 5}, {6, 7}})
+	b := NewBuilder(600)
+	for e := 0; e < g.NumEdges(); e++ {
+		b.AddTimedEdge(g.Edge(e), int64(e))
+	}
+	tg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the failure offset, Write must report the injected error
+	// rather than silently truncating.
+	for n := 0; n < 24; n++ {
+		if err := tg.Write(&failWriter{n: n}); err == nil {
+			t.Fatalf("no error with failure after %d bytes", n)
+		}
+	}
+}

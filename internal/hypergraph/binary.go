@@ -1,0 +1,133 @@
+package hypergraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization: a compact little-endian format for hypergraphs that
+// round-trips exactly and loads without re-normalization (the writer only
+// ever emits normalized data).
+//
+//	magic   [4]byte "MCHY"
+//	version uint32 (1)
+//	flags   uint32 (bit 0: timed)
+//	numNodes, numEdges uint64
+//	edgeOff  [numEdges+1]int32
+//	edgeNodes[edgeOff[numEdges]]int32
+//	times    [numEdges]int64 (only if timed)
+
+var binaryMagic = [4]byte{'M', 'C', 'H', 'Y'}
+
+const binaryVersion = 1
+
+// WriteBinary serializes g in the mochy binary format.
+func (g *Hypergraph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Timed() {
+		flags |= 1
+	}
+	for _, v := range []uint32{binaryVersion, flags} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint64{uint64(g.numNodes), uint64(g.NumEdges())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.edgeOff); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.edgeNodes); err != nil {
+		return err
+	}
+	if g.Timed() {
+		if err := binary.Write(bw, binary.LittleEndian, g.times); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a hypergraph written by WriteBinary, validating
+// structural invariants (monotone offsets, sorted distinct in-range nodes)
+// so corrupted input cannot produce an inconsistent hypergraph.
+func ReadBinary(r io.Reader) (*Hypergraph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("hypergraph: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("hypergraph: bad magic %q", magic[:])
+	}
+	var version, flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("hypergraph: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	var numNodes, numEdges uint64
+	if err := binary.Read(br, binary.LittleEndian, &numNodes); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &numEdges); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 31
+	if numNodes > maxReasonable || numEdges > maxReasonable {
+		return nil, fmt.Errorf("hypergraph: implausible sizes |V|=%d |E|=%d", numNodes, numEdges)
+	}
+	g := &Hypergraph{numNodes: int(numNodes)}
+	g.edgeOff = make([]int32, numEdges+1)
+	if err := binary.Read(br, binary.LittleEndian, g.edgeOff); err != nil {
+		return nil, err
+	}
+	if g.edgeOff[0] != 0 {
+		return nil, fmt.Errorf("hypergraph: first offset %d != 0", g.edgeOff[0])
+	}
+	for i := 1; i <= int(numEdges); i++ {
+		if g.edgeOff[i] < g.edgeOff[i-1] {
+			return nil, fmt.Errorf("hypergraph: offsets not monotone at edge %d", i)
+		}
+	}
+	total := g.edgeOff[numEdges]
+	g.edgeNodes = make([]int32, total)
+	if err := binary.Read(br, binary.LittleEndian, g.edgeNodes); err != nil {
+		return nil, err
+	}
+	for e := 0; e < int(numEdges); e++ {
+		nodes := g.Edge(e)
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("hypergraph: edge %d empty", e)
+		}
+		for i, v := range nodes {
+			if v < 0 || v >= int32(numNodes) {
+				return nil, fmt.Errorf("hypergraph: edge %d node %d out of range", e, v)
+			}
+			if i > 0 && nodes[i-1] >= v {
+				return nil, fmt.Errorf("hypergraph: edge %d not sorted/distinct", e)
+			}
+		}
+	}
+	if flags&1 != 0 {
+		g.times = make([]int64, numEdges)
+		if err := binary.Read(br, binary.LittleEndian, g.times); err != nil {
+			return nil, err
+		}
+	}
+	g.buildIncidence()
+	return g, nil
+}

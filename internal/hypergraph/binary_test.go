@@ -1,0 +1,112 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomHypergraph(rng, 40, 60, 6)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualHypergraphs(t, g, g2)
+}
+
+func TestBinaryRoundTripTimed(t *testing.T) {
+	b := NewBuilder(10)
+	b.AddTimedEdge([]int32{0, 1, 2}, 1990)
+	b.AddTimedEdge([]int32{3, 4}, 2005)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Timed() {
+		t.Fatal("timed flag lost")
+	}
+	if g2.Time(0) != 1990 || g2.Time(1) != 2005 {
+		t.Fatalf("times lost: %d %d", g2.Time(0), g2.Time(1))
+	}
+	assertEqualHypergraphs(t, g, g2)
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := paperExample()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		},
+		"bad version": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		},
+		"truncated": func(b []byte) []byte {
+			return b[:len(b)-5]
+		},
+		"out-of-range node": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// Node data starts after header (4+4+4+8+8) + offsets (5*4).
+			nodeStart := 28 + 20
+			c[nodeStart] = 0xff
+			c[nodeStart+1] = 0xff
+			c[nodeStart+2] = 0xff
+			c[nodeStart+3] = 0x7f
+			return c
+		},
+		"empty input": func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range cases {
+		if _, err := ReadBinary(bytes.NewReader(corrupt(valid))); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+// assertEqualHypergraphs compares structure and incidence.
+func assertEqualHypergraphs(t *testing.T, a, b *Hypergraph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		x, y := a.Edge(e), b.Edge(e)
+		if len(x) != len(y) {
+			t.Fatalf("edge %d size differs", e)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("edge %d differs at %d", e, i)
+			}
+		}
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.Degree(int32(v)) != b.Degree(int32(v)) {
+			t.Fatalf("degree of node %d differs", v)
+		}
+	}
+}

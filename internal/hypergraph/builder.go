@@ -1,0 +1,182 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates hyperedges and produces an immutable Hypergraph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	edges    [][]int32
+	times    []int64
+	timed    bool
+	numNodes int
+	// keepDuplicates controls whether identical hyperedges are retained.
+	// The paper removes duplicated hyperedges from all datasets.
+	keepDuplicates bool
+}
+
+// NewBuilder returns a Builder for a hypergraph with the given number of
+// nodes. Node IDs added later must lie in [0, numNodes); numNodes may be 0,
+// in which case the node universe grows to fit the largest added ID + 1.
+func NewBuilder(numNodes int) *Builder {
+	return &Builder{numNodes: numNodes}
+}
+
+// KeepDuplicates configures the builder to retain identical hyperedges
+// instead of deduplicating them at Build time.
+func (b *Builder) KeepDuplicates() *Builder {
+	b.keepDuplicates = true
+	return b
+}
+
+// AddEdge appends a hyperedge with the given nodes. The slice is copied;
+// duplicate nodes within the edge are removed at Build time. Empty edges are
+// ignored.
+func (b *Builder) AddEdge(nodes []int32) *Builder {
+	if len(nodes) == 0 {
+		return b
+	}
+	cp := make([]int32, len(nodes))
+	copy(cp, nodes)
+	b.edges = append(b.edges, cp)
+	b.times = append(b.times, 0)
+	return b
+}
+
+// AddTimedEdge appends a hyperedge carrying a timestamp. Mixing AddEdge and
+// AddTimedEdge marks the whole hypergraph as timed, with untimed edges at
+// time 0.
+func (b *Builder) AddTimedEdge(nodes []int32, t int64) *Builder {
+	if len(nodes) == 0 {
+		return b
+	}
+	b.AddEdge(nodes)
+	b.times[len(b.times)-1] = t
+	b.timed = true
+	return b
+}
+
+// NumPendingEdges returns the number of edges added so far.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build validates, normalizes (sorts nodes, removes within-edge duplicates,
+// and by default removes duplicated hyperedges), and returns the hypergraph.
+func (b *Builder) Build() (*Hypergraph, error) {
+	n := b.numNodes
+	for _, e := range b.edges {
+		for _, v := range e {
+			if v < 0 {
+				return nil, fmt.Errorf("hypergraph: negative node id %d", v)
+			}
+			if int(v) >= n {
+				if b.numNodes > 0 {
+					return nil, fmt.Errorf("hypergraph: node id %d out of range [0, %d)", v, b.numNodes)
+				}
+				n = int(v) + 1
+			}
+		}
+	}
+
+	type rec struct {
+		nodes []int32
+		t     int64
+	}
+	recs := make([]rec, 0, len(b.edges))
+	seen := make(map[string]bool)
+	var keyBuf []byte
+	for i, e := range b.edges {
+		nodes := normalizeEdge(e)
+		if len(nodes) == 0 {
+			continue
+		}
+		if !b.keepDuplicates {
+			keyBuf = edgeKey(keyBuf[:0], nodes)
+			k := string(keyBuf)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		recs = append(recs, rec{nodes, b.times[i]})
+	}
+
+	g := &Hypergraph{numNodes: n}
+	g.edgeOff = make([]int32, len(recs)+1)
+	total := 0
+	for i, r := range recs {
+		total += len(r.nodes)
+		g.edgeOff[i+1] = int32(total)
+	}
+	g.edgeNodes = make([]int32, 0, total)
+	for _, r := range recs {
+		g.edgeNodes = append(g.edgeNodes, r.nodes...)
+	}
+	if b.timed {
+		g.times = make([]int64, len(recs))
+		for i, r := range recs {
+			g.times[i] = r.t
+		}
+	}
+	g.buildIncidence()
+	return g, nil
+}
+
+// FromEdges is a convenience constructor that builds a hypergraph from a
+// node-count and edge list, panicking on invalid input. Intended for tests
+// and examples with trusted data.
+func FromEdges(numNodes int, edges [][]int32) *Hypergraph {
+	b := NewBuilder(numNodes)
+	for _, e := range edges {
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildIncidence fills the node->edges CSR from the edge->nodes CSR.
+func (g *Hypergraph) buildIncidence() {
+	deg := make([]int32, g.numNodes+1)
+	for _, v := range g.edgeNodes {
+		deg[v+1]++
+	}
+	g.nodeOff = make([]int32, g.numNodes+1)
+	for v := 1; v <= g.numNodes; v++ {
+		g.nodeOff[v] = g.nodeOff[v-1] + deg[v]
+	}
+	g.nodeEdges = make([]int32, len(g.edgeNodes))
+	cursor := make([]int32, g.numNodes)
+	copy(cursor, g.nodeOff[:g.numNodes])
+	for e := 0; e < g.NumEdges(); e++ {
+		for _, v := range g.Edge(e) {
+			g.nodeEdges[cursor[v]] = int32(e)
+			cursor[v]++
+		}
+	}
+	// Edges were appended in ascending e, so each incidence list is sorted.
+}
+
+// normalizeEdge sorts and deduplicates the nodes of one edge in place.
+func normalizeEdge(nodes []int32) []int32 {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := nodes[:0]
+	for i, v := range nodes {
+		if i == 0 || v != nodes[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// edgeKey appends a canonical byte encoding of a sorted node list to buf.
+func edgeKey(buf []byte, nodes []int32) []byte {
+	for _, v := range nodes {
+		buf = append(buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}

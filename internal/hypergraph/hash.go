@@ -1,0 +1,42 @@
+package hypergraph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBadNodeSet is returned by HashNodeSet for empty sets or negative ids.
+var ErrBadNodeSet = errors.New("hypergraph: node set must be non-empty with non-negative ids")
+
+// HashNodeSet returns a 64-bit FNV-1a hash of a hyperedge's node set. The
+// hash is insensitive to node order and multiplicity, so two hyperedges
+// hash equally exactly when they are duplicates in the paper's sense
+// (barring the astronomically unlikely 64-bit collision).
+func HashNodeSet(nodes []int32) (uint64, error) {
+	if len(nodes) == 0 {
+		return 0, ErrBadNodeSet
+	}
+	set := make([]int32, len(nodes))
+	copy(set, nodes)
+	sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+	if set[0] < 0 {
+		return 0, ErrBadNodeSet
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	prev := int32(-1)
+	for _, v := range set {
+		if v == prev {
+			continue
+		}
+		prev = v
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(v >> shift))
+			h *= prime
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,168 @@
+// Package hypergraph provides the hypergraph substrate used throughout the
+// MoCHy reproduction: an immutable, compactly stored hypergraph G = (V, E)
+// with per-node incidence lists, plus construction, text I/O, statistics, and
+// temporal slicing.
+//
+// Hyperedges are stored in CSR form (a flat node array plus offsets) with the
+// nodes of each hyperedge sorted ascending, so membership tests are binary
+// searches and pairwise intersections are linear merges.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph is an immutable hypergraph. Node IDs are dense integers in
+// [0, NumNodes); hyperedge IDs are dense integers in [0, NumEdges).
+// Construct one with a Builder or FromEdges.
+type Hypergraph struct {
+	numNodes int
+	// CSR storage of hyperedges: edge i holds nodes
+	// edgeNodes[edgeOff[i]:edgeOff[i+1]], sorted ascending.
+	edgeOff   []int32
+	edgeNodes []int32
+	// CSR storage of incidence lists: node v belongs to edges
+	// nodeEdges[nodeOff[v]:nodeOff[v+1]], sorted ascending.
+	nodeOff   []int32
+	nodeEdges []int32
+	// times[i] is an optional timestamp of edge i (nil if untimed).
+	times []int64
+}
+
+// NumNodes returns |V|.
+func (g *Hypergraph) NumNodes() int { return g.numNodes }
+
+// NumEdges returns |E|.
+func (g *Hypergraph) NumEdges() int { return len(g.edgeOff) - 1 }
+
+// Edge returns the sorted node list of hyperedge e. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Hypergraph) Edge(e int) []int32 {
+	return g.edgeNodes[g.edgeOff[e]:g.edgeOff[e+1]]
+}
+
+// EdgeSize returns |e_i| for hyperedge e.
+func (g *Hypergraph) EdgeSize(e int) int {
+	return int(g.edgeOff[e+1] - g.edgeOff[e])
+}
+
+// IncidentEdges returns the sorted list of hyperedges containing node v.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Hypergraph) IncidentEdges(v int32) []int32 {
+	return g.nodeEdges[g.nodeOff[v]:g.nodeOff[v+1]]
+}
+
+// Degree returns |E_v|, the number of hyperedges containing node v.
+func (g *Hypergraph) Degree(v int32) int {
+	return int(g.nodeOff[v+1] - g.nodeOff[v])
+}
+
+// EdgeContains reports whether hyperedge e contains node v.
+func (g *Hypergraph) EdgeContains(e int, v int32) bool {
+	nodes := g.Edge(e)
+	i := sort.Search(len(nodes), func(i int) bool { return nodes[i] >= v })
+	return i < len(nodes) && nodes[i] == v
+}
+
+// IntersectionSize returns |e_i ∩ e_j| via a linear merge of the two sorted
+// node lists.
+func (g *Hypergraph) IntersectionSize(i, j int) int {
+	return intersectSortedLen(g.Edge(i), g.Edge(j))
+}
+
+// TripleIntersectionSize returns |e_i ∩ e_j ∩ e_k| by scanning the smallest
+// of the three edges and membership-testing the other two (Lemma 2 of the
+// paper: O(min(|e_i|, |e_j|, |e_k|)) with O(log) membership here).
+func (g *Hypergraph) TripleIntersectionSize(i, j, k int) int {
+	// Order so that i is the smallest edge.
+	if g.EdgeSize(j) < g.EdgeSize(i) {
+		i, j = j, i
+	}
+	if g.EdgeSize(k) < g.EdgeSize(i) {
+		i, k = k, i
+	}
+	ej, ek := g.Edge(j), g.Edge(k)
+	n := 0
+	for _, v := range g.Edge(i) {
+		if containsSorted(ej, v) && containsSorted(ek, v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Timed reports whether edges carry timestamps.
+func (g *Hypergraph) Timed() bool { return g.times != nil }
+
+// Time returns the timestamp of edge e. It panics if the hypergraph is
+// untimed.
+func (g *Hypergraph) Time(e int) int64 {
+	if g.times == nil {
+		panic("hypergraph: Time on untimed hypergraph")
+	}
+	return g.times[e]
+}
+
+// TotalIncidence returns Σ_e |e|, the number of (node, edge) incidences.
+func (g *Hypergraph) TotalIncidence() int { return len(g.edgeNodes) }
+
+// MaxEdgeSize returns max_e |e|, or 0 for an edgeless hypergraph.
+func (g *Hypergraph) MaxEdgeSize() int {
+	m := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if s := g.EdgeSize(e); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// NodeDegrees returns the degree of every node.
+func (g *Hypergraph) NodeDegrees() []int {
+	d := make([]int, g.numNodes)
+	for v := range d {
+		d[v] = g.Degree(int32(v))
+	}
+	return d
+}
+
+// EdgeSizes returns the size of every hyperedge.
+func (g *Hypergraph) EdgeSizes() []int {
+	s := make([]int, g.NumEdges())
+	for e := range s {
+		s[e] = g.EdgeSize(e)
+	}
+	return s
+}
+
+// String summarizes the hypergraph.
+func (g *Hypergraph) String() string {
+	return fmt.Sprintf("Hypergraph(|V|=%d, |E|=%d, incidences=%d)",
+		g.numNodes, g.NumEdges(), g.TotalIncidence())
+}
+
+// containsSorted reports whether v occurs in the ascending slice s.
+func containsSorted(s []int32, v int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// intersectSortedLen returns the size of the intersection of two ascending
+// slices.
+func intersectSortedLen(a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,272 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperExample is the hypergraph of Figure 2(b): nodes L,K,F,H,B,G,S,R
+// mapped to 0..7 and edges e1={L,K,F}, e2={L,H,K}, e3={B,G,L}, e4={S,R,F}.
+func paperExample() *Hypergraph {
+	const (
+		L, K, F, H, B, G, S, R = 0, 1, 2, 3, 4, 5, 6, 7
+	)
+	return FromEdges(8, [][]int32{
+		{L, K, F},
+		{L, H, K},
+		{B, G, L},
+		{S, R, F},
+	})
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := paperExample()
+	if g.NumNodes() != 8 || g.NumEdges() != 4 {
+		t.Fatalf("got |V|=%d |E|=%d, want 8, 4", g.NumNodes(), g.NumEdges())
+	}
+	if g.TotalIncidence() != 12 {
+		t.Errorf("TotalIncidence = %d, want 12", g.TotalIncidence())
+	}
+	if g.MaxEdgeSize() != 3 {
+		t.Errorf("MaxEdgeSize = %d, want 3", g.MaxEdgeSize())
+	}
+	if d := g.Degree(0); d != 3 { // L is in e1, e2, e3
+		t.Errorf("Degree(L) = %d, want 3", d)
+	}
+	if d := g.Degree(3); d != 1 { // H only in e2
+		t.Errorf("Degree(H) = %d, want 1", d)
+	}
+	inc := g.IncidentEdges(0)
+	if len(inc) != 3 || inc[0] != 0 || inc[1] != 1 || inc[2] != 2 {
+		t.Errorf("IncidentEdges(L) = %v, want [0 1 2]", inc)
+	}
+}
+
+func TestEdgesAreSortedAndDeduped(t *testing.T) {
+	g := FromEdges(5, [][]int32{{3, 1, 3, 0}})
+	e := g.Edge(0)
+	if len(e) != 3 || e[0] != 0 || e[1] != 1 || e[2] != 3 {
+		t.Fatalf("Edge(0) = %v, want [0 1 3]", e)
+	}
+}
+
+func TestDuplicateHyperedgesRemoved(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge([]int32{0, 1})
+	b.AddEdge([]int32{1, 0}) // same set, different order
+	b.AddEdge([]int32{1, 2})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 after dedup", g.NumEdges())
+	}
+}
+
+func TestKeepDuplicates(t *testing.T) {
+	b := NewBuilder(4).KeepDuplicates()
+	b.AddEdge([]int32{0, 1})
+	b.AddEdge([]int32{1, 0})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 with KeepDuplicates", g.NumEdges())
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge([]int32{0, 5})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for out-of-range node id")
+	}
+	b2 := NewBuilder(2)
+	b2.AddEdge([]int32{-1, 0})
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("expected error for negative node id")
+	}
+}
+
+func TestBuilderGrowsUniverseWhenUnsized(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge([]int32{7, 2})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d, want 8", g.NumNodes())
+	}
+}
+
+func TestEmptyEdgesIgnored(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(nil)
+	b.AddEdge([]int32{})
+	b.AddEdge([]int32{1})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestEdgeContains(t *testing.T) {
+	g := paperExample()
+	if !g.EdgeContains(0, 2) {
+		t.Error("e1 should contain F")
+	}
+	if g.EdgeContains(0, 7) {
+		t.Error("e1 should not contain R")
+	}
+}
+
+func TestIntersectionSizes(t *testing.T) {
+	g := paperExample()
+	cases := []struct{ i, j, want int }{
+		{0, 1, 2}, // e1 ∩ e2 = {L, K}
+		{0, 2, 1}, // e1 ∩ e3 = {L}
+		{0, 3, 1}, // e1 ∩ e4 = {F}
+		{1, 2, 1}, // e2 ∩ e3 = {L}
+		{1, 3, 0},
+		{2, 3, 0},
+	}
+	for _, c := range cases {
+		if got := g.IntersectionSize(c.i, c.j); got != c.want {
+			t.Errorf("|e%d ∩ e%d| = %d, want %d", c.i+1, c.j+1, got, c.want)
+		}
+	}
+	if got := g.TripleIntersectionSize(0, 1, 2); got != 1 { // {L}
+		t.Errorf("|e1∩e2∩e3| = %d, want 1", got)
+	}
+	if got := g.TripleIntersectionSize(0, 1, 3); got != 0 {
+		t.Errorf("|e1∩e2∩e4| = %d, want 0", got)
+	}
+}
+
+func TestTripleIntersectionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomHypergraph(rng, 30, 40, 8)
+	for trial := 0; trial < 300; trial++ {
+		i, j, k := rng.Intn(g.NumEdges()), rng.Intn(g.NumEdges()), rng.Intn(g.NumEdges())
+		want := 0
+		for _, v := range g.Edge(i) {
+			if g.EdgeContains(j, v) && g.EdgeContains(k, v) {
+				want++
+			}
+		}
+		if got := g.TripleIntersectionSize(i, j, k); got != want {
+			t.Fatalf("TripleIntersectionSize(%d,%d,%d) = %d, want %d", i, j, k, got, want)
+		}
+	}
+}
+
+func TestIncidenceConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomHypergraph(rng, 20, 30, 6)
+		// Every incidence appears in both directions.
+		for e := 0; e < g.NumEdges(); e++ {
+			for _, v := range g.Edge(e) {
+				found := false
+				for _, ee := range g.IncidentEdges(v) {
+					if int(ee) == e {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, e := range g.IncidentEdges(int32(v)) {
+				if !g.EdgeContains(int(e), int32(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimedEdges(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddTimedEdge([]int32{0, 1}, 1990)
+	b.AddTimedEdge([]int32{1, 2}, 2000)
+	b.AddTimedEdge([]int32{2, 3}, 2010)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Timed() {
+		t.Fatal("hypergraph should be timed")
+	}
+	if g.Time(1) != 2000 {
+		t.Errorf("Time(1) = %d, want 2000", g.Time(1))
+	}
+	min, max := g.TimeRange()
+	if min != 1990 || max != 2010 {
+		t.Errorf("TimeRange = (%d, %d), want (1990, 2010)", min, max)
+	}
+	slice := g.TimeSlice(1995, 2005)
+	if slice.NumEdges() != 1 || slice.Time(0) != 2000 {
+		t.Errorf("TimeSlice kept %d edges, want 1 at t=2000", slice.NumEdges())
+	}
+}
+
+func TestUntimedPanics(t *testing.T) {
+	g := paperExample()
+	for name, fn := range map[string]func(){
+		"Time":      func() { g.Time(0) },
+		"TimeSlice": func() { g.TimeSlice(0, 1) },
+		"TimeRange": func() { g.TimeRange() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on untimed hypergraph did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := paperExample()
+	sub := g.FilterEdges(func(e int) bool { return g.EdgeContains(e, 0) }) // edges with L
+	if sub.NumEdges() != 3 {
+		t.Fatalf("filtered edges = %d, want 3", sub.NumEdges())
+	}
+	if sub.NumNodes() != g.NumNodes() {
+		t.Fatalf("node universe changed: %d != %d", sub.NumNodes(), g.NumNodes())
+	}
+}
+
+// randomHypergraph generates a random hypergraph for property tests.
+func randomHypergraph(rng *rand.Rand, nodes, edges, maxSize int) *Hypergraph {
+	b := NewBuilder(nodes).KeepDuplicates()
+	for i := 0; i < edges; i++ {
+		sz := 1 + rng.Intn(maxSize)
+		e := make([]int32, sz)
+		for j := range e {
+			e[j] = int32(rng.Intn(nodes))
+		}
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

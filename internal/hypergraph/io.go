@@ -1,0 +1,103 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a hypergraph from a text stream. Each non-empty line is one
+// hyperedge: whitespace- or comma-separated node IDs, optionally followed by
+// "t=<timestamp>" as the last field. Lines starting with '#' or '%' are
+// comments. Node IDs must be non-negative integers; the node universe is
+// sized to the largest ID seen.
+//
+// Example:
+//
+//	# coauthorship
+//	0 1 2
+//	1 3 t=1995
+func Parse(r io.Reader) (*Hypergraph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var nodes []int32
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		line = strings.ReplaceAll(line, ",", " ")
+		fields := strings.Fields(line)
+		nodes = nodes[:0]
+		timed := false
+		var ts int64
+		for _, f := range fields {
+			if rest, ok := strings.CutPrefix(f, "t="); ok {
+				t, err := strconv.ParseInt(rest, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("hypergraph: line %d: bad timestamp %q: %w", lineNo, f, err)
+				}
+				timed, ts = true, t
+				continue
+			}
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: bad node id %q: %w", lineNo, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("hypergraph: line %d: negative node id %d", lineNo, v)
+			}
+			nodes = append(nodes, int32(v))
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		if timed {
+			b.AddTimedEdge(nodes, ts)
+		} else {
+			b.AddEdge(nodes)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hypergraph: read: %w", err)
+	}
+	return b.Build()
+}
+
+// ParseString parses a hypergraph from a string; see Parse.
+func ParseString(s string) (*Hypergraph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write serializes g in the format accepted by Parse: one hyperedge per line,
+// node IDs space-separated, with a trailing "t=<timestamp>" field when the
+// hypergraph is timed.
+func (g *Hypergraph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for e := 0; e < g.NumEdges(); e++ {
+		for i, v := range g.Edge(e) {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v))); err != nil {
+				return err
+			}
+		}
+		if g.Timed() {
+			if _, err := fmt.Fprintf(bw, " t=%d", g.Time(e)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

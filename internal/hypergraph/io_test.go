@@ -1,0 +1,112 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	g, err := ParseString(`
+# comment
+% another comment
+0 1 2
+2,3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumNodes() != 4 {
+		t.Fatalf("got |E|=%d |V|=%d, want 2, 4", g.NumEdges(), g.NumNodes())
+	}
+	if g.Timed() {
+		t.Fatal("untimed input should produce untimed hypergraph")
+	}
+}
+
+func TestParseTimed(t *testing.T) {
+	g, err := ParseString("0 1 t=1995\n1 2 t=2001\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Timed() {
+		t.Fatal("expected timed hypergraph")
+	}
+	if g.Time(0) != 1995 || g.Time(1) != 2001 {
+		t.Fatalf("times = %d, %d", g.Time(0), g.Time(1))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"0 x 2\n",
+		"0 1 t=abc\n",
+		"99999999999999999999\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddTimedEdge([]int32{0, 1, 2}, 10)
+	b.AddTimedEdge([]int32{3, 4}, 20)
+	b.AddTimedEdge([]int32{0, 5}, 30)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edges: %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		a, b := g.Edge(e), g2.Edge(e)
+		if len(a) != len(b) {
+			t.Fatalf("edge %d size mismatch", e)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge %d differs: %v vs %v", e, a, b)
+			}
+		}
+		if g.Time(e) != g2.Time(e) {
+			t.Fatalf("edge %d time differs", e)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperExample()
+	s := ComputeStats(g)
+	if s.NumNodes != 8 || s.NumEdges != 4 {
+		t.Fatalf("stats |V|=%d |E|=%d", s.NumNodes, s.NumEdges)
+	}
+	if s.MaxEdgeSize != 3 || s.MeanEdgeSize != 3 {
+		t.Errorf("edge size stats: max=%d mean=%f", s.MaxEdgeSize, s.MeanEdgeSize)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("MaxDegree = %d, want 3 (node L)", s.MaxDegree)
+	}
+	if s.SizeHistogram[3] != 4 {
+		t.Errorf("SizeHistogram[3] = %d, want 4", s.SizeHistogram[3])
+	}
+	sizes := s.SortedSizes()
+	if len(sizes) != 1 || sizes[0] != 3 {
+		t.Errorf("SortedSizes = %v", sizes)
+	}
+	degs := s.SortedDegrees()
+	if len(degs) == 0 || degs[len(degs)-1] != 3 {
+		t.Errorf("SortedDegrees = %v", degs)
+	}
+}

@@ -1,0 +1,58 @@
+package hypergraph
+
+// FilterEdges returns a new hypergraph over the same node universe containing
+// only the hyperedges for which keep returns true. Timestamps are preserved
+// when present. Duplicate edges are preserved as-is (filtering never
+// re-deduplicates).
+func (g *Hypergraph) FilterEdges(keep func(e int) bool) *Hypergraph {
+	b := NewBuilder(g.numNodes).KeepDuplicates()
+	for e := 0; e < g.NumEdges(); e++ {
+		if !keep(e) {
+			continue
+		}
+		if g.Timed() {
+			b.AddTimedEdge(g.Edge(e), g.Time(e))
+		} else {
+			b.AddEdge(g.Edge(e))
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		// Cannot happen: source edges were already validated.
+		panic(err)
+	}
+	return out
+}
+
+// TimeSlice returns the sub-hypergraph of edges with timestamps in
+// [from, to). It panics if g is untimed.
+func (g *Hypergraph) TimeSlice(from, to int64) *Hypergraph {
+	if !g.Timed() {
+		panic("hypergraph: TimeSlice on untimed hypergraph")
+	}
+	return g.FilterEdges(func(e int) bool {
+		t := g.Time(e)
+		return t >= from && t < to
+	})
+}
+
+// TimeRange returns the minimum and maximum edge timestamps. It panics if g
+// is untimed and returns (0, 0) for an edgeless hypergraph.
+func (g *Hypergraph) TimeRange() (min, max int64) {
+	if !g.Timed() {
+		panic("hypergraph: TimeRange on untimed hypergraph")
+	}
+	if g.NumEdges() == 0 {
+		return 0, 0
+	}
+	min, max = g.times[0], g.times[0]
+	for _, t := range g.times[1:] {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return min, max
+}

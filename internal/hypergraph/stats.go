@@ -1,0 +1,73 @@
+package hypergraph
+
+import "sort"
+
+// Stats summarizes the global structure of a hypergraph, covering the
+// quantities reported in Table 2 of the paper (except the hyperwedge and
+// motif counts, which live in the projection and counting packages).
+type Stats struct {
+	NumNodes       int
+	NumEdges       int
+	TotalIncidence int
+	MaxEdgeSize    int
+	MeanEdgeSize   float64
+	MaxDegree      int
+	MeanDegree     float64
+	// SizeHistogram[s] is the number of hyperedges with exactly s nodes.
+	SizeHistogram map[int]int
+	// DegreeHistogram[d] is the number of nodes with exactly d incident
+	// hyperedges (isolated nodes included at d = 0).
+	DegreeHistogram map[int]int
+}
+
+// ComputeStats computes summary statistics of g in one pass.
+func ComputeStats(g *Hypergraph) Stats {
+	s := Stats{
+		NumNodes:        g.NumNodes(),
+		NumEdges:        g.NumEdges(),
+		TotalIncidence:  g.TotalIncidence(),
+		SizeHistogram:   make(map[int]int),
+		DegreeHistogram: make(map[int]int),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		sz := g.EdgeSize(e)
+		s.SizeHistogram[sz]++
+		if sz > s.MaxEdgeSize {
+			s.MaxEdgeSize = sz
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(int32(v))
+		s.DegreeHistogram[d]++
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.NumEdges > 0 {
+		s.MeanEdgeSize = float64(s.TotalIncidence) / float64(s.NumEdges)
+	}
+	if s.NumNodes > 0 {
+		s.MeanDegree = float64(s.TotalIncidence) / float64(s.NumNodes)
+	}
+	return s
+}
+
+// SortedSizes returns the distinct hyperedge sizes ascending.
+func (s Stats) SortedSizes() []int {
+	out := make([]int, 0, len(s.SizeHistogram))
+	for k := range s.SizeHistogram {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SortedDegrees returns the distinct node degrees ascending.
+func (s Stats) SortedDegrees() []int {
+	out := make([]int, 0, len(s.DegreeHistogram))
+	for k := range s.DegreeHistogram {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest averages the probabilities of bagged decision trees grown on
+// bootstrap samples with per-split feature subsampling.
+type RandomForest struct {
+	// Trees (default 30), MaxDepth (default 10) and MinLeaf (default 2)
+	// control the ensemble; MaxFeatures defaults to ⌈√d⌉.
+	Trees       int
+	MaxDepth    int
+	MinLeaf     int
+	MaxFeatures int
+	Seed        int64
+
+	members []*DecisionTree
+}
+
+// Fit trains the ensemble.
+func (m *RandomForest) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.Trees == 0 {
+		m.Trees = 30
+	}
+	if m.MaxDepth == 0 {
+		m.MaxDepth = 10
+	}
+	maxFeatures := m.MaxFeatures
+	if maxFeatures == 0 {
+		maxFeatures = int(math.Ceil(math.Sqrt(float64(len(X[0])))))
+	}
+	rng := rand.New(rand.NewSource(m.Seed + 29))
+	m.members = make([]*DecisionTree, m.Trees)
+	bx := make([][]float64, len(X))
+	by := make([]int, len(y))
+	for t := 0; t < m.Trees; t++ {
+		for i := range bx {
+			k := rng.Intn(len(X))
+			bx[i], by[i] = X[k], y[k]
+		}
+		tree := &DecisionTree{
+			MaxDepth:    m.MaxDepth,
+			MinLeaf:     m.MinLeaf,
+			MaxFeatures: maxFeatures,
+			Seed:        rng.Int63(),
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		m.members[t] = tree
+	}
+	return nil
+}
+
+// PredictProba averages member probabilities.
+func (m *RandomForest) PredictProba(x []float64) float64 {
+	s := 0.0
+	for _, tree := range m.members {
+		s += tree.PredictProba(x)
+	}
+	return s / float64(len(m.members))
+}

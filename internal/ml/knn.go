@@ -1,0 +1,62 @@
+package ml
+
+import "sort"
+
+// KNN is a k-nearest-neighbor classifier with Euclidean distance. Features
+// should be standardized (see Scaler) before fitting.
+type KNN struct {
+	// K is the neighborhood size (default 5).
+	K int
+
+	X [][]float64
+	y []int
+}
+
+// Fit memorizes the training set.
+func (m *KNN) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.K == 0 {
+		m.K = 5
+	}
+	m.X, m.y = X, y
+	return nil
+}
+
+// PredictProba returns the positive fraction among the k nearest training
+// samples.
+func (m *KNN) PredictProba(x []float64) float64 {
+	k := m.K
+	if k > len(m.X) {
+		k = len(m.X)
+	}
+	type nb struct {
+		d2 float64
+		y  int
+	}
+	// Maintain the k smallest distances with a simple bounded insertion,
+	// which beats sorting all n distances for small k.
+	best := make([]nb, 0, k+1)
+	for i, row := range m.X {
+		d2 := 0.0
+		for j, v := range row {
+			dv := v - x[j]
+			d2 += dv * dv
+		}
+		if len(best) < k || d2 < best[len(best)-1].d2 {
+			pos := sort.Search(len(best), func(p int) bool { return best[p].d2 > d2 })
+			best = append(best, nb{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = nb{d2, m.y[i]}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	pos := 0
+	for _, b := range best {
+		pos += b.y
+	}
+	return float64(pos) / float64(len(best))
+}

@@ -1,0 +1,77 @@
+package ml
+
+import "math/rand"
+
+// LogisticRegression is an L2-regularized logistic regression trained with
+// mini-batch stochastic gradient descent.
+type LogisticRegression struct {
+	// Epochs, LearningRate, L2 and BatchSize tune training; zero values get
+	// sensible defaults in Fit.
+	Epochs       int
+	LearningRate float64
+	L2           float64
+	BatchSize    int
+	Seed         int64
+
+	w []float64
+	b float64
+}
+
+// Fit trains the model.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 100
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.1
+	}
+	if m.BatchSize == 0 {
+		m.BatchSize = 32
+	}
+	d := len(X[0])
+	m.w = make([]float64, d)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	idx := rng.Perm(len(X))
+	gw := make([]float64, d)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for j := range gw {
+				gw[j] = 0
+			}
+			gb := 0.0
+			for _, i := range idx[start:end] {
+				p := m.PredictProba(X[i])
+				err := p - float64(y[i])
+				for j, v := range X[i] {
+					gw[j] += err * v
+				}
+				gb += err
+			}
+			n := float64(end - start)
+			lr := m.LearningRate
+			for j := range m.w {
+				m.w[j] -= lr * (gw[j]/n + m.L2*m.w[j])
+			}
+			m.b -= lr * gb / n
+		}
+	}
+	return nil
+}
+
+// PredictProba returns σ(wᵀx + b).
+func (m *LogisticRegression) PredictProba(x []float64) float64 {
+	z := m.b
+	for j, v := range x {
+		z += m.w[j] * v
+	}
+	return sigmoid(z)
+}

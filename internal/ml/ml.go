@@ -1,0 +1,174 @@
+// Package ml implements the five binary classifiers of the hyperedge
+// prediction study (Table 4 of the MoCHy paper) from scratch on the standard
+// library: logistic regression, a CART decision tree, a random forest, a
+// k-nearest-neighbor classifier, and a one-hidden-layer MLP, together with
+// accuracy and ROC-AUC metrics and feature standardization.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Classifier is a binary classifier over dense float feature vectors.
+type Classifier interface {
+	// Fit trains on features X (rows are samples) and labels y in {0, 1}.
+	Fit(X [][]float64, y []int) error
+	// PredictProba returns the estimated probability that x has label 1.
+	PredictProba(x []float64) float64
+}
+
+// Predict thresholds PredictProba at 0.5.
+func Predict(c Classifier, x []float64) int {
+	if c.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy returns the fraction of samples whose thresholded prediction
+// matches the label.
+func Accuracy(c Classifier, X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if Predict(c, x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// AUC returns the area under the ROC curve of the classifier's scores via
+// the rank statistic (Mann-Whitney U), with the standard ½ correction for
+// tied scores. Returns 0.5 when either class is absent.
+func AUC(c Classifier, X [][]float64, y []int) float64 {
+	scores := make([]float64, len(X))
+	for i, x := range X {
+		scores[i] = c.PredictProba(x)
+	}
+	return AUCFromScores(scores, y)
+}
+
+// AUCFromScores computes ROC-AUC from raw scores and binary labels.
+func AUCFromScores(scores []float64, y []int) float64 {
+	type sample struct {
+		s float64
+		y int
+	}
+	ss := make([]sample, len(scores))
+	for i := range scores {
+		ss[i] = sample{scores[i], y[i]}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].s < ss[j].s })
+	var nPos, nNeg float64
+	for _, s := range ss {
+		if s.y == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	// Sum of positive ranks with midranks for ties.
+	var rankSum float64
+	i := 0
+	for i < len(ss) {
+		j := i
+		for j < len(ss) && ss[j].s == ss[i].s {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if ss[k].y == 1 {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// Scaler standardizes features to zero mean and unit variance, fitted on
+// training data and applied to both splits (constant features pass through).
+type Scaler struct {
+	mean, std []float64
+}
+
+// FitScaler learns per-feature mean and standard deviation.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	d := len(X[0])
+	s := &Scaler{mean: make([]float64, d), std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(len(X))
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.mean[j]
+			s.std[j] += dv * dv
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(len(X)))
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns standardized copies of the rows.
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.mean[j]) / s.std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// checkXY validates a training set.
+func checkXY(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("ml: label %d at row %d not in {0,1}", v, i)
+		}
+	}
+	return nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gaussianBlobs builds a linearly separable-ish two-class dataset.
+func gaussianBlobs(rng *rand.Rand, n, d int, sep float64) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		label := i % 2
+		row := make([]float64, d)
+		for j := range row {
+			center := -sep / 2
+			if label == 1 {
+				center = sep / 2
+			}
+			row[j] = center + rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = label
+	}
+	return X, y
+}
+
+// xorDataset is not linearly separable; trees/forests/MLP/kNN must solve it.
+func xorDataset(rng *rand.Rand, n int) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Intn(2), rng.Intn(2)
+		X[i] = []float64{float64(a) + 0.1*rng.NormFloat64(), float64(b) + 0.1*rng.NormFloat64()}
+		y[i] = a ^ b
+	}
+	return X, y
+}
+
+func classifiers() map[string]func() Classifier {
+	return map[string]func() Classifier{
+		"logreg": func() Classifier { return &LogisticRegression{Seed: 1} },
+		"tree":   func() Classifier { return &DecisionTree{Seed: 1} },
+		"forest": func() Classifier { return &RandomForest{Trees: 15, Seed: 1} },
+		"knn":    func() Classifier { return &KNN{K: 5} },
+		"mlp":    func() Classifier { return &MLP{Hidden: 16, Epochs: 80, Seed: 1} },
+	}
+}
+
+func TestAllClassifiersOnSeparableData(t *testing.T) {
+	for name, mk := range classifiers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			Xtr, ytr := gaussianBlobs(rng, 400, 4, 3)
+			Xte, yte := gaussianBlobs(rng, 200, 4, 3)
+			c := mk()
+			if err := c.Fit(Xtr, ytr); err != nil {
+				t.Fatal(err)
+			}
+			if acc := Accuracy(c, Xte, yte); acc < 0.9 {
+				t.Fatalf("accuracy = %.3f, want ≥ 0.9", acc)
+			}
+			if auc := AUC(c, Xte, yte); auc < 0.95 {
+				t.Fatalf("AUC = %.3f, want ≥ 0.95", auc)
+			}
+		})
+	}
+}
+
+func TestNonlinearClassifiersOnXOR(t *testing.T) {
+	for _, name := range []string{"tree", "forest", "knn", "mlp"} {
+		mk := classifiers()[name]
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			Xtr, ytr := xorDataset(rng, 400)
+			Xte, yte := xorDataset(rng, 200)
+			c := mk()
+			if err := c.Fit(Xtr, ytr); err != nil {
+				t.Fatal(err)
+			}
+			if acc := Accuracy(c, Xte, yte); acc < 0.85 {
+				t.Fatalf("accuracy on XOR = %.3f, want ≥ 0.85", acc)
+			}
+		})
+	}
+}
+
+func TestLogisticRegressionFailsXOR(t *testing.T) {
+	// Sanity: a linear model cannot solve XOR, confirming the nonlinear
+	// tests above are meaningful.
+	rng := rand.New(rand.NewSource(13))
+	Xtr, ytr := xorDataset(rng, 400)
+	Xte, yte := xorDataset(rng, 200)
+	c := &LogisticRegression{Seed: 1}
+	if err := c.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(c, Xte, yte); acc > 0.75 {
+		t.Fatalf("linear model reached %.3f on XOR; dataset is broken", acc)
+	}
+}
+
+func TestPredictProbaInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	Xtr, ytr := gaussianBlobs(rng, 200, 3, 2)
+	for name, mk := range classifiers() {
+		c := mk()
+		if err := c.Fit(Xtr, ytr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			x := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+			p := c.PredictProba(x)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("%s: PredictProba = %v", name, p)
+			}
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for name, mk := range classifiers() {
+		c := mk()
+		if err := c.Fit(nil, nil); err == nil {
+			t.Errorf("%s: empty training set should error", name)
+		}
+		if err := c.Fit([][]float64{{1}}, []int{2}); err == nil {
+			t.Errorf("%s: bad label should error", name)
+		}
+		if err := c.Fit([][]float64{{1}, {2, 3}}, []int{0, 1}); err == nil {
+			t.Errorf("%s: ragged rows should error", name)
+		}
+		if err := c.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+			t.Errorf("%s: length mismatch should error", name)
+		}
+	}
+}
+
+func TestAUCFromScores(t *testing.T) {
+	// Perfect ranking.
+	if auc := AUCFromScores([]float64{0.1, 0.2, 0.8, 0.9}, []int{0, 0, 1, 1}); auc != 1 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+	// Inverted ranking.
+	if auc := AUCFromScores([]float64{0.9, 0.8, 0.2, 0.1}, []int{0, 0, 1, 1}); auc != 0 {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+	// All tied: 0.5 by midrank correction.
+	if auc := AUCFromScores([]float64{0.5, 0.5, 0.5, 0.5}, []int{0, 1, 0, 1}); auc != 0.5 {
+		t.Errorf("tied AUC = %v", auc)
+	}
+	// Single class: defined as 0.5.
+	if auc := AUCFromScores([]float64{0.1, 0.9}, []int{1, 1}); auc != 0.5 {
+		t.Errorf("single-class AUC = %v", auc)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	s := FitScaler(X)
+	Z := s.Transform(X)
+	for j := 0; j < 3; j++ {
+		mean := (Z[0][j] + Z[1][j] + Z[2][j]) / 3
+		if math.Abs(mean) > 1e-12 {
+			t.Errorf("feature %d mean = %v after scaling", j, mean)
+		}
+	}
+	// Constant feature passes through unchanged relative ordering (std=1).
+	if Z[0][1] != 0 || Z[2][1] != 0 {
+		t.Errorf("constant feature should map to 0, got %v, %v", Z[0][1], Z[2][1])
+	}
+	// Transform must not mutate input.
+	if X[0][0] != 1 {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestScalerEmptyInput(t *testing.T) {
+	s := FitScaler(nil)
+	if out := s.Transform(nil); len(out) != 0 {
+		t.Fatalf("Transform(nil) = %v", out)
+	}
+	if out := s.Transform([][]float64{}); len(out) != 0 {
+		t.Fatalf("Transform(empty) = %v", out)
+	}
+}
+
+func TestForestFeatureSubsampling(t *testing.T) {
+	// A forest restricted to one candidate feature per split must still fit
+	// separable data reasonably (ensembling compensates).
+	rng := rand.New(rand.NewSource(31))
+	Xtr, ytr := gaussianBlobs(rng, 300, 4, 3)
+	Xte, yte := gaussianBlobs(rng, 150, 4, 3)
+	c := &RandomForest{Trees: 25, MaxFeatures: 1, Seed: 2}
+	if err := c.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(c, Xte, yte); acc < 0.85 {
+		t.Fatalf("accuracy with MaxFeatures=1 ensemble = %.3f", acc)
+	}
+}
+
+func TestAccuracyEmptyTestSet(t *testing.T) {
+	c := &KNN{K: 1}
+	if err := c.Fit([][]float64{{0}, {1}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(c, nil, nil); acc != 0 {
+		t.Fatalf("Accuracy on empty test set = %v", acc)
+	}
+}
+
+func TestKNNSmallTrainingSet(t *testing.T) {
+	c := &KNN{K: 10}
+	if err := c.Fit([][]float64{{0}, {1}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// K larger than the training set must not panic.
+	p := c.PredictProba([]float64{0.4})
+	if p < 0 || p > 1 {
+		t.Fatalf("PredictProba = %v", p)
+	}
+}
+
+func TestTreeDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	X, y := gaussianBlobs(rng, 200, 3, 2)
+	a := &DecisionTree{Seed: 5}
+	b := &DecisionTree{Seed: 5}
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if a.PredictProba(x) != b.PredictProba(x) {
+			t.Fatal("same-seed trees disagree")
+		}
+	}
+}

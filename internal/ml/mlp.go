@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a one-hidden-layer perceptron (ReLU hidden units, sigmoid output)
+// trained with mini-batch SGD and momentum on the cross-entropy loss.
+type MLP struct {
+	// Hidden is the hidden width (default 32); Epochs (default 120),
+	// LearningRate (default 0.05), BatchSize (default 32) and Momentum
+	// (default 0.9) tune SGD.
+	Hidden       int
+	Epochs       int
+	LearningRate float64
+	BatchSize    int
+	Momentum     float64
+	Seed         int64
+
+	w1 [][]float64 // hidden x input
+	b1 []float64
+	w2 []float64 // hidden
+	b2 float64
+}
+
+// Fit trains the network.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.Hidden == 0 {
+		m.Hidden = 32
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 120
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.05
+	}
+	if m.BatchSize == 0 {
+		m.BatchSize = 32
+	}
+	if m.Momentum == 0 {
+		m.Momentum = 0.9
+	}
+	d := len(X[0])
+	rng := rand.New(rand.NewSource(m.Seed + 41))
+	scale := math.Sqrt(2 / float64(d))
+	m.w1 = make([][]float64, m.Hidden)
+	vw1 := make([][]float64, m.Hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, d)
+		vw1[h] = make([]float64, d)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.NormFloat64() * scale
+		}
+	}
+	m.b1 = make([]float64, m.Hidden)
+	m.w2 = make([]float64, m.Hidden)
+	vw2 := make([]float64, m.Hidden)
+	vb1 := make([]float64, m.Hidden)
+	var vb2 float64
+	for h := range m.w2 {
+		m.w2[h] = rng.NormFloat64() * math.Sqrt(2/float64(m.Hidden))
+	}
+
+	idx := rng.Perm(len(X))
+	hidden := make([]float64, m.Hidden)
+	gw1 := make([][]float64, m.Hidden)
+	for h := range gw1 {
+		gw1[h] = make([]float64, d)
+	}
+	gb1 := make([]float64, m.Hidden)
+	gw2 := make([]float64, m.Hidden)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for h := range gw1 {
+				for j := range gw1[h] {
+					gw1[h][j] = 0
+				}
+				gb1[h] = 0
+				gw2[h] = 0
+			}
+			gb2 := 0.0
+			for _, i := range idx[start:end] {
+				x := X[i]
+				// Forward.
+				for h := 0; h < m.Hidden; h++ {
+					z := m.b1[h]
+					for j, v := range x {
+						z += m.w1[h][j] * v
+					}
+					if z < 0 {
+						z = 0
+					}
+					hidden[h] = z
+				}
+				out := m.b2
+				for h, v := range hidden {
+					out += m.w2[h] * v
+				}
+				p := sigmoid(out)
+				// Backward: dL/dout = p - y for cross-entropy + sigmoid.
+				dout := p - float64(y[i])
+				for h, v := range hidden {
+					gw2[h] += dout * v
+					if v > 0 { // ReLU gate
+						dh := dout * m.w2[h]
+						gb1[h] += dh
+						for j, xv := range x {
+							gw1[h][j] += dh * xv
+						}
+					}
+				}
+				gb2 += dout
+			}
+			n := float64(end - start)
+			lr := m.LearningRate
+			for h := 0; h < m.Hidden; h++ {
+				for j := 0; j < d; j++ {
+					vw1[h][j] = m.Momentum*vw1[h][j] - lr*gw1[h][j]/n
+					m.w1[h][j] += vw1[h][j]
+				}
+				vb1[h] = m.Momentum*vb1[h] - lr*gb1[h]/n
+				m.b1[h] += vb1[h]
+				vw2[h] = m.Momentum*vw2[h] - lr*gw2[h]/n
+				m.w2[h] += vw2[h]
+			}
+			vb2 = m.Momentum*vb2 - lr*gb2/n
+			m.b2 += vb2
+		}
+	}
+	return nil
+}
+
+// PredictProba runs a forward pass.
+func (m *MLP) PredictProba(x []float64) float64 {
+	out := m.b2
+	for h := 0; h < m.Hidden; h++ {
+		z := m.b1[h]
+		for j, v := range x {
+			z += m.w1[h][j] * v
+		}
+		if z > 0 {
+			out += m.w2[h] * z
+		}
+	}
+	return sigmoid(out)
+}

@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// DecisionTree is a CART binary classification tree split on Gini impurity.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (default 8). MinLeaf is the minimum number
+	// of samples in a leaf (default 2). MaxFeatures, if positive, samples
+	// that many candidate features per split (used by the random forest).
+	MaxDepth    int
+	MinLeaf     int
+	MaxFeatures int
+	Seed        int64
+
+	root *treeNode
+	rng  *rand.Rand
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	prob      float64 // P(y=1) at a leaf
+	leaf      bool
+}
+
+// Fit grows the tree.
+func (m *DecisionTree) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.MaxDepth == 0 {
+		m.MaxDepth = 8
+	}
+	if m.MinLeaf == 0 {
+		m.MinLeaf = 2
+	}
+	m.rng = rand.New(rand.NewSource(m.Seed + 17))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = m.grow(X, y, idx, 0)
+	return nil
+}
+
+// PredictProba walks the tree to the leaf probability.
+func (m *DecisionTree) PredictProba(x []float64) float64 {
+	n := m.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// grow recursively builds the subtree over the sample indices idx.
+func (m *DecisionTree) grow(X [][]float64, y []int, idx []int, depth int) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		pos += y[i]
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth >= m.MaxDepth || len(idx) < 2*m.MinLeaf || pos == 0 || pos == len(idx) {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	feature, threshold, ok := m.bestSplit(X, y, idx)
+	if !ok {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < m.MinLeaf || len(right) < m.MinLeaf {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      m.grow(X, y, left, depth+1),
+		right:     m.grow(X, y, right, depth+1),
+	}
+}
+
+// bestSplit finds the (feature, threshold) minimizing weighted Gini impurity
+// with a single sorted sweep per candidate feature.
+func (m *DecisionTree) bestSplit(X [][]float64, y []int, idx []int) (int, float64, bool) {
+	d := len(X[idx[0]])
+	features := make([]int, d)
+	for j := range features {
+		features[j] = j
+	}
+	if m.MaxFeatures > 0 && m.MaxFeatures < d {
+		m.rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:m.MaxFeatures]
+	}
+	bestGini := 1.1
+	bestFeature, bestThreshold := -1, 0.0
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		totalPos := 0
+		for _, i := range order {
+			totalPos += y[i]
+		}
+		leftN, leftPos := 0, 0
+		for k := 0; k < len(order)-1; k++ {
+			leftN++
+			leftPos += y[order[k]]
+			v, next := X[order[k]][f], X[order[k+1]][f]
+			if v == next {
+				continue // threshold must separate distinct values
+			}
+			rightN := len(order) - leftN
+			rightPos := totalPos - leftPos
+			g := weightedGini(leftPos, leftN, rightPos, rightN)
+			if g < bestGini {
+				bestGini = g
+				bestFeature = f
+				bestThreshold = (v + next) / 2
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestFeature >= 0
+}
+
+// weightedGini is the size-weighted Gini impurity of a binary split.
+func weightedGini(posL, nL, posR, nR int) float64 {
+	gini := func(pos, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		p := float64(pos) / float64(n)
+		return 2 * p * (1 - p)
+	}
+	total := float64(nL + nR)
+	return float64(nL)/total*gini(posL, nL) + float64(nR)/total*gini(posR, nR)
+}

@@ -1,0 +1,178 @@
+package mochy
+
+import (
+	"math/rand"
+	"sync"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+// CountEdgeSamples runs MoCHy-A (Algorithm 4): it samples s hyperedges
+// uniformly at random with replacement, counts every h-motif instance
+// containing each sample, and rescales by |E|/(3s), which makes every
+// per-motif estimate unbiased (Theorem 2). Sampling is split across workers
+// goroutines with independent RNG streams derived from seed; results are
+// deterministic for a fixed (seed, workers) pair.
+func CountEdgeSamples(g *hypergraph.Hypergraph, p projection.Projector, s int, seed int64, workers int) Counts {
+	if s <= 0 || g.NumEdges() == 0 {
+		return Counts{}
+	}
+	total := parallelSamples(workers, s, seed, func(rng *rand.Rand, quota int, out *Counts) {
+		var buf nbrBuffers
+		for n := 0; n < quota; n++ {
+			i := int32(rng.Intn(g.NumEdges()))
+			countContaining(g, p, i, out, &buf)
+		}
+	})
+	scale := float64(g.NumEdges()) / (3 * float64(s))
+	for t := range total {
+		total[t] *= scale
+	}
+	return total
+}
+
+// nbrBuffers holds per-worker neighborhood copies, reused across samples so
+// the sampling loops stay allocation-free after warmup. Copies are required
+// because Projector implementations only guarantee the returned slice until
+// the next Neighbors call.
+type nbrBuffers struct {
+	ni, nj []projection.Neighbor
+}
+
+// countContaining accumulates one raw (unscaled) count for every h-motif
+// instance that contains hyperedge i, visiting each such instance exactly
+// once (lines 4-7 of Algorithm 4).
+func countContaining(g *hypergraph.Hypergraph, p projection.Projector, i int32, out *Counts, buf *nbrBuffers) {
+	buf.ni = append(buf.ni[:0], p.Neighbors(i)...)
+	ni := buf.ni
+	for a := 0; a < len(ni); a++ {
+		j, wij := ni[a].Edge, ni[a].Overlap
+		// Candidates k ∈ N(e_i) with k after j in the list: both neighbors
+		// of i (the "k ∈ N(e_i) and j < k" branch, applied to list order).
+		for b := a + 1; b < len(ni); b++ {
+			k, wik := ni[b].Edge, ni[b].Overlap
+			wjk := p.Overlap(j, k)
+			if id := classify(g, i, j, k, wij, wjk, wik); id != 0 {
+				out[id-1]++
+			}
+		}
+		// Candidates k ∈ N(e_j) \ N(e_i) \ {i}: open instances centered at j.
+		buf.nj = append(buf.nj[:0], p.Neighbors(j)...)
+		for _, nb := range buf.nj {
+			k := nb.Edge
+			if k == i || containsEdge(ni, k) {
+				continue
+			}
+			if id := classify(g, i, j, k, wij, nb.Overlap, 0); id != 0 {
+				out[id-1]++
+			}
+		}
+	}
+}
+
+// CountWedgeSamples runs MoCHy-A+ (Algorithm 5): it samples r hyperwedges
+// uniformly at random with replacement via sampler, counts every h-motif
+// instance containing each sampled wedge, and rescales open-motif estimates
+// by |∧|/(2r) and closed-motif estimates by |∧|/(3r), which makes every
+// estimate unbiased (Theorem 4).
+func CountWedgeSamples(g *hypergraph.Hypergraph, p projection.Projector, sampler projection.WedgeSampler, r int, seed int64, workers int) Counts {
+	numWedges := p.NumWedges()
+	if r <= 0 || numWedges == 0 {
+		return Counts{}
+	}
+	total := parallelSamples(workers, r, seed, func(rng *rand.Rand, quota int, out *Counts) {
+		var buf nbrBuffers
+		for n := 0; n < quota; n++ {
+			i, j := sampler.SampleWedge(rng)
+			countContainingWedge(g, p, i, j, out, &buf)
+		}
+	})
+	for id := 1; id <= motif.Count; id++ {
+		if motif.IsOpen(id) {
+			total[id-1] *= float64(numWedges) / (2 * float64(r))
+		} else {
+			total[id-1] *= float64(numWedges) / (3 * float64(r))
+		}
+	}
+	return total
+}
+
+// countContainingWedge accumulates one raw count for every h-motif instance
+// containing the hyperwedge ∧ij (lines 4-5 of Algorithm 5), walking the two
+// sorted neighborhoods with a single merge so each candidate e_k in
+// N(e_i) ∪ N(e_j) \ {e_i, e_j} is visited once with both overlaps in hand.
+func countContainingWedge(g *hypergraph.Hypergraph, p projection.Projector, i, j int32, out *Counts, buf *nbrBuffers) {
+	buf.ni = append(buf.ni[:0], p.Neighbors(i)...)
+	buf.nj = append(buf.nj[:0], p.Neighbors(j)...)
+	ni, nj := buf.ni, buf.nj
+	wij := p.Overlap(i, j)
+	a, b := 0, 0
+	for a < len(ni) || b < len(nj) {
+		var k, wik, wjk int32
+		switch {
+		case b == len(nj) || (a < len(ni) && ni[a].Edge < nj[b].Edge):
+			k, wik = ni[a].Edge, ni[a].Overlap
+			a++
+		case a == len(ni) || nj[b].Edge < ni[a].Edge:
+			k, wjk = nj[b].Edge, nj[b].Overlap
+			b++
+		default: // same edge in both neighborhoods
+			k, wik, wjk = ni[a].Edge, ni[a].Overlap, nj[b].Overlap
+			a++
+			b++
+		}
+		if k == i || k == j {
+			continue
+		}
+		if id := classify(g, i, j, k, wij, wjk, wik); id != 0 {
+			out[id-1]++
+		}
+	}
+}
+
+// parallelSamples distributes n samples over workers goroutines, giving each
+// an independent deterministic RNG stream, and merges the per-worker counts.
+func parallelSamples(workers, n int, seed int64, run func(rng *rand.Rand, quota int, out *Counts)) Counts {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]Counts, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := n / workers
+		if w < n%workers {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x9e3779b9))
+			run(rng, quota, &results[w])
+		}(w, quota)
+	}
+	wg.Wait()
+	var total Counts
+	for w := range results {
+		total.add(&results[w])
+	}
+	return total
+}
+
+// containsEdge binary-searches a sorted neighborhood for edge k.
+func containsEdge(ns []projection.Neighbor, k int32) bool {
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid].Edge < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && ns[lo].Edge == k
+}

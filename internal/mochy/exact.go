@@ -1,0 +1,185 @@
+package mochy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+// Instance is one h-motif instance: three connected hyperedges and the ID of
+// the motif describing their connectivity pattern.
+type Instance struct {
+	A, B, C int32 // hyperedge IDs
+	Motif   int   // 1..26
+}
+
+// CountExact runs MoCHy-E (Algorithm 2): for every hyperedge e_i and every
+// unordered pair {e_j, e_k} of its projected-graph neighbors, the instance
+// {e_i, e_j, e_k} is counted once — immediately if e_j and e_k are disjoint
+// (open motifs, counted at their center), and only from the smallest-ID
+// member if they overlap (closed motifs). workers ≥ 1 selects the number of
+// goroutines; hyperedges are distributed across workers and per-worker count
+// vectors are merged once (Section 3.4).
+func CountExact(g *hypergraph.Hypergraph, p projection.Projector, workers int) Counts {
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumEdges()
+	results := make([]Counts, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &results[w]
+			var ns []projection.Neighbor
+			for i := w; i < n; i += workers {
+				ns = countAnchored(g, p, int32(i), local, ns)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total Counts
+	for w := range results {
+		total.add(&results[w])
+	}
+	return total
+}
+
+// countAnchored accumulates the instances anchored at hyperedge i per the
+// Algorithm 2 dedup rule. The neighborhood is copied into buf (returned for
+// reuse) because projectors only guarantee the slice until the next call.
+func countAnchored(g *hypergraph.Hypergraph, p projection.Projector, i int32, out *Counts, buf []projection.Neighbor) []projection.Neighbor {
+	ns := append(buf[:0], p.Neighbors(i)...)
+	for a := 0; a < len(ns); a++ {
+		j, wij := ns[a].Edge, ns[a].Overlap
+		for b := a + 1; b < len(ns); b++ {
+			k, wik := ns[b].Edge, ns[b].Overlap
+			wjk := p.Overlap(j, k)
+			if wjk != 0 && (i > j || i > k) {
+				continue // closed: counted only from the smallest ID
+			}
+			if id := classify(g, i, j, k, wij, wjk, wik); id != 0 {
+				out[id-1]++
+			}
+		}
+	}
+	return ns
+}
+
+// Enumerate runs MoCHy-EENUM (Algorithm 3): it visits every h-motif instance
+// exactly once, in no particular order, invoking fn for each. Enumeration
+// stops early if fn returns false. Instances are reported with A < B < C.
+func Enumerate(g *hypergraph.Hypergraph, p projection.Projector, fn func(Instance) bool) {
+	n := g.NumEdges()
+	var ns []projection.Neighbor
+	for i := int32(0); int(i) < n; i++ {
+		ns = append(ns[:0], p.Neighbors(i)...)
+		for a := 0; a < len(ns); a++ {
+			j, wij := ns[a].Edge, ns[a].Overlap
+			for b := a + 1; b < len(ns); b++ {
+				k, wik := ns[b].Edge, ns[b].Overlap
+				wjk := p.Overlap(j, k)
+				if wjk != 0 && (i > j || i > k) {
+					continue
+				}
+				id := classify(g, i, j, k, wij, wjk, wik)
+				if id == 0 {
+					continue
+				}
+				x, y, z := sort3(i, j, k)
+				if !fn(Instance{A: x, B: y, C: z, Motif: id}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// PerEdgeCounts returns, for every hyperedge, how many instances of each
+// h-motif contain it — the HM26 feature of Section 4.4. The aggregate counts
+// are returned alongside. The result slice has NumEdges rows of 26 columns.
+func PerEdgeCounts(g *hypergraph.Hypergraph, p projection.Projector) ([][]int64, Counts) {
+	per := make([][]int64, g.NumEdges())
+	for e := range per {
+		per[e] = make([]int64, 26)
+	}
+	var total Counts
+	Enumerate(g, p, func(ins Instance) bool {
+		t := ins.Motif - 1
+		per[ins.A][t]++
+		per[ins.B][t]++
+		per[ins.C][t]++
+		total[t]++
+		return true
+	})
+	return per, total
+}
+
+// PerEdgeCountsParallel is PerEdgeCounts distributed over worker
+// goroutines: anchor hyperedges are partitioned as in CountExact and counts
+// land in a flat atomic array, so results are identical to the serial path.
+func PerEdgeCountsParallel(g *hypergraph.Hypergraph, p projection.Projector, workers int) ([][]int64, Counts) {
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumEdges()
+	flat := make([]int64, n*26)
+	totals := make([]Counts, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var ns []projection.Neighbor
+			for i := int32(w); int(i) < n; i += int32(workers) {
+				ns = append(ns[:0], p.Neighbors(i)...)
+				for a := 0; a < len(ns); a++ {
+					j, wij := ns[a].Edge, ns[a].Overlap
+					for b := a + 1; b < len(ns); b++ {
+						k, wik := ns[b].Edge, ns[b].Overlap
+						wjk := p.Overlap(j, k)
+						if wjk != 0 && (i > j || i > k) {
+							continue
+						}
+						id := classify(g, i, j, k, wij, wjk, wik)
+						if id == 0 {
+							continue
+						}
+						t := id - 1
+						atomic.AddInt64(&flat[int(i)*26+t], 1)
+						atomic.AddInt64(&flat[int(j)*26+t], 1)
+						atomic.AddInt64(&flat[int(k)*26+t], 1)
+						totals[w][t]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total Counts
+	for w := range totals {
+		total.add(&totals[w])
+	}
+	per := make([][]int64, n)
+	for e := range per {
+		per[e] = flat[e*26 : (e+1)*26 : (e+1)*26]
+	}
+	return per, total
+}
+
+// sort3 orders three edge IDs ascending.
+func sort3(a, b, c int32) (int32, int32, int32) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}

@@ -1,0 +1,136 @@
+package mochy
+
+import (
+	"mochy/internal/hypergraph"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+// PairStatistics holds, per h-motif, the instance-pair quantities appearing
+// in the paper's variance formulas: P[t][l] is the number of ordered pairs
+// of distinct instances of motif t+1 sharing exactly l hyperedges
+// (Theorem 2's p_l[t]), and Q[t][n] the number of ordered pairs sharing
+// exactly n hyperwedges (Theorem 4's q_n[t]). M[t] is the exact instance
+// count.
+type PairStatistics struct {
+	M [motif.Count]float64
+	P [motif.Count][3]float64
+	Q [motif.Count][2]float64
+}
+
+// ComputePairStatistics enumerates all instances and tallies the pair
+// statistics. Cost is quadratic in the per-motif instance count; intended
+// for the theorem-validation tests and small studies.
+func ComputePairStatistics(g *hypergraph.Hypergraph, p projection.Projector) PairStatistics {
+	type inst struct {
+		edges  [3]int32
+		wedges [3][2]int32 // up to 3 wedges; open instances use 2
+		nw     int
+	}
+	byMotif := make([][]inst, motif.Count)
+	Enumerate(g, p, func(in Instance) bool {
+		e := [3]int32{in.A, in.B, in.C}
+		var it inst
+		it.edges = e
+		for _, pr := range [3][2]int32{{e[0], e[1]}, {e[1], e[2]}, {e[0], e[2]}} {
+			if g.IntersectionSize(int(pr[0]), int(pr[1])) > 0 {
+				it.wedges[it.nw] = pr
+				it.nw++
+			}
+		}
+		byMotif[in.Motif-1] = append(byMotif[in.Motif-1], it)
+		return true
+	})
+
+	var st PairStatistics
+	for t, instances := range byMotif {
+		st.M[t] = float64(len(instances))
+		for i := range instances {
+			for j := range instances {
+				if i == j {
+					continue
+				}
+				se := sharedEdges(instances[i].edges, instances[j].edges)
+				st.P[t][se]++
+				sw := sharedWedges(&instances[i].wedges, instances[i].nw,
+					&instances[j].wedges, instances[j].nw)
+				st.Q[t][sw]++
+			}
+		}
+	}
+	return st
+}
+
+// sharedEdges counts common hyperedges of two sorted instance triples
+// (0..2 for distinct instances).
+func sharedEdges(a, b [3]int32) int {
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sharedWedges counts common hyperwedges of two instances (0..1 for
+// distinct instances).
+func sharedWedges(a *[3][2]int32, na int, b *[3][2]int32, nb int) int {
+	n := 0
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			if a[i] == b[j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EdgeSamplingVariance returns Theorem 2's Var[M¯[t]] for MoCHy-A with s
+// hyperedge samples:
+//
+//	Var = M[t](|E|-3)/(3s) + Σ_{l=0}^{2} p_l[t](l|E|-9)/(9s).
+func EdgeSamplingVariance(st PairStatistics, numEdges, s int) [motif.Count]float64 {
+	var out [motif.Count]float64
+	E := float64(numEdges)
+	for t := 0; t < motif.Count; t++ {
+		v := st.M[t] * (E - 3) / (3 * float64(s))
+		for l := 0; l <= 2; l++ {
+			v += st.P[t][l] * (float64(l)*E - 9) / (9 * float64(s))
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// WedgeSamplingVariance returns Theorem 4's Var[M̂[t]] for MoCHy-A+ with r
+// hyperwedge samples: for closed motifs
+//
+//	Var = M[t](|∧|-3)/(3r) + Σ_{n=0}^{1} q_n[t](n|∧|-9)/(9r)
+//
+// and for open motifs
+//
+//	Var = M[t](|∧|-2)/(2r) + Σ_{n=0}^{1} q_n[t](n|∧|-4)/(4r).
+func WedgeSamplingVariance(st PairStatistics, numWedges int64, r int) [motif.Count]float64 {
+	var out [motif.Count]float64
+	W := float64(numWedges)
+	for t := 0; t < motif.Count; t++ {
+		var v float64
+		if motif.IsOpen(t + 1) {
+			v = st.M[t] * (W - 2) / (2 * float64(r))
+			for n := 0; n <= 1; n++ {
+				v += st.Q[t][n] * (float64(n)*W - 4) / (4 * float64(r))
+			}
+		} else {
+			v = st.M[t] * (W - 3) / (3 * float64(r))
+			for n := 0; n <= 1; n++ {
+				v += st.Q[t][n] * (float64(n)*W - 9) / (9 * float64(r))
+			}
+		}
+		out[t] = v
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package motif
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Count is the number of h-motifs for three connected hyperedges.
+const Count = 26
+
+// Info describes one h-motif in the catalog.
+type Info struct {
+	// ID is the motif identifier in 1..26.
+	ID int
+	// Pattern is the canonical region-emptiness pattern of the motif.
+	Pattern Pattern
+	// Open reports whether instances contain two non-adjacent hyperedges.
+	// Motifs 17-22 are open; the rest are closed.
+	Open bool
+	// Weight is the number of non-empty regions (2..7).
+	Weight int
+	// Name is a short human-readable description of the pattern.
+	Name string
+}
+
+var (
+	catalog   [Count + 1]Info   // indexed by ID, entry 0 unused
+	idByCanon map[Pattern]uint8 // canonical pattern -> ID
+	// idByPattern maps every raw 7-bit pattern directly to its motif ID
+	// (0 for invalid patterns), so the counting hot path classifies with a
+	// single array load instead of canonicalizing.
+	idByPattern [1 << NumRegions]uint8
+)
+
+func init() {
+	buildCatalog()
+}
+
+// buildCatalog enumerates all 128 emptiness patterns, keeps the valid
+// canonical ones, and assigns IDs 1..26 per the numbering documented in
+// DESIGN.md:
+//
+//   - IDs 1..16: closed motifs with a non-empty triple intersection,
+//     ordered by (weight asc, single-region count desc, canonical value asc);
+//     ID 16 is therefore the unique all-seven-regions motif.
+//   - IDs 17..22: open motifs, ordered by (center edge has an exclusive
+//     region, number of outer edges with an exclusive region); IDs 17 and 18
+//     are the "hyperedge plus two disjoint subsets" patterns and ID 22 is the
+//     fully generic open pattern.
+//   - IDs 23..26: closed motifs with an empty triple intersection, ordered
+//     by weight.
+func buildCatalog() {
+	seen := make(map[Pattern]bool)
+	var closedCenter, open, closedHollow []Pattern
+	for v := 0; v < 1<<NumRegions; v++ {
+		p := Pattern(v)
+		if p.Canonical() != p || !p.Valid() || seen[p] {
+			continue
+		}
+		seen[p] = true
+		switch {
+		case !p.Closed():
+			open = append(open, p)
+		case p.Has(RegionABC):
+			closedCenter = append(closedCenter, p)
+		default:
+			closedHollow = append(closedHollow, p)
+		}
+	}
+	if len(closedCenter) != 16 || len(open) != 6 || len(closedHollow) != 4 {
+		panic(fmt.Sprintf("motif: catalog enumeration found %d/%d/%d patterns, want 16/6/4",
+			len(closedCenter), len(open), len(closedHollow)))
+	}
+
+	closedKey := func(p Pattern) [3]int {
+		return [3]int{p.Weight(), -p.singleBits(), int(p)}
+	}
+	sortPatterns := func(ps []Pattern, key func(Pattern) [3]int) {
+		sort.Slice(ps, func(i, j int) bool {
+			a, b := key(ps[i]), key(ps[j])
+			for k := 0; k < 3; k++ {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+	}
+	sortPatterns(closedCenter, closedKey)
+	sortPatterns(open, openKey)
+	sortPatterns(closedHollow, closedKey)
+
+	idByCanon = make(map[Pattern]uint8, Count)
+	id := 1
+	assign := func(ps []Pattern, isOpen bool) {
+		for _, p := range ps {
+			catalog[id] = Info{
+				ID:      id,
+				Pattern: p,
+				Open:    isOpen,
+				Weight:  p.Weight(),
+				Name:    describe(p),
+			}
+			idByCanon[p] = uint8(id)
+			id++
+		}
+	}
+	assign(closedCenter, false)
+	assign(open, true)
+	assign(closedHollow, false)
+
+	for v := 0; v < 1<<NumRegions; v++ {
+		idByPattern[v] = idByCanon[Pattern(v).Canonical()]
+	}
+}
+
+// openKey orders open motifs. Every open pattern has a unique "center" edge
+// adjacent to the two others; canonicalized open patterns keep the two
+// non-empty pairwise regions among {ab, bc, ca} and the key counts which
+// exclusive regions remain.
+func openKey(p Pattern) [3]int {
+	center := openCenter(p)
+	centerSingle := 0
+	if p.Has(center) {
+		centerSingle = 1
+	}
+	outerSingles := 0
+	for x := 0; x < 3; x++ {
+		if x != center && p.Has(x) {
+			outerSingles++
+		}
+	}
+	// Order: (outer singles asc, center single asc) yields the paper's
+	// 17=(no exclusive regions beyond overlaps), 18=(center only),
+	// 19/20=(one outer without/with center), 21/22=(two outers).
+	return [3]int{outerSingles, centerSingle, int(p)}
+}
+
+// openCenter returns the index of the edge adjacent to both others in an
+// open pattern.
+func openCenter(p Pattern) int {
+	for x := 0; x < 3; x++ {
+		y, z := (x+1)%3, (x+2)%3
+		if p.Adjacent(x, y) && p.Adjacent(x, z) {
+			return x
+		}
+	}
+	panic("motif: open pattern without center: " + p.String())
+}
+
+// describe builds a short structural name for a pattern.
+func describe(p Pattern) string {
+	kind := "closed"
+	if !p.Closed() {
+		kind = "open"
+	}
+	return fmt.Sprintf("%s %s", kind, p.String())
+}
+
+// FromPattern returns the motif ID (1..26) for an arbitrary (not necessarily
+// canonical) valid pattern. It returns 0 if the pattern cannot be realized by
+// three distinct, non-empty, connected hyperedges. The lookup is a single
+// array load; this is the counting algorithms' hot path.
+func FromPattern(p Pattern) int {
+	return int(idByPattern[p])
+}
+
+// FromCounts returns the motif ID for the seven region cardinalities of a
+// triple of hyperedges, or 0 if the counts do not describe a valid instance.
+func FromCounts(counts [NumRegions]int) int {
+	return FromPattern(PatternFromCounts(counts))
+}
+
+// Get returns the catalog entry for motif id (1..26).
+func Get(id int) Info {
+	if id < 1 || id > Count {
+		panic(fmt.Sprintf("motif: id %d out of range [1, %d]", id, Count))
+	}
+	return catalog[id]
+}
+
+// All returns the 26 catalog entries in ID order.
+func All() []Info {
+	out := make([]Info, Count)
+	copy(out, catalog[1:])
+	return out
+}
+
+// IsOpen reports whether motif id is open (IDs 17-22).
+func IsOpen(id int) bool { return Get(id).Open }
+
+// OpenIDs returns the IDs of the open motifs in ascending order.
+func OpenIDs() []int {
+	var ids []int
+	for id := 1; id <= Count; id++ {
+		if catalog[id].Open {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// ClosedIDs returns the IDs of the closed motifs in ascending order.
+func ClosedIDs() []int {
+	var ids []int
+	for id := 1; id <= Count; id++ {
+		if !catalog[id].Open {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,223 @@
+package motif
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogHas26Motifs(t *testing.T) {
+	all := All()
+	if len(all) != Count {
+		t.Fatalf("catalog size = %d, want %d", len(all), Count)
+	}
+	seen := make(map[Pattern]bool)
+	for i, info := range all {
+		if info.ID != i+1 {
+			t.Errorf("entry %d has ID %d", i, info.ID)
+		}
+		if info.Pattern.Canonical() != info.Pattern {
+			t.Errorf("motif %d pattern %v is not canonical", info.ID, info.Pattern)
+		}
+		if !info.Pattern.Valid() {
+			t.Errorf("motif %d pattern %v is not valid", info.ID, info.Pattern)
+		}
+		if seen[info.Pattern] {
+			t.Errorf("motif %d pattern %v duplicated", info.ID, info.Pattern)
+		}
+		seen[info.Pattern] = true
+	}
+}
+
+func TestOpenMotifsAre17Through22(t *testing.T) {
+	want := []int{17, 18, 19, 20, 21, 22}
+	got := OpenIDs()
+	if len(got) != len(want) {
+		t.Fatalf("OpenIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OpenIDs = %v, want %v", got, want)
+		}
+	}
+	if n := len(ClosedIDs()); n != 20 {
+		t.Fatalf("len(ClosedIDs) = %d, want 20", n)
+	}
+}
+
+func TestMotif16HasAllRegionsNonEmpty(t *testing.T) {
+	info := Get(16)
+	if info.Pattern != Pattern(0x7f) {
+		t.Fatalf("motif 16 pattern = %v, want all seven regions non-empty", info.Pattern)
+	}
+	if info.Open {
+		t.Fatal("motif 16 must be closed")
+	}
+}
+
+func TestMotifs17And18AreSubsetPatterns(t *testing.T) {
+	// Instances of motifs 17 and 18 consist of a hyperedge and its two
+	// disjoint subsets (paper Section 4.2): the two outer edges live entirely
+	// inside pairwise regions with the center, and do not touch each other.
+	for _, id := range []int{17, 18} {
+		p := Get(id).Pattern
+		if !Get(id).Open {
+			t.Fatalf("motif %d must be open", id)
+		}
+		center := openCenter(p)
+		for x := 0; x < 3; x++ {
+			if x == center {
+				continue
+			}
+			if p.Has(x) {
+				t.Errorf("motif %d: outer edge %d has an exclusive region in %v", id, x, p)
+			}
+		}
+	}
+	// 17 differs from 18 only in the center's exclusive region.
+	p17, p18 := Get(17).Pattern, Get(18).Pattern
+	if p17.Weight()+1 != p18.Weight() {
+		t.Errorf("motif 17 %v and 18 %v should differ by the center region", p17, p18)
+	}
+}
+
+func TestMotif22IsGenericOpen(t *testing.T) {
+	p := Get(22).Pattern
+	if !Get(22).Open {
+		t.Fatal("motif 22 must be open")
+	}
+	if p.singleBits() != 3 {
+		t.Fatalf("motif 22 = %v: want all three exclusive regions non-empty", p)
+	}
+}
+
+func TestMotif9IsTriangleWithCenter(t *testing.T) {
+	// All pairwise intersections and the triple intersection are non-empty,
+	// with no exclusive regions: nodes live only in intersections.
+	p := Get(9).Pattern
+	want := Pattern(1<<RegionAB | 1<<RegionBC | 1<<RegionCA | 1<<RegionABC)
+	if p != want {
+		t.Fatalf("motif 9 = %v, want %v", p, want)
+	}
+}
+
+func TestMotif23IsHollowTriangle(t *testing.T) {
+	p := Get(23).Pattern
+	want := Pattern(1<<RegionAB | 1<<RegionBC | 1<<RegionCA)
+	if p != want {
+		t.Fatalf("motif 23 = %v, want %v", p, want)
+	}
+}
+
+func TestClosedCenterGroupOrdering(t *testing.T) {
+	// IDs 1..16 are the closed motifs with a non-empty triple intersection.
+	for id := 1; id <= 16; id++ {
+		info := Get(id)
+		if info.Open || !info.Pattern.Has(RegionABC) {
+			t.Errorf("motif %d: want closed with triple region, got %v", id, info.Pattern)
+		}
+	}
+	// IDs 23..26 are closed without the triple region.
+	for id := 23; id <= 26; id++ {
+		info := Get(id)
+		if info.Open || info.Pattern.Has(RegionABC) {
+			t.Errorf("motif %d: want closed without triple region, got %v", id, info.Pattern)
+		}
+	}
+	// Weights are non-decreasing within each group.
+	for id := 2; id <= 16; id++ {
+		if Get(id).Weight < Get(id-1).Weight {
+			t.Errorf("weights not sorted at motif %d", id)
+		}
+	}
+	for id := 24; id <= 26; id++ {
+		if Get(id).Weight < Get(id-1).Weight {
+			t.Errorf("weights not sorted at motif %d", id)
+		}
+	}
+}
+
+func TestFromPatternExhaustiveAndUnique(t *testing.T) {
+	// Every valid pattern maps to exactly one motif; invalid patterns to 0.
+	hits := make(map[int]int)
+	for v := 0; v < 1<<NumRegions; v++ {
+		p := Pattern(v)
+		id := FromPattern(p)
+		if p.Valid() {
+			if id < 1 || id > Count {
+				t.Fatalf("valid pattern %v mapped to %d", p, id)
+			}
+			hits[id]++
+			// All relabelings map to the same motif (uniqueness).
+			for _, perm := range permutations {
+				if FromPattern(p.relabel(perm)) != id {
+					t.Fatalf("pattern %v relabeled maps to a different motif", p)
+				}
+			}
+		} else if id != 0 {
+			t.Fatalf("invalid pattern %v mapped to motif %d", p, id)
+		}
+	}
+	if len(hits) != Count {
+		t.Fatalf("only %d motifs are reachable, want %d", len(hits), Count)
+	}
+}
+
+func TestLookupTableMatchesCanonicalization(t *testing.T) {
+	// The O(1) lookup table must agree with the canonicalize-then-map slow
+	// path on every one of the 128 patterns.
+	for v := 0; v < 1<<NumRegions; v++ {
+		p := Pattern(v)
+		want := int(idByCanon[p.Canonical()])
+		if got := FromPattern(p); got != want {
+			t.Fatalf("pattern %v: table %d, canonical path %d", p, got, want)
+		}
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	// Three mutually overlapping edges with a common core -> motif 16.
+	id := FromCounts([NumRegions]int{1, 1, 1, 1, 1, 1, 1})
+	if id != 16 {
+		t.Errorf("all-regions counts -> motif %d, want 16", id)
+	}
+	// Cardinalities with an empty edge are invalid.
+	if id := FromCounts([NumRegions]int{1, 1, 0, 0, 0, 0, 0}); id != 0 {
+		t.Errorf("disconnected counts -> motif %d, want 0", id)
+	}
+}
+
+func TestGetPanicsOutOfRange(t *testing.T) {
+	for _, id := range []int{0, -1, 27} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", id)
+				}
+			}()
+			Get(id)
+		}()
+	}
+}
+
+func TestCatalogNamesAreUniqueAndDescriptive(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, info := range All() {
+		if info.Name == "" {
+			t.Errorf("motif %d has empty name", info.ID)
+		}
+		if seen[info.Name] {
+			t.Errorf("duplicate motif name %q", info.Name)
+		}
+		seen[info.Name] = true
+	}
+}
+
+func TestIsOpenAgreesWithPattern(t *testing.T) {
+	f := func(id8 uint8) bool {
+		id := int(id8)%Count + 1
+		return IsOpen(id) == !Get(id).Pattern.Closed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package motif defines hypergraph motifs (h-motifs): the 26 connectivity
+// patterns of three connected hyperedges introduced in "Hypergraph Motifs:
+// Concepts, Algorithms, and Discoveries" (Lee, Ko, Shin; VLDB 2020).
+//
+// An h-motif describes a set {e_a, e_b, e_c} of three connected hyperedges by
+// the emptiness of the seven regions of their Venn diagram. The package
+// represents each region-emptiness assignment as a 7-bit Pattern,
+// canonicalizes patterns under the six relabelings of the three hyperedges,
+// and enumerates the catalog of the 26 valid motifs programmatically.
+package motif
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Region indices of the seven Venn-diagram regions of three sets (a, b, c).
+// The names follow the paper's Section 2.2 enumeration.
+const (
+	RegionA   = 0 // a \ b \ c
+	RegionB   = 1 // b \ c \ a
+	RegionC   = 2 // c \ a \ b
+	RegionAB  = 3 // (a ∩ b) \ c
+	RegionBC  = 4 // (b ∩ c) \ a
+	RegionCA  = 5 // (c ∩ a) \ b
+	RegionABC = 6 // a ∩ b ∩ c
+)
+
+// NumRegions is the number of Venn-diagram regions for three sets.
+const NumRegions = 7
+
+// Pattern is a 7-bit emptiness vector: bit i is set iff region i is
+// non-empty. Patterns are not necessarily canonical; see Canonical.
+type Pattern uint8
+
+// PatternFromCounts builds a Pattern from the seven region cardinalities,
+// ordered as the Region constants.
+func PatternFromCounts(counts [NumRegions]int) Pattern {
+	var p Pattern
+	for i, c := range counts {
+		if c > 0 {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+// Has reports whether region i is non-empty in p.
+func (p Pattern) Has(region int) bool { return p&(1<<uint(region)) != 0 }
+
+// Weight returns the number of non-empty regions.
+func (p Pattern) Weight() int { return bits.OnesCount8(uint8(p)) }
+
+// singleBits counts how many of the three exclusive single-edge regions
+// (a-only, b-only, c-only) are non-empty.
+func (p Pattern) singleBits() int {
+	return bits.OnesCount8(uint8(p) & 0b0000111)
+}
+
+// edgeNonEmpty reports whether edge x ∈ {0,1,2} is a non-empty set under p.
+// Edge a occupies regions A, AB, CA, ABC; and cyclically for b and c.
+func (p Pattern) edgeNonEmpty(x int) bool {
+	switch x {
+	case 0:
+		return p&(1<<RegionA|1<<RegionAB|1<<RegionCA|1<<RegionABC) != 0
+	case 1:
+		return p&(1<<RegionB|1<<RegionAB|1<<RegionBC|1<<RegionABC) != 0
+	default:
+		return p&(1<<RegionC|1<<RegionBC|1<<RegionCA|1<<RegionABC) != 0
+	}
+}
+
+// Adjacent reports whether edges x and y (∈ {0,1,2}, x ≠ y) overlap under p.
+// Two hyperedges are adjacent iff their pairwise-exclusive region or the
+// triple intersection is non-empty.
+func (p Pattern) Adjacent(x, y int) bool {
+	if p.Has(RegionABC) {
+		return true
+	}
+	return p.Has(pairRegion(x, y))
+}
+
+// adjacencyCount returns how many of the three unordered edge pairs are
+// adjacent under p (0..3).
+func (p Pattern) adjacencyCount() int {
+	n := 0
+	for _, pr := range [3][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if p.Adjacent(pr[0], pr[1]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Connected reports whether the three edges form a connected triple: the
+// 3-vertex adjacency graph must be connected, i.e. at least two of the three
+// pairs must be adjacent.
+func (p Pattern) Connected() bool { return p.adjacencyCount() >= 2 }
+
+// Closed reports whether all three pairs are adjacent (a "closed" pattern in
+// the paper's terminology). Open patterns have exactly two adjacent pairs.
+func (p Pattern) Closed() bool { return p.adjacencyCount() == 3 }
+
+// edgesEqual reports whether edges x and y denote the same set under p.
+// e_x == e_y iff every region belonging to exactly one of them is empty.
+func (p Pattern) edgesEqual(x, y int) bool {
+	z := 3 - x - y // the third edge
+	// x \ y = (x-only) ∪ ((x ∩ z) \ y); symmetric for y \ x.
+	if p.Has(x) || p.Has(pairRegion(x, z)) {
+		return false
+	}
+	if p.Has(y) || p.Has(pairRegion(y, z)) {
+		return false
+	}
+	return true
+}
+
+// hasDuplicateEdges reports whether any two of the three edges are equal as
+// sets. Such patterns are excluded from the catalog (paper Figure 4).
+func (p Pattern) hasDuplicateEdges() bool {
+	return p.edgesEqual(0, 1) || p.edgesEqual(1, 2) || p.edgesEqual(2, 0)
+}
+
+// Valid reports whether p can be realized by three distinct, non-empty,
+// connected hyperedges. Exactly 26 canonical patterns are valid.
+func (p Pattern) Valid() bool {
+	for x := 0; x < 3; x++ {
+		if !p.edgeNonEmpty(x) {
+			return false
+		}
+	}
+	return p.Connected() && !p.hasDuplicateEdges()
+}
+
+// pairRegion maps an unordered edge pair {x,y} ⊂ {0,1,2} to its
+// pairwise-exclusive region index.
+func pairRegion(x, y int) int {
+	switch x + y {
+	case 1: // {0,1}
+		return RegionAB
+	case 3: // {1,2}
+		return RegionBC
+	default: // {0,2}
+		return RegionCA
+	}
+}
+
+// permutations of the three edge roles.
+var permutations = [6][3]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+
+// relabel returns the pattern obtained by relabeling edges so that the new
+// role i is played by the old edge perm[i].
+func (p Pattern) relabel(perm [3]int) Pattern {
+	var q Pattern
+	for i := 0; i < 3; i++ {
+		if p.Has(perm[i]) {
+			q |= 1 << uint(i)
+		}
+	}
+	for _, pr := range [3][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if p.Has(pairRegion(perm[pr[0]], perm[pr[1]])) {
+			q |= 1 << uint(pairRegion(pr[0], pr[1]))
+		}
+	}
+	if p.Has(RegionABC) {
+		q |= 1 << RegionABC
+	}
+	return q
+}
+
+// Canonical returns the minimum pattern value over the six relabelings of
+// the three edges. Two patterns describe the same motif iff their canonical
+// forms are equal.
+func (p Pattern) Canonical() Pattern {
+	best := p
+	for _, perm := range permutations[1:] {
+		if q := p.relabel(perm); q < best {
+			best = q
+		}
+	}
+	return best
+}
+
+// String renders the pattern as the list of its non-empty regions, e.g.
+// "{a, ab, abc}".
+func (p Pattern) String() string {
+	names := [NumRegions]string{"a", "b", "c", "ab", "bc", "ca", "abc"}
+	var parts []string
+	for i := 0; i < NumRegions; i++ {
+		if p.Has(i) {
+			parts = append(parts, names[i])
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (p Pattern) GoString() string { return fmt.Sprintf("motif.Pattern(0b%07b)", uint8(p)) }

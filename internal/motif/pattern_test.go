@@ -1,0 +1,136 @@
+package motif
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternFromCounts(t *testing.T) {
+	p := PatternFromCounts([NumRegions]int{1, 0, 2, 0, 3, 0, 4})
+	for i, want := range []bool{true, false, true, false, true, false, true} {
+		if got := p.Has(i); got != want {
+			t.Errorf("region %d: Has = %v, want %v", i, got, want)
+		}
+	}
+	if p.Weight() != 4 {
+		t.Errorf("Weight = %d, want 4", p.Weight())
+	}
+}
+
+func TestPatternEdgeNonEmpty(t *testing.T) {
+	// Only region (a∩b)\c non-empty: edges a and b non-empty, c empty.
+	p := Pattern(1 << RegionAB)
+	if !p.edgeNonEmpty(0) || !p.edgeNonEmpty(1) {
+		t.Errorf("edges a, b should be non-empty under %v", p)
+	}
+	if p.edgeNonEmpty(2) {
+		t.Errorf("edge c should be empty under %v", p)
+	}
+	// Only triple intersection: all three non-empty.
+	q := Pattern(1 << RegionABC)
+	for x := 0; x < 3; x++ {
+		if !q.edgeNonEmpty(x) {
+			t.Errorf("edge %d should be non-empty under %v", x, q)
+		}
+	}
+}
+
+func TestPatternAdjacency(t *testing.T) {
+	p := Pattern(1<<RegionAB | 1<<RegionCA) // open: a is the center
+	if !p.Adjacent(0, 1) || !p.Adjacent(0, 2) {
+		t.Errorf("a should be adjacent to b and c under %v", p)
+	}
+	if p.Adjacent(1, 2) {
+		t.Errorf("b and c should not be adjacent under %v", p)
+	}
+	if !p.Connected() || p.Closed() {
+		t.Errorf("pattern %v: want connected open, got connected=%v closed=%v",
+			p, p.Connected(), p.Closed())
+	}
+	if p.Has(RegionABC) {
+		t.Errorf("pattern %v should not contain the triple region", p)
+	}
+}
+
+func TestPatternDuplicateEdges(t *testing.T) {
+	// a = b = abc-region only, c likewise: all equal.
+	allEqual := Pattern(1 << RegionABC)
+	if !allEqual.hasDuplicateEdges() {
+		t.Errorf("%v should have duplicate edges", allEqual)
+	}
+	// a = {ab, abc}, b = {ab, abc}, c = {abc, c}: a == b.
+	p := Pattern(1<<RegionAB | 1<<RegionABC | 1<<RegionC)
+	if !p.edgesEqual(0, 1) {
+		t.Errorf("edges a and b should be equal under %v", p)
+	}
+	if p.Valid() {
+		t.Errorf("%v must be invalid (duplicate edges)", p)
+	}
+	// Generic closed pattern: no duplicates.
+	q := Pattern(1<<RegionA | 1<<RegionB | 1<<RegionC | 1<<RegionABC)
+	if q.hasDuplicateEdges() {
+		t.Errorf("%v should not have duplicate edges", q)
+	}
+}
+
+func TestCanonicalIsIdempotentAndInvariant(t *testing.T) {
+	f := func(v uint8) bool {
+		p := Pattern(v & 0x7f)
+		c := p.Canonical()
+		if c.Canonical() != c {
+			return false
+		}
+		for _, perm := range permutations {
+			if p.relabel(perm).Canonical() != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	f := func(v uint8) bool {
+		p := Pattern(v & 0x7f)
+		for _, perm := range permutations {
+			q := p.relabel(perm)
+			if q.Weight() != p.Weight() || q.Connected() != p.Connected() ||
+				q.Closed() != p.Closed() || q.Valid() != p.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelRoundTrip(t *testing.T) {
+	// Relabeling by a permutation and then by its inverse is the identity.
+	inverse := func(perm [3]int) [3]int {
+		var inv [3]int
+		for i, v := range perm {
+			inv[v] = i
+		}
+		return inv
+	}
+	for v := 0; v < 1<<NumRegions; v++ {
+		p := Pattern(v)
+		for _, perm := range permutations {
+			if got := p.relabel(perm).relabel(inverse(perm)); got != p {
+				t.Fatalf("relabel round trip failed: %v via %v -> %v", p, perm, got)
+			}
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern(1<<RegionA | 1<<RegionBC | 1<<RegionABC)
+	if got, want := p.String(), "{a, bc, abc}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

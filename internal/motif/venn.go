@@ -1,0 +1,50 @@
+package motif
+
+// Venn holds the cardinalities of the seven Venn-diagram regions of three
+// hyperedges, indexed by the Region constants.
+type Venn [NumRegions]int
+
+// VennFromCardinalities derives all seven region cardinalities from the
+// quantities MoCHy precomputes (Lemma 2 of the paper): the three edge sizes,
+// the three pairwise intersection sizes, and the triple intersection size.
+// The six derived regions follow by inclusion-exclusion.
+func VennFromCardinalities(sa, sb, sc, ab, bc, ca, abc int) Venn {
+	var v Venn
+	v[RegionABC] = abc
+	v[RegionAB] = ab - abc
+	v[RegionBC] = bc - abc
+	v[RegionCA] = ca - abc
+	v[RegionA] = sa - ab - ca + abc
+	v[RegionB] = sb - ab - bc + abc
+	v[RegionC] = sc - bc - ca + abc
+	return v
+}
+
+// Pattern returns the emptiness pattern of v.
+func (v Venn) Pattern() Pattern {
+	return PatternFromCounts([NumRegions]int(v))
+}
+
+// MotifID returns the motif ID (1..26) of the triple described by v, or 0 if
+// the cardinalities do not form a valid instance.
+func (v Venn) MotifID() int { return FromPattern(v.Pattern()) }
+
+// Total returns the number of distinct nodes covered by the three edges.
+func (v Venn) Total() int {
+	t := 0
+	for _, c := range v {
+		t += c
+	}
+	return t
+}
+
+// Consistent reports whether every region cardinality is non-negative. A
+// negative region indicates inconsistent inputs to VennFromCardinalities.
+func (v Venn) Consistent() bool {
+	for _, c := range v {
+		if c < 0 {
+			return false
+		}
+	}
+	return true
+}

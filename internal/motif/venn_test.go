@@ -1,0 +1,128 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// setVenn computes region cardinalities of three explicit sets by brute force.
+func setVenn(a, b, c map[int]bool) Venn {
+	var v Venn
+	union := make(map[int]bool)
+	for x := range a {
+		union[x] = true
+	}
+	for x := range b {
+		union[x] = true
+	}
+	for x := range c {
+		union[x] = true
+	}
+	for x := range union {
+		ina, inb, inc := a[x], b[x], c[x]
+		switch {
+		case ina && inb && inc:
+			v[RegionABC]++
+		case ina && inb:
+			v[RegionAB]++
+		case inb && inc:
+			v[RegionBC]++
+		case inc && ina:
+			v[RegionCA]++
+		case ina:
+			v[RegionA]++
+		case inb:
+			v[RegionB]++
+		default:
+			v[RegionC]++
+		}
+	}
+	return v
+}
+
+func TestVennFromCardinalitiesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		a, b, c := randomSet(rng), randomSet(rng), randomSet(rng)
+		want := setVenn(a, b, c)
+		got := VennFromCardinalities(
+			len(a), len(b), len(c),
+			intersect2(a, b), intersect2(b, c), intersect2(c, a),
+			intersect3(a, b, c),
+		)
+		if got != want {
+			t.Fatalf("trial %d: Venn mismatch: got %v, want %v", trial, got, want)
+		}
+		if !got.Consistent() {
+			t.Fatalf("trial %d: inconsistent Venn %v", trial, got)
+		}
+		if got.Total() != lenUnion(a, b, c) {
+			t.Fatalf("trial %d: Total = %d, want %d", trial, got.Total(), lenUnion(a, b, c))
+		}
+	}
+}
+
+func TestVennMotifIDMatchesPatternPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		a, b, c := randomSet(rng), randomSet(rng), randomSet(rng)
+		v := setVenn(a, b, c)
+		id := v.MotifID()
+		// Valid instance iff sets are pairwise distinct, non-empty, connected.
+		valid := v.Pattern().Valid()
+		if (id != 0) != valid {
+			t.Fatalf("trial %d: MotifID=%d but pattern valid=%v (%v)", trial, id, valid, v)
+		}
+	}
+}
+
+func TestVennConsistentDetectsNegative(t *testing.T) {
+	// Report sizes that violate inclusion-exclusion.
+	v := VennFromCardinalities(1, 1, 1, 2, 0, 0, 0) // |a∩b| > |a|
+	if v.Consistent() {
+		t.Fatalf("expected inconsistent Venn, got %v", v)
+	}
+}
+
+func randomSet(rng *rand.Rand) map[int]bool {
+	s := make(map[int]bool)
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		s[rng.Intn(10)] = true
+	}
+	return s
+}
+
+func intersect2(a, b map[int]bool) int {
+	n := 0
+	for x := range a {
+		if b[x] {
+			n++
+		}
+	}
+	return n
+}
+
+func intersect3(a, b, c map[int]bool) int {
+	n := 0
+	for x := range a {
+		if b[x] && c[x] {
+			n++
+		}
+	}
+	return n
+}
+
+func lenUnion(a, b, c map[int]bool) int {
+	u := make(map[int]bool)
+	for x := range a {
+		u[x] = true
+	}
+	for x := range b {
+		u[x] = true
+	}
+	for x := range c {
+		u[x] = true
+	}
+	return len(u)
+}

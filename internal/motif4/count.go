@@ -1,0 +1,146 @@
+package motif4
+
+import (
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+// CountExact counts the instances of every 4-edge h-motif by enumerating
+// connected 4-vertex subgraphs of the projected graph with the ESU
+// (Wernicke) algorithm, which visits each connected quadruple exactly once,
+// and classifying each via its 15 intersection cardinalities.
+//
+// The returned map holds motif ID -> instance count for the motifs that
+// occur. Complexity grows quickly with density; intended for the paper's
+// "generalization to more than 3 hyperedges" on small to medium hypergraphs.
+func CountExact(g *hypergraph.Hypergraph, p *projection.Projected) map[int]int64 {
+	counts := make(map[int]int64)
+	n := g.NumEdges()
+	inSub := make(map[int32]bool, 4)
+	for v := int32(0); int(v) < n; v++ {
+		var ext []int32
+		for _, nb := range p.Neighbors(v) {
+			if nb.Edge > v {
+				ext = append(ext, nb.Edge)
+			}
+		}
+		inSub[v] = true
+		extend(g, p, []int32{v}, ext, v, inSub, counts)
+		delete(inSub, v)
+	}
+	return counts
+}
+
+// extend is the ESU recursion: sub is the current connected subgraph, ext
+// its exclusive extension set, root the minimum-ID vertex.
+func extend(g *hypergraph.Hypergraph, p *projection.Projected, sub, ext []int32, root int32, inSub map[int32]bool, counts map[int]int64) {
+	if len(sub) == NumEdgesPerInstance {
+		if id := classify4(g, p, sub); id != 0 {
+			counts[id]++
+		}
+		return
+	}
+	for i := 0; i < len(ext); i++ {
+		w := ext[i]
+		// Extension for the recursive call: remaining candidates plus the
+		// exclusive neighbors of w (neighbors > root, not in sub, not
+		// already neighbors of sub — the latter is what the candidate set
+		// encodes, so only genuinely new vertices are added).
+		next := append([]int32(nil), ext[i+1:]...)
+		for _, nb := range p.Neighbors(w) {
+			u := nb.Edge
+			if u <= root || inSub[u] || u == w {
+				continue
+			}
+			if neighborOfSub(p, sub, u) || contains(ext, u) {
+				continue
+			}
+			next = append(next, u)
+		}
+		inSub[w] = true
+		extend(g, p, append(sub, w), next, root, inSub, counts)
+		delete(inSub, w)
+	}
+}
+
+// neighborOfSub reports whether u is adjacent to any vertex of sub.
+func neighborOfSub(p *projection.Projected, sub []int32, u int32) bool {
+	for _, s := range sub {
+		if p.Overlap(s, u) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// classify4 computes the 4-edge motif ID of a connected quadruple.
+func classify4(g *hypergraph.Hypergraph, p *projection.Projected, quad []int32) int {
+	var inter [NumRegions]int
+	// Singles.
+	for x := 0; x < 4; x++ {
+		inter[(1<<x)-1] = g.EdgeSize(int(quad[x]))
+	}
+	// Pairs from the projection.
+	for x := 0; x < 4; x++ {
+		for y := x + 1; y < 4; y++ {
+			mask := (1 << x) | (1 << y)
+			inter[mask-1] = int(p.Overlap(quad[x], quad[y]))
+		}
+	}
+	// Triples and the quadruple by scanning the smallest edge.
+	for mask := 1; mask <= 15; mask++ {
+		if popcount(mask) < 3 {
+			continue
+		}
+		inter[mask-1] = intersectionSize(g, quad, mask)
+	}
+	regions := RegionsFromIntersections(inter)
+	return FromPattern(PatternFromCounts(regions))
+}
+
+// intersectionSize computes |∩_{x∈mask} e_{quad[x]}| by scanning the
+// smallest member edge.
+func intersectionSize(g *hypergraph.Hypergraph, quad []int32, mask int) int {
+	smallest, size := -1, 1<<31-1
+	for x := 0; x < 4; x++ {
+		if mask&(1<<x) == 0 {
+			continue
+		}
+		if s := g.EdgeSize(int(quad[x])); s < size {
+			smallest, size = x, s
+		}
+	}
+	n := 0
+	for _, v := range g.Edge(int(quad[smallest])) {
+		all := true
+		for x := 0; x < 4 && all; x++ {
+			if mask&(1<<x) == 0 || x == smallest {
+				continue
+			}
+			if !g.EdgeContains(int(quad[x]), v) {
+				all = false
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+func popcount(m int) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

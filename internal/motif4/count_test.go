@@ -1,0 +1,118 @@
+package motif4
+
+import (
+	"math/rand"
+	"testing"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+// bruteForce4 classifies every quadruple of edges directly.
+func bruteForce4(g *hypergraph.Hypergraph, p *projection.Projected) map[int]int64 {
+	counts := make(map[int]int64)
+	n := g.NumEdges()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				for d := c + 1; d < n; d++ {
+					quad := []int32{int32(a), int32(b), int32(c), int32(d)}
+					if id := classify4(g, p, quad); id != 0 {
+						counts[id]++
+					}
+				}
+			}
+		}
+	}
+	return counts
+}
+
+func randomHypergraph(rng *rand.Rand, nodes, edges, maxSize int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(nodes)
+	for i := 0; i < edges; i++ {
+		sz := 1 + rng.Intn(maxSize)
+		e := make([]int32, sz)
+		for j := range e {
+			e[j] = int32(rng.Intn(nodes))
+		}
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestCountExactMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomHypergraph(rng, 12, 14, 5)
+		p := projection.Build(g)
+		got := CountExact(g, p)
+		want := bruteForce4(g, p)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d motif IDs, want %d\ngot  %v\nwant %v",
+				seed, len(got), len(want), got, want)
+		}
+		for id, n := range want {
+			if got[id] != n {
+				t.Fatalf("seed %d motif %d: got %d, want %d", seed, id, got[id], n)
+			}
+		}
+	}
+}
+
+func TestCountExactChainOfFour(t *testing.T) {
+	// A path of four edges: e0-e1-e2-e3 via single shared nodes. Exactly
+	// one connected quadruple.
+	g := hypergraph.FromEdges(5, [][]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+	})
+	p := projection.Build(g)
+	counts := CountExact(g, p)
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("chain of four edges: %d instances, want 1 (%v)", total, counts)
+	}
+}
+
+func TestCountExactDisconnectedQuadrupleIgnored(t *testing.T) {
+	// Two disjoint wedges: any quadruple is disconnected.
+	g := hypergraph.FromEdges(6, [][]int32{
+		{0, 1}, {1, 2}, {3, 4}, {4, 5},
+	})
+	p := projection.Build(g)
+	counts := CountExact(g, p)
+	if len(counts) != 0 {
+		t.Fatalf("disconnected quadruples counted: %v", counts)
+	}
+}
+
+func TestClassify4StarOfFour(t *testing.T) {
+	// A hub edge overlapping three pairwise-disjoint spokes.
+	g := hypergraph.FromEdges(7, [][]int32{
+		{0, 1, 2}, {0, 3}, {1, 4}, {2, 5},
+	})
+	p := projection.Build(g)
+	id := classify4(g, p, []int32{0, 1, 2, 3})
+	if id == 0 {
+		t.Fatal("star of four connected edges must classify")
+	}
+	pat := PatternByID(id)
+	// The hub is adjacent to all three spokes; spokes mutually disjoint.
+	adjCount := 0
+	for x := 0; x < 4; x++ {
+		for y := x + 1; y < 4; y++ {
+			if pat.Adjacent(x, y) {
+				adjCount++
+			}
+		}
+	}
+	if adjCount != 3 {
+		t.Fatalf("star pattern has %d adjacent pairs, want 3", adjCount)
+	}
+}

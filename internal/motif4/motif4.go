@@ -1,0 +1,243 @@
+// Package motif4 implements the paper's generalization of h-motifs to four
+// hyperedges (Section 2.2): connectivity patterns are binary vectors over
+// the 15 regions of the four-set Venn diagram, canonicalized under the 24
+// relabelings of the hyperedges. After excluding patterns that are
+// disconnected, contain duplicated hyperedges, or an empty hyperedge,
+// exactly 1,853 motifs remain — the count stated in the paper — which the
+// test suite verifies.
+package motif4
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// NumEdgesPerInstance is the number of hyperedges in a 4-edge motif
+// instance.
+const NumEdgesPerInstance = 4
+
+// NumRegions is the number of regions of a four-set Venn diagram.
+const NumRegions = 15
+
+// Count is the number of 4-edge h-motifs (paper Section 2.2 / Appendix F).
+const Count = 1853
+
+// Pattern is a 15-bit emptiness vector over the regions of four sets
+// {a, b, c, d}. Bit (mask-1) corresponds to the region of nodes belonging to
+// exactly the edges in the subset mask ⊆ {a,b,c,d}, mask in 1..15.
+type Pattern uint16
+
+// PatternFromCounts builds a Pattern from the 15 region cardinalities,
+// indexed by subset mask - 1.
+func PatternFromCounts(counts [NumRegions]int) Pattern {
+	var p Pattern
+	for i, c := range counts {
+		if c > 0 {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+// Has reports whether the region of subset mask (1..15) is non-empty.
+func (p Pattern) Has(mask int) bool { return p&(1<<uint(mask-1)) != 0 }
+
+// Weight returns the number of non-empty regions.
+func (p Pattern) Weight() int { return bits.OnesCount16(uint16(p)) }
+
+// edgeNonEmpty reports whether edge x ∈ {0..3} is non-empty: some region
+// whose mask contains x is non-empty.
+func (p Pattern) edgeNonEmpty(x int) bool {
+	for mask := 1; mask <= 15; mask++ {
+		if mask&(1<<x) != 0 && p.Has(mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// Adjacent reports whether edges x and y share a region.
+func (p Pattern) Adjacent(x, y int) bool {
+	want := (1 << x) | (1 << y)
+	for mask := 1; mask <= 15; mask++ {
+		if mask&want == want && p.Has(mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// Connected reports whether the 4-vertex adjacency graph is connected.
+func (p Pattern) Connected() bool {
+	reach := 1 // bitmask of reached edges, starting from edge 0
+	for changed := true; changed; {
+		changed = false
+		for x := 0; x < 4; x++ {
+			if reach&(1<<x) == 0 {
+				continue
+			}
+			for y := 0; y < 4; y++ {
+				if reach&(1<<y) == 0 && p.Adjacent(x, y) {
+					reach |= 1 << y
+					changed = true
+				}
+			}
+		}
+	}
+	return reach == 0xf
+}
+
+// edgesEqual reports whether edges x and y denote the same node set: every
+// region containing exactly one of them is empty.
+func (p Pattern) edgesEqual(x, y int) bool {
+	bx, by := 1<<x, 1<<y
+	for mask := 1; mask <= 15; mask++ {
+		inX, inY := mask&bx != 0, mask&by != 0
+		if inX != inY && p.Has(mask) {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether p can be realized by four distinct, non-empty,
+// connected hyperedges.
+func (p Pattern) Valid() bool {
+	for x := 0; x < 4; x++ {
+		if !p.edgeNonEmpty(x) {
+			return false
+		}
+	}
+	if !p.Connected() {
+		return false
+	}
+	for x := 0; x < 4; x++ {
+		for y := x + 1; y < 4; y++ {
+			if p.edgesEqual(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// perms4 holds the 24 permutations of {0,1,2,3}.
+var perms4 = buildPerms4()
+
+func buildPerms4() [][4]int {
+	var out [][4]int
+	var rec func(cur []int, used [4]bool)
+	rec = func(cur []int, used [4]bool) {
+		if len(cur) == 4 {
+			var p [4]int
+			copy(p[:], cur)
+			out = append(out, p)
+			return
+		}
+		for v := 0; v < 4; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(cur, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, [4]bool{})
+	return out
+}
+
+// relabel applies a permutation of the four edge roles to the pattern.
+func (p Pattern) relabel(perm [4]int) Pattern {
+	var q Pattern
+	for mask := 1; mask <= 15; mask++ {
+		if !p.Has(mask) {
+			continue
+		}
+		nm := 0
+		for x := 0; x < 4; x++ {
+			if mask&(1<<perm[x]) != 0 {
+				nm |= 1 << x
+			}
+		}
+		q |= 1 << uint(nm-1)
+	}
+	return q
+}
+
+// Canonical returns the minimum relabeling of p.
+func (p Pattern) Canonical() Pattern {
+	best := p
+	for _, perm := range perms4[1:] {
+		if q := p.relabel(perm); q < best {
+			best = q
+		}
+	}
+	return best
+}
+
+var (
+	idByCanon map[Pattern]int
+	patterns  []Pattern // ID-1 -> canonical pattern
+)
+
+func init() {
+	seen := make(map[Pattern]bool)
+	for v := 0; v < 1<<NumRegions; v++ {
+		p := Pattern(v)
+		if p.Canonical() != p || seen[p] || !p.Valid() {
+			continue
+		}
+		seen[p] = true
+		patterns = append(patterns, p)
+	}
+	// Deterministic IDs: weight ascending, then canonical value.
+	sort.Slice(patterns, func(i, j int) bool {
+		wi, wj := patterns[i].Weight(), patterns[j].Weight()
+		if wi != wj {
+			return wi < wj
+		}
+		return patterns[i] < patterns[j]
+	})
+	if len(patterns) != Count {
+		panic(fmt.Sprintf("motif4: enumerated %d motifs, want %d", len(patterns), Count))
+	}
+	idByCanon = make(map[Pattern]int, Count)
+	for i, p := range patterns {
+		idByCanon[p] = i + 1
+	}
+}
+
+// FromPattern returns the motif ID (1..1853) of a valid pattern, or 0.
+func FromPattern(p Pattern) int { return idByCanon[p.Canonical()] }
+
+// PatternByID returns the canonical pattern of motif id (1..1853).
+func PatternByID(id int) Pattern {
+	if id < 1 || id > Count {
+		panic(fmt.Sprintf("motif4: id %d out of range [1, %d]", id, Count))
+	}
+	return patterns[id-1]
+}
+
+// RegionsFromIntersections converts the 15 intersection cardinalities
+// inter[mask-1] = |∩_{x∈mask} e_x| into the 15 exclusive-region
+// cardinalities via Möbius inversion:
+//
+//	region(S) = Σ_{T ⊇ S} (-1)^{|T|-|S|} · inter(T).
+func RegionsFromIntersections(inter [NumRegions]int) [NumRegions]int {
+	var region [NumRegions]int
+	for s := 1; s <= 15; s++ {
+		sum := 0
+		for t := 1; t <= 15; t++ {
+			if t&s == s {
+				if bits.OnesCount(uint(t))%2 == bits.OnesCount(uint(s))%2 {
+					sum += inter[t-1]
+				} else {
+					sum -= inter[t-1]
+				}
+			}
+		}
+		region[s-1] = sum
+	}
+	return region
+}

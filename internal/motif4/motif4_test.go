@@ -1,0 +1,136 @@
+package motif4
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogHas1853Motifs(t *testing.T) {
+	// The paper (Section 2.2) states there are exactly 1,853 h-motifs for
+	// four hyperedges. The init enumeration panics otherwise; assert the
+	// table is consistent too.
+	if len(patterns) != Count {
+		t.Fatalf("enumerated %d motifs, want %d", len(patterns), Count)
+	}
+	if len(idByCanon) != Count {
+		t.Fatalf("idByCanon has %d entries", len(idByCanon))
+	}
+	for i, p := range patterns {
+		if p.Canonical() != p {
+			t.Fatalf("pattern %d not canonical", i)
+		}
+		if !p.Valid() {
+			t.Fatalf("pattern %d not valid", i)
+		}
+		if FromPattern(p) != i+1 {
+			t.Fatalf("pattern %d does not round-trip its ID", i)
+		}
+	}
+}
+
+func TestCanonical4Properties(t *testing.T) {
+	f := func(v uint16) bool {
+		p := Pattern(v & 0x7fff)
+		c := p.Canonical()
+		if c.Canonical() != c {
+			return false
+		}
+		for _, perm := range perms4 {
+			q := p.relabel(perm)
+			if q.Canonical() != c || q.Weight() != p.Weight() ||
+				q.Valid() != p.Valid() || q.Connected() != p.Connected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPatternInvalidIsZero(t *testing.T) {
+	// Disconnected: only regions {a} and {b} non-empty.
+	p := PatternFromCounts([NumRegions]int{1 << 0: 0})
+	var counts [NumRegions]int
+	counts[(1<<0)-1] = 1 // region of edge a only
+	counts[(1<<1)-1] = 1 // region of edge b only
+	p = PatternFromCounts(counts)
+	if FromPattern(p) != 0 {
+		t.Fatal("disconnected pattern classified")
+	}
+	// Duplicated: a == b. Non-empty regions: {a,b}, {a,b,c}, {c}, {c,d} —
+	// every region containing exactly one of a, b is empty, so the two
+	// edges denote the same node set.
+	var dup [NumRegions]int
+	dup[(1<<0|1<<1)-1] = 1      // a∩b exclusive region
+	dup[(1<<0|1<<1|1<<2)-1] = 1 // a∩b∩c region
+	dup[(1<<2)-1] = 1           // c-only region
+	dup[(1<<2|1<<3)-1] = 1      // c∩d region (connects d)
+	p = PatternFromCounts(dup)
+	if p.edgesEqual(0, 1) != true {
+		t.Fatal("edges a, b should be equal")
+	}
+	if FromPattern(p) != 0 {
+		t.Fatal("duplicated pattern classified")
+	}
+}
+
+func TestRegionsFromIntersections(t *testing.T) {
+	// Four explicit sets, brute-force regions vs Möbius inversion.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		sets := make([]map[int]bool, 4)
+		for x := range sets {
+			sets[x] = map[int]bool{}
+			for n := 1 + rng.Intn(6); n > 0; n-- {
+				sets[x][rng.Intn(12)] = true
+			}
+		}
+		var inter [NumRegions]int
+		for mask := 1; mask <= 15; mask++ {
+			for v := 0; v < 12; v++ {
+				in := true
+				for x := 0; x < 4; x++ {
+					if mask&(1<<x) != 0 && !sets[x][v] {
+						in = false
+						break
+					}
+				}
+				if in {
+					inter[mask-1]++
+				}
+			}
+		}
+		got := RegionsFromIntersections(inter)
+		var want [NumRegions]int
+		for v := 0; v < 12; v++ {
+			mask := 0
+			for x := 0; x < 4; x++ {
+				if sets[x][v] {
+					mask |= 1 << x
+				}
+			}
+			if mask != 0 {
+				want[mask-1]++
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: regions %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestPatternByIDPanics(t *testing.T) {
+	for _, id := range []int{0, Count + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PatternByID(%d) did not panic", id)
+				}
+			}()
+			PatternByID(id)
+		}()
+	}
+}

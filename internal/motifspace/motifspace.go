@@ -1,0 +1,419 @@
+// Package motifspace counts the h-motif equivalence classes for k connected
+// hyperedges, reproducing the generalization of Section 2.2 and Appendix F:
+// 26 h-motifs for three hyperedges, 1,853 for four, and 18,656,322 for five.
+//
+// A k-edge h-motif is an equivalence class, under relabeling of the k
+// hyperedges, of emptiness patterns over the 2^k - 1 regions of the k-set
+// Venn diagram, restricted to patterns that (1) leave no hyperedge empty,
+// (2) contain no duplicated hyperedges, and (3) are connected.
+//
+// Classes are counted with Burnside's lemma over the symmetric group S_k:
+// the number of classes is the average, over all k! relabelings, of the
+// number of valid patterns fixed by the relabeling. Fixed patterns of a
+// non-identity permutation are constant on its region orbits, so they are
+// enumerated directly over 2^(#orbits) assignments (at most 2^23 for k=5).
+// The identity contribution — the number of valid labeled patterns — would
+// require 2^31 enumerations for k=5, so it is instead computed in closed
+// form by an inclusion-exclusion chain:
+//
+//	W(m) = sum_j (-1)^j C(m,j) 2^(2^(m-j)-1)   patterns with all edges non-empty
+//	W(m) = sum_t S(m,t) B(t)                   merge equal edges (Stirling numbers)
+//	B(m) = sum over partitions prod C(|block|) split into connected components
+//
+// which is solved for B (non-empty, distinct) and then C (non-empty,
+// distinct, connected). The two routes are cross-checked against each other
+// in the tests for every k where enumeration is feasible.
+package motifspace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxEdges is the largest supported k. The limit is representational
+// (patterns are stored in a uint32 over 2^k - 1 regions) and practical
+// (the paper's Appendix F stops at five hyperedges).
+const MaxEdges = 5
+
+// CountClasses returns the number of k-edge h-motif equivalence classes:
+// 26 for k=3, 1,853 for k=4 and 18,656,322 for k=5 (Appendix F).
+func CountClasses(k int) (int64, error) {
+	if k < 1 || k > MaxEdges {
+		return 0, fmt.Errorf("motifspace: k = %d out of range [1, %d]", k, MaxEdges)
+	}
+	sp := newSpace(k)
+	var total int64
+	perms := permutations(k)
+	// Conjugate permutations fix the same number of patterns, so the orbit
+	// enumeration runs once per cycle type (7 types for k=5, not 120).
+	cache := make(map[string]int64)
+	for _, perm := range perms {
+		if isIdentity(perm) {
+			total += CountLabeledConnected(k)
+			continue
+		}
+		key := cycleType(perm)
+		v, ok := cache[key]
+		if !ok {
+			v = sp.fixedValid(perm)
+			cache[key] = v
+		}
+		total += v
+	}
+	if total%int64(len(perms)) != 0 {
+		return 0, fmt.Errorf("motifspace: Burnside sum %d not divisible by %d!", total, k)
+	}
+	return total / int64(len(perms)), nil
+}
+
+// cycleType returns a canonical key for the permutation's conjugacy class:
+// its sorted cycle lengths.
+func cycleType(perm []int) string {
+	k := len(perm)
+	seen := make([]bool, k)
+	counts := make([]int, k+1)
+	for i := 0; i < k; i++ {
+		if seen[i] {
+			continue
+		}
+		length := 0
+		for j := i; !seen[j]; j = perm[j] {
+			seen[j] = true
+			length++
+		}
+		counts[length]++
+	}
+	key := make([]byte, 0, 2*k)
+	for l := 1; l <= k; l++ {
+		for n := 0; n < counts[l]; n++ {
+			key = append(key, byte('0'+l))
+		}
+	}
+	return string(key)
+}
+
+// CountLabeledConnected returns C(k): the number of valid labeled patterns —
+// emptiness assignments over the 2^k - 1 Venn regions with every hyperedge
+// non-empty, all hyperedges pairwise distinct, and the hyperedges connected.
+// This is the identity term of the Burnside average.
+func CountLabeledConnected(k int) int64 {
+	if k < 1 || k > MaxEdges {
+		return 0
+	}
+	return connectedCounts(k)[k]
+}
+
+// CountLabeledDistinct returns B(k): labeled patterns with every hyperedge
+// non-empty and all hyperedges pairwise distinct (connectivity not
+// required).
+func CountLabeledDistinct(k int) int64 {
+	if k < 1 || k > MaxEdges {
+		return 0
+	}
+	return distinctCounts(k)[k]
+}
+
+// CountLabeledNonEmpty returns W(k): labeled patterns with every hyperedge
+// non-empty (hyperedges may coincide or be disconnected).
+func CountLabeledNonEmpty(k int) int64 {
+	if k < 1 || k > MaxEdges {
+		return 0
+	}
+	return nonEmptyCount(k)
+}
+
+// nonEmptyCount computes W(m) by inclusion-exclusion over the set of empty
+// hyperedges: forcing j specific hyperedges empty zeroes every region
+// touching them, leaving 2^(m-j) - 1 free regions.
+func nonEmptyCount(m int) int64 {
+	var w int64
+	sign := int64(1)
+	for j := 0; j <= m; j++ {
+		free := int64(1) << ((int64(1) << (m - j)) - 1)
+		w += sign * binomial(m, j) * free
+		sign = -sign
+	}
+	return w
+}
+
+// distinctCounts solves W(m) = sum_t S(m,t) B(t) for B(1..k). Merging the
+// equality classes of a non-empty pattern yields a distinct non-empty
+// pattern on the quotient, and the correspondence is bijective because a
+// region of the original diagram is non-empty only if it is a union of
+// equality blocks.
+func distinctCounts(k int) []int64 {
+	s := stirling2(k)
+	b := make([]int64, k+1)
+	for m := 1; m <= k; m++ {
+		w := nonEmptyCount(m)
+		for t := 1; t < m; t++ {
+			w -= s[m][t] * b[t]
+		}
+		b[m] = w // S(m, m) = 1
+	}
+	return b
+}
+
+// connectedCounts solves B(m) = sum_s C(m-1, s-1) C(s) B(m-s) for C(1..k):
+// condition on the connected component containing hyperedge 1. Regions
+// spanning two components are necessarily empty, and hyperedges in
+// different components are automatically distinct (they are disjoint and
+// non-empty), so the decomposition multiplies freely.
+func connectedCounts(k int) []int64 {
+	b := distinctCounts(k)
+	c := make([]int64, k+1)
+	for m := 1; m <= k; m++ {
+		v := b[m]
+		for s := 1; s < m; s++ {
+			v -= binomial(m-1, s-1) * c[s] * b[m-s]
+		}
+		c[m] = v
+	}
+	return c
+}
+
+// space holds the per-k precomputation used by validity checks.
+type space struct {
+	k        int
+	nRegions int      // 2^k - 1
+	edgeMask []uint32 // regions containing hyperedge i
+	pairDiff []uint32 // [i*k+j] regions containing exactly one of i, j
+	pairBoth []uint32 // [i*k+j] regions containing both i and j
+}
+
+func newSpace(k int) *space {
+	n := (1 << k) - 1
+	sp := &space{k: k, nRegions: n}
+	sp.edgeMask = make([]uint32, k)
+	sp.pairDiff = make([]uint32, k*k)
+	sp.pairBoth = make([]uint32, k*k)
+	for r := 1; r <= n; r++ {
+		bit := uint32(1) << (r - 1)
+		for i := 0; i < k; i++ {
+			inI := r&(1<<i) != 0
+			if inI {
+				sp.edgeMask[i] |= bit
+			}
+			for j := i + 1; j < k; j++ {
+				inJ := r&(1<<j) != 0
+				if inI != inJ {
+					sp.pairDiff[i*k+j] |= bit
+				}
+				if inI && inJ {
+					sp.pairBoth[i*k+j] |= bit
+				}
+			}
+		}
+	}
+	return sp
+}
+
+// valid reports whether the pattern satisfies the three h-motif conditions.
+func (sp *space) valid(pattern uint32) bool {
+	for i := 0; i < sp.k; i++ {
+		if pattern&sp.edgeMask[i] == 0 {
+			return false // hyperedge i empty
+		}
+	}
+	var adj [MaxEdges]uint8
+	for i := 0; i < sp.k; i++ {
+		for j := i + 1; j < sp.k; j++ {
+			if pattern&sp.pairDiff[i*sp.k+j] == 0 {
+				return false // hyperedges i and j identical
+			}
+			if pattern&sp.pairBoth[i*sp.k+j] != 0 {
+				adj[i] |= 1 << j
+				adj[j] |= 1 << i
+			}
+		}
+	}
+	// Connectivity: expand reachability from hyperedge 0.
+	visited := uint8(1)
+	for {
+		next := visited
+		for i := 0; i < sp.k; i++ {
+			if visited&(1<<i) != 0 {
+				next |= adj[i]
+			}
+		}
+		if next == visited {
+			break
+		}
+		visited = next
+	}
+	return visited == uint8(1<<sp.k)-1
+}
+
+// fixedValid counts the valid patterns fixed by a non-identity permutation:
+// such patterns are constant on the permutation's region orbits, so all
+// 2^(#orbits) orbit assignments are enumerated.
+func (sp *space) fixedValid(perm []int) int64 {
+	orbits := regionOrbits(sp.k, perm)
+	var count int64
+	for assign := uint32(0); assign < 1<<len(orbits); assign++ {
+		var pattern uint32
+		rest := assign
+		for rest != 0 {
+			o := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			pattern |= orbits[o]
+		}
+		if sp.valid(pattern) {
+			count++
+		}
+	}
+	return count
+}
+
+// regionOrbits returns, for each orbit of the permutation's action on the
+// 2^k - 1 regions, the bitmask of pattern bits in that orbit.
+func regionOrbits(k int, perm []int) []uint32 {
+	n := (1 << k) - 1
+	seen := make([]bool, n+1)
+	var orbits []uint32
+	for r := 1; r <= n; r++ {
+		if seen[r] {
+			continue
+		}
+		var mask uint32
+		cur := r
+		for !seen[cur] {
+			seen[cur] = true
+			mask |= uint32(1) << (cur - 1)
+			cur = applyPerm(perm, cur)
+		}
+		orbits = append(orbits, mask)
+	}
+	return orbits
+}
+
+// permutePattern relabels every region of a pattern under a hyperedge
+// permutation.
+func permutePattern(k int, perm []int, p uint32) uint32 {
+	var out uint32
+	for r := 1; r <= (1<<k)-1; r++ {
+		if p&(1<<(r-1)) != 0 {
+			out |= 1 << (applyPerm(perm, r) - 1)
+		}
+	}
+	return out
+}
+
+// applyPerm relabels the hyperedges of a region bitmask: hyperedge i maps
+// to perm[i].
+func applyPerm(perm []int, region int) int {
+	out := 0
+	for i := 0; region != 0; i++ {
+		if region&1 != 0 {
+			out |= 1 << perm[i]
+		}
+		region >>= 1
+	}
+	return out
+}
+
+// permutations returns all k! permutations of [0, k).
+func permutations(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(n int)
+	rec = func(n int) {
+		if n == 1 {
+			cp := make([]int, k)
+			copy(cp, base)
+			out = append(out, cp)
+			return
+		}
+		for i := 0; i < n; i++ {
+			rec(n - 1)
+			if n%2 == 0 {
+				base[i], base[n-1] = base[n-1], base[i]
+			} else {
+				base[0], base[n-1] = base[n-1], base[0]
+			}
+		}
+	}
+	rec(k)
+	return out
+}
+
+func isIdentity(perm []int) bool {
+	for i, v := range perm {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// binomial returns C(n, r) for the small arguments used here.
+func binomial(n, r int) int64 {
+	if r < 0 || r > n {
+		return 0
+	}
+	v := int64(1)
+	for i := 0; i < r; i++ {
+		v = v * int64(n-i) / int64(i+1)
+	}
+	return v
+}
+
+// stirling2 returns the table of Stirling numbers of the second kind
+// S(m, t) for m, t up to k.
+func stirling2(k int) [][]int64 {
+	s := make([][]int64, k+1)
+	for m := range s {
+		s[m] = make([]int64, k+1)
+	}
+	s[0][0] = 1
+	for m := 1; m <= k; m++ {
+		for t := 1; t <= m; t++ {
+			s[m][t] = s[m-1][t-1] + int64(t)*s[m-1][t]
+		}
+	}
+	return s
+}
+
+// CountClassesComplete returns the number of k-edge h-motif classes whose
+// hyperedges are pairwise adjacent (complete intersection graph) — the
+// generalization of the paper's "closed" motifs: for k = 3 exactly 20 of
+// the 26 motifs are closed. Computed by direct canonical census, which
+// bounds k to 4 (the 2^31-pattern space of k = 5 is out of reach for the
+// census; the Burnside identity shortcut does not apply because
+// completeness lacks a closed-form labeled count here).
+func CountClassesComplete(k int) (int64, error) {
+	if k < 1 || k > 4 {
+		return 0, fmt.Errorf("motifspace: complete census supports k in [1, 4], got %d", k)
+	}
+	sp := newSpace(k)
+	perms := permutations(k)
+	classes := make(map[uint32]bool)
+	for p := uint32(0); p < 1<<sp.nRegions; p++ {
+		if !sp.valid(p) || !sp.complete(p) {
+			continue
+		}
+		canon := p
+		for _, perm := range perms {
+			if q := permutePattern(k, perm, p); q < canon {
+				canon = q
+			}
+		}
+		classes[canon] = true
+	}
+	return int64(len(classes)), nil
+}
+
+// complete reports whether every pair of hyperedges overlaps.
+func (sp *space) complete(pattern uint32) bool {
+	for i := 0; i < sp.k; i++ {
+		for j := i + 1; j < sp.k; j++ {
+			if pattern&sp.pairBoth[i*sp.k+j] == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,282 @@
+package motifspace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mochy/internal/motif"
+)
+
+// TestAppendixFCounts is the headline check: the class counts the paper
+// states for three, four, and five hyperedges (Section 2.2, Appendix F).
+func TestAppendixFCounts(t *testing.T) {
+	want := map[int]int64{
+		1: 1,
+		2: 2,
+		3: int64(motif.Count), // 26
+		4: 1853,
+	}
+	for k, w := range want {
+		got, err := CountClasses(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != w {
+			t.Fatalf("CountClasses(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestAppendixFFiveEdges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=5 enumerates 2^23 orbit assignments; skipped in -short")
+	}
+	got, err := CountClasses(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 18656322 {
+		t.Fatalf("CountClasses(5) = %d, want 18656322", got)
+	}
+}
+
+func TestCountClassesRange(t *testing.T) {
+	for _, k := range []int{0, -1, 6, 100} {
+		if _, err := CountClasses(k); err == nil {
+			t.Fatalf("CountClasses(%d): expected error", k)
+		}
+	}
+	if CountLabeledConnected(0) != 0 || CountLabeledConnected(9) != 0 {
+		t.Fatal("CountLabeledConnected out of range must be 0")
+	}
+	if CountLabeledDistinct(0) != 0 || CountLabeledNonEmpty(0) != 0 {
+		t.Fatal("labeled counts out of range must be 0")
+	}
+}
+
+// bruteLabeled enumerates every pattern over the 2^k - 1 regions and counts
+// those passing the given predicate level. Feasible for k <= 4.
+func bruteLabeled(k int, level int) int64 {
+	sp := newSpace(k)
+	n := uint32(1) << sp.nRegions
+	var count int64
+patterns:
+	for p := uint32(0); p < n; p++ {
+		for i := 0; i < sp.k; i++ {
+			if p&sp.edgeMask[i] == 0 {
+				continue patterns
+			}
+		}
+		if level >= 1 {
+			for i := 0; i < sp.k; i++ {
+				for j := i + 1; j < sp.k; j++ {
+					if p&sp.pairDiff[i*sp.k+j] == 0 {
+						continue patterns
+					}
+				}
+			}
+		}
+		if level >= 2 && !sp.valid(p) {
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// TestClosedFormsMatchEnumeration cross-checks the inclusion-exclusion
+// chain (W, B, C) against brute-force enumeration for every k where the
+// 2^(2^k - 1) pattern space is enumerable.
+func TestClosedFormsMatchEnumeration(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		if got, want := CountLabeledNonEmpty(k), bruteLabeled(k, 0); got != want {
+			t.Fatalf("W(%d) = %d, enumeration %d", k, got, want)
+		}
+		if got, want := CountLabeledDistinct(k), bruteLabeled(k, 1); got != want {
+			t.Fatalf("B(%d) = %d, enumeration %d", k, got, want)
+		}
+		if got, want := CountLabeledConnected(k), bruteLabeled(k, 2); got != want {
+			t.Fatalf("C(%d) = %d, enumeration %d", k, got, want)
+		}
+	}
+}
+
+// TestKnownSmallValues pins the intermediate counts for k=3, which are
+// small enough to verify by hand: W(3)=109, B(3)=96, C(3)=86.
+func TestKnownSmallValues(t *testing.T) {
+	if got := CountLabeledNonEmpty(3); got != 109 {
+		t.Fatalf("W(3) = %d, want 109", got)
+	}
+	if got := CountLabeledDistinct(3); got != 96 {
+		t.Fatalf("B(3) = %d, want 96", got)
+	}
+	if got := CountLabeledConnected(3); got != 86 {
+		t.Fatalf("C(3) = %d, want 86", got)
+	}
+}
+
+// TestValidAgreesWithMotifCatalog checks that this package's validity
+// predicate for k=3 accepts exactly the patterns the 26-motif catalog
+// accepts: motifspace and the production classifier must agree on what a
+// legal pattern is. The two packages index the seven regions differently —
+// motif.Pattern uses the paper's order (ei-only, ej-only, ek-only, the three
+// pairwise regions, triple), motifspace indexes a region by the bitmask of
+// the hyperedges containing it — so patterns are converted between the
+// conventions.
+func TestValidAgreesWithMotifCatalog(t *testing.T) {
+	// motif.Pattern bit -> motifspace subset mask of the same region.
+	subsetOf := [7]int{0b001, 0b010, 0b100, 0b011, 0b110, 0b101, 0b111}
+	sp := newSpace(3)
+	for p := uint32(0); p < 128; p++ {
+		var q uint32
+		for b := 0; b < 7; b++ {
+			if p&(1<<b) != 0 {
+				q |= 1 << (subsetOf[b] - 1)
+			}
+		}
+		if got, want := sp.valid(q), motif.Pattern(p).Valid(); got != want {
+			t.Fatalf("pattern %07b: motifspace valid=%v, motif catalog valid=%v",
+				p, got, want)
+		}
+	}
+}
+
+// TestValidIsPermutationInvariant: validity must be preserved under any
+// relabeling of the hyperedges (property-based).
+func TestValidIsPermutationInvariant(t *testing.T) {
+	spaces := map[int]*space{3: newSpace(3), 4: newSpace(4)}
+	permsByK := map[int][][]int{3: permutations(3), 4: permutations(4)}
+	property := func(raw uint32, pick uint8) bool {
+		k := 3 + int(pick%2)
+		sp := spaces[k]
+		p := raw & ((1 << sp.nRegions) - 1)
+		want := sp.valid(p)
+		for _, perm := range permsByK[k] {
+			q := permutePattern(k, perm, p)
+			if sp.valid(q) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBurnsideMatchesDirectOrbitCount verifies the Burnside result against
+// a direct canonical-form orbit census for k=3 and k=4.
+func TestBurnsideMatchesDirectOrbitCount(t *testing.T) {
+	for k := 3; k <= 4; k++ {
+		sp := newSpace(k)
+		perms := permutations(k)
+		classes := make(map[uint32]bool)
+		for p := uint32(0); p < 1<<sp.nRegions; p++ {
+			if !sp.valid(p) {
+				continue
+			}
+			canon := p
+			for _, perm := range perms {
+				if q := permutePattern(k, perm, p); q < canon {
+					canon = q
+				}
+			}
+			classes[canon] = true
+		}
+		got, err := CountClasses(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(classes)) != got {
+			t.Fatalf("k=%d: direct census %d classes, Burnside %d", k, len(classes), got)
+		}
+	}
+}
+
+// TestFixedValidIdentityAgrees: running the orbit enumeration on the
+// identity permutation must reproduce the closed-form C(k) (the production
+// path substitutes the formula; this validates the substitution).
+func TestFixedValidIdentityAgrees(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		sp := newSpace(k)
+		id := make([]int, k)
+		for i := range id {
+			id[i] = i
+		}
+		if got, want := sp.fixedValid(id), CountLabeledConnected(k); got != want {
+			t.Fatalf("k=%d: identity enumeration %d, formula %d", k, got, want)
+		}
+	}
+}
+
+func TestCycleType(t *testing.T) {
+	cases := []struct {
+		perm []int
+		want string
+	}{
+		{[]int{0, 1, 2}, "111"},
+		{[]int{1, 0, 2}, "12"},
+		{[]int{1, 2, 0}, "3"},
+		{[]int{1, 0, 3, 2, 4}, "122"},
+		{[]int{1, 2, 3, 4, 0}, "5"},
+	}
+	for _, c := range cases {
+		if got := cycleType(c.perm); got != c.want {
+			t.Fatalf("cycleType(%v) = %q, want %q", c.perm, got, c.want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := binomial(5, 2); got != 10 {
+		t.Fatalf("C(5,2) = %d", got)
+	}
+	if got := binomial(4, 7); got != 0 {
+		t.Fatalf("C(4,7) = %d", got)
+	}
+	s := stirling2(5)
+	if s[5][2] != 15 || s[5][3] != 25 || s[4][2] != 7 {
+		t.Fatalf("stirling table wrong: %v", s)
+	}
+	if got := len(permutations(4)); got != 24 {
+		t.Fatalf("|S4| = %d", got)
+	}
+	// applyPerm relabels region bits: region {0,2} under (0 1 2)->(1 2 0).
+	if got := applyPerm([]int{1, 2, 0}, 0b101); got != 0b011 {
+		t.Fatalf("applyPerm = %03b, want 011", got)
+	}
+}
+
+// TestCountClassesComplete generalizes the paper's closed/open split: for
+// k=3 exactly 20 of the 26 motifs are closed (all hyperedges pairwise
+// adjacent), matching the production catalog's split.
+func TestCountClassesComplete(t *testing.T) {
+	want := map[int]int64{1: 1, 2: 2, 3: 20}
+	for k, w := range want {
+		got, err := CountClassesComplete(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != w {
+			t.Fatalf("CountClassesComplete(%d) = %d, want %d", k, got, w)
+		}
+	}
+	// k=4 has no published value; pin consistency instead: the complete
+	// classes are a strict, non-empty subset of all classes.
+	all, err := CountClasses(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete4, err := CountClassesComplete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete4 <= 0 || complete4 >= all {
+		t.Fatalf("complete 4-edge classes %d not in (0, %d)", complete4, all)
+	}
+	for _, k := range []int{0, 5} {
+		if _, err := CountClassesComplete(k); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package netmotif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mochy/internal/hypergraph"
+)
+
+// bruteForceCensus enumerates all induced 3- and 4-vertex connected
+// subgraphs of the star expansion directly.
+func bruteForceCensus(g *hypergraph.Hypergraph) Census {
+	// Build explicit bipartite adjacency: vertices 0..n-1 are hypergraph
+	// nodes, n..n+m-1 are hyperedges.
+	n, m := g.NumNodes(), g.NumEdges()
+	total := n + m
+	adj := make([]map[int]bool, total)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for e := 0; e < m; e++ {
+		for _, v := range g.Edge(e) {
+			adj[int(v)][n+e] = true
+			adj[n+e][int(v)] = true
+		}
+	}
+	deg := func(x int) int { return len(adj[x]) }
+	var c Census
+	// 3-vertex: wedges.
+	for x := 0; x < total; x++ {
+		d := float64(deg(x))
+		c.Wedge += d * (d - 1) / 2
+	}
+	// 4-vertex: enumerate all 4-subsets via center/path scanning is costly;
+	// use direct quadruple enumeration on small graphs.
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			for x := b + 1; x < total; x++ {
+				for y := x + 1; y < total; y++ {
+					quad := [4]int{a, b, x, y}
+					edges := 0
+					degIn := [4]int{}
+					for i := 0; i < 4; i++ {
+						for j := i + 1; j < 4; j++ {
+							if adj[quad[i]][quad[j]] {
+								edges++
+								degIn[i]++
+								degIn[j]++
+							}
+						}
+					}
+					if edges < 3 {
+						continue
+					}
+					// Connectivity check for ≤ 4 vertices with ≥ 3 edges:
+					// disconnected only if a vertex is isolated.
+					isolated := false
+					maxDeg := 0
+					for _, d := range degIn {
+						if d == 0 {
+							isolated = true
+						}
+						if d > maxDeg {
+							maxDeg = d
+						}
+					}
+					if isolated {
+						continue
+					}
+					switch {
+					case edges == 3 && maxDeg == 3:
+						c.Claw++
+					case edges == 3 && maxDeg == 2:
+						c.Path4++
+					case edges == 4 && maxDeg == 2:
+						c.Cycle4++
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func smallHypergraph(seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder(8)
+	for i := 0; i < 6; i++ {
+		size := 2 + rng.Intn(3)
+		e := make([]int32, 0, size)
+		seen := map[int32]bool{}
+		for len(e) < size {
+			v := int32(rng.Intn(8))
+			if !seen[v] {
+				seen[v] = true
+				e = append(e, v)
+			}
+		}
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := smallHypergraph(seed)
+		got := Count(g)
+		want := bruteForceCensus(g)
+		if got != want {
+			t.Fatalf("seed %d: Count = %+v, brute force = %+v", seed, got, want)
+		}
+	}
+}
+
+func TestCountSingleEdge(t *testing.T) {
+	g := hypergraph.FromEdges(3, [][]int32{{0, 1, 2}})
+	c := Count(g)
+	// Star expansion is K1,3: 3 wedges through the center, 1 claw.
+	if c.Wedge != 3 || c.Claw != 1 || c.Path4 != 0 || c.Cycle4 != 0 {
+		t.Fatalf("census = %+v", c)
+	}
+}
+
+func TestCountButterfly(t *testing.T) {
+	// Two hyperedges sharing two nodes: star expansion contains one C4.
+	g := hypergraph.FromEdges(2, [][]int32{{0, 1}, {0, 1}})
+	// Duplicate edges are removed by the builder; use different edges.
+	g = hypergraph.FromEdges(3, [][]int32{{0, 1}, {0, 1, 2}})
+	c := Count(g)
+	if c.Cycle4 != 1 {
+		t.Fatalf("Cycle4 = %v, want 1 (%+v)", c.Cycle4, c)
+	}
+}
+
+func TestSignificanceAndProfile(t *testing.T) {
+	real := Census{Wedge: 100, Claw: 10, Path4: 50, Cycle4: 5}
+	r1 := Census{Wedge: 50, Claw: 10, Path4: 100, Cycle4: 0}
+	delta := Significance(real, []Census{r1})
+	if math.Abs(delta[0]-(50.0/151.0)) > 1e-12 {
+		t.Fatalf("delta[0] = %v", delta[0])
+	}
+	if delta[1] != 0 {
+		t.Fatalf("delta[1] = %v, want 0", delta[1])
+	}
+	p := Profile(delta)
+	norm := 0.0
+	for _, v := range p {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("profile norm² = %v", norm)
+	}
+	zero := Profile([]float64{0, 0, 0, 0})
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("zero delta must give zero profile")
+		}
+	}
+}
+
+func TestSimilarityMatrix(t *testing.T) {
+	p1 := []float64{1, 0, 0, 0}
+	p2 := []float64{0.9, 0.1, 0, 0}
+	m := SimilarityMatrix([][]float64{p1, p2})
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Fatal("diagonal must be 1")
+	}
+	if math.Abs(m[0][1]-m[1][0]) > 1e-12 {
+		t.Fatal("matrix must be symmetric")
+	}
+}

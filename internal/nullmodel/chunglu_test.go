@@ -1,0 +1,135 @@
+package nullmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mochy/internal/hypergraph"
+)
+
+func powerLawHypergraph(rng *rand.Rand, nodes, edges int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(nodes).KeepDuplicates()
+	for i := 0; i < edges; i++ {
+		size := 2 + rng.Intn(4)
+		e := make([]int32, 0, size)
+		seen := make(map[int32]bool)
+		for len(e) < size {
+			// Skewed node choice: node v with weight ~ 1/(v+1).
+			v := int32(math.Floor(math.Pow(float64(nodes), rng.Float64()))) - 1
+			if v < 0 {
+				v = 0
+			}
+			if !seen[v] {
+				seen[v] = true
+				e = append(e, v)
+			}
+		}
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestGeneratePreservesSizeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := powerLawHypergraph(rng, 60, 200)
+	r := NewRandomizer(g)
+	rg := r.Generate(rng)
+	if rg.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", rg.NumEdges(), g.NumEdges())
+	}
+	if rg.NumNodes() != g.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", rg.NumNodes(), g.NumNodes())
+	}
+	a, b := g.EdgeSizes(), rg.EdgeSizes()
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("size distribution differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratePreservesExpectedDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := powerLawHypergraph(rng, 40, 300)
+	r := NewRandomizer(g)
+	// Average degrees over many randomizations: expectation ≈ original.
+	const n = 60
+	mean := make([]float64, g.NumNodes())
+	for i := 0; i < n; i++ {
+		rg := r.Generate(rng)
+		for v := 0; v < g.NumNodes(); v++ {
+			mean[v] += float64(rg.Degree(int32(v))) / n
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		want := float64(g.Degree(int32(v)))
+		if want == 0 {
+			if mean[v] != 0 {
+				t.Errorf("isolated node %d gained degree %.2f", v, mean[v])
+			}
+			continue
+		}
+		// Rejection of duplicate nodes distorts heavy nodes slightly; allow
+		// a generous tolerance plus sampling noise.
+		if math.Abs(mean[v]-want) > 0.35*want+1.5 {
+			t.Errorf("node %d mean degree %.2f, want ≈ %.2f", v, mean[v], want)
+		}
+	}
+}
+
+func TestGenerateEdgesHaveDistinctNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := powerLawHypergraph(rng, 30, 100)
+	rg := NewRandomizer(g).Generate(rng)
+	for e := 0; e < rg.NumEdges(); e++ {
+		nodes := rg.Edge(e)
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i] == nodes[i-1] {
+				t.Fatalf("edge %d has duplicate node %d", e, nodes[i])
+			}
+		}
+	}
+}
+
+func TestGenerateNReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := powerLawHypergraph(rng, 30, 80)
+	r := NewRandomizer(g)
+	a := r.GenerateN(3, 99)
+	b := r.GenerateN(3, 99)
+	for i := range a {
+		if a[i].NumEdges() != b[i].NumEdges() {
+			t.Fatal("GenerateN not reproducible")
+		}
+		for e := 0; e < a[i].NumEdges(); e++ {
+			x, y := a[i].Edge(e), b[i].Edge(e)
+			for k := range x {
+				if x[k] != y[k] {
+					t.Fatal("GenerateN not reproducible at edge level")
+				}
+			}
+		}
+	}
+	c := r.GenerateN(3, 100)
+	same := true
+	for e := 0; e < a[0].NumEdges() && same; e++ {
+		x, y := a[0].Edge(e), c[0].Edge(e)
+		for k := range x {
+			if x[k] != y[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical randomization")
+	}
+}

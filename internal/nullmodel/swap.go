@@ -1,0 +1,104 @@
+package nullmodel
+
+import (
+	"math/rand"
+
+	"mochy/internal/hypergraph"
+)
+
+// SwapRandomizer produces degree-exact randomizations of a fixed source
+// hypergraph by double-edge swaps on the bipartite node-hyperedge graph:
+// two incidences (v1, e1), (v2, e2) are picked uniformly and rewired to
+// (v1, e2), (v2, e1) whenever the rewiring keeps both hyperedges simple
+// (no repeated node within a hyperedge).
+//
+// Unlike the paper's Chung-Lu model (Randomizer), which preserves the
+// degree and size distributions only in expectation, the swap chain
+// preserves every node degree and every hyperedge size exactly. It serves
+// as the alternative null model in the null-model-robustness ablation: if a
+// motif's significance holds under both nulls, it is not an artifact of
+// Chung-Lu's soft degree constraint.
+type SwapRandomizer struct {
+	src *hypergraph.Hypergraph
+	// SwapsPerIncidence scales the chain length: the number of attempted
+	// swaps is SwapsPerIncidence times the number of incidences. The
+	// common practice of O(10) sweeps is ample for the graph sizes here;
+	// 0 means 10.
+	SwapsPerIncidence int
+}
+
+// NewSwapRandomizer prepares a swap-chain randomizer for g. It panics if g
+// has no incidences, mirroring NewRandomizer.
+func NewSwapRandomizer(g *hypergraph.Hypergraph) *SwapRandomizer {
+	if g.TotalIncidence() == 0 {
+		panic("nullmodel: hypergraph has no incidences")
+	}
+	return &SwapRandomizer{src: g}
+}
+
+// Generate returns one randomization of the source hypergraph with exactly
+// preserved node degrees and hyperedge sizes.
+func (r *SwapRandomizer) Generate(rng *rand.Rand) *hypergraph.Hypergraph {
+	g := r.src
+	// Mutable edge representation plus membership sets for O(1) simplicity
+	// checks.
+	edges := make([][]int32, g.NumEdges())
+	member := make([]map[int32]bool, g.NumEdges())
+	// flat[i] identifies incidence i as (edge, slot).
+	type slot struct {
+		edge int32
+		pos  int32
+	}
+	flat := make([]slot, 0, g.TotalIncidence())
+	for e := 0; e < g.NumEdges(); e++ {
+		src := g.Edge(e)
+		edges[e] = append([]int32(nil), src...)
+		m := make(map[int32]bool, len(src))
+		for pos, v := range src {
+			m[v] = true
+			flat = append(flat, slot{int32(e), int32(pos)})
+		}
+		member[e] = m
+	}
+
+	sweeps := r.SwapsPerIncidence
+	if sweeps == 0 {
+		sweeps = 10
+	}
+	attempts := sweeps * len(flat)
+	for a := 0; a < attempts; a++ {
+		i, j := flat[rng.Intn(len(flat))], flat[rng.Intn(len(flat))]
+		if i.edge == j.edge {
+			continue
+		}
+		v1, v2 := edges[i.edge][i.pos], edges[j.edge][j.pos]
+		if v1 == v2 || member[i.edge][v2] || member[j.edge][v1] {
+			continue // rewiring would duplicate a node within a hyperedge
+		}
+		edges[i.edge][i.pos], edges[j.edge][j.pos] = v2, v1
+		delete(member[i.edge], v1)
+		delete(member[j.edge], v2)
+		member[i.edge][v2] = true
+		member[j.edge][v1] = true
+	}
+
+	b := hypergraph.NewBuilder(g.NumNodes()).KeepDuplicates()
+	for _, e := range edges {
+		b.AddEdge(e)
+	}
+	out, err := b.Build()
+	if err != nil {
+		panic(err) // swaps only permute already-valid node ids
+	}
+	return out
+}
+
+// GenerateN returns n independent swap randomizations with per-copy RNGs
+// derived from seed, mirroring Randomizer.GenerateN.
+func (r *SwapRandomizer) GenerateN(n int, seed int64) []*hypergraph.Hypergraph {
+	out := make([]*hypergraph.Hypergraph, n)
+	for i := range out {
+		out[i] = r.Generate(rand.New(rand.NewSource(seed + int64(i)*7919)))
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package nullmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+)
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// TestSwapPreservesMarginsExactly is the defining property of the swap
+// null: node degrees and hyperedge sizes are identical to the source, not
+// just in expectation.
+func TestSwapPreservesMarginsExactly(t *testing.T) {
+	for _, d := range []generator.Domain{generator.Coauthorship, generator.Email, generator.Tags} {
+		g := generator.Generate(generator.Config{Domain: d, Nodes: 120, Edges: 240, Seed: int64(d)})
+		r := NewSwapRandomizer(g)
+		out := r.Generate(rand.New(rand.NewSource(1)))
+		if !reflect.DeepEqual(out.NodeDegrees(), g.NodeDegrees()) {
+			t.Fatalf("domain %v: node degrees changed", d)
+		}
+		if !reflect.DeepEqual(sortedInts(out.EdgeSizes()), sortedInts(g.EdgeSizes())) {
+			t.Fatalf("domain %v: edge-size multiset changed", d)
+		}
+		// Sizes are preserved per edge, not just as a multiset.
+		for e := 0; e < g.NumEdges(); e++ {
+			if out.EdgeSize(e) != g.EdgeSize(e) {
+				t.Fatalf("domain %v: edge %d size %d -> %d", d, e, g.EdgeSize(e), out.EdgeSize(e))
+			}
+		}
+	}
+}
+
+func TestSwapKeepsEdgesSimple(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Contact, Nodes: 40, Edges: 300, Seed: 3})
+	out := NewSwapRandomizer(g).Generate(rand.New(rand.NewSource(2)))
+	for e := 0; e < out.NumEdges(); e++ {
+		seen := make(map[int32]bool)
+		for _, v := range out.Edge(e) {
+			if seen[v] {
+				t.Fatalf("edge %d contains node %d twice", e, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestSwapActuallyRandomizes: the chain must move away from the source;
+// otherwise the null is vacuous.
+func TestSwapActuallyRandomizes(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Coauthorship, Nodes: 200, Edges: 300, Seed: 9})
+	out := NewSwapRandomizer(g).Generate(rand.New(rand.NewSource(4)))
+	changed := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		a := append([]int32(nil), g.Edge(e)...)
+		b := append([]int32(nil), out.Edge(e)...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if !reflect.DeepEqual(a, b) {
+			changed++
+		}
+	}
+	if changed < g.NumEdges()/2 {
+		t.Fatalf("only %d/%d hyperedges changed", changed, g.NumEdges())
+	}
+}
+
+// edgeLists materializes the full edge content for exact comparison.
+func edgeLists(g *hypergraph.Hypergraph) [][]int32 {
+	out := make([][]int32, g.NumEdges())
+	for e := range out {
+		out[e] = append([]int32(nil), g.Edge(e)...)
+	}
+	return out
+}
+
+func TestSwapDeterministicPerSeed(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Threads, Nodes: 80, Edges: 120, Seed: 5})
+	r := NewSwapRandomizer(g)
+	a := r.GenerateN(2, 11)
+	b := r.GenerateN(2, 11)
+	for i := range a {
+		if !reflect.DeepEqual(edgeLists(a[i]), edgeLists(b[i])) {
+			t.Fatalf("copy %d differs across identically seeded runs", i)
+		}
+	}
+	c := r.GenerateN(1, 12)
+	if reflect.DeepEqual(edgeLists(a[0]), edgeLists(c[0])) {
+		t.Fatal("different seeds produced identical randomization")
+	}
+}
+
+func TestSwapPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for incidence-free hypergraph")
+		}
+	}()
+	NewSwapRandomizer(hypergraph.FromEdges(5, nil))
+}
+
+// TestSwapQuickMargins: property-based check over random small hypergraphs.
+func TestSwapQuickMargins(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := hypergraph.NewBuilder(20).KeepDuplicates()
+		n := 5 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			size := 1 + rng.Intn(5)
+			seen := make(map[int32]bool)
+			var edge []int32
+			for len(edge) < size {
+				v := int32(rng.Intn(20))
+				if !seen[v] {
+					seen[v] = true
+					edge = append(edge, v)
+				}
+			}
+			b.AddEdge(edge)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		out := NewSwapRandomizer(g).Generate(rand.New(rand.NewSource(seed + 1)))
+		return reflect.DeepEqual(out.NodeDegrees(), g.NodeDegrees()) &&
+			reflect.DeepEqual(out.EdgeSizes(), g.EdgeSizes())
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapSweepKnob(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Email, Nodes: 60, Edges: 100, Seed: 8})
+	r := NewSwapRandomizer(g)
+	r.SwapsPerIncidence = 1
+	light := r.Generate(rand.New(rand.NewSource(3)))
+	if reflect.DeepEqual(light.NodeDegrees(), g.NodeDegrees()) == false {
+		t.Fatal("margins broken at 1 sweep")
+	}
+}

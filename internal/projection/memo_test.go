@@ -1,0 +1,156 @@
+package projection
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mochy/internal/hypergraph"
+)
+
+func TestMemoizedMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomHypergraph(rng, 30, 50, 5)
+	p := Build(g)
+	for _, policy := range []Policy{PolicyDegree, PolicyLRU, PolicyRandom} {
+		for _, budget := range []int64{0, 10, 1 << 20} {
+			m := NewMemoized(g, budget, policy)
+			if m.NumWedges() != p.NumWedges() {
+				t.Fatalf("policy %v budget %d: NumWedges = %d, want %d",
+					policy, budget, m.NumWedges(), p.NumWedges())
+			}
+			// Query every edge twice in a scrambled order: results must be
+			// exact regardless of cache state.
+			order := rng.Perm(g.NumEdges())
+			for pass := 0; pass < 2; pass++ {
+				for _, e := range order {
+					got := m.Neighbors(int32(e))
+					want := p.Neighbors(int32(e))
+					if len(got) != len(want) {
+						t.Fatalf("policy %v budget %d edge %d: size %d, want %d",
+							policy, budget, e, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("policy %v budget %d edge %d: entry %d differs",
+								policy, budget, e, i)
+						}
+					}
+				}
+			}
+			// Overlap agrees with the static projection on random pairs.
+			for trial := 0; trial < 200; trial++ {
+				i := int32(rng.Intn(g.NumEdges()))
+				j := int32(rng.Intn(g.NumEdges()))
+				if i == j {
+					continue
+				}
+				if got, want := m.Overlap(i, j), p.Overlap(i, j); got != want {
+					t.Fatalf("policy %v: Overlap(%d,%d) = %d, want %d", policy, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMemoizedBudgetZeroNeverCaches(t *testing.T) {
+	g := paperExample()
+	m := NewMemoized(g, 0, PolicyDegree)
+	for pass := 0; pass < 3; pass++ {
+		for e := int32(0); e < 4; e++ {
+			m.Neighbors(e)
+		}
+	}
+	if m.Hits() != 0 {
+		t.Fatalf("Hits = %d, want 0 with zero budget", m.Hits())
+	}
+	if m.Computes() != 12 {
+		t.Fatalf("Computes = %d, want 12 (every request recomputes)", m.Computes())
+	}
+}
+
+func TestMemoizedFullBudgetComputesOnce(t *testing.T) {
+	g := paperExample()
+	m := NewMemoized(g, 1<<20, PolicyDegree)
+	for pass := 0; pass < 3; pass++ {
+		for e := int32(0); e < 4; e++ {
+			m.Neighbors(e)
+		}
+	}
+	if m.Computes() != 4 {
+		t.Fatalf("Computes = %d, want 4 with unlimited budget", m.Computes())
+	}
+	if m.Hits() != 8 {
+		t.Fatalf("Hits = %d, want 8", m.Hits())
+	}
+}
+
+func TestMemoizedDegreePolicyKeepsHighDegree(t *testing.T) {
+	// A hub edge {0..5} with five spokes, each sharing a distinct hub node,
+	// so the hub has degree 5 and every spoke degree 1.
+	edges := [][]int32{{0, 1, 2, 3, 4, 5}}
+	for i := int32(1); i <= 5; i++ {
+		edges = append(edges, []int32{i, 5 + i})
+	}
+	// Two disjoint low-degree edges.
+	edges = append(edges, []int32{20, 21}, []int32{22, 23})
+	g := hypergraph.FromEdges(24, edges)
+	p := Build(g)
+	hub := int32(0)
+	hubDeg := int64(p.Degree(hub))
+
+	m := NewMemoized(g, hubDeg, PolicyDegree) // room for exactly the hub
+	// Touch low-degree edges first, then the hub, then everything again.
+	for e := 1; e < g.NumEdges(); e++ {
+		m.Neighbors(int32(e))
+	}
+	m.Neighbors(hub)
+	before := m.Computes()
+	m.Neighbors(hub) // must hit: the hub has the highest degree
+	if m.Computes() != before {
+		t.Fatal("degree policy failed to retain the highest-degree neighborhood")
+	}
+}
+
+func TestMemoizedLRUKeepsRecent(t *testing.T) {
+	g := paperExample()
+	p := Build(g)
+	// Budget for roughly one neighborhood.
+	m := NewMemoized(g, int64(p.Degree(0)), PolicyLRU)
+	m.Neighbors(0)
+	before := m.Computes()
+	m.Neighbors(0) // most recent: should hit
+	if m.Computes() != before {
+		t.Fatal("LRU policy failed to serve the most recent entry from cache")
+	}
+}
+
+func TestMemoizedConcurrentAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomHypergraph(rng, 40, 80, 5)
+	p := Build(g)
+	m := NewMemoized(g, 100, PolicyDegree)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 300; trial++ {
+				e := int32(r.Intn(g.NumEdges()))
+				got := m.Neighbors(e)
+				want := p.Neighbors(e)
+				if len(got) != len(want) {
+					errs <- "size mismatch under concurrency"
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

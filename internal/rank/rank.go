@@ -1,0 +1,157 @@
+// Package rank scores hyperedges by motif-aware PageRank — the
+// "incorporating h-motifs into ranking" direction named in the paper's
+// conclusion, following the higher-order ranking work it cites [73].
+//
+// The walk runs on the projected graph G¯ (hyperedges as vertices). Two
+// weighting schemes are provided: WeightOverlap uses the paper's projected
+// weights ω(∧ij) = |ei ∩ ej|, and WeightMotif uses h-motif co-participation
+// counts, which reward hyperedges embedded in many three-edge patterns
+// rather than merely sharing many nodes pairwise.
+package rank
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"mochy/internal/cluster"
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+// Weighting selects how the transition weights of the walk are derived.
+type Weighting int
+
+const (
+	// WeightOverlap weights the arc between adjacent hyperedges by their
+	// node overlap ω(∧ij).
+	WeightOverlap Weighting = iota
+	// WeightMotif weights the arc by the number of h-motif instances the
+	// two hyperedges share (closed instances plus the adjacent pairs of
+	// open instances).
+	WeightMotif
+	// WeightClosedMotif is WeightMotif restricted to closed instances.
+	WeightClosedMotif
+)
+
+// Config parameterizes Scores.
+type Config struct {
+	Weights Weighting
+	// Damping is the PageRank damping factor; 0 means 0.85.
+	Damping float64
+	// Tol is the L1 convergence threshold; 0 means 1e-10.
+	Tol float64
+	// MaxIter bounds power iterations; 0 means 200.
+	MaxIter int
+}
+
+// ErrBadDamping is returned for damping factors outside [0, 1).
+var ErrBadDamping = errors.New("rank: damping must be in [0, 1)")
+
+// Scores returns one PageRank score per hyperedge of g. Scores are
+// non-negative and sum to one (for a non-empty hypergraph). Hyperedges with
+// no weighted neighbor distribute their mass uniformly (dangling handling).
+func Scores(g *hypergraph.Hypergraph, p projection.Projector, cfg Config) ([]float64, error) {
+	n := g.NumEdges()
+	if n == 0 {
+		return nil, nil
+	}
+	d := cfg.Damping
+	if d == 0 {
+		d = 0.85
+	}
+	if d < 0 || d >= 1 {
+		return nil, ErrBadDamping
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 200
+	}
+
+	type arc struct {
+		to int32
+		w  float64
+	}
+	adj := make([][]arc, n)
+	switch cfg.Weights {
+	case WeightOverlap:
+		for e := int32(0); e < int32(n); e++ {
+			for _, nb := range p.Neighbors(e) {
+				adj[e] = append(adj[e], arc{nb.Edge, float64(nb.Overlap)})
+			}
+		}
+	case WeightMotif, WeightClosedMotif:
+		closedOnly := cfg.Weights == WeightClosedMotif
+		for pair, w := range cluster.Cooccurrence(g, p, closedOnly) {
+			a, b := pair[0], pair[1]
+			adj[a] = append(adj[a], arc{b, float64(w)})
+			adj[b] = append(adj[b], arc{a, float64(w)})
+		}
+	default:
+		return nil, errors.New("rank: unknown weighting scheme")
+	}
+
+	outWeight := make([]float64, n)
+	for e := range adj {
+		for _, a := range adj[e] {
+			outWeight[e] += a.w
+		}
+	}
+
+	uniform := 1 / float64(n)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = uniform
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for e := range adj {
+			if outWeight[e] == 0 {
+				dangling += cur[e]
+				continue
+			}
+			share := cur[e] / outWeight[e]
+			for _, a := range adj[e] {
+				next[a.to] += share * a.w
+			}
+		}
+		base := (1-d)*1 + d*dangling // teleport + dangling mass, split uniformly
+		delta := 0.0
+		for i := range next {
+			next[i] = base*uniform + d*next[i]
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if delta < tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// Top returns the indices of the k highest-scoring hyperedges, ties broken
+// by smaller index. k larger than the number of hyperedges is clamped.
+func Top(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

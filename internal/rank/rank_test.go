@@ -1,0 +1,179 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+func assertDistribution(t *testing.T, scores []float64) {
+	t.Helper()
+	sum := 0.0
+	for i, s := range scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scores sum to %v, want 1", sum)
+	}
+}
+
+func TestScoresEmptyAndSingle(t *testing.T) {
+	empty := hypergraph.FromEdges(3, nil)
+	scores, err := Scores(empty, projection.Build(empty), Config{})
+	if err != nil || scores != nil {
+		t.Fatalf("empty: scores=%v err=%v", scores, err)
+	}
+	single := hypergraph.FromEdges(3, [][]int32{{0, 1, 2}})
+	scores, err = Scores(single, projection.Build(single), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 1 || math.Abs(scores[0]-1) > 1e-12 {
+		t.Fatalf("single edge: %v", scores)
+	}
+}
+
+func TestScoresBadConfig(t *testing.T) {
+	g := hypergraph.FromEdges(2, [][]int32{{0, 1}})
+	p := projection.Build(g)
+	for _, d := range []float64{-0.5, 1.0, 2.0} {
+		if _, err := Scores(g, p, Config{Damping: d}); err != ErrBadDamping {
+			t.Fatalf("damping %v: got %v, want ErrBadDamping", d, err)
+		}
+	}
+	if _, err := Scores(g, p, Config{Weights: Weighting(99)}); err == nil {
+		t.Fatal("unknown weighting accepted")
+	}
+}
+
+// TestScoresRingUniform: a symmetric ring of hyperedges must score
+// uniformly under every weighting scheme.
+func TestScoresRingUniform(t *testing.T) {
+	const n = 8
+	edges := make([][]int32, n)
+	for i := range edges {
+		edges[i] = []int32{int32(i), int32((i + 1) % n)}
+	}
+	g := hypergraph.FromEdges(n, edges)
+	p := projection.Build(g)
+	for _, w := range []Weighting{WeightOverlap, WeightMotif} {
+		scores, err := Scores(g, p, Config{Weights: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertDistribution(t, scores)
+		for i, s := range scores {
+			if math.Abs(s-1.0/n) > 1e-9 {
+				t.Fatalf("weighting %v: score[%d] = %v, want %v", w, i, s, 1.0/n)
+			}
+		}
+	}
+}
+
+// starGraph returns a hub hyperedge overlapping many mutually disjoint leaf
+// hyperedges; the hub index is 0.
+func starGraph(leaves int) *hypergraph.Hypergraph {
+	hub := make([]int32, leaves)
+	for i := range hub {
+		hub[i] = int32(i)
+	}
+	edges := [][]int32{hub}
+	for i := 0; i < leaves; i++ {
+		edges = append(edges, []int32{int32(i), int32(100 + i)})
+	}
+	return hypergraph.FromEdges(100+leaves, edges)
+}
+
+func TestScoresStarHubWins(t *testing.T) {
+	g := starGraph(7)
+	p := projection.Build(g)
+	for _, w := range []Weighting{WeightOverlap, WeightMotif} {
+		scores, err := Scores(g, p, Config{Weights: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertDistribution(t, scores)
+		top := Top(scores, 1)
+		if top[0] != 0 {
+			t.Fatalf("weighting %v: top hyperedge is %d, want hub 0 (scores %v)",
+				w, top[0], scores)
+		}
+	}
+}
+
+// TestClosedMotifWeightingIgnoresOpenStructure: in a star every instance is
+// open, so WeightClosedMotif sees no arcs and scores uniformly, while
+// WeightMotif concentrates mass on the hub. This is the behavioural
+// difference between the schemes.
+func TestClosedMotifWeightingIgnoresOpenStructure(t *testing.T) {
+	g := starGraph(6)
+	p := projection.Build(g)
+	closed, err := Scores(g, p, Config{Weights: WeightClosedMotif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDistribution(t, closed)
+	n := float64(g.NumEdges())
+	for i, s := range closed {
+		if math.Abs(s-1/n) > 1e-9 {
+			t.Fatalf("closed-motif scores not uniform at %d: %v", i, s)
+		}
+	}
+	open, err := Scores(g, p, Config{Weights: WeightMotif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open[0] <= 1/n {
+		t.Fatalf("motif weighting did not boost the hub: %v", open[0])
+	}
+}
+
+func TestScoresDampingSensitivity(t *testing.T) {
+	// Lower damping pulls scores toward uniform.
+	g := starGraph(6)
+	p := projection.Build(g)
+	mild, err := Scores(g, p, Config{Damping: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Scores(g, p, Config{Damping: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(g.NumEdges())
+	if math.Abs(mild[0]-1/n) > math.Abs(strong[0]-1/n) {
+		t.Fatalf("damping 0.05 deviates more from uniform than 0.95: %v vs %v",
+			mild[0], strong[0])
+	}
+}
+
+func TestTop(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.3, 0.5}
+	if got := Top(scores, 2); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Top = %v, want [1 3] (tie broken by index)", got)
+	}
+	if got := Top(scores, 99); len(got) != 4 {
+		t.Fatalf("Top clamps to %d", len(got))
+	}
+}
+
+func TestScoresOnGeneratedGraph(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Threads, Nodes: 120, Edges: 180, Seed: 6})
+	p := projection.Build(g)
+	for _, w := range []Weighting{WeightOverlap, WeightMotif, WeightClosedMotif} {
+		scores, err := Scores(g, p, Config{Weights: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scores) != g.NumEdges() {
+			t.Fatalf("%d scores for %d edges", len(scores), g.NumEdges())
+		}
+		assertDistribution(t, scores)
+	}
+}

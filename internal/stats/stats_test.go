@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdErr(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-4.571428571428571) > 1e-12 {
+		t.Errorf("Variance = %v", v)
+	}
+	if se := StdErr(xs); math.Abs(se-StdDev(xs)/math.Sqrt(8)) > 1e-15 {
+		t.Errorf("StdErr = %v", se)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdErr(nil) != 0 {
+		t.Error("empty input should give zeros")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("single sample variance should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if r := Pearson(a, b); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	c := []float64{8, 6, 4, 2}
+	if r := Pearson(a, c); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if r := Pearson(a, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant vector correlation = %v, want 0", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Pearson(a, []float64{1})
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r := Pearson(a, b)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if s := CosineSimilarity([]float64{1, 0}, []float64{2, 0}); math.Abs(s-1) > 1e-12 {
+		t.Errorf("parallel cosine = %v", s)
+	}
+	if s := CosineSimilarity([]float64{1, 0}, []float64{0, 3}); math.Abs(s) > 1e-12 {
+		t.Errorf("orthogonal cosine = %v", s)
+	}
+	if s := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); s != 0 {
+		t.Errorf("zero vector cosine = %v, want 0", s)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	a := NewAlias(weights)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 4)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight outcome sampled %d times", counts[1])
+	}
+	total := 10.0
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, weights := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAlias(%v) did not panic", weights)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestAliasUniform(t *testing.T) {
+	a := NewAlias([]float64{1, 1, 1, 1, 1})
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 5)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, c := range counts {
+		if f := float64(c) / n; math.Abs(f-0.2) > 0.01 {
+			t.Errorf("outcome %d frequency %.4f, want 0.2", i, f)
+		}
+	}
+}

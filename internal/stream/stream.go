@@ -1,0 +1,141 @@
+// Package stream estimates h-motif counts over a hyperedge stream with a
+// fixed memory budget, adapting reservoir-based triangle counting
+// (Trièst [22], cited in the paper's related work) from edges and triangles
+// to hyperedges and h-motif instances.
+//
+// The estimator holds a uniform reservoir of at most M hyperedges. When the
+// t-th hyperedge e arrives, every h-motif instance formed by e and two
+// reservoir hyperedges is found by the same projected-neighborhood scan the
+// dynamic counter uses, and the matching estimate is incremented by the
+// reciprocal of the probability that both earlier hyperedges are still in
+// the reservoir:
+//
+//	1                     if t-1 <= M
+//	(t-1)(t-2) / (M(M-1)) otherwise
+//
+// Every instance is examined exactly once — at the arrival of its last
+// hyperedge — so by linearity of expectation every per-motif estimate is
+// unbiased for the instance count of the stream seen so far. With M at
+// least the stream length the estimates are exact.
+package stream
+
+import (
+	"errors"
+	"math/rand"
+
+	"mochy/internal/dynamic"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/motif"
+)
+
+// Errors returned by the estimator.
+var (
+	ErrBadCapacity = errors.New("stream: reservoir capacity must be at least 2")
+)
+
+// Estimator ingests a stream of hyperedges and maintains unbiased estimates
+// of the cumulative h-motif instance counts. Not safe for concurrent use.
+type Estimator struct {
+	capacity int
+	rng      *rand.Rand
+	counter  *dynamic.Counter
+	live     []int32             // reservoir edge ids, for uniform eviction
+	seen     map[uint64]struct{} // hashes of every distinct edge ingested
+	edges    int64               // distinct hyperedges ingested
+	est      [motif.Count + 1]float64
+}
+
+// NewEstimator returns an estimator with the given reservoir capacity
+// (hyperedges kept in memory). The seed drives reservoir sampling.
+func NewEstimator(capacity int, seed int64) (*Estimator, error) {
+	if capacity < 2 {
+		return nil, ErrBadCapacity
+	}
+	return &Estimator{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+		counter:  dynamic.New(),
+		seen:     make(map[uint64]struct{}),
+	}, nil
+}
+
+// EdgesSeen returns the number of distinct hyperedges ingested so far.
+func (s *Estimator) EdgesSeen() int64 { return s.edges }
+
+// ReservoirSize returns the number of hyperedges currently held.
+func (s *Estimator) ReservoirSize() int { return len(s.live) }
+
+// Estimates returns the current unbiased estimates of the cumulative
+// h-motif instance counts of the ingested stream.
+func (s *Estimator) Estimates() counting.Counts {
+	var out counting.Counts
+	for t := 1; t <= motif.Count; t++ {
+		out.Set(t, s.est[t])
+	}
+	return out
+}
+
+// Ingest processes the next hyperedge of the stream. Hyperedges whose node
+// set was seen before are ignored (the paper's dataset preparation removes
+// duplicates); distinctness is tracked by a 64-bit hash of the node set, so
+// with astronomically small probability a fresh hyperedge can be mistaken
+// for a duplicate.
+func (s *Estimator) Ingest(nodes []int32) error {
+	h, err := hypergraph.HashNodeSet(nodes)
+	if err != nil {
+		return err
+	}
+	if _, dup := s.seen[h]; dup {
+		return nil
+	}
+
+	// Count the instances completed by this arrival: insert the edge and
+	// read off the per-motif delta, weighted by the inverse co-survival
+	// probability of the two reservoir partners.
+	before := s.counter.Counts()
+	id, err := s.counter.Insert(nodes)
+	if err != nil {
+		return err
+	}
+	s.seen[h] = struct{}{}
+	s.edges++
+	after := s.counter.Counts()
+
+	weight := 1.0
+	past := float64(s.edges - 1) // hyperedges preceding this arrival
+	m := float64(s.capacity)
+	if past > m {
+		weight = past * (past - 1) / (m * (m - 1))
+	}
+	for t := 1; t <= motif.Count; t++ {
+		if d := after.Get(t) - before.Get(t); d != 0 {
+			s.est[t] += weight * d
+		}
+	}
+
+	// Standard reservoir maintenance.
+	if len(s.live) < s.capacity {
+		s.live = append(s.live, id)
+		return nil
+	}
+	if s.rng.Float64() < m/float64(s.edges) {
+		victim := s.rng.Intn(len(s.live))
+		if err := s.counter.Delete(s.live[victim]); err != nil {
+			return err
+		}
+		s.live[victim] = id
+		return nil
+	}
+	return s.counter.Delete(id)
+}
+
+// IngestHypergraph streams every hyperedge of g in edge-index order.
+func (s *Estimator) IngestHypergraph(g *hypergraph.Hypergraph) error {
+	for e := 0; e < g.NumEdges(); e++ {
+		if err := s.Ingest(g.Edge(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

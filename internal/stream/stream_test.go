@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/projection"
+)
+
+func TestNewEstimatorCapacity(t *testing.T) {
+	for _, c := range []int{-1, 0, 1} {
+		if _, err := NewEstimator(c, 1); err != ErrBadCapacity {
+			t.Fatalf("capacity %d: got %v, want ErrBadCapacity", c, err)
+		}
+	}
+	if _, err := NewEstimator(2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	s, _ := NewEstimator(4, 1)
+	if err := s.Ingest(nil); err == nil {
+		t.Fatal("empty edge accepted")
+	}
+	if err := s.Ingest([]int32{-3}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if s.EdgesSeen() != 0 {
+		t.Fatalf("invalid edges counted: %d", s.EdgesSeen())
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s, _ := NewEstimator(8, 1)
+	if err := s.Ingest([]int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Same set, different order, with multiplicity.
+	if err := s.Ingest([]int32{3, 1, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.EdgesSeen() != 1 {
+		t.Fatalf("EdgesSeen = %d, want 1", s.EdgesSeen())
+	}
+	if s.ReservoirSize() != 1 {
+		t.Fatalf("ReservoirSize = %d, want 1", s.ReservoirSize())
+	}
+}
+
+// TestExactWhenReservoirCoversStream: with capacity >= stream length, every
+// weight is 1 and the estimates must equal MoCHy-E exactly.
+func TestExactWhenReservoirCoversStream(t *testing.T) {
+	domains := []generator.Domain{generator.Coauthorship, generator.Email, generator.Tags}
+	for _, d := range domains {
+		g := generator.Generate(generator.Config{Domain: d, Nodes: 90, Edges: 160, Seed: int64(d) + 11})
+		s, err := NewEstimator(g.NumEdges()+5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.IngestHypergraph(g); err != nil {
+			t.Fatal(err)
+		}
+		want := counting.CountExact(g, projection.Build(g), 1)
+		got := s.Estimates()
+		for id := 1; id <= motif.Count; id++ {
+			if got.Get(id) != want.Get(id) {
+				t.Fatalf("domain %v motif %d: stream %v, exact %v",
+					d, id, got.Get(id), want.Get(id))
+			}
+		}
+		if s.EdgesSeen() != int64(g.NumEdges()) {
+			t.Fatalf("EdgesSeen = %d, want %d", s.EdgesSeen(), g.NumEdges())
+		}
+	}
+}
+
+func TestReservoirNeverExceedsCapacity(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Threads, Nodes: 100, Edges: 300, Seed: 4})
+	s, _ := NewEstimator(20, 9)
+	for e := 0; e < g.NumEdges(); e++ {
+		if err := s.Ingest(g.Edge(e)); err != nil {
+			t.Fatal(err)
+		}
+		if s.ReservoirSize() > 20 {
+			t.Fatalf("reservoir grew to %d", s.ReservoirSize())
+		}
+	}
+	if s.ReservoirSize() != 20 {
+		t.Fatalf("reservoir ended at %d, want full 20", s.ReservoirSize())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Contact, Nodes: 60, Edges: 250, Seed: 2})
+	run := func(seed int64) counting.Counts {
+		s, _ := NewEstimator(30, seed)
+		if err := s.IngestHypergraph(g); err != nil {
+			t.Fatal(err)
+		}
+		return s.Estimates()
+	}
+	a, b := run(5), run(5)
+	for id := 1; id <= motif.Count; id++ {
+		if a.Get(id) != b.Get(id) {
+			t.Fatalf("same seed, different estimate for motif %d", id)
+		}
+	}
+}
+
+// TestUnbiasedness: the estimator averaged over many independent runs must
+// converge to the exact counts (Trièst-style unbiasedness, adapted).
+func TestUnbiasedness(t *testing.T) {
+	g := generator.Generate(generator.Config{Domain: generator.Coauthorship, Nodes: 70, Edges: 90, Seed: 13})
+	exact := counting.CountExact(g, projection.Build(g), 1)
+	total := exact.Total()
+	if total < 50 {
+		t.Fatalf("workload too sparse for a statistical test: %v instances", total)
+	}
+
+	const runs = 400
+	var sum [motif.Count + 1]float64
+	for seed := int64(0); seed < runs; seed++ {
+		s, err := NewEstimator(30, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.IngestHypergraph(g); err != nil {
+			t.Fatal(err)
+		}
+		est := s.Estimates()
+		for id := 1; id <= motif.Count; id++ {
+			sum[id] += est.Get(id)
+		}
+	}
+	var meanTotal, exactTotal float64
+	for id := 1; id <= motif.Count; id++ {
+		meanTotal += sum[id] / runs
+		exactTotal += exact.Get(id)
+	}
+	if rel := math.Abs(meanTotal-exactTotal) / exactTotal; rel > 0.08 {
+		t.Fatalf("mean estimate %v vs exact %v: relative deviation %.3f > 0.08",
+			meanTotal, exactTotal, rel)
+	}
+	// Per-motif check on the populous motifs, where the variance allows a
+	// tight statistical bound.
+	for id := 1; id <= motif.Count; id++ {
+		if exact.Get(id) < 200 {
+			continue
+		}
+		mean := sum[id] / runs
+		if rel := math.Abs(mean-exact.Get(id)) / exact.Get(id); rel > 0.15 {
+			t.Fatalf("motif %d: mean %v vs exact %v (rel %.3f)", id, mean, exact.Get(id), rel)
+		}
+	}
+}
+
+func TestHashNodeSet(t *testing.T) {
+	h1, err := hypergraph.HashNodeSet([]int32{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := hypergraph.HashNodeSet([]int32{2, 3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("hash is order/multiplicity sensitive")
+	}
+	h3, _ := hypergraph.HashNodeSet([]int32{1, 2})
+	if h3 == h1 {
+		t.Fatal("different sets hash equal")
+	}
+	if _, err := hypergraph.HashNodeSet(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := hypergraph.HashNodeSet([]int32{-1}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package mochy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface once: parse,
+// project, count (all three algorithms), randomize, and profile.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := ParseString(`
+0 1 2
+0 1 3
+2 3 4
+0 4
+1 4 5
+2 5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(g)
+	if st.NumEdges != 6 {
+		t.Fatalf("NumEdges = %d", st.NumEdges)
+	}
+	p := Project(g)
+	exact := CountExact(g, p, 2)
+	if exact.Total() == 0 {
+		t.Fatal("no instances found")
+	}
+
+	// Enumerate agrees with the exact total.
+	n := 0
+	Enumerate(g, p, func(Instance) bool { n++; return true })
+	if float64(n) != exact.Total() {
+		t.Fatalf("enumerated %d, counted %v", n, exact.Total())
+	}
+
+	// Sampling estimators produce sane outputs.
+	a := CountEdgeSamples(g, p, g.NumEdges(), 1, 2)
+	if a.Total() < 0 {
+		t.Fatal("negative estimate")
+	}
+	ap := CountWedgeSamples(g, p, p, int(p.NumWedges()), 1, 2)
+	if ap.Total() < 0 {
+		t.Fatal("negative estimate")
+	}
+
+	// On-the-fly projector gives identical exact counts.
+	m := ProjectOnTheFly(g, 1<<20, PolicyDegree)
+	if got := CountExact(g, m, 1); got != exact {
+		t.Fatalf("memoized counts %v != %v", got.String(), exact.String())
+	}
+	sampler := NewRejectionWedgeSampler(g)
+	_ = CountWedgeSamples(g, m, sampler, 10, 1, 1)
+
+	// Null model and CP.
+	var randCounts []*Counts
+	for i := 0; i < 3; i++ {
+		rg := Randomize(g, rand.New(rand.NewSource(int64(i))))
+		rp := Project(rg)
+		c := CountExact(rg, rp, 1)
+		randCounts = append(randCounts, &c)
+	}
+	prof := ComputeProfile(&exact, randCounts)
+	if n := prof.Norm(); n < 0.99 || n > 1.01 {
+		t.Fatalf("profile norm %v", n)
+	}
+	if c := ProfileCorrelation(prof, prof); c < 0.999 {
+		t.Fatalf("self correlation %v", c)
+	}
+	sim := SimilarityMatrix([]Profile{prof, prof})
+	within, across, gap := DomainGap(sim, []string{"x", "x"})
+	if within < 0.999 || across != 0 || gap < 0.999 {
+		t.Fatalf("DomainGap = %v %v %v", within, across, gap)
+	}
+}
+
+func TestFacadeMotifCatalog(t *testing.T) {
+	ms := Motifs()
+	if len(ms) != NumMotifs {
+		t.Fatalf("Motifs() = %d entries", len(ms))
+	}
+	open := 0
+	for id := 1; id <= NumMotifs; id++ {
+		if IsOpenMotif(id) {
+			open++
+			if id < 17 || id > 22 {
+				t.Fatalf("open motif with ID %d", id)
+			}
+		}
+		if MotifByID(id).ID != id {
+			t.Fatalf("MotifByID(%d) mismatch", id)
+		}
+	}
+	if open != 6 {
+		t.Fatalf("open motifs = %d, want 6", open)
+	}
+}
+
+func TestFacadeClassify(t *testing.T) {
+	g := FromEdges(8, [][]int32{
+		{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2},
+	})
+	if id := Classify(g, 0, 1, 2); id == 0 {
+		t.Fatal("paper instance {e1,e2,e3} must classify")
+	}
+	if id := Classify(g, 1, 2, 3); id != 0 {
+		t.Fatal("{e2,e3,e4} is disconnected and must not classify")
+	}
+}
+
+func TestFacadePerEdgeCounts(t *testing.T) {
+	g := FromEdges(8, [][]int32{
+		{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2},
+	})
+	per, total := PerEdgeCounts(g, Project(g))
+	if total.Total() != 3 || len(per) != 4 {
+		t.Fatalf("per-edge counts wrong: total=%v rows=%d", total.Total(), len(per))
+	}
+}

@@ -8,7 +8,12 @@ package mochy
 // suite finishes on a laptop; `cmd/experiments -scale 1` runs the full size.
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"mochy/internal/anomaly"
@@ -22,6 +27,7 @@ import (
 	"mochy/internal/nullmodel"
 	"mochy/internal/projection"
 	"mochy/internal/rank"
+	"mochy/internal/server"
 	"mochy/internal/stats"
 	"mochy/internal/stream"
 	"mochy/internal/temporal"
@@ -569,4 +575,71 @@ func BenchmarkMotif4Census(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerCount measures mochyd's count endpoint over real HTTP:
+// "miss" re-uploads the graph each iteration so every query runs MoCHy-E
+// cold, "hit" uploads once and serves every query from the LRU result
+// cache. The acceptance bar for the cache is hit ≥ 10× faster than miss.
+func BenchmarkServerCount(b *testing.B) {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 300, Edges: 2000, Seed: 17,
+	})
+	var text strings.Builder
+	if err := g.Write(&text); err != nil {
+		b.Fatal(err)
+	}
+	loadBody, err := json.Marshal(map[string]string{"name": "bench", "text": text.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	countBody := []byte(`{"algorithm": "exact"}`)
+
+	post := func(b *testing.B, ts *httptest.Server, path string, body []byte) map[string]any {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			b.Fatalf("HTTP %d: %v", resp.StatusCode, v["error"])
+		}
+		return v
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		ts := httptest.NewServer(server.New(server.DefaultConfig()))
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			post(b, ts, "/graphs", loadBody) // re-upload bumps the generation: next count is cold
+			b.StartTimer()
+			res := post(b, ts, "/graphs/bench/count", countBody)
+			if res["cached"].(bool) {
+				b.Fatal("miss benchmark was served from cache")
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		ts := httptest.NewServer(server.New(server.DefaultConfig()))
+		defer ts.Close()
+		post(b, ts, "/graphs", loadBody)
+		warm := post(b, ts, "/graphs/bench/count", countBody)
+		total := warm["total"].(float64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := post(b, ts, "/graphs/bench/count", countBody)
+			if !res["cached"].(bool) {
+				b.Fatal("hit benchmark missed the cache")
+			}
+			if res["total"].(float64) != total {
+				b.Fatal("cached total drifted")
+			}
+		}
+	})
 }

@@ -1,0 +1,110 @@
+// Command mochyd serves the MoCHy engine over HTTP/JSON to many concurrent
+// clients. It holds a registry of named hypergraphs (uploaded once, shared
+// immutably across requests), an LRU cache of count and profile results, and
+// a bounded pool of counting jobs.
+//
+// Usage:
+//
+//	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N] [-load name=path ...]
+//
+// Endpoints:
+//
+//	GET    /healthz                   liveness, cache and pool counters
+//	GET    /graphs                    registered graph names
+//	POST   /graphs                    load a graph {"name": ..., "text"|"edges": ...}
+//	GET    /graphs/{name}/stats       structural statistics
+//	POST   /graphs/{name}/count       exact / edge-sample / wedge-sample counts
+//	POST   /graphs/{name}/profile     characteristic profile vs Chung-Lu nulls
+//	DELETE /graphs/{name}             unregister
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/server"
+)
+
+// loadFlags collects repeated -load name=path flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheSize     = flag.Int("cache", 256, "result cache capacity in entries (<=0 disables)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent counting jobs (0 = GOMAXPROCS)")
+		maxWorkers    = flag.Int("max-workers", 0, "cap on per-request workers (0 = GOMAXPROCS)")
+		loads         loadFlags
+	)
+	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
+	flag.Parse()
+
+	if *cacheSize == 0 {
+		*cacheSize = -1 // flag 0 means "disable", Config 0 means "default"
+	}
+	srv := server.New(server.Config{
+		CacheSize:        *cacheSize,
+		MaxConcurrent:    *maxConcurrent,
+		MaxWorkersPerJob: *maxWorkers,
+	})
+	defer srv.Close()
+
+	for _, spec := range loads {
+		name, path, _ := strings.Cut(spec, "=")
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("preload %s: %v", spec, err)
+		}
+		g, err := hypergraph.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("preload %s: %v", spec, err)
+		}
+		e, _ := srv.Registry().Load(name, g)
+		log.Printf("loaded %q: %d nodes, %d hyperedges", name, e.Stats.NumNodes, e.Stats.NumEdges)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mochyd listening on %s (cache=%d, jobs=%d)", *addr, *cacheSize, *maxConcurrent)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package mochy
+
+// Smoke test: the examples/* packages have no test files of their own, so a
+// plain `go test ./...` never compiles them and they rot silently. This test
+// shells out to the go tool and builds every example package, failing with
+// the compiler output if any of them no longer compiles.
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example compilation in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	cmd := exec.Command(goTool, "build", "./examples/...")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,3 @@
+module mochy
+
+go 1.21

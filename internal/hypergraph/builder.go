@@ -12,6 +12,8 @@ type Builder struct {
 	times    []int64
 	timed    bool
 	numNodes int
+	// maxNodes, when positive, caps the node universe at Build time.
+	maxNodes int
 	// keepDuplicates controls whether identical hyperedges are retained.
 	// The paper removes duplicated hyperedges from all datasets.
 	keepDuplicates bool
@@ -28,6 +30,15 @@ func NewBuilder(numNodes int) *Builder {
 // instead of deduplicating them at Build time.
 func (b *Builder) KeepDuplicates() *Builder {
 	b.keepDuplicates = true
+	return b
+}
+
+// LimitNodes makes Build fail if the node universe would exceed n nodes.
+// The incidence index allocates proportionally to the largest node ID, so
+// callers handling untrusted input should set a limit before Build; n <= 0
+// means unlimited.
+func (b *Builder) LimitNodes(n int) *Builder {
+	b.maxNodes = n
 	return b
 }
 
@@ -77,6 +88,9 @@ func (b *Builder) Build() (*Hypergraph, error) {
 				n = int(v) + 1
 			}
 		}
+	}
+	if b.maxNodes > 0 && n > b.maxNodes {
+		return nil, fmt.Errorf("hypergraph: %d nodes exceeds the limit of %d", n, b.maxNodes)
 	}
 
 	type rec struct {

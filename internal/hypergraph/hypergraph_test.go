@@ -91,6 +91,19 @@ func TestBuilderRejectsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestBuilderLimitNodes(t *testing.T) {
+	b := NewBuilder(0).LimitNodes(4)
+	b.AddEdge([]int32{0, 9})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for node universe over the limit")
+	}
+	b2 := NewBuilder(0).LimitNodes(4)
+	b2.AddEdge([]int32{0, 3})
+	if _, err := b2.Build(); err != nil {
+		t.Fatalf("Build under the limit failed: %v", err)
+	}
+}
+
 func TestBuilderGrowsUniverseWhenUnsized(t *testing.T) {
 	b := NewBuilder(0)
 	b.AddEdge([]int32{7, 2})

@@ -20,7 +20,15 @@ import (
 //	0 1 2
 //	1 3 t=1995
 func Parse(r io.Reader) (*Hypergraph, error) {
-	b := NewBuilder(0)
+	return ParseLimit(r, 0)
+}
+
+// ParseLimit reads a hypergraph like Parse but fails if the node universe
+// would exceed maxNodes; use it on untrusted input, where a single huge node
+// ID would otherwise force an allocation proportional to it. maxNodes <= 0
+// means unlimited.
+func ParseLimit(r io.Reader, maxNodes int) (*Hypergraph, error) {
+	b := NewBuilder(0).LimitNodes(maxNodes)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0

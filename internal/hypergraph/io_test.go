@@ -50,6 +50,19 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseLimit(t *testing.T) {
+	if _, err := ParseLimit(strings.NewReader("0 2000000000\n"), 1<<20); err == nil {
+		t.Fatal("expected error for node id over the limit")
+	}
+	g, err := ParseLimit(strings.NewReader("0 1 2\n"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+}
+
 func TestWriteParseRoundTrip(t *testing.T) {
 	b := NewBuilder(6)
 	b.AddTimedEdge([]int32{0, 1, 2}, 10)

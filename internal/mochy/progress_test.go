@@ -1,0 +1,52 @@
+package mochy
+
+import (
+	"sync"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/projection"
+)
+
+func TestCountExactProgressMatchesCountExact(t *testing.T) {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 120, Edges: 600, Seed: 11,
+	})
+	p := projection.Build(g)
+	want := CountExact(g, p, 1)
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		lastDone, calls := 0, 0
+		got := CountExactProgress(g, p, workers, func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if total != g.NumEdges() {
+				t.Errorf("workers=%d: progress total = %d, want %d", workers, total, g.NumEdges())
+			}
+			if done > lastDone {
+				lastDone = done
+			}
+		})
+		if got != want {
+			t.Errorf("workers=%d: CountExactProgress = %v, want %v", workers, got.String(), want.String())
+		}
+		if calls == 0 {
+			t.Errorf("workers=%d: progress callback never invoked", workers)
+		}
+		if lastDone != g.NumEdges() {
+			t.Errorf("workers=%d: final done = %d, want %d", workers, lastDone, g.NumEdges())
+		}
+	}
+}
+
+func TestCountExactProgressNilCallback(t *testing.T) {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Email, Nodes: 60, Edges: 200, Seed: 5,
+	})
+	p := projection.Build(g)
+	want := CountExact(g, p, 2)
+	if got := CountExactProgress(g, p, 2, nil); got != want {
+		t.Errorf("nil-callback CountExactProgress = %v, want %v", got.String(), want.String())
+	}
+}

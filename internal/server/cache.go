@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a mutex-guarded LRU of computed results, keyed by strings that
+// encode graph identity (name + generation), algorithm, and every parameter
+// the result depends on. A repeated query for an unchanged graph is served
+// from here without touching the counting kernels.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an LRU cache holding at most capacity results. A
+// capacity <= 0 disables caching: Get always misses and Put is a no-op.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when the
+// cache is full.
+func (c *Cache) Put(key string, val any) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// flightGroup collapses concurrent computations of the same key into one:
+// the first caller runs fn, later callers block and share its result. This
+// keeps a thundering herd of identical cold queries from running the same
+// count once per client.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// the result came from another caller's in-flight computation.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		call.wg.Wait()
+		return call.val, call.err, true
+	}
+	call := &flightCall{}
+	call.wg.Add(1)
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.val, call.err = fn()
+	call.wg.Done()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return call.val, call.err, false
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v; want 1, true", v, ok)
+	}
+	hits, misses := c.Counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now most recently used
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least recently used entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted, want kept", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutUpdatesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("Get(a) = %v, want 2 after overwrite", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity 16", c.Len())
+	}
+}
+
+func TestFlightGroupCollapsesConcurrentCalls(t *testing.T) {
+	g := newFlightGroup()
+	var calls int
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		g.Do("k", func() (any, error) {
+			close(started)
+			calls++
+			<-gate
+			return 42, nil
+		})
+	}()
+	<-started
+
+	const waiters = 4
+	results := make(chan int, waiters)
+	var ready sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		ready.Add(1)
+		go func() {
+			ready.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				t.Error("fn ran for a waiter that should share the flight")
+				return nil, nil
+			})
+			if err != nil || !shared {
+				t.Errorf("Do = err %v, shared %v; want nil, true", err, shared)
+			}
+			results <- v.(int)
+		}()
+	}
+	ready.Wait()
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("shared result = %d, want 42", v)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}

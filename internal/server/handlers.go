@@ -1,0 +1,436 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+)
+
+// maxUploadBytes bounds graph upload bodies (64 MiB of text covers every
+// dataset in the paper with room to spare).
+const maxUploadBytes = 64 << 20
+
+// maxQueryBytes bounds count/profile request bodies, which carry only a
+// handful of scalar parameters.
+const maxQueryBytes = 1 << 20
+
+// maxGraphNodes caps the node universe of an uploaded graph. The incidence
+// index allocates proportionally to the largest node ID, so without a cap a
+// tiny request naming node 2e9 would force a multi-gigabyte allocation.
+const maxGraphNodes = 1 << 24
+
+// apiError is the JSON error envelope returned on every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// loadRequest is the POST /graphs body. Exactly one of Text (the whitespace
+// hyperedge-list format accepted by mochy.Parse) or Edges must be set.
+type loadRequest struct {
+	Name     string    `json:"name"`
+	Text     string    `json:"text,omitempty"`
+	Edges    [][]int32 `json:"edges,omitempty"`
+	NumNodes int       `json:"num_nodes,omitempty"`
+}
+
+// loadResponse answers a graph upload.
+type loadResponse struct {
+	Name     string      `json:"name"`
+	Replaced bool        `json:"replaced"`
+	Stats    statsResult `json:"stats"`
+}
+
+// statsResult is the JSON shape of hypergraph.Stats.
+type statsResult struct {
+	NumNodes       int         `json:"num_nodes"`
+	NumEdges       int         `json:"num_edges"`
+	TotalIncidence int         `json:"total_incidence"`
+	MaxEdgeSize    int         `json:"max_edge_size"`
+	MeanEdgeSize   float64     `json:"mean_edge_size"`
+	MaxDegree      int         `json:"max_degree"`
+	MeanDegree     float64     `json:"mean_degree"`
+	SizeHistogram  map[int]int `json:"size_histogram"`
+	DegreeHist     map[int]int `json:"degree_histogram"`
+}
+
+func toStatsResult(s hypergraph.Stats) statsResult {
+	return statsResult{
+		NumNodes:       s.NumNodes,
+		NumEdges:       s.NumEdges,
+		TotalIncidence: s.TotalIncidence,
+		MaxEdgeSize:    s.MaxEdgeSize,
+		MeanEdgeSize:   s.MeanEdgeSize,
+		MaxDegree:      s.MaxDegree,
+		MeanDegree:     s.MeanDegree,
+		SizeHistogram:  s.SizeHistogram,
+		DegreeHist:     s.DegreeHistogram,
+	}
+}
+
+// countRequest is the POST /graphs/{name}/count body.
+type countRequest struct {
+	// Algorithm is "exact" (MoCHy-E, the default), "edge-sample" (MoCHy-A)
+	// or "wedge-sample" (MoCHy-A+).
+	Algorithm string `json:"algorithm"`
+	// Samples is the sampling budget; required for the sampling algorithms.
+	Samples int `json:"samples,omitempty"`
+	// Seed makes sampling estimates reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the per-job parallelism; 0 means the server maximum.
+	Workers int `json:"workers,omitempty"`
+	// Stream selects NDJSON progress streaming (exact counts only).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// countResponse answers a count query.
+type countResponse struct {
+	Graph        string    `json:"graph"`
+	Algorithm    string    `json:"algorithm"`
+	Counts       []float64 `json:"counts"`
+	Total        float64   `json:"total"`
+	OpenFraction float64   `json:"open_fraction"`
+	Cached       bool      `json:"cached"`
+	ElapsedMS    float64   `json:"elapsed_ms"`
+}
+
+// progressEvent is one NDJSON line of a streamed exact count.
+type progressEvent struct {
+	Type  string `json:"type"` // "progress"
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// streamResult is the final NDJSON line of a streamed exact count.
+type streamResult struct {
+	Type string `json:"type"` // "result"
+	countResponse
+}
+
+// profileRequest is the POST /graphs/{name}/profile body.
+type profileRequest struct {
+	// Randomizations is the number of Chung-Lu null copies (default 3).
+	Randomizations int `json:"randomizations,omitempty"`
+	// Seed drives the null-model generation.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the per-count parallelism; 0 means the server maximum.
+	Workers int `json:"workers,omitempty"`
+}
+
+// profileResponse answers a characteristic-profile query.
+type profileResponse struct {
+	Graph          string    `json:"graph"`
+	Randomizations int       `json:"randomizations"`
+	Seed           int64     `json:"seed"`
+	Profile        []float64 `json:"profile"`
+	Norm           float64   `json:"norm"`
+	Cached         bool      `json:"cached"`
+	ElapsedMS      float64   `json:"elapsed_ms"`
+}
+
+// healthResponse answers GET /healthz.
+type healthResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Graphs        int    `json:"graphs"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	ActiveJobs    int    `json:"active_jobs"`
+	JobCapacity   int    `json:"job_capacity"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	hits, misses := s.cache.Counters()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Graphs:        s.registry.Len(),
+		CacheEntries:  s.cache.Len(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		ActiveJobs:    s.pool.Active(),
+		JobCapacity:   s.pool.Capacity(),
+	})
+}
+
+// handleGraphs serves the /graphs collection: POST loads a graph, GET lists
+// registered names.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.registry.Names()})
+	case http.MethodPost:
+		s.handleLoad(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "name is required")
+		return
+	}
+	if strings.ContainsRune(req.Name, '/') {
+		writeError(w, http.StatusBadRequest, "name must not contain '/'")
+		return
+	}
+	var g *hypergraph.Hypergraph
+	var err error
+	switch {
+	case req.Text != "" && req.Edges != nil:
+		writeError(w, http.StatusBadRequest, "provide either text or edges, not both")
+		return
+	case req.Text != "":
+		g, err = hypergraph.ParseLimit(strings.NewReader(req.Text), maxGraphNodes)
+	case req.Edges != nil:
+		if req.NumNodes > maxGraphNodes {
+			writeError(w, http.StatusBadRequest, "num_nodes %d exceeds the limit of %d", req.NumNodes, maxGraphNodes)
+			return
+		}
+		b := hypergraph.NewBuilder(req.NumNodes).LimitNodes(maxGraphNodes)
+		for _, e := range req.Edges {
+			b.AddEdge(e)
+		}
+		g, err = b.Build()
+	default:
+		writeError(w, http.StatusBadRequest, "provide text or edges")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid hypergraph: %v", err)
+		return
+	}
+	e, replaced := s.registry.Load(req.Name, g)
+	writeJSON(w, http.StatusCreated, loadResponse{
+		Name:     req.Name,
+		Replaced: replaced,
+		Stats:    toStatsResult(e.Stats),
+	})
+}
+
+// handleGraph routes /graphs/{name}[/{action}] requests.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
+	name, action, _ := strings.Cut(rest, "/")
+	if name == "" {
+		writeError(w, http.StatusNotFound, "graph name missing")
+		return
+	}
+	if r.Method == http.MethodDelete && action == "" {
+		if !s.registry.Delete(name) {
+			writeError(w, http.StatusNotFound, "graph %q not found", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+		return
+	}
+	e, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q not found", name)
+		return
+	}
+	switch action {
+	case "", "stats":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		writeJSON(w, http.StatusOK, toStatsResult(e.Stats))
+	case "count":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		s.handleCount(w, r, e)
+	case "profile":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		s.handleProfile(w, r, e)
+	default:
+		writeError(w, http.StatusNotFound, "unknown action %q", action)
+	}
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry) {
+	var req countRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = algoExact
+	}
+	switch req.Algorithm {
+	case algoExact:
+	case algoEdge, algoWedge:
+		if req.Samples <= 0 {
+			writeError(w, http.StatusBadRequest, "samples must be positive for %s", req.Algorithm)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q (want %s, %s or %s)",
+			req.Algorithm, algoExact, algoEdge, algoWedge)
+		return
+	}
+	workers := s.clampWorkers(req.Workers)
+	if req.Stream && req.Algorithm == algoExact {
+		s.streamCount(w, r, e, workers)
+		return
+	}
+	start := time.Now()
+	c, cached, err := s.count(r.Context(), e, req.Algorithm, req.Samples, req.Seed, workers)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "count failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, countResponse{
+		Graph:        e.Name,
+		Algorithm:    req.Algorithm,
+		Counts:       c[:],
+		Total:        c.Total(),
+		OpenFraction: c.OpenFraction(),
+		Cached:       cached,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// streamCount serves an exact count as NDJSON: progress events while the
+// enumeration runs, then one final result line. A cache hit skips straight
+// to the result; concurrent identical streamed queries collapse into one
+// computation (only the caller that runs it sees progress events).
+func (s *Server) streamCount(w http.ResponseWriter, r *http.Request, e *Entry, workers int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// mu guards enc and lastEmit together: deciding to fire and writing the
+	// line happen in one critical section, so progress never goes backwards
+	// on the wire.
+	var mu sync.Mutex
+	emitLocked := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit := func(v any) {
+		mu.Lock()
+		defer mu.Unlock()
+		emitLocked(v)
+	}
+
+	start := time.Now()
+	key := countKey(e, algoExact, 0, 0, workers)
+	c, cached := counting.Counts{}, false
+	if v, ok := s.cache.Get(key); ok {
+		c, cached = v.(counting.Counts), true
+	} else {
+		// Report progress at ~1% granularity so huge graphs don't flood
+		// the connection with one line per stride.
+		total := e.Graph.NumEdges()
+		step := total / 100
+		if step < 1 {
+			step = 1
+		}
+		lastEmit := 0
+		// The computation is detached from this request's context and
+		// shared through the flight group, so a herd of identical streamed
+		// queries runs MoCHy-E once, and the leader disconnecting neither
+		// wastes the work nor fails the followers.
+		ctx := context.WithoutCancel(r.Context())
+		v, err, shared := s.flight.Do(key, func() (any, error) {
+			result, err := s.runCount(ctx, e, algoExact, 0, 0, workers, func(done, tot int) {
+				mu.Lock()
+				if done >= lastEmit+step && done < tot {
+					lastEmit = done
+					emitLocked(progressEvent{Type: "progress", Done: done, Total: tot})
+				}
+				mu.Unlock()
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, result)
+			return result, nil
+		})
+		if err != nil {
+			emit(apiError{Error: err.Error()})
+			return
+		}
+		c, cached = v.(counting.Counts), shared
+	}
+	emit(streamResult{
+		Type: "result",
+		countResponse: countResponse{
+			Graph:        e.Name,
+			Algorithm:    algoExact,
+			Counts:       c[:],
+			Total:        c.Total(),
+			OpenFraction: c.OpenFraction(),
+			Cached:       cached,
+			ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+		},
+	})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, e *Entry) {
+	var req profileRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Randomizations == 0 {
+		req.Randomizations = 3
+	}
+	if req.Randomizations < 1 {
+		writeError(w, http.StatusBadRequest, "randomizations must be positive")
+		return
+	}
+	workers := s.clampWorkers(req.Workers)
+	start := time.Now()
+	p, cached, err := s.profile(r.Context(), e, req.Randomizations, req.Seed, workers)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "profile failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, profileResponse{
+		Graph:          e.Name,
+		Randomizations: req.Randomizations,
+		Seed:           req.Seed,
+		Profile:        p[:],
+		Norm:           p.Norm(),
+		Cached:         cached,
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by Acquire after the pool is closed.
+var ErrPoolClosed = errors.New("server: worker pool closed")
+
+// Pool bounds how many counting jobs run at once. Each job may itself fan
+// out over multiple goroutines (the per-request workers parameter), so the
+// pool caps admission, not total goroutines; it exists to keep an overloaded
+// server queueing requests instead of thrashing every core at once.
+type Pool struct {
+	sem    chan struct{}
+	closed chan struct{}
+	active atomic.Int64
+}
+
+// NewPool returns a pool admitting at most n concurrent jobs (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{
+		sem:    make(chan struct{}, n),
+		closed: make(chan struct{}),
+	}
+}
+
+// Acquire blocks until a job slot is free, the context is cancelled, or the
+// pool is closed. On success the caller must Release the slot.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case <-p.closed:
+		return ErrPoolClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	case p.sem <- struct{}{}:
+		select {
+		case <-p.closed:
+			<-p.sem
+			return ErrPoolClosed
+		default:
+		}
+		p.active.Add(1)
+		return nil
+	}
+}
+
+// Release frees a slot obtained by Acquire.
+func (p *Pool) Release() {
+	p.active.Add(-1)
+	<-p.sem
+}
+
+// Active returns the number of jobs currently holding a slot.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
+// Capacity returns the maximum number of concurrent jobs.
+func (p *Pool) Capacity() int { return cap(p.sem) }
+
+// Close rejects future Acquires. Jobs already admitted finish normally.
+func (p *Pool) Close() {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsAdmission(t *testing.T) {
+	p := NewPool(2)
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", p.Active())
+	}
+
+	// A third Acquire must block until a slot frees.
+	timeout, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := p.Acquire(timeout); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-capacity Acquire = %v, want deadline exceeded", err)
+	}
+
+	p.Release()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire after Release = %v", err)
+	}
+	if p.Capacity() != 2 {
+		t.Fatalf("Capacity = %d, want 2", p.Capacity())
+	}
+}
+
+func TestPoolMinimumCapacity(t *testing.T) {
+	if c := NewPool(0).Capacity(); c != 1 {
+		t.Fatalf("NewPool(0).Capacity = %d, want 1", c)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Acquire(context.Background()); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Acquire after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Release() // the admitted job still finishes normally
+}

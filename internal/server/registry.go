@@ -1,0 +1,103 @@
+// Package server implements mochyd, a long-lived HTTP/JSON service exposing
+// the MoCHy engine to many concurrent clients. It holds a registry of named
+// hypergraphs (loaded once, shared immutably across requests), an LRU result
+// cache so repeated count/profile queries are served without recomputation,
+// and a bounded worker pool that runs MoCHy-E / MoCHy-A / MoCHy-A+ jobs with
+// per-request worker counts and sampling budgets, streaming progress for
+// long exact counts.
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mochy/internal/hypergraph"
+	"mochy/internal/projection"
+)
+
+// Entry is one registered hypergraph. The graph and its stats are immutable;
+// the projected graph is materialized at most once, on first use, and shared
+// by every subsequent request.
+type Entry struct {
+	Name  string
+	Gen   uint64 // distinguishes same-name re-uploads in cache keys
+	Graph *hypergraph.Hypergraph
+	Stats hypergraph.Stats
+
+	projOnce sync.Once
+	proj     *projection.Projected
+}
+
+// Projection returns the materialized projected graph of the entry, building
+// it on first call. Concurrent callers share one build.
+func (e *Entry) Projection() *projection.Projected {
+	e.projOnce.Do(func() { e.proj = projection.Build(e.Graph) })
+	return e.proj
+}
+
+// Registry maps names to immutable hypergraph entries. Loads replace
+// atomically: requests running against a replaced entry keep their snapshot,
+// while new requests see the new graph.
+type Registry struct {
+	mu     sync.RWMutex
+	gen    atomic.Uint64
+	graphs map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*Entry)}
+}
+
+// Load registers g under name, replacing any previous graph of that name.
+// It reports whether an existing entry was replaced.
+func (r *Registry) Load(name string, g *hypergraph.Hypergraph) (*Entry, bool) {
+	e := &Entry{
+		Name:  name,
+		Gen:   r.gen.Add(1),
+		Graph: g,
+		Stats: hypergraph.ComputeStats(g),
+	}
+	r.mu.Lock()
+	_, replaced := r.graphs[name]
+	r.graphs[name] = e
+	r.mu.Unlock()
+	return e, replaced
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	e, ok := r.graphs[name]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+// Delete removes name from the registry, reporting whether it was present.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	_, ok := r.graphs[name]
+	delete(r.graphs, name)
+	r.mu.Unlock()
+	return ok
+}
+
+// Names returns the registered graph names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}

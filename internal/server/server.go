@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mochy/internal/cp"
+	counting "mochy/internal/mochy"
+	"mochy/internal/nullmodel"
+	"mochy/internal/projection"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// CacheSize is the capacity of the LRU result cache in entries.
+	// 0 selects the default; negative disables caching.
+	CacheSize int
+	// MaxConcurrent bounds how many counting jobs run at once.
+	// 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// MaxWorkersPerJob caps the per-request workers parameter.
+	// 0 selects GOMAXPROCS.
+	MaxWorkersPerJob int
+}
+
+// DefaultConfig returns the configuration mochyd starts with.
+func DefaultConfig() Config {
+	return Config{
+		CacheSize:        256,
+		MaxConcurrent:    runtime.GOMAXPROCS(0),
+		MaxWorkersPerJob: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Server is the mochyd engine: a graph registry, a result cache, and a
+// bounded pool of counting jobs, exposed over HTTP/JSON. It implements
+// http.Handler; requests are safe to serve concurrently.
+type Server struct {
+	registry *Registry
+	cache    *Cache
+	flight   *flightGroup
+	pool     *Pool
+	cfg      Config
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	def := DefaultConfig()
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = def.CacheSize
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = def.MaxConcurrent
+	}
+	if cfg.MaxWorkersPerJob <= 0 {
+		cfg.MaxWorkersPerJob = def.MaxWorkersPerJob
+	}
+	s := &Server{
+		registry: NewRegistry(),
+		cache:    NewCache(cfg.CacheSize),
+		flight:   newFlightGroup(),
+		pool:     NewPool(cfg.MaxConcurrent),
+		cfg:      cfg,
+		start:    time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/graphs/", s.handleGraph)
+	return s
+}
+
+// Registry exposes the graph registry (used by mochyd to preload graphs).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Close stops admitting new counting jobs.
+func (s *Server) Close() { s.pool.Close() }
+
+// ServeHTTP dispatches to the JSON API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// clampWorkers resolves a request's workers parameter to [1, MaxWorkersPerJob].
+func (s *Server) clampWorkers(workers int) int {
+	if workers < 1 {
+		workers = s.cfg.MaxWorkersPerJob
+	}
+	if workers > s.cfg.MaxWorkersPerJob {
+		workers = s.cfg.MaxWorkersPerJob
+	}
+	return workers
+}
+
+// countKey encodes everything a count result depends on. Exact counts are
+// worker-independent; sampling estimates are deterministic per (seed,
+// workers) pair, so workers joins the key only for the sampling algorithms.
+func countKey(e *Entry, algo string, samples int, seed int64, workers int) string {
+	if algo == algoExact {
+		return fmt.Sprintf("count|%s#%d|%s", e.Name, e.Gen, algo)
+	}
+	return fmt.Sprintf("count|%s#%d|%s|s=%d|seed=%d|w=%d", e.Name, e.Gen, algo, samples, seed, workers)
+}
+
+// profileKey encodes everything a characteristic profile depends on.
+func profileKey(e *Entry, randomizations int, seed int64) string {
+	return fmt.Sprintf("profile|%s#%d|n=%d|seed=%d", e.Name, e.Gen, randomizations, seed)
+}
+
+// Supported counting algorithms.
+const (
+	algoExact = "exact"
+	algoEdge  = "edge-sample"
+	algoWedge = "wedge-sample"
+)
+
+// runCount executes one counting job under the pool, optionally reporting
+// exact-count progress. It does not consult the cache; callers wrap it.
+func (s *Server) runCount(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int, progress func(done, total int)) (counting.Counts, error) {
+	if err := s.pool.Acquire(ctx); err != nil {
+		return counting.Counts{}, err
+	}
+	defer s.pool.Release()
+	p := e.Projection()
+	switch algo {
+	case algoExact:
+		return counting.CountExactProgress(e.Graph, p, workers, progress), nil
+	case algoEdge:
+		return counting.CountEdgeSamples(e.Graph, p, samples, seed, workers), nil
+	case algoWedge:
+		return counting.CountWedgeSamples(e.Graph, p, p, samples, seed, workers), nil
+	default:
+		return counting.Counts{}, fmt.Errorf("unknown algorithm %q (want %s, %s or %s)", algo, algoExact, algoEdge, algoWedge)
+	}
+}
+
+// count returns the (possibly cached) counts for one query. Concurrent
+// identical cold queries share a single computation, which is detached from
+// the leader's request context: one client disconnecting must neither fail
+// the collapsed waiters nor waste a result every future query would reuse.
+func (s *Server) count(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int) (counting.Counts, bool, error) {
+	key := countKey(e, algo, samples, seed, workers)
+	if v, ok := s.cache.Get(key); ok {
+		return v.(counting.Counts), true, nil
+	}
+	dctx := context.WithoutCancel(ctx)
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		c, err := s.runCount(dctx, e, algo, samples, seed, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, c)
+		return c, nil
+	})
+	if err != nil {
+		return counting.Counts{}, false, err
+	}
+	return v.(counting.Counts), shared, nil
+}
+
+// profile returns the (possibly cached) characteristic profile of e against
+// randomizations Chung-Lu null copies seeded from seed.
+func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed int64, workers int) (cp.Profile, bool, error) {
+	key := profileKey(e, randomizations, seed)
+	if v, ok := s.cache.Get(key); ok {
+		return v.(cp.Profile), true, nil
+	}
+	// Detached for the same reason as count: the computation is shared with
+	// collapsed waiters and its result is cached, so the leader's client
+	// disconnecting must not cancel it.
+	dctx := context.WithoutCancel(ctx)
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		// The real graph's exact counts go through the count cache, so a
+		// prior exact count query (or a second profile with a different
+		// seed) skips the most expensive half of the job.
+		real, _, err := s.count(dctx, e, algoExact, 0, 0, workers)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.pool.Acquire(dctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		copies := nullmodel.NewRandomizer(e.Graph).GenerateN(randomizations, seed)
+		randomized := make([]*counting.Counts, len(copies))
+		for i, c := range copies {
+			cc := counting.CountExact(c, projection.Build(c), workers)
+			randomized[i] = &cc
+		}
+		prof := cp.Compute(&real, randomized)
+		s.cache.Put(key, prof)
+		return prof, nil
+	})
+	if err != nil {
+		return cp.Profile{}, false, err
+	}
+	return v.(cp.Profile), shared, nil
+}

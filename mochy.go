@@ -112,6 +112,15 @@ func CountExact(g *Hypergraph, p Projector, workers int) Counts {
 	return counting.CountExact(g, p, workers)
 }
 
+// CountExactProgress runs MoCHy-E like CountExact, invoking progress(done,
+// total) as anchor hyperedges are processed. The callback may run
+// concurrently from multiple workers and must be goroutine-safe; it is
+// always called once with done == total before returning. Results are
+// identical to CountExact.
+func CountExactProgress(g *Hypergraph, p Projector, workers int, progress func(done, total int)) Counts {
+	return counting.CountExactProgress(g, p, workers, progress)
+}
+
 // CountEdgeSamples runs MoCHy-A (Algorithm 4): s hyperedge samples.
 func CountEdgeSamples(g *Hypergraph, p Projector, s int, seed int64, workers int) Counts {
 	return counting.CountEdgeSamples(g, p, s, seed, workers)

@@ -1,21 +1,34 @@
 // Command mochyd serves the MoCHy engine over HTTP/JSON to many concurrent
-// clients. It holds a registry of named hypergraphs (uploaded once, shared
-// immutably across requests), an LRU cache of count and profile results, and
-// a bounded pool of counting jobs.
+// clients. It holds a registry of named immutable hypergraphs (uploaded
+// once, shared across requests), a registry of live graphs whose exact
+// h-motif counts stay current under hyperedge insertions and deletions, an
+// LRU cache of count and profile results, and a bounded pool of counting
+// jobs.
 //
 // Usage:
 //
-//	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N] [-load name=path ...]
+//	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N] [-sampling-ttl 15m] [-load name=path ...]
 //
 // Endpoints:
 //
 //	GET    /healthz                   liveness, cache and pool counters
-//	GET    /graphs                    registered graph names
-//	POST   /graphs                    load a graph {"name": ..., "text"|"edges": ...}
+//	GET    /graphs                    registered graph names (immutable and live)
+//	POST   /graphs                    load an immutable graph {"name": ..., "text"|"edges": ...}
 //	GET    /graphs/{name}/stats       structural statistics
 //	POST   /graphs/{name}/count       exact / edge-sample / wedge-sample counts
 //	POST   /graphs/{name}/profile     characteristic profile vs Chung-Lu nulls
-//	DELETE /graphs/{name}             unregister
+//	DELETE /graphs/{name}             unregister (immutable and live) and purge cached results
+//
+// Live graphs (mutable, incrementally counted):
+//
+//	POST   /graphs/{name}/edges       batch-insert hyperedges {"edges": [[...], ...]}
+//	DELETE /graphs/{name}/edges/{id}  remove one live hyperedge
+//	GET    /graphs/{name}/edges       list live hyperedge ids
+//	PATCH  /graphs/{name}             mixed delta {"deletes": [...], "inserts": [[...], ...]}
+//	GET    /graphs/{name}/counts      always-current exact counts, O(1)
+//	POST   /graphs/{name}/snapshot    freeze into the immutable registry [{"as": ...}]
+//	POST   /streams/{name}            NDJSON hyperedge ingest (exact + reservoir estimates)
+//	GET    /streams/{name}            reservoir estimator state next to exact counts
 package main
 
 import (
@@ -54,6 +67,7 @@ func main() {
 		cacheSize     = flag.Int("cache", 256, "result cache capacity in entries (<=0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent counting jobs (0 = GOMAXPROCS)")
 		maxWorkers    = flag.Int("max-workers", 0, "cap on per-request workers (0 = GOMAXPROCS)")
+		samplingTTL   = flag.Duration("sampling-ttl", 15*time.Minute, "lifetime of cached sampling-based results (0 = keep until evicted)")
 		loads         loadFlags
 	)
 	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
@@ -62,10 +76,14 @@ func main() {
 	if *cacheSize == 0 {
 		*cacheSize = -1 // flag 0 means "disable", Config 0 means "default"
 	}
+	if *samplingTTL == 0 {
+		*samplingTTL = -1 // flag 0 means "no expiry", Config 0 means "default"
+	}
 	srv := server.New(server.Config{
 		CacheSize:        *cacheSize,
 		MaxConcurrent:    *maxConcurrent,
 		MaxWorkersPerJob: *maxWorkers,
+		SamplingTTL:      *samplingTTL,
 	})
 	defer srv.Close()
 

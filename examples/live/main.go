@@ -1,0 +1,117 @@
+// Example: mochyd live graphs — evolving hypergraphs served with
+// always-current exact h-motif counts. The example starts an in-process
+// server (point baseURL at a running mochyd to use it as a plain client),
+// then: batch-inserts hyperedges, reads the incrementally-maintained counts,
+// applies a mixed PATCH delta, deletes one hyperedge by id, streams NDJSON
+// records so exact counts and reservoir estimates sit side by side, and
+// finally freezes a snapshot into the immutable registry where the sampling
+// endpoints run against it — with its exact count pre-seeded in the cache.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"mochy/internal/server"
+)
+
+func main() {
+	ts := httptest.NewServer(server.New(server.DefaultConfig()))
+	defer ts.Close()
+	baseURL := ts.URL
+
+	// Batch-insert hyperedges into the live graph "social" (created on
+	// first use). The response carries the assigned edge ids and the exact
+	// counts after the batch — no recount ever runs.
+	res := do("POST", baseURL+"/graphs/social/edges", map[string]any{
+		"edges": [][]int{{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}, {1, 4, 6}},
+	})
+	fmt.Printf("inserted %v hyperedges: version=%v total instances=%v\n",
+		res["applied"], res["version"], res["total"])
+
+	// The counts endpoint is an O(1) read of maintained state.
+	counts := do("GET", baseURL+"/graphs/social/counts", nil)
+	fmt.Printf("live counts: edges=%v wedges=%v total=%v open fraction=%.3f\n",
+		counts["edges"], counts["wedges"], counts["total"], counts["open_fraction"])
+
+	// A mixed delta: retire edge 1 and add two replacements, one PATCH.
+	patch := do("PATCH", baseURL+"/graphs/social", map[string]any{
+		"deletes": []int{1},
+		"inserts": [][]int{{0, 3, 7}, {2, 5, 6}},
+	})
+	fmt.Printf("patched: applied=%v version=%v total=%v\n",
+		patch["applied"], patch["version"], patch["total"])
+
+	// Remove one hyperedge by id.
+	del := do("DELETE", baseURL+"/graphs/social/edges/0", nil)
+	fmt.Printf("deleted edge 0: edges=%v total=%v\n", del["edges"], del["total"])
+
+	// Stream NDJSON records into a fresh live graph: every record feeds the
+	// exact counter and a reservoir estimator, so the maintained exact
+	// counts and the fixed-memory unbiased estimate can be read side by
+	// side. With capacity covering the stream the estimate is exact.
+	ndjson := "[0,1,2]\n[0,3,1]\n[4,5,0]\n[6,7,2]\n[1,4,6]\n[8,9,1]\n[2,8,4]\n"
+	resp, err := http.Post(baseURL+"/streams/ticks?capacity=100&seed=7",
+		"application/x-ndjson", strings.NewReader(ndjson))
+	if err != nil {
+		panic(err)
+	}
+	var ingest map[string]any
+	decode(resp, &ingest)
+	est := ingest["estimator"].(map[string]any)
+	fmt.Printf("streamed %v records: exact total=%v, reservoir estimate total=%v (reservoir %v/%v)\n",
+		ingest["ingested"], ingest["total"], est["estimated_total"],
+		est["reservoir_size"], est["capacity"])
+
+	// Freeze the live graph into the immutable registry. The sampled and
+	// profile endpoints run on the frozen view, and its exact count is
+	// already cached — seeded from the live counter, never recomputed.
+	snap := do("POST", baseURL+"/graphs/social/snapshot", map[string]any{})
+	fmt.Printf("snapshot: version=%v nodes=%v edges=%v\n", snap["version"],
+		snap["stats"].(map[string]any)["num_nodes"],
+		snap["stats"].(map[string]any)["num_edges"])
+	exact := do("POST", baseURL+"/graphs/social/count", map[string]any{"algorithm": "exact"})
+	fmt.Printf("frozen-view exact count: total=%v cached=%v\n", exact["total"], exact["cached"])
+	sampled := do("POST", baseURL+"/graphs/social/count", map[string]any{
+		"algorithm": "wedge-sample", "samples": 500, "seed": 42,
+	})
+	fmt.Printf("frozen-view wedge-sample estimate: total=%v\n", sampled["total"])
+}
+
+// do issues one JSON request and decodes the JSON response.
+func do(method, url string, body any) map[string]any {
+	var rd bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			panic(err)
+		}
+		rd = *bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, &rd)
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	var out map[string]any
+	decode(resp, &out)
+	if e, ok := out["error"]; ok {
+		panic(fmt.Sprintf("%s %s: %v", method, url, e))
+	}
+	return out
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}

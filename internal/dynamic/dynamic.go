@@ -35,6 +35,7 @@ var (
 	ErrNegativeNode  = errors.New("dynamic: node ids must be non-negative")
 	ErrDuplicateEdge = errors.New("dynamic: hyperedge with identical node set is already live")
 	ErrNoSuchEdge    = errors.New("dynamic: no live hyperedge with that id")
+	ErrNodeLimit     = errors.New("dynamic: node id exceeds the node-universe limit")
 )
 
 // Counter is a fully-dynamic exact h-motif counter. The zero value is not
@@ -47,6 +48,9 @@ type Counter struct {
 	counts   [motif.Count + 1]int64       // counts[t] = live instances of h-motif t
 	wedges   int64
 	nextID   int32
+	// maxNodes, when positive, caps the node universe: inserts naming a node
+	// id >= maxNodes are rejected, mirroring hypergraph.ParseLimit.
+	maxNodes int
 }
 
 // New returns an empty dynamic counter.
@@ -73,6 +77,16 @@ func FromHypergraph(g *hypergraph.Hypergraph) (*Counter, []int32, error) {
 		ids[e] = id
 	}
 	return c, ids, nil
+}
+
+// LimitNodes caps the node universe at n nodes: later Inserts naming a node
+// id >= n fail with ErrNodeLimit, mirroring hypergraph.ParseLimit. Callers
+// applying untrusted mutations should set a limit so a single hyperedge
+// naming node 2e9 cannot grow internal state without bound; n <= 0 means
+// unlimited. It returns the counter for chaining.
+func (c *Counter) LimitNodes(n int) *Counter {
+	c.maxNodes = n
+	return c
 }
 
 // NumEdges returns the number of live hyperedges.
@@ -121,6 +135,9 @@ func (c *Counter) Insert(nodes []int32) (int32, error) {
 	set, err := canonicalize(nodes)
 	if err != nil {
 		return 0, err
+	}
+	if c.maxNodes > 0 && int(set[len(set)-1]) >= c.maxNodes {
+		return 0, fmt.Errorf("%w: node id %d with limit %d", ErrNodeLimit, set[len(set)-1], c.maxNodes)
 	}
 	h := hashSet(set)
 	for _, other := range c.setIndex[h] {

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -294,5 +295,28 @@ func TestEdgeAccessors(t *testing.T) {
 	}
 	if got := c.Count(27); got != 0 {
 		t.Fatalf("Count(27) = %d", got)
+	}
+}
+
+func TestLimitNodes(t *testing.T) {
+	c := New().LimitNodes(100)
+	if _, err := c.Insert([]int32{0, 99}); err != nil {
+		t.Fatalf("in-limit insert: %v", err)
+	}
+	_, err := c.Insert([]int32{0, 100})
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("out-of-limit insert: %v, want ErrNodeLimit", err)
+	}
+	if c.NumEdges() != 1 {
+		t.Fatalf("rejected insert changed the edge set: %d edges", c.NumEdges())
+	}
+	// Rejection happens before any state mutation, so the same edge minus
+	// the offending node still inserts cleanly.
+	if _, err := c.Insert([]int32{0, 1}); err != nil {
+		t.Fatalf("insert after rejection: %v", err)
+	}
+	// Unlimited counters accept any id.
+	if _, err := New().Insert([]int32{0, 2_000_000_000}); err != nil {
+		t.Fatalf("unlimited insert: %v", err)
 	}
 }

@@ -3,12 +3,16 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Cache is a mutex-guarded LRU of computed results, keyed by strings that
 // encode graph identity (name + generation), algorithm, and every parameter
 // the result depends on. A repeated query for an unchanged graph is served
-// from here without touching the counting kernels.
+// from here without touching the counting kernels. Entries may carry a TTL:
+// expensive exact results are stored forever (until evicted or purged),
+// while cheap sampling-based estimates can be given a bounded lifetime so
+// they age out instead of pinning LRU capacity.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
@@ -16,11 +20,13 @@ type Cache struct {
 	items    map[string]*list.Element
 	hits     uint64
 	misses   uint64
+	now      func() time.Time // injectable clock for TTL tests
 }
 
 type cacheEntry struct {
-	key string
-	val any
+	key     string
+	val     any
+	expires time.Time // zero = never expires
 }
 
 // NewCache returns an LRU cache holding at most capacity results. A
@@ -30,14 +36,23 @@ func NewCache(capacity int) *Cache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
+		now:      time.Now,
 	}
 }
 
 // Get returns the cached value for key, marking it most recently used.
+// Expired entries are removed lazily and reported as misses.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
+	if ok {
+		e := el.Value.(*cacheEntry)
+		if !e.expires.IsZero() && !c.now().Before(e.expires) {
+			c.removeLocked(el)
+			ok = false
+		}
+	}
 	if !ok {
 		c.misses++
 		return nil, false
@@ -47,28 +62,62 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores val under key, evicting the least recently used entry when the
-// cache is full.
+// Put stores val under key with no expiry, evicting the least recently used
+// entry when the cache is full.
 func (c *Cache) Put(key string, val any) {
+	c.PutTTL(key, val, 0)
+}
+
+// PutTTL stores val under key; a positive ttl makes the entry expire that
+// far in the future, ttl <= 0 stores it without expiry.
+func (c *Cache) PutTTL(key string, val any, ttl time.Duration) {
 	if c.capacity <= 0 {
 		return
+	}
+	var expires time.Time
+	if ttl > 0 {
+		expires = c.now().Add(ttl)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val, e.expires = val, expires
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
 	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(c.ll.Back())
 	}
 }
 
-// Len returns the number of cached results.
+// Purge removes every entry whose key matches, returning how many were
+// dropped. It is how graph deletion and replacement keep dead generations
+// from occupying LRU capacity until natural eviction.
+func (c *Cache) Purge(match func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if match(el.Value.(*cacheEntry).key) {
+			c.removeLocked(el)
+			n++
+		}
+	}
+	return n
+}
+
+// removeLocked drops one entry; callers hold c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*cacheEntry).key)
+}
+
+// Len returns the number of cached results, including entries that have
+// expired but not yet been collected by a Get.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

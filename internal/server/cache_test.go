@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCacheHitMiss(t *testing.T) {
@@ -125,5 +127,91 @@ func TestFlightGroupCollapsesConcurrentCalls(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	c := NewCache(8)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.PutTTL("sampled", 1, time.Minute)
+	c.Put("exact", 2)
+	if _, ok := c.Get("sampled"); !ok {
+		t.Fatal("fresh TTL entry missed")
+	}
+
+	now = now.Add(30 * time.Second)
+	if _, ok := c.Get("sampled"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+
+	now = now.Add(31 * time.Second)
+	if _, ok := c.Get("sampled"); ok {
+		t.Fatal("entry served after its TTL")
+	}
+	if _, ok := c.Get("exact"); !ok {
+		t.Fatal("no-TTL entry expired")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (expired entry collected)", c.Len())
+	}
+
+	// Overwriting with a new TTL restarts the clock.
+	c.PutTTL("sampled", 3, time.Minute)
+	now = now.Add(59 * time.Second)
+	if v, ok := c.Get("sampled"); !ok || v.(int) != 3 {
+		t.Fatalf("re-put entry = %v, %v", v, ok)
+	}
+
+	// PutTTL with ttl <= 0 stores without expiry.
+	c.PutTTL("forever", 4, 0)
+	now = now.Add(1000 * time.Hour)
+	if _, ok := c.Get("forever"); !ok {
+		t.Fatal("ttl<=0 entry expired")
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(8)
+	c.Put("count|a#1|exact", 1)
+	c.Put("count|a#2|exact", 2)
+	c.Put("profile|a#2|n=3|seed=0", 3)
+	c.Put("count|b#1|exact", 4)
+
+	n := c.Purge(func(key string) bool { return strings.HasPrefix(key, "count|a#") })
+	if n != 2 {
+		t.Fatalf("purged %d, want 2", n)
+	}
+	if _, ok := c.Get("count|b#1|exact"); !ok {
+		t.Fatal("purge removed an unrelated entry")
+	}
+	if _, ok := c.Get("count|a#1|exact"); ok {
+		t.Fatal("purged entry still served")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestGraphKeyGen(t *testing.T) {
+	cases := []struct {
+		key, name string
+		gen       uint64
+		ok        bool
+	}{
+		{"count|g#7|exact", "g", 7, true},
+		{"profile|g#12|n=3|seed=0", "g", 12, true},
+		{"count|g#7|exact", "other", 0, false},
+		// A graph named "a" must not match keys of a graph named "a#1".
+		{"count|a#1#2|exact", "a", 0, false},
+		{"count|a#1#2|exact", "a#1", 2, true},
+		{"bogus|g#7|exact", "g", 0, false},
+	}
+	for _, tc := range cases {
+		gen, ok := graphKeyGen(tc.key, tc.name)
+		if gen != tc.gen || ok != tc.ok {
+			t.Errorf("graphKeyGen(%q, %q) = %d, %v; want %d, %v", tc.key, tc.name, gen, ok, tc.gen, tc.ok)
+		}
 	}
 }

@@ -139,6 +139,7 @@ type healthResponse struct {
 	Status        string `json:"status"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
 	Graphs        int    `json:"graphs"`
+	LiveGraphs    int    `json:"live_graphs"`
 	CacheEntries  int    `json:"cache_entries"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
@@ -168,6 +169,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Graphs:        s.registry.Len(),
+		LiveGraphs:    s.liveReg.Len(),
 		CacheEntries:  s.cache.Len(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
@@ -181,7 +183,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.registry.Names()})
+		writeJSON(w, http.StatusOK, map[string][]string{
+			"graphs": s.registry.Names(),
+			"live":   s.liveReg.Names(),
+		})
 	case http.MethodPost:
 		s.handleLoad(w, r)
 	default:
@@ -231,6 +236,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e, replaced := s.registry.Load(req.Name, g)
+	if replaced {
+		// The replaced generation's cached results can never be read again;
+		// drop them now instead of letting them squat in the LRU.
+		s.purgeStaleGenerations(req.Name, e.Gen)
+	}
 	writeJSON(w, http.StatusCreated, loadResponse{
 		Name:     req.Name,
 		Replaced: replaced,
@@ -238,20 +248,44 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleGraph routes /graphs/{name}[/{action}] requests.
+// handleGraph routes /graphs/{name}[/{action}[/{sub}]] requests. Live-graph
+// actions (edges, counts, snapshot, PATCH deltas) are routed before the
+// static registry lookup: a name may exist as a live graph, as an immutable
+// snapshot, or as both at once.
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
-	name, action, _ := strings.Cut(rest, "/")
+	name, rest, _ := strings.Cut(rest, "/")
+	action, sub, _ := strings.Cut(rest, "/")
 	if name == "" {
 		writeError(w, http.StatusNotFound, "graph name missing")
 		return
 	}
-	if r.Method == http.MethodDelete && action == "" {
-		if !s.registry.Delete(name) {
-			writeError(w, http.StatusNotFound, "graph %q not found", name)
+	if action == "" {
+		switch r.Method {
+		case http.MethodDelete:
+			s.handleDeleteGraph(w, name)
+			return
+		case http.MethodPatch:
+			s.handlePatchGraph(w, r, name)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	}
+	if action == "edges" {
+		s.handleEdges(w, r, name, sub)
+		return
+	}
+	// Only /edges takes a sub-path; anything else trailing the action is a
+	// malformed URL, not a laxer spelling of it.
+	if sub != "" {
+		writeError(w, http.StatusNotFound, "unknown action %q", action+"/"+sub)
+		return
+	}
+	switch action {
+	case "counts":
+		s.handleLiveCounts(w, r, name)
+		return
+	case "snapshot":
+		s.handleSnapshot(w, r, name)
 		return
 	}
 	e, ok := s.registry.Get(name)
@@ -381,7 +415,7 @@ func (s *Server) streamCount(w http.ResponseWriter, r *http.Request, e *Entry, w
 			if err != nil {
 				return nil, err
 			}
-			s.cache.Put(key, result)
+			s.putIfCurrent(e, key, result, 0)
 			return result, nil
 		})
 		if err != nil {

@@ -1,0 +1,540 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mochy/internal/dynamic"
+	"mochy/internal/server/live"
+	"mochy/internal/stream"
+)
+
+// Defaults for POST /streams/{name} estimator creation.
+const (
+	defaultStreamCapacity = 1000
+	defaultStreamSeed     = 1
+)
+
+// edgesRequest is the POST /graphs/{name}/edges body: a batch of hyperedges
+// to insert, applied in order.
+type edgesRequest struct {
+	Edges [][]int32 `json:"edges"`
+}
+
+// patchRequest is the PATCH /graphs/{name} body: a mixed delta. Deletes are
+// applied first (in order), then inserts, so a patch can atomically retire
+// an old version of a hyperedge and add its replacement.
+type patchRequest struct {
+	Deletes []int32   `json:"deletes,omitempty"`
+	Inserts [][]int32 `json:"inserts,omitempty"`
+}
+
+// opResult is the JSON shape of one applied (or failed) mutation.
+type opResult struct {
+	Op    string `json:"op"` // "insert" or "delete"
+	ID    int32  `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// mutateResponse answers every mutation endpoint with the per-op outcomes
+// and the always-current exact counts after the batch.
+type mutateResponse struct {
+	Graph   string     `json:"graph"`
+	Applied int        `json:"applied"`
+	Version uint64     `json:"version"`
+	Edges   int        `json:"edges"`
+	Results []opResult `json:"results"`
+	Counts  []float64  `json:"counts"`
+	Total   float64    `json:"total"`
+}
+
+// streamState is the JSON shape of a live graph's reservoir estimator.
+type streamState struct {
+	Capacity       int       `json:"capacity"`
+	EdgesSeen      int64     `json:"edges_seen"`
+	ReservoirSize  int       `json:"reservoir_size"`
+	Estimates      []float64 `json:"estimates"`
+	EstimatedTotal float64   `json:"estimated_total"`
+}
+
+// liveCountsResponse answers GET /graphs/{name}/counts: maintained exact
+// counts in O(1), with reservoir estimates side by side when the graph is
+// fed by a stream.
+type liveCountsResponse struct {
+	Graph        string       `json:"graph"`
+	Version      uint64       `json:"version"`
+	Edges        int          `json:"edges"`
+	Wedges       int64        `json:"wedges"`
+	Counts       []float64    `json:"counts"`
+	Total        float64      `json:"total"`
+	OpenFraction float64      `json:"open_fraction"`
+	Stream       *streamState `json:"stream,omitempty"`
+}
+
+// snapshotRequest is the optional POST /graphs/{name}/snapshot body.
+type snapshotRequest struct {
+	// As names the immutable registry entry to create; empty means the live
+	// graph's own name.
+	As string `json:"as,omitempty"`
+}
+
+// snapshotResponse answers a snapshot.
+type snapshotResponse struct {
+	Graph    string      `json:"graph"`
+	As       string      `json:"as"`
+	Version  uint64      `json:"version"`
+	Replaced bool        `json:"replaced"`
+	Stats    statsResult `json:"stats"`
+}
+
+// ingestResponse answers POST /streams/{name}.
+type ingestResponse struct {
+	Stream     string       `json:"stream"`
+	Ingested   int          `json:"ingested"`
+	Inserted   int          `json:"inserted"`
+	Duplicates int          `json:"duplicates"`
+	Version    uint64       `json:"version"`
+	Edges      int          `json:"edges"`
+	Counts     []float64    `json:"counts"`
+	Total      float64      `json:"total"`
+	Estimator  *streamState `json:"estimator,omitempty"`
+	Error      string       `json:"error,omitempty"`
+}
+
+func toStreamState(in *live.StreamInfo) *streamState {
+	if in == nil {
+		return nil
+	}
+	return &streamState{
+		Capacity:       in.Capacity,
+		EdgesSeen:      in.EdgesSeen,
+		ReservoirSize:  in.ReservoirSize,
+		Estimates:      in.Estimates[:],
+		EstimatedTotal: in.Estimates.Total(),
+	}
+}
+
+func toMutateResponse(name string, res live.BatchResult) mutateResponse {
+	out := mutateResponse{
+		Graph:   name,
+		Applied: res.Applied,
+		Version: res.Version,
+		Edges:   res.Edges,
+		Results: make([]opResult, len(res.Results)),
+		Counts:  res.Counts[:],
+		Total:   res.Counts.Total(),
+	}
+	for i, r := range res.Results {
+		op := "delete"
+		if r.Insert {
+			op = "insert"
+		}
+		out.Results[i] = opResult{Op: op, ID: r.ID}
+		if r.Err != nil {
+			out.Results[i].Error = r.Err.Error()
+		}
+	}
+	return out
+}
+
+// batchStatus maps a batch outcome to an HTTP status: 200 when every op
+// applied, otherwise the class of the eponymous first failure.
+func batchStatus(res live.BatchResult) int {
+	if res.Applied == len(res.Results) {
+		return http.StatusOK
+	}
+	return opErrStatus(res.Results[res.Applied].Err)
+}
+
+func opErrStatus(err error) int {
+	switch {
+	case errors.Is(err, dynamic.ErrNoSuchEdge):
+		return http.StatusNotFound
+	case errors.Is(err, dynamic.ErrDuplicateEdge):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// liveGraphOrError resolves an existing live graph or writes a 404.
+func (s *Server) liveGraphOrError(w http.ResponseWriter, name string) (*live.Graph, bool) {
+	g, ok := s.liveReg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "live graph %q not found", name)
+		return nil, false
+	}
+	return g, true
+}
+
+// createLiveGraph resolves or creates the live graph name, writing the
+// error response on failure. created reports whether this request made the
+// graph; callers that then fail to apply any mutation should Rollback so a
+// bad bootstrap request doesn't leave an empty graph behind.
+func (s *Server) createLiveGraph(w http.ResponseWriter, name string) (g *live.Graph, created, ok bool) {
+	g, created, err := s.liveReg.GetOrCreate(name)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "create live graph: %v", err)
+		return nil, false, false
+	}
+	return g, created, true
+}
+
+// rollbackIfUnused undoes a this-request graph creation when the request
+// ended up applying nothing.
+func (s *Server) rollbackIfUnused(name string, g *live.Graph, created bool, applied int) {
+	if created && applied == 0 {
+		s.liveReg.Rollback(name, g)
+	}
+}
+
+// writeBatch renders a batch result, mapping a concurrently-deleted graph
+// to 404.
+func writeBatch(w http.ResponseWriter, name string, res live.BatchResult, err error) {
+	if err != nil {
+		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+		return
+	}
+	writeJSON(w, batchStatus(res), toMutateResponse(name, res))
+}
+
+// handleEdges serves /graphs/{name}/edges[/{id}]: POST batch-inserts into
+// the live graph (creating it on first use), DELETE removes one live
+// hyperedge by id, GET lists the live hyperedge ids.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, name, sub string) {
+	switch r.Method {
+	case http.MethodPost:
+		if sub != "" {
+			writeError(w, http.StatusNotFound, "POST to /graphs/%s/edges, not an edge id", name)
+			return
+		}
+		var req edgesRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+			return
+		}
+		if len(req.Edges) == 0 {
+			writeError(w, http.StatusBadRequest, "edges is required and must be non-empty")
+			return
+		}
+		g, created, ok := s.createLiveGraph(w, name)
+		if !ok {
+			return
+		}
+		ops := make([]live.Op, len(req.Edges))
+		for i, e := range req.Edges {
+			ops[i] = live.Op{Insert: e}
+		}
+		res, err := g.Apply(ops)
+		s.rollbackIfUnused(name, g, created, res.Applied)
+		writeBatch(w, name, res, err)
+	case http.MethodDelete:
+		if sub == "" {
+			writeError(w, http.StatusBadRequest, "edge id missing: DELETE /graphs/%s/edges/{id}", name)
+			return
+		}
+		id, err := strconv.ParseInt(sub, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid edge id %q", sub)
+			return
+		}
+		g, ok := s.liveGraphOrError(w, name)
+		if !ok {
+			return
+		}
+		res, aerr := g.Apply([]live.Op{{Delete: int32(id)}})
+		writeBatch(w, name, res, aerr)
+	case http.MethodGet:
+		g, ok := s.liveGraphOrError(w, name)
+		if !ok {
+			return
+		}
+		ids, version, err := g.EdgeIDs()
+		if err != nil {
+			writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph": name, "edges": len(ids), "ids": ids, "version": version,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// handlePatchGraph serves PATCH /graphs/{name}: one mixed delta of deletes
+// (applied first) and inserts, against the live graph. A patch containing
+// inserts creates the graph on first use (so a pure-insert patch can
+// bootstrap one); a pure-delete patch requires it to exist.
+func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request, name string) {
+	var req patchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Deletes) == 0 && len(req.Inserts) == 0 {
+		writeError(w, http.StatusBadRequest, "patch must contain deletes or inserts")
+		return
+	}
+	var (
+		g       *live.Graph
+		created bool
+		ok      bool
+	)
+	if len(req.Inserts) == 0 {
+		g, ok = s.liveGraphOrError(w, name)
+	} else {
+		g, created, ok = s.createLiveGraph(w, name)
+	}
+	if !ok {
+		return
+	}
+	ops := make([]live.Op, 0, len(req.Deletes)+len(req.Inserts))
+	for _, id := range req.Deletes {
+		ops = append(ops, live.Op{Delete: id})
+	}
+	for _, e := range req.Inserts {
+		ops = append(ops, live.Op{Insert: e})
+	}
+	res, err := g.Apply(ops)
+	s.rollbackIfUnused(name, g, created, res.Applied)
+	writeBatch(w, name, res, err)
+}
+
+// handleLiveCounts serves GET /graphs/{name}/counts: the always-current
+// exact counts of the live graph, maintained incrementally in O(delta) per
+// mutation, read in O(1) — no counting job, pool slot, or cache involved.
+func (s *Server) handleLiveCounts(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	g, ok := s.liveGraphOrError(w, name)
+	if !ok {
+		return
+	}
+	info, err := g.Info()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, liveCountsResponse{
+		Graph:        name,
+		Version:      info.Version,
+		Edges:        info.Edges,
+		Wedges:       info.Wedges,
+		Counts:       info.Counts[:],
+		Total:        info.Counts.Total(),
+		OpenFraction: info.Counts.OpenFraction(),
+		Stream:       toStreamState(info.Stream),
+	})
+}
+
+// handleSnapshot serves POST /graphs/{name}/snapshot: it freezes the live
+// graph's current edge set into the immutable registry (default under the
+// same name), where the sampled-count and profile endpoints operate on it.
+// The counter's exact counts are seeded into the result cache for the new
+// generation — the frozen view's exact count is a cache hit without ever
+// running MoCHy-E — and stale generations of the target name are purged.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req snapshotRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	target := req.As
+	if target == "" {
+		target = name
+	}
+	if strings.ContainsRune(target, '/') {
+		writeError(w, http.StatusBadRequest, "snapshot name must not contain '/'")
+		return
+	}
+	g, ok := s.liveGraphOrError(w, name)
+	if !ok {
+		return
+	}
+	snap, counts, version, err := g.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "snapshot live graph %q: %v", name, err)
+		return
+	}
+	e, replaced := s.registry.Load(target, snap)
+	s.purgeStaleGenerations(target, e.Gen)
+	s.putIfCurrent(e, countKey(e, algoExact, 0, 0, 0), counts, 0)
+	writeJSON(w, http.StatusCreated, snapshotResponse{
+		Graph:    name,
+		As:       target,
+		Version:  version,
+		Replaced: replaced,
+		Stats:    toStatsResult(e.Stats),
+	})
+}
+
+// handleDeleteGraph serves DELETE /graphs/{name}: it unregisters the
+// immutable entry and the live graph (whichever exist) and purges every
+// cached result of the name, so dead generation-keyed entries stop
+// occupying LRU capacity the moment the graph goes away.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, name string) {
+	static := s.registry.Delete(name)
+	liveDeleted := s.liveReg.Delete(name)
+	if !static && !liveDeleted {
+		writeError(w, http.StatusNotFound, "graph %q not found", name)
+		return
+	}
+	purged := s.purgeGraph(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"deleted": name, "static": static, "live": liveDeleted, "cache_purged": purged,
+	})
+}
+
+// handleStream serves /streams/{name}.
+//
+// POST ingests an NDJSON body — one hyperedge per line, as a JSON array of
+// node ids — into the live graph name (created on first use), feeding every
+// record to both the dynamic exact counter and a reservoir stream.Estimator
+// so GET /graphs/{name}/counts reports exact counts and unbiased estimates
+// side by side. Query parameters capacity and seed configure the estimator
+// when this stream first attaches it.
+//
+// GET returns the estimator state next to the current exact counts.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/streams/")
+	if name == "" || strings.ContainsRune(name, '/') {
+		writeError(w, http.StatusNotFound, "want /streams/{name}, got %q", r.URL.Path)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		g, ok := s.liveGraphOrError(w, name)
+		if !ok {
+			return
+		}
+		info, err := g.Info()
+		if err != nil {
+			writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+			return
+		}
+		if info.Stream == nil {
+			writeError(w, http.StatusNotFound, "live graph %q has no stream estimator", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, ingestResponse{
+			Stream:    name,
+			Version:   info.Version,
+			Edges:     info.Edges,
+			Counts:    info.Counts[:],
+			Total:     info.Counts.Total(),
+			Estimator: toStreamState(info.Stream),
+		})
+	case http.MethodPost:
+		s.handleStreamIngest(w, r, name)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, name string) {
+	capacity := defaultStreamCapacity
+	seed := int64(defaultStreamSeed)
+	q := r.URL.Query()
+	if v := q.Get("capacity"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			writeError(w, http.StatusBadRequest, "capacity must be an integer >= 2, got %q", v)
+			return
+		}
+		capacity = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid seed %q", v)
+			return
+		}
+		seed = n
+	}
+
+	edges, err := parseNDJSONEdges(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	g, created, ok := s.createLiveGraph(w, name)
+	if !ok {
+		return
+	}
+	if _, err := g.EnsureStream(capacity, seed); err != nil {
+		s.rollbackIfUnused(name, g, created, 0)
+		if errors.Is(err, stream.ErrBadCapacity) {
+			writeError(w, http.StatusBadRequest, "attach estimator: %v", err)
+		} else {
+			writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+		}
+		return
+	}
+	res, ingestErr := g.IngestBatch(edges)
+	s.rollbackIfUnused(name, g, created, res.Inserted)
+	resp := ingestResponse{
+		Stream:     name,
+		Ingested:   res.Ingested,
+		Inserted:   res.Inserted,
+		Duplicates: res.Duplicates,
+		Version:    res.Version,
+		Edges:      res.Edges,
+		Counts:     res.Counts[:],
+		Total:      res.Counts.Total(),
+		Estimator:  toStreamState(res.Stream),
+	}
+	status := http.StatusOK
+	if ingestErr != nil {
+		// Records before the failure stay applied; report both the partial
+		// state and what stopped the batch.
+		if errors.Is(ingestErr, live.ErrClosed) {
+			status = http.StatusNotFound
+		} else {
+			status = http.StatusBadRequest
+		}
+		resp.Error = ingestErr.Error()
+	}
+	writeJSON(w, status, resp)
+}
+
+// parseNDJSONEdges reads an NDJSON stream of hyperedges: one JSON array of
+// node ids per line. Blank lines are skipped.
+func parseNDJSONEdges(body io.Reader) ([][]int32, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var edges [][]int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var nodes []int32
+		if err := json.Unmarshal([]byte(line), &nodes); err != nil {
+			return nil, fmt.Errorf("line %d: want a JSON array of node ids: %v", lineNo, err)
+		}
+		edges = append(edges, nodes)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read body: %v", err)
+	}
+	if len(edges) == 0 {
+		return nil, errors.New("empty stream body: want NDJSON, one hyperedge per line")
+	}
+	return edges, nil
+}

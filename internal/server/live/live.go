@@ -1,0 +1,372 @@
+// Package live hosts mutable, mutation-ordered hypergraphs for mochyd.
+//
+// A static registry entry is immutable: changing one hyperedge means
+// re-uploading the whole graph and recounting from scratch. A live.Graph
+// instead keeps exact h-motif counts current under hyperedge insertions and
+// deletions by delegating to dynamic.Counter, whose per-update cost is the
+// Theorem 3 per-sample bound (neighborhood of the updated hyperedge) rather
+// than a full MoCHy-E pass. Reading the counts is O(1): they are maintained,
+// not computed.
+//
+// Every graph serializes its operations through a single-writer apply loop:
+// one goroutine owns the counter (and the optional reservoir estimator) and
+// executes mutations, reads and snapshots in submission order. Mutations are
+// therefore totally ordered, reads always observe a consistent
+// (counts, version) pair, and no lock covers the O(neighborhood) update
+// work — callers block only for their own operation and those ahead of it.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mochy/internal/dynamic"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/stream"
+)
+
+// Errors returned by live graphs.
+var (
+	ErrClosed   = errors.New("live: graph closed")
+	ErrNoStream = errors.New("live: graph has no stream estimator attached")
+)
+
+// Op is one mutation: a non-nil Insert adds that hyperedge, otherwise the
+// live hyperedge with id Delete is removed.
+type Op struct {
+	Insert []int32
+	Delete int32
+}
+
+// OpResult reports the outcome of one Op: the id assigned (insert) or
+// removed (delete), and the error that stopped the batch, if any.
+type OpResult struct {
+	Insert bool
+	ID     int32
+	Err    error
+}
+
+// BatchResult reports an Apply: per-op outcomes, how many ops were applied
+// (the batch stops at the first failing op; earlier ops stay applied), and
+// the counts and version after the batch.
+type BatchResult struct {
+	Results []OpResult
+	Applied int
+	Version uint64
+	Edges   int
+	Counts  counting.Counts
+}
+
+// IngestResult reports an IngestBatch: how many stream records were
+// processed, how many were new to the live edge set vs. duplicates, and the
+// state after the batch.
+type IngestResult struct {
+	Ingested   int
+	Inserted   int
+	Duplicates int
+	Version    uint64
+	Edges      int
+	Counts     counting.Counts
+	Stream     *StreamInfo
+}
+
+// StreamInfo is the state of a graph's reservoir estimator.
+type StreamInfo struct {
+	Capacity      int
+	EdgesSeen     int64
+	ReservoirSize int
+	Estimates     counting.Counts
+}
+
+// Info is a consistent snapshot of a live graph's scalar state.
+type Info struct {
+	Name    string
+	Version uint64
+	Edges   int
+	Wedges  int64
+	Counts  counting.Counts
+	Stream  *StreamInfo
+}
+
+// state is the apply loop's exclusively-owned data.
+type state struct {
+	counter   *dynamic.Counter
+	est       *stream.Estimator
+	nodeLimit int
+}
+
+// Graph is one mutable hypergraph with always-current exact h-motif counts.
+// All methods are safe for concurrent use; they funnel into the apply loop.
+type Graph struct {
+	name      string
+	reqs      chan func(*state)
+	closed    chan struct{}
+	closeOnce sync.Once
+	// version counts applied mutations. It is written only by the apply
+	// loop; the atomic lets Version be read without a loop round-trip.
+	version atomic.Uint64
+}
+
+// newGraph starts a graph's apply loop. nodeLimit caps the node universe of
+// inserted hyperedges (<= 0 means unlimited).
+func newGraph(name string, nodeLimit int) *Graph {
+	g := &Graph{
+		name:   name,
+		reqs:   make(chan func(*state)),
+		closed: make(chan struct{}),
+	}
+	st := &state{
+		counter:   dynamic.New().LimitNodes(nodeLimit),
+		nodeLimit: nodeLimit,
+	}
+	go g.loop(st)
+	return g
+}
+
+// loop is the single writer: it executes submitted operations in order until
+// the graph is closed, then drains any operation that already paired with a
+// receive so no caller is left waiting.
+func (g *Graph) loop(st *state) {
+	for {
+		select {
+		case fn := <-g.reqs:
+			fn(st)
+		case <-g.closed:
+			for {
+				select {
+				case fn := <-g.reqs:
+					fn(st)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// do runs fn on the apply loop and waits for it to finish. The request
+// channel is unbuffered, so a successful send means the loop has accepted
+// the operation and will complete it even if Close races with it.
+func (g *Graph) do(fn func(*state)) error {
+	done := make(chan struct{})
+	select {
+	case g.reqs <- func(st *state) { defer close(done); fn(st) }:
+		<-done
+		return nil
+	case <-g.closed:
+		return ErrClosed
+	}
+}
+
+// Name returns the graph's registry name.
+func (g *Graph) Name() string { return g.name }
+
+// Version returns the number of mutations applied so far.
+func (g *Graph) Version() uint64 { return g.version.Load() }
+
+// Close stops the apply loop. Operations already accepted complete; later
+// calls fail with ErrClosed.
+func (g *Graph) Close() { g.closeOnce.Do(func() { close(g.closed) }) }
+
+// Apply executes ops in order, stopping at the first failing op (earlier
+// ops stay applied — batches are ordered, not transactional). Each applied
+// mutation bumps the version by one.
+func (g *Graph) Apply(ops []Op) (BatchResult, error) {
+	var res BatchResult
+	err := g.do(func(st *state) {
+		res.Results = make([]OpResult, 0, len(ops))
+		for _, op := range ops {
+			var r OpResult
+			if op.Insert != nil {
+				r.Insert = true
+				r.ID, r.Err = st.counter.Insert(op.Insert)
+			} else {
+				r.ID = op.Delete
+				r.Err = st.counter.Delete(op.Delete)
+			}
+			res.Results = append(res.Results, r)
+			if r.Err != nil {
+				break
+			}
+			res.Applied++
+			g.version.Add(1)
+		}
+		res.Version = g.version.Load()
+		res.Edges = st.counter.NumEdges()
+		res.Counts = st.counter.Counts()
+	})
+	return res, err
+}
+
+// Counts returns the always-current exact h-motif counts and the version
+// they correspond to.
+func (g *Graph) Counts() (counting.Counts, uint64, error) {
+	var (
+		c counting.Counts
+		v uint64
+	)
+	err := g.do(func(st *state) {
+		c = st.counter.Counts()
+		v = g.version.Load()
+	})
+	return c, v, err
+}
+
+// EdgeIDs returns the ids of all live hyperedges in ascending order,
+// together with the version the listing corresponds to.
+func (g *Graph) EdgeIDs() ([]int32, uint64, error) {
+	var (
+		ids []int32
+		v   uint64
+	)
+	err := g.do(func(st *state) {
+		ids = st.counter.IDs()
+		v = g.version.Load()
+	})
+	return ids, v, err
+}
+
+// Info returns a consistent snapshot of the graph's scalar state.
+func (g *Graph) Info() (Info, error) {
+	var in Info
+	err := g.do(func(st *state) {
+		in = Info{
+			Name:    g.name,
+			Version: g.version.Load(),
+			Edges:   st.counter.NumEdges(),
+			Wedges:  st.counter.NumWedges(),
+			Counts:  st.counter.Counts(),
+			Stream:  streamInfo(st),
+		}
+	})
+	return in, err
+}
+
+// Snapshot materializes the live edge set (in ascending id order) as an
+// immutable hypergraph, returning it with the counts and version it
+// reflects. The apply loop is busy for the O(graph) build, so mutations
+// submitted during a snapshot order after it.
+func (g *Graph) Snapshot() (*hypergraph.Hypergraph, counting.Counts, uint64, error) {
+	var (
+		snap *hypergraph.Hypergraph
+		c    counting.Counts
+		v    uint64
+		berr error
+	)
+	err := g.do(func(st *state) {
+		b := hypergraph.NewBuilder(0).LimitNodes(st.nodeLimit)
+		for _, id := range st.counter.IDs() {
+			b.AddEdge(st.counter.Edge(id))
+		}
+		snap, berr = b.Build()
+		c = st.counter.Counts()
+		v = g.version.Load()
+	})
+	if err != nil {
+		return nil, counting.Counts{}, 0, err
+	}
+	return snap, c, v, berr
+}
+
+// EnsureStream attaches a reservoir estimator with the given capacity and
+// seed if the graph has none, reporting whether it was created now. The
+// parameters of an already-attached estimator are left unchanged.
+func (g *Graph) EnsureStream(capacity int, seed int64) (created bool, err error) {
+	doErr := g.do(func(st *state) {
+		if st.est != nil {
+			return
+		}
+		est, e := stream.NewEstimator(capacity, seed)
+		if e != nil {
+			err = e
+			return
+		}
+		est.LimitNodes(st.nodeLimit)
+		st.est = est
+		created = true
+	})
+	if doErr != nil {
+		return false, doErr
+	}
+	return created, err
+}
+
+// StreamInfo returns the state of the attached estimator, or ErrNoStream.
+func (g *Graph) StreamInfo() (StreamInfo, error) {
+	var (
+		in   *StreamInfo
+		serr error
+	)
+	err := g.do(func(st *state) {
+		if in = streamInfo(st); in == nil {
+			serr = ErrNoStream
+		}
+	})
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	if serr != nil {
+		return StreamInfo{}, serr
+	}
+	return *in, nil
+}
+
+// IngestBatch feeds stream records to the live counter and, when attached,
+// the reservoir estimator, in order. A record whose node set is already
+// live only feeds the estimator's duplicate filter; a record that was live
+// once but has since been deleted re-enters the live set while the
+// estimator, which models the append-only stream, ignores it. The batch
+// stops at the first invalid record (earlier records stay applied).
+func (g *Graph) IngestBatch(edges [][]int32) (IngestResult, error) {
+	var (
+		res  IngestResult
+		ferr error
+	)
+	err := g.do(func(st *state) {
+		for i, nodes := range edges {
+			_, ierr := st.counter.Insert(nodes)
+			switch {
+			case ierr == nil:
+				res.Inserted++
+				g.version.Add(1)
+			case errors.Is(ierr, dynamic.ErrDuplicateEdge):
+				res.Duplicates++
+			default:
+				ferr = fmt.Errorf("record %d: %w", i, ierr)
+			}
+			if ferr == nil && st.est != nil {
+				if e := st.est.Ingest(nodes); e != nil {
+					ferr = fmt.Errorf("record %d: %w", i, e)
+				}
+			}
+			if ferr != nil {
+				break
+			}
+			res.Ingested++
+		}
+		res.Version = g.version.Load()
+		res.Edges = st.counter.NumEdges()
+		res.Counts = st.counter.Counts()
+		res.Stream = streamInfo(st)
+	})
+	if err != nil {
+		return IngestResult{}, err
+	}
+	return res, ferr
+}
+
+// streamInfo captures the estimator state; callers run on the apply loop.
+func streamInfo(st *state) *StreamInfo {
+	if st.est == nil {
+		return nil
+	}
+	return &StreamInfo{
+		Capacity:      st.est.Capacity(),
+		EdgesSeen:     st.est.EdgesSeen(),
+		ReservoirSize: st.est.ReservoirSize(),
+		Estimates:     st.est.Estimates(),
+	}
+}

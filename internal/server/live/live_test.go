@@ -1,0 +1,426 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mochy/internal/dynamic"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/projection"
+)
+
+// exactCounts recounts a tracked edge set from scratch with MoCHy-E.
+func exactCounts(t *testing.T, edges [][]int32) counting.Counts {
+	t.Helper()
+	b := hypergraph.NewBuilder(0)
+	for _, e := range edges {
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build reference graph: %v", err)
+	}
+	return counting.CountExact(g, projection.Build(g), 1)
+}
+
+func mustApply(t *testing.T, g *Graph, ops []Op) BatchResult {
+	t.Helper()
+	res, err := g.Apply(ops)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if res.Applied != len(ops) {
+		t.Fatalf("applied %d of %d ops: %+v", res.Applied, len(ops), res.Results)
+	}
+	return res
+}
+
+func TestApplyMatchesExactRecount(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+
+	edges := [][]int32{{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}}
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{Insert: e}
+	}
+	res := mustApply(t, g, ops)
+	if res.Version != uint64(len(edges)) {
+		t.Fatalf("version = %d, want %d", res.Version, len(edges))
+	}
+	want := exactCounts(t, edges)
+	if res.Counts != want {
+		t.Fatalf("counts = %v, want %v", res.Counts.String(), want.String())
+	}
+
+	// Delete one edge and compare against a recount of the remainder.
+	del := mustApply(t, g, []Op{{Delete: res.Results[1].ID}})
+	want = exactCounts(t, [][]int32{edges[0], edges[2], edges[3]})
+	if del.Counts != want {
+		t.Fatalf("counts after delete = %v, want %v", del.Counts.String(), want.String())
+	}
+	if del.Version != uint64(len(edges))+1 {
+		t.Fatalf("version after delete = %d", del.Version)
+	}
+}
+
+func TestApplyStopsAtFirstError(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+
+	res, err := g.Apply([]Op{
+		{Insert: []int32{0, 1}},
+		{Insert: []int32{1, 0}}, // duplicate node set
+		{Insert: []int32{2, 3}}, // never reached
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || len(res.Results) != 2 {
+		t.Fatalf("applied = %d, results = %d, want 1 applied and the failing op reported", res.Applied, len(res.Results))
+	}
+	if !errors.Is(res.Results[1].Err, dynamic.ErrDuplicateEdge) {
+		t.Fatalf("err = %v, want ErrDuplicateEdge", res.Results[1].Err)
+	}
+	if res.Edges != 1 || res.Version != 1 {
+		t.Fatalf("edges = %d version = %d after partial batch", res.Edges, res.Version)
+	}
+}
+
+func TestNodeLimitEnforced(t *testing.T) {
+	g := newGraph("g", 10)
+	defer g.Close()
+
+	res, err := g.Apply([]Op{{Insert: []int32{1, 100}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 || !errors.Is(res.Results[0].Err, dynamic.ErrNodeLimit) {
+		t.Fatalf("want ErrNodeLimit, got %+v", res.Results)
+	}
+	if res, _ := g.Apply([]Op{{Insert: []int32{1, 9}}}); res.Applied != 1 {
+		t.Fatalf("in-limit insert rejected: %+v", res.Results)
+	}
+}
+
+func TestSnapshotMaterializesLiveEdges(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+
+	res := mustApply(t, g, []Op{
+		{Insert: []int32{0, 1, 2}}, {Insert: []int32{2, 3}}, {Insert: []int32{3, 4, 5}},
+	})
+	mustApply(t, g, []Op{{Delete: res.Results[1].ID}})
+
+	snap, counts, version, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 4 {
+		t.Fatalf("snapshot version = %d, want 4", version)
+	}
+	if snap.NumEdges() != 2 {
+		t.Fatalf("snapshot has %d edges, want 2", snap.NumEdges())
+	}
+	want := counting.CountExact(snap, projection.Build(snap), 1)
+	if counts != want {
+		t.Fatalf("snapshot counts = %v, want recount %v", counts.String(), want.String())
+	}
+}
+
+func TestStreamIngest(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+
+	// Capacity covers the whole stream, so estimates must be exact.
+	if created, err := g.EnsureStream(100, 7); err != nil || !created {
+		t.Fatalf("EnsureStream = %v, %v", created, err)
+	}
+	// A second attach is a no-op.
+	if created, err := g.EnsureStream(5, 9); err != nil || created {
+		t.Fatalf("re-attach = %v, %v; want existing estimator kept", created, err)
+	}
+
+	edges := [][]int32{{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}, {0, 1, 2}}
+	res, err := g.IngestBatch(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 5 || res.Inserted != 4 || res.Duplicates != 1 {
+		t.Fatalf("ingest = %+v, want 5 ingested, 4 inserted, 1 duplicate", res)
+	}
+	if res.Stream == nil {
+		t.Fatal("no stream info after ingest")
+	}
+	want := exactCounts(t, edges[:4])
+	if res.Counts != want {
+		t.Fatalf("exact counts = %v, want %v", res.Counts.String(), want.String())
+	}
+	if res.Stream.Estimates != want {
+		t.Fatalf("estimates = %v, want exact %v (capacity covers stream)",
+			res.Stream.Estimates.String(), want.String())
+	}
+	if res.Stream.EdgesSeen != 4 || res.Stream.Capacity != 100 {
+		t.Fatalf("stream info = %+v", res.Stream)
+	}
+
+	info, err := g.StreamInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Estimates != want {
+		t.Fatalf("StreamInfo estimates = %v, want %v", info.Estimates.String(), want.String())
+	}
+}
+
+func TestStreamInfoWithoutEstimator(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+	if _, err := g.StreamInfo(); !errors.Is(err, ErrNoStream) {
+		t.Fatalf("err = %v, want ErrNoStream", err)
+	}
+}
+
+func TestClosedGraph(t *testing.T) {
+	g := newGraph("g", 0)
+	mustApply(t, g, []Op{{Insert: []int32{0, 1}}})
+	g.Close()
+	g.Close() // idempotent
+
+	if _, err := g.Apply([]Op{{Insert: []int32{1, 2}}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply on closed graph: %v, want ErrClosed", err)
+	}
+	if _, _, err := g.Counts(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Counts on closed graph: %v, want ErrClosed", err)
+	}
+	if _, _, _, err := g.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Snapshot on closed graph: %v, want ErrClosed", err)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry(0, 2)
+	a, _, err := r.GetOrCreate("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, created, err := r.GetOrCreate("a"); err != nil || created || again != a {
+		t.Fatal("GetOrCreate created a second graph under the same name")
+	}
+	if _, _, err := r.GetOrCreate("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.GetOrCreate("c"); !errors.Is(err, ErrTooManyGraphs) {
+		t.Fatalf("third graph: %v, want ErrTooManyGraphs", err)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if !r.Delete("a") || r.Delete("a") {
+		t.Fatal("delete semantics broken")
+	}
+	if _, _, err := a.Counts(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("deleted graph still serving: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+}
+
+// TestRandomWorkloadMatchesExact drives a random interleaved insert/delete
+// workload and checks after every few steps that the maintained counts
+// equal a from-scratch MoCHy-E recount of the live edge set.
+func TestRandomWorkloadMatchesExact(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+	rng := rand.New(rand.NewSource(11))
+
+	liveEdges := make(map[int32][]int32)
+	var ids []int32
+	const steps = 300
+	for step := 0; step < steps; step++ {
+		if len(ids) == 0 || rng.Float64() < 0.6 {
+			size := 2 + rng.Intn(3)
+			nodes := make([]int32, size)
+			for i := range nodes {
+				nodes[i] = int32(rng.Intn(18))
+			}
+			res, err := g.Apply([]Op{{Insert: nodes}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.Results[0]
+			switch {
+			case r.Err == nil:
+				liveEdges[r.ID] = nodes
+				ids = append(ids, r.ID)
+			case errors.Is(r.Err, dynamic.ErrDuplicateEdge):
+				// Random collision; the live set is unchanged.
+			default:
+				t.Fatalf("step %d: insert %v: %v", step, nodes, r.Err)
+			}
+		} else {
+			at := rng.Intn(len(ids))
+			id := ids[at]
+			mustApply(t, g, []Op{{Delete: id}})
+			delete(liveEdges, id)
+			ids[at] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+		}
+
+		if step%25 == 0 || step == steps-1 {
+			c, _, err := g.Counts()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tracked := make([][]int32, 0, len(liveEdges))
+			for _, e := range liveEdges {
+				tracked = append(tracked, e)
+			}
+			want := exactCounts(t, tracked)
+			if c != want {
+				t.Fatalf("step %d: counts = %v, want recount %v", step, c.String(), want.String())
+			}
+		}
+	}
+}
+
+// TestConcurrentMutateAndRead hammers one graph from mutating and reading
+// goroutines; under -race this checks the apply loop's serialization.
+func TestConcurrentMutateAndRead(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int32(w * 100)
+			for i := 0; i < 50; i++ {
+				res, err := g.Apply([]Op{{Insert: []int32{base + int32(i), base + int32(i) + 1, base}}})
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%3 == 0 && res.Applied == 1 {
+					if _, err := g.Apply([]Op{{Delete: res.Results[0].ID}}); err != nil {
+						t.Errorf("writer %d delete: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				if _, _, err := g.Counts(); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					if _, _, _, err := g.Snapshot(); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The surviving edge set must still match a from-scratch recount.
+	ids, _, err := g.EdgeIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, counts, _, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumEdges() != len(ids) {
+		t.Fatalf("snapshot edges = %d, ids = %d", snap.NumEdges(), len(ids))
+	}
+	want := counting.CountExact(snap, projection.Build(snap), 1)
+	if counts != want {
+		t.Fatalf("counts after concurrent churn = %v, want %v", counts.String(), want.String())
+	}
+}
+
+func TestVersionMonotonicUnderConcurrency(t *testing.T) {
+	g := newGraph("g", 0)
+	defer g.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				g.Apply([]Op{{Insert: []int32{int32(w*1000 + i), int32(w*1000 + i + 1)}}})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		last := uint64(0)
+		for i := 0; i < 200; i++ {
+			_, v, err := g.Counts()
+			if err != nil {
+				t.Errorf("counts: %v", err)
+				return
+			}
+			if v < last {
+				t.Errorf("version went backwards: %d after %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	wg.Wait()
+	<-stop
+	if v := g.Version(); v != 120 {
+		t.Fatalf("final version = %d, want 120", v)
+	}
+}
+
+func BenchmarkApplyInsertDelete(b *testing.B) {
+	g := newGraph("g", 0)
+	defer g.Close()
+	// Preload a neighborhood so updates touch real instances.
+	for i := int32(0); i < 200; i++ {
+		if _, err := g.Apply([]Op{{Insert: []int32{i, i + 1, i + 2}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.Apply([]Op{{Insert: []int32{int32(i % 200), int32(i%200 + 3), 500}}})
+		if err != nil || res.Applied != 1 {
+			b.Fatalf("insert: %v %+v", err, res.Results)
+		}
+		if _, err := g.Apply([]Op{{Delete: res.Results[0].ID}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleGraph() {
+	r := NewRegistry(0, 0)
+	g, _, _ := r.GetOrCreate("demo")
+	res, _ := g.Apply([]Op{
+		{Insert: []int32{0, 1, 2}},
+		{Insert: []int32{0, 3, 1}},
+		{Insert: []int32{4, 5, 0}},
+	})
+	fmt.Printf("version=%d edges=%d total=%.0f\n", res.Version, res.Edges, res.Counts.Total())
+	r.Delete("demo")
+	// Output: version=3 edges=3 total=1
+}

@@ -1,0 +1,118 @@
+package live
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrTooManyGraphs is returned by GetOrCreate when the registry is full.
+var ErrTooManyGraphs = errors.New("live: too many live graphs")
+
+// Registry maps names to live graphs. Unlike the immutable server registry,
+// entries here are long-lived mutable objects: GetOrCreate never replaces an
+// existing graph, and Delete closes the removed graph's apply loop.
+type Registry struct {
+	mu        sync.Mutex
+	graphs    map[string]*Graph
+	nodeLimit int
+	maxGraphs int
+}
+
+// NewRegistry returns an empty live registry. nodeLimit caps the node
+// universe of every hosted graph (<= 0 unlimited); maxGraphs caps how many
+// live graphs may exist at once (<= 0 unlimited), since each one pins a
+// dynamic counter and a goroutine.
+func NewRegistry(nodeLimit, maxGraphs int) *Registry {
+	return &Registry{
+		graphs:    make(map[string]*Graph),
+		nodeLimit: nodeLimit,
+		maxGraphs: maxGraphs,
+	}
+}
+
+// GetOrCreate returns the live graph registered under name, creating an
+// empty one if absent; created reports whether this call made it.
+func (r *Registry) GetOrCreate(name string) (g *Graph, created bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.graphs[name]; ok {
+		return g, false, nil
+	}
+	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
+		return nil, false, ErrTooManyGraphs
+	}
+	g = newGraph(name, r.nodeLimit)
+	r.graphs[name] = g
+	return g, true, nil
+}
+
+// Rollback undoes a GetOrCreate whose caller never managed to apply a
+// mutation: it removes and closes g only if it is still registered under
+// name and still at version 0, so a fully-failed bootstrap request does not
+// leave an empty graph pinning a registry slot. Concurrent requests that
+// did mutate the graph keep it alive.
+func (r *Registry) Rollback(name string, g *Graph) bool {
+	r.mu.Lock()
+	if r.graphs[name] != g || g.Version() != 0 {
+		r.mu.Unlock()
+		return false
+	}
+	delete(r.graphs, name)
+	r.mu.Unlock()
+	g.Close()
+	return true
+}
+
+// Get returns the live graph registered under name.
+func (r *Registry) Get(name string) (*Graph, bool) {
+	r.mu.Lock()
+	g, ok := r.graphs[name]
+	r.mu.Unlock()
+	return g, ok
+}
+
+// Delete removes and closes the live graph under name, reporting whether it
+// was present. In-flight operations on the graph complete; later ones fail
+// with ErrClosed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	g, ok := r.graphs[name]
+	delete(r.graphs, name)
+	r.mu.Unlock()
+	if ok {
+		g.Close()
+	}
+	return ok
+}
+
+// Close removes and closes every live graph, stopping their apply loops.
+// The registry stays usable afterwards (a later GetOrCreate starts fresh).
+func (r *Registry) Close() {
+	r.mu.Lock()
+	graphs := r.graphs
+	r.graphs = make(map[string]*Graph)
+	r.mu.Unlock()
+	for _, g := range graphs {
+		g.Close()
+	}
+}
+
+// Names returns the registered live graph names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		out = append(out, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live graphs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.graphs)
+}

@@ -5,13 +5,20 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"mochy/internal/cp"
 	counting "mochy/internal/mochy"
 	"mochy/internal/nullmodel"
 	"mochy/internal/projection"
+	"mochy/internal/server/live"
 )
+
+// maxLiveGraphs caps how many live graphs may exist at once; each one pins
+// a dynamic counter and an apply-loop goroutine.
+const maxLiveGraphs = 4096
 
 // Config parameterizes a Server.
 type Config struct {
@@ -24,6 +31,12 @@ type Config struct {
 	// MaxWorkersPerJob caps the per-request workers parameter.
 	// 0 selects GOMAXPROCS.
 	MaxWorkersPerJob int
+	// SamplingTTL bounds how long sampling-based results (edge-sample and
+	// wedge-sample counts, characteristic profiles) stay cached: they are
+	// cheap to recompute, so they should age out instead of pinning LRU
+	// capacity that exact results need. 0 selects the default; negative
+	// stores them without expiry. Exact counts never expire.
+	SamplingTTL time.Duration
 }
 
 // DefaultConfig returns the configuration mochyd starts with.
@@ -32,6 +45,7 @@ func DefaultConfig() Config {
 		CacheSize:        256,
 		MaxConcurrent:    runtime.GOMAXPROCS(0),
 		MaxWorkersPerJob: runtime.GOMAXPROCS(0),
+		SamplingTTL:      15 * time.Minute,
 	}
 }
 
@@ -40,6 +54,7 @@ func DefaultConfig() Config {
 // http.Handler; requests are safe to serve concurrently.
 type Server struct {
 	registry *Registry
+	liveReg  *live.Registry
 	cache    *Cache
 	flight   *flightGroup
 	pool     *Pool
@@ -60,8 +75,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxWorkersPerJob <= 0 {
 		cfg.MaxWorkersPerJob = def.MaxWorkersPerJob
 	}
+	if cfg.SamplingTTL == 0 {
+		cfg.SamplingTTL = def.SamplingTTL
+	}
 	s := &Server{
 		registry: NewRegistry(),
+		liveReg:  live.NewRegistry(maxGraphNodes, maxLiveGraphs),
 		cache:    NewCache(cfg.CacheSize),
 		flight:   newFlightGroup(),
 		pool:     NewPool(cfg.MaxConcurrent),
@@ -72,14 +91,19 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/graphs/", s.handleGraph)
+	s.mux.HandleFunc("/streams/", s.handleStream)
 	return s
 }
 
 // Registry exposes the graph registry (used by mochyd to preload graphs).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Close stops admitting new counting jobs.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops admitting new counting jobs and shuts down every live
+// graph's apply loop.
+func (s *Server) Close() {
+	s.pool.Close()
+	s.liveReg.Close()
+}
 
 // ServeHTTP dispatches to the JSON API.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +134,72 @@ func countKey(e *Entry, algo string, samples int, seed int64, workers int) strin
 // profileKey encodes everything a characteristic profile depends on.
 func profileKey(e *Entry, randomizations int, seed int64) string {
 	return fmt.Sprintf("profile|%s#%d|n=%d|seed=%d", e.Name, e.Gen, randomizations, seed)
+}
+
+// graphKeyGen extracts the generation from a cache key belonging to graph
+// name, reporting false for keys of other graphs. Key layout is
+// "count|<name>#<gen>|..." / "profile|<name>#<gen>|...": requiring the
+// segment after name+"#" to be pure digits keeps a graph named "a" from
+// matching keys of a graph named "a#1".
+func graphKeyGen(key, name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(key, "count|")
+	if !ok {
+		rest, ok = strings.CutPrefix(key, "profile|")
+	}
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutPrefix(rest, name+"#")
+	if !ok {
+		return 0, false
+	}
+	numStr, _, _ := strings.Cut(rest, "|")
+	gen, err := strconv.ParseUint(numStr, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// purgeGraph drops every cached result of every generation of name, so a
+// deleted graph's entries stop occupying LRU capacity immediately instead
+// of lingering until eviction.
+func (s *Server) purgeGraph(name string) int {
+	return s.cache.Purge(func(key string) bool {
+		_, ok := graphKeyGen(key, name)
+		return ok
+	})
+}
+
+// purgeStaleGenerations drops cached results of name whose generation is
+// not keep — the in-place replacement path for re-uploads and live-graph
+// snapshots, where generation-keyed entries of the replaced graph can never
+// be read again.
+func (s *Server) purgeStaleGenerations(name string, keep uint64) int {
+	return s.cache.Purge(func(key string) bool {
+		gen, ok := graphKeyGen(key, name)
+		return ok && gen != keep
+	})
+}
+
+// samplingTTL resolves the configured TTL for sampling-based cache entries;
+// 0 means store without expiry.
+func (s *Server) samplingTTL() time.Duration {
+	if s.cfg.SamplingTTL < 0 {
+		return 0
+	}
+	return s.cfg.SamplingTTL
+}
+
+// putIfCurrent caches a computed result only while e is still the live
+// generation of its name. A long count finishing after its graph was
+// deleted or replaced would otherwise re-insert an unreadable entry right
+// after the purge removed its generation.
+func (s *Server) putIfCurrent(e *Entry, key string, val any, ttl time.Duration) {
+	if cur, ok := s.registry.Get(e.Name); !ok || cur.Gen != e.Gen {
+		return
+	}
+	s.cache.PutTTL(key, val, ttl)
 }
 
 // Supported counting algorithms.
@@ -154,7 +244,14 @@ func (s *Server) count(ctx context.Context, e *Entry, algo string, samples int, 
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, c)
+		// Sampling estimates are cheap to recompute; give them a bounded
+		// lifetime so they age out of the LRU instead of crowding exact
+		// results, which are stored without expiry.
+		ttl := time.Duration(0)
+		if algo != algoExact {
+			ttl = s.samplingTTL()
+		}
+		s.putIfCurrent(e, key, c, ttl)
 		return c, nil
 	})
 	if err != nil {
@@ -193,7 +290,9 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 			randomized[i] = &cc
 		}
 		prof := cp.Compute(&real, randomized)
-		s.cache.Put(key, prof)
+		// Profiles depend on sampled null models, so they take the
+		// sampling TTL like the other randomization-based results.
+		s.putIfCurrent(e, key, prof, s.samplingTTL())
 		return prof, nil
 	})
 	if err != nil {

@@ -60,6 +60,18 @@ func NewEstimator(capacity int, seed int64) (*Estimator, error) {
 	}, nil
 }
 
+// LimitNodes caps the node universe of ingested hyperedges at n nodes,
+// mirroring dynamic.Counter.LimitNodes: an Ingest naming a node id >= n
+// fails. Use it when the stream comes from untrusted clients; n <= 0 means
+// unlimited. It returns the estimator for chaining.
+func (s *Estimator) LimitNodes(n int) *Estimator {
+	s.counter.LimitNodes(n)
+	return s
+}
+
+// Capacity returns the reservoir capacity the estimator was built with.
+func (s *Estimator) Capacity() int { return s.capacity }
+
 // EdgesSeen returns the number of distinct hyperedges ingested so far.
 func (s *Estimator) EdgesSeen() int64 { return s.edges }
 

@@ -1,0 +1,94 @@
+package api
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mochy/internal/hypergraph"
+)
+
+// The binary graph transport frames the hypergraph binary encoding
+// (hypergraph.WriteBinary) with an 8-byte little-endian payload length, so a
+// receiver knows exactly how much to read before parsing and can reject
+// oversized uploads from the prefix alone — multi-GB graphs never pay text
+// parsing, and a stream can carry trailing data after the graph.
+
+// frameHeaderLen is the length prefix size.
+const frameHeaderLen = 8
+
+// payloadHeaderLen is the fixed prefix of the hypergraph binary encoding:
+// magic[4] + version u32 + flags u32 + numNodes u64 + numEdges u64.
+const payloadHeaderLen = 4 + 4 + 4 + 8 + 8
+
+// defaultMaxFrameBytes caps the frame length when the caller passes no
+// explicit limit. The length prefix is attacker-controlled on a network
+// read, so it must never size an allocation unchecked — a corrupted or
+// non-mochyd response would otherwise panic the reader with an absurd
+// make() length.
+const defaultMaxFrameBytes = 1 << 30
+
+// EncodeGraph serializes g into a framed binary transport payload.
+func EncodeGraph(g *hypergraph.Hypergraph) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen)) // reserve the prefix
+	if err := g.WriteBinary(&buf); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint64(b[:frameHeaderLen], uint64(len(b)-frameHeaderLen))
+	return b, nil
+}
+
+// WriteGraph writes g to w in the framed binary transport format.
+func WriteGraph(w io.Writer, g *hypergraph.Hypergraph) error {
+	b, err := EncodeGraph(g)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadGraph reads one framed binary graph from r. maxBytes bounds the
+// payload length (<= 0 selects a 1 GiB default — the length is never
+// trusted unchecked) and maxNodes bounds the node universe; both are
+// validated against the frame header before any proportional allocation
+// happens, so a tiny malicious frame cannot force a huge allocation.
+func ReadGraph(r io.Reader, maxBytes int64, maxNodes int) (*hypergraph.Hypergraph, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxFrameBytes
+	}
+	var prefix [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, fmt.Errorf("api: read binary frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(prefix[:])
+	if n < payloadHeaderLen {
+		return nil, fmt.Errorf("api: binary frame of %d bytes is shorter than the graph header", n)
+	}
+	if n > uint64(maxBytes) {
+		return nil, fmt.Errorf("api: binary frame of %d bytes exceeds the limit of %d", n, maxBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("api: read binary frame: %w", err)
+	}
+	// Sanity-check the claimed dimensions against the actual payload size
+	// before hypergraph.ReadBinary allocates offset and node arrays
+	// proportional to them.
+	numNodes := binary.LittleEndian.Uint64(payload[12:20])
+	numEdges := binary.LittleEndian.Uint64(payload[20:28])
+	if maxNodes > 0 && numNodes > uint64(maxNodes) {
+		return nil, fmt.Errorf("api: graph claims %d nodes, limit is %d", numNodes, maxNodes)
+	}
+	if need := uint64(payloadHeaderLen) + (numEdges+1)*4; numEdges >= n || need > n {
+		return nil, fmt.Errorf("api: graph claims %d hyperedges, impossible in a %d-byte frame", numEdges, n)
+	}
+	g, err := hypergraph.ReadBinary(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,98 @@
+package api
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+)
+
+func TestFramedBinaryRoundTrip(t *testing.T) {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 200, Edges: 900, Seed: 11,
+	})
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d nodes %d edges, want %d nodes %d edges",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		a, b := g.Edge(e), got.Edge(e)
+		if len(a) != len(b) {
+			t.Fatalf("edge %d: size %d, want %d", e, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge %d node %d: %d, want %d", e, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestFramedBinaryTrailingData(t *testing.T) {
+	g, err := hypergraph.ParseString("0 1 2\n0 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("trailing")
+	got, err := ReadGraph(&buf, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", got.NumEdges())
+	}
+	if rest := buf.String(); rest != "trailing" {
+		t.Fatalf("frame consumed trailing data: %q left", rest)
+	}
+}
+
+func TestReadGraphRejectsOversizedFrame(t *testing.T) {
+	g, _ := hypergraph.ParseString("0 1\n")
+	b, err := EncodeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGraph(bytes.NewReader(b), 8, 0); err == nil {
+		t.Fatal("frame over maxBytes accepted")
+	}
+}
+
+func TestReadGraphRejectsImplausibleHeader(t *testing.T) {
+	g, _ := hypergraph.ParseString("0 1\n")
+	b, err := EncodeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim 2e9 hyperedges in a tiny frame: must be rejected before any
+	// proportional allocation.
+	evil := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint64(evil[frameHeaderLen+20:], 2_000_000_000)
+	if _, err := ReadGraph(bytes.NewReader(evil), 1<<20, 0); err == nil || !strings.Contains(err.Error(), "impossible") {
+		t.Fatalf("implausible edge count accepted: %v", err)
+	}
+	// Claim a node universe over the limit.
+	evil = append([]byte(nil), b...)
+	binary.LittleEndian.PutUint64(evil[frameHeaderLen+12:], 2_000_000_000)
+	if _, err := ReadGraph(bytes.NewReader(evil), 1<<20, 1<<24); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized node universe accepted: %v", err)
+	}
+	// Truncated frame header.
+	if _, err := ReadGraph(bytes.NewReader([]byte{1, 2, 3}), 0, 0); err == nil {
+		t.Fatal("truncated frame header accepted")
+	}
+}

@@ -1,0 +1,336 @@
+// Package api defines the versioned mochyd wire protocol: the JSON document
+// shapes exchanged on every /v1 endpoint, the media types the server
+// negotiates, and the framed binary graph transport. Both the server
+// (mochy/internal/server) and the client SDK (mochy/client) build on this
+// package, so a request marshalled by one side always matches what the other
+// decodes.
+//
+// The v1 surface:
+//
+//	GET    /v1/healthz                   Health
+//	GET    /v1/metrics                   plaintext counters
+//	GET    /v1/graphs                    GraphList
+//	PUT    /v1/graphs/{name}             upload (binary | text | JSON by Content-Type) -> LoadResult
+//	GET    /v1/graphs/{name}             download (binary | text | JSON by Accept)
+//	DELETE /v1/graphs/{name}             DeleteResult
+//	GET    /v1/graphs/{name}/stats       Stats
+//	POST   /v1/graphs/{name}/count       CountRequest -> 202 Job
+//	POST   /v1/graphs/{name}/profile     ProfileRequest -> 202 Job
+//	GET    /v1/jobs                      JobList
+//	GET    /v1/jobs/{id}                 Job
+//	GET    /v1/jobs/{id}/events          NDJSON JobEvent stream
+//	POST   /v1/graphs/{name}/edges       EdgesRequest -> MutateResult
+//	GET    /v1/graphs/{name}/edges       EdgeList
+//	DELETE /v1/graphs/{name}/edges/{id}  MutateResult
+//	PATCH  /v1/graphs/{name}             PatchRequest -> MutateResult
+//	GET    /v1/graphs/{name}/counts      LiveCounts
+//	POST   /v1/graphs/{name}/snapshot    SnapshotRequest -> SnapshotResult
+//	POST   /v1/streams/{name}            NDJSON hyperedge ingest -> IngestResult
+//	GET    /v1/streams/{name}            IngestResult (estimator state)
+//
+// The pre-v1 unversioned routes remain mounted as deprecated aliases; they
+// answer with a "Deprecation: true" header and a "Link" to their successor.
+package api
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Media types negotiated on the graph transport endpoints.
+const (
+	// ContentTypeBinary is the framed mochy binary graph format: an 8-byte
+	// little-endian payload length followed by the hypergraph binary
+	// encoding (see WriteGraph / ReadGraph).
+	ContentTypeBinary = "application/x-mochy-binary"
+	// ContentTypeText is the whitespace hyperedge-list text format.
+	ContentTypeText = "text/plain"
+	// ContentTypeJSON is the JSON graph document (GraphJSON).
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON is newline-delimited JSON, used by job event
+	// streams and hyperedge stream ingest.
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// Counting algorithms accepted by CountRequest.Algorithm.
+const (
+	AlgoExact = "exact"        // MoCHy-E
+	AlgoEdge  = "edge-sample"  // MoCHy-A
+	AlgoWedge = "wedge-sample" // MoCHy-A+
+)
+
+// Job lifecycle states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job kinds.
+const (
+	JobKindCount   = "count"
+	JobKindProfile = "profile"
+)
+
+// Job event types on /v1/jobs/{id}/events.
+const (
+	EventProgress = "progress"
+	EventResult   = "result"
+	EventError    = "error"
+)
+
+// Error is the JSON envelope of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Stats is the structural summary of a registered hypergraph.
+type Stats struct {
+	NumNodes       int         `json:"num_nodes"`
+	NumEdges       int         `json:"num_edges"`
+	TotalIncidence int         `json:"total_incidence"`
+	MaxEdgeSize    int         `json:"max_edge_size"`
+	MeanEdgeSize   float64     `json:"mean_edge_size"`
+	MaxDegree      int         `json:"max_degree"`
+	MeanDegree     float64     `json:"mean_degree"`
+	SizeHistogram  map[int]int `json:"size_histogram"`
+	DegreeHist     map[int]int `json:"degree_histogram"`
+}
+
+// GraphDoc is the JSON transport form of a hypergraph, accepted on upload
+// with Content-Type application/json and returned on download with Accept
+// application/json.
+type GraphDoc struct {
+	Name     string    `json:"name,omitempty"`
+	NumNodes int       `json:"num_nodes,omitempty"`
+	Edges    [][]int32 `json:"edges,omitempty"`
+	// Text carries the whitespace hyperedge-list form inside a JSON upload;
+	// exactly one of Text and Edges may be set.
+	Text string `json:"text,omitempty"`
+}
+
+// LoadResult answers a graph upload.
+type LoadResult struct {
+	Name     string `json:"name"`
+	Replaced bool   `json:"replaced"`
+	Stats    Stats  `json:"stats"`
+}
+
+// GraphList answers GET /v1/graphs.
+type GraphList struct {
+	Graphs []string `json:"graphs"`
+	Live   []string `json:"live"`
+}
+
+// DeleteResult answers DELETE /v1/graphs/{name}.
+type DeleteResult struct {
+	Deleted     string `json:"deleted"`
+	Static      bool   `json:"static"`
+	Live        bool   `json:"live"`
+	CachePurged int    `json:"cache_purged"`
+}
+
+// CountRequest is the POST /v1/graphs/{name}/count body.
+type CountRequest struct {
+	// Algorithm is "exact" (default), "edge-sample" or "wedge-sample".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Samples is the sampling budget; required for the sampling algorithms.
+	Samples int `json:"samples,omitempty"`
+	// Seed makes sampling estimates reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the per-job parallelism; 0 means the server maximum.
+	Workers int `json:"workers,omitempty"`
+}
+
+// CountResult is the result payload of a count job (and the body of the
+// legacy synchronous count endpoint).
+type CountResult struct {
+	Graph        string    `json:"graph"`
+	Algorithm    string    `json:"algorithm"`
+	Counts       []float64 `json:"counts"`
+	Total        float64   `json:"total"`
+	OpenFraction float64   `json:"open_fraction"`
+	Cached       bool      `json:"cached"`
+	ElapsedMS    float64   `json:"elapsed_ms"`
+}
+
+// ProfileRequest is the POST /v1/graphs/{name}/profile body.
+type ProfileRequest struct {
+	// Randomizations is the number of Chung-Lu null copies (default 3).
+	Randomizations int `json:"randomizations,omitempty"`
+	// Seed drives the null-model generation.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the per-count parallelism; 0 means the server maximum.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ProfileResult is the result payload of a profile job (and the body of the
+// legacy synchronous profile endpoint).
+type ProfileResult struct {
+	Graph          string    `json:"graph"`
+	Randomizations int       `json:"randomizations"`
+	Seed           int64     `json:"seed"`
+	Profile        []float64 `json:"profile"`
+	Norm           float64   `json:"norm"`
+	Cached         bool      `json:"cached"`
+	ElapsedMS      float64   `json:"elapsed_ms"`
+}
+
+// Job is one asynchronous counting or profiling job. Result is set once
+// State is "done": a CountResult for kind "count", a ProfileResult for kind
+// "profile". Error is set once State is "failed".
+type Job struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Graph      string          `json:"graph"`
+	State      string          `json:"state"`
+	Done       int             `json:"done,omitempty"`
+	Total      int             `json:"total,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+}
+
+// Terminal reports whether the job has finished, successfully or not.
+func (j *Job) Terminal() bool { return j.State == JobDone || j.State == JobFailed }
+
+// CountResult decodes the job's result as a CountResult.
+func (j *Job) CountResult() (CountResult, error) {
+	var r CountResult
+	err := json.Unmarshal(j.Result, &r)
+	return r, err
+}
+
+// ProfileResult decodes the job's result as a ProfileResult.
+func (j *Job) ProfileResult() (ProfileResult, error) {
+	var r ProfileResult
+	err := json.Unmarshal(j.Result, &r)
+	return r, err
+}
+
+// JobList answers GET /v1/jobs.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// JobEvent is one NDJSON line of a /v1/jobs/{id}/events stream: progress
+// events while the job runs, then exactly one terminal "result" or "error"
+// event.
+type JobEvent struct {
+	Type   string          `json:"type"`
+	Done   int             `json:"done,omitempty"`
+	Total  int             `json:"total,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// EdgesRequest is the POST /v1/graphs/{name}/edges body: a batch of
+// hyperedges to insert into the live graph, applied in order.
+type EdgesRequest struct {
+	Edges [][]int32 `json:"edges"`
+}
+
+// PatchRequest is the PATCH /v1/graphs/{name} body: a mixed delta. Deletes
+// apply first (in order), then inserts.
+type PatchRequest struct {
+	Deletes []int32   `json:"deletes,omitempty"`
+	Inserts [][]int32 `json:"inserts,omitempty"`
+}
+
+// OpResult is one applied (or failed) live-graph mutation.
+type OpResult struct {
+	Op    string `json:"op"` // "insert" or "delete"
+	ID    int32  `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// MutateResult answers every live-graph mutation endpoint with per-op
+// outcomes and the always-current exact counts after the batch.
+type MutateResult struct {
+	Graph   string     `json:"graph"`
+	Applied int        `json:"applied"`
+	Version uint64     `json:"version"`
+	Edges   int        `json:"edges"`
+	Results []OpResult `json:"results"`
+	Counts  []float64  `json:"counts"`
+	Total   float64    `json:"total"`
+}
+
+// EdgeList answers GET /v1/graphs/{name}/edges.
+type EdgeList struct {
+	Graph   string  `json:"graph"`
+	Edges   int     `json:"edges"`
+	IDs     []int32 `json:"ids"`
+	Version uint64  `json:"version"`
+}
+
+// StreamState is the reservoir estimator attached to a live graph.
+type StreamState struct {
+	Capacity       int       `json:"capacity"`
+	EdgesSeen      int64     `json:"edges_seen"`
+	ReservoirSize  int       `json:"reservoir_size"`
+	Estimates      []float64 `json:"estimates"`
+	EstimatedTotal float64   `json:"estimated_total"`
+}
+
+// LiveCounts answers GET /v1/graphs/{name}/counts: maintained exact counts
+// read in O(1), with reservoir estimates side by side when the graph is fed
+// by a stream.
+type LiveCounts struct {
+	Graph        string       `json:"graph"`
+	Version      uint64       `json:"version"`
+	Edges        int          `json:"edges"`
+	Wedges       int64        `json:"wedges"`
+	Counts       []float64    `json:"counts"`
+	Total        float64      `json:"total"`
+	OpenFraction float64      `json:"open_fraction"`
+	Stream       *StreamState `json:"stream,omitempty"`
+}
+
+// SnapshotRequest is the optional POST /v1/graphs/{name}/snapshot body.
+type SnapshotRequest struct {
+	// As names the immutable registry entry to create; empty means the live
+	// graph's own name.
+	As string `json:"as,omitempty"`
+}
+
+// SnapshotResult answers a snapshot.
+type SnapshotResult struct {
+	Graph    string `json:"graph"`
+	As       string `json:"as"`
+	Version  uint64 `json:"version"`
+	Replaced bool   `json:"replaced"`
+	Stats    Stats  `json:"stats"`
+}
+
+// IngestResult answers POST /v1/streams/{name} (and GET, where only the
+// state fields are populated).
+type IngestResult struct {
+	Stream     string       `json:"stream"`
+	Ingested   int          `json:"ingested"`
+	Inserted   int          `json:"inserted"`
+	Duplicates int          `json:"duplicates"`
+	Version    uint64       `json:"version"`
+	Edges      int          `json:"edges"`
+	Counts     []float64    `json:"counts"`
+	Total      float64      `json:"total"`
+	Estimator  *StreamState `json:"estimator,omitempty"`
+	Error      string       `json:"error,omitempty"`
+}
+
+// Health answers GET /v1/healthz.
+type Health struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Graphs        int    `json:"graphs"`
+	LiveGraphs    int    `json:"live_graphs"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	ActiveJobs    int    `json:"active_jobs"`
+	JobCapacity   int    `json:"job_capacity"`
+	QueueDepth    int    `json:"queue_depth"`
+}

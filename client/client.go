@@ -1,0 +1,279 @@
+// Package client is the typed Go SDK for mochyd's versioned v1 API. It is
+// the supported way for Go programs to talk to the server: graph upload and
+// download over the negotiated binary, text and JSON transports, the
+// asynchronous count/profile job protocol (poll or event-stream, with
+// context cancellation), live-graph mutations, and NDJSON stream ingest.
+//
+//	c := client.New("http://localhost:8080")
+//	if _, err := c.UploadGraph(ctx, "web", g); err != nil { ... }   // binary transport
+//	res, err := c.Count(ctx, "web", api.CountRequest{Algorithm: api.AlgoExact})
+//
+// Every method returns *client.APIError for non-2xx responses, carrying the
+// HTTP status and the server's error message (and the Retry-After hint on
+// 429 backpressure responses).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"mochy"
+	"mochy/api"
+)
+
+// Client talks to one mochyd server. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+	// pollInterval paces the fallback polling loop when a job events
+	// stream is unavailable.
+	pollInterval time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithPollInterval sets the fallback job-polling cadence (default 50ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.pollInterval = d }
+}
+
+// New returns a Client for the server at baseURL (e.g.
+// "http://localhost:8080"). The /v1 prefix is implied; do not include it.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:         baseURL,
+		http:         http.DefaultClient,
+		pollInterval: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's backoff hint on 429 responses, 0 otherwise.
+	RetryAfter time.Duration
+	// Body is the raw response body. Live-graph mutation endpoints answer
+	// partial failures (e.g. 409 after some ops applied) with a full
+	// MutateResult/IngestResult body rather than a bare error envelope;
+	// the SDK decodes it back into the method's result so callers see
+	// which ops applied, and keeps the raw bytes here.
+	Body []byte
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mochyd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// JobError is a job that reached the failed state.
+type JobError struct {
+	ID      string
+	Message string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("mochyd: job %s failed: %s", e.ID, e.Message)
+}
+
+// url joins the base URL, the /v1 prefix, and escaped path segments.
+func (c *Client) url(segments ...string) string {
+	var b bytes.Buffer
+	b.WriteString(c.base)
+	b.WriteString("/v1")
+	for _, s := range segments {
+		b.WriteByte('/')
+		b.WriteString(url.PathEscape(s))
+	}
+	return b.String()
+}
+
+// do issues one request and decodes a JSON response into out (skipped when
+// out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, rawurl, contentType string, body io.Reader, out any) error {
+	resp, err := c.send(ctx, method, rawurl, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("mochyd: decode %s %s response: %w", method, rawurl, err)
+	}
+	return nil
+}
+
+// send issues one request and maps non-2xx responses to *APIError, leaving
+// successful response bodies open for the caller.
+func (c *Client) send(ctx context.Context, method, rawurl, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, rawurl, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		// Bounded read: an error body is an envelope or a mutation result,
+		// never a graph payload.
+		apiErr.Body, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var envelope api.Error
+		if err := json.Unmarshal(apiErr.Body, &envelope); err == nil {
+			apiErr.Message = envelope.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, apiErr
+	}
+	return resp, nil
+}
+
+// decodeErrBody recovers a structured result from an *APIError's body: the
+// live-graph mutation endpoints report partial application (some ops
+// applied, then a 4xx for the first failure) with the full result document,
+// which callers need to know what actually changed. The error is returned
+// either way.
+func decodeErrBody(err error, out any) error {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && len(apiErr.Body) > 0 {
+		_ = json.Unmarshal(apiErr.Body, out)
+	}
+	return err
+}
+
+// postJSON marshals body and POSTs it.
+func (c *Client) postJSON(ctx context.Context, rawurl string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, rawurl, api.ContentTypeJSON, bytes.NewReader(b), out)
+}
+
+// UploadGraph uploads g under name over the framed binary transport —
+// the fastest path, bypassing text parsing entirely.
+func (c *Client) UploadGraph(ctx context.Context, name string, g *mochy.Hypergraph) (api.LoadResult, error) {
+	payload, err := api.EncodeGraph(g)
+	if err != nil {
+		return api.LoadResult{}, err
+	}
+	var out api.LoadResult
+	err = c.do(ctx, http.MethodPut, c.url("graphs", name), api.ContentTypeBinary, bytes.NewReader(payload), &out)
+	return out, err
+}
+
+// UploadGraphText uploads the whitespace hyperedge-list text format read
+// from r.
+func (c *Client) UploadGraphText(ctx context.Context, name string, r io.Reader) (api.LoadResult, error) {
+	var out api.LoadResult
+	err := c.do(ctx, http.MethodPut, c.url("graphs", name), api.ContentTypeText, r, &out)
+	return out, err
+}
+
+// UploadGraphEdges uploads a graph as a JSON document of hyperedges.
+// numNodes 0 sizes the node universe from the largest id seen.
+func (c *Client) UploadGraphEdges(ctx context.Context, name string, edges [][]int32, numNodes int) (api.LoadResult, error) {
+	doc := api.GraphDoc{NumNodes: numNodes, Edges: edges}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return api.LoadResult{}, err
+	}
+	var out api.LoadResult
+	err = c.do(ctx, http.MethodPut, c.url("graphs", name), api.ContentTypeJSON, bytes.NewReader(b), &out)
+	return out, err
+}
+
+// DownloadGraph fetches the named graph over the binary transport.
+func (c *Client) DownloadGraph(ctx context.Context, name string) (*mochy.Hypergraph, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("graphs", name), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", api.ContentTypeBinary)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var envelope api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil {
+			apiErr.Message = envelope.Error
+		}
+		return nil, apiErr
+	}
+	return api.ReadGraph(resp.Body, 0, 0)
+}
+
+// Graphs lists the registered immutable and live graph names.
+func (c *Client) Graphs(ctx context.Context) (api.GraphList, error) {
+	var out api.GraphList
+	err := c.do(ctx, http.MethodGet, c.url("graphs"), "", nil, &out)
+	return out, err
+}
+
+// Stats fetches the structural statistics of a registered graph.
+func (c *Client) Stats(ctx context.Context, name string) (api.Stats, error) {
+	var out api.Stats
+	err := c.do(ctx, http.MethodGet, c.url("graphs", name, "stats"), "", nil, &out)
+	return out, err
+}
+
+// DeleteGraph unregisters the immutable and live graphs under name and
+// purges their cached results.
+func (c *Client) DeleteGraph(ctx context.Context, name string) (api.DeleteResult, error) {
+	var out api.DeleteResult
+	err := c.do(ctx, http.MethodDelete, c.url("graphs", name), "", nil, &out)
+	return out, err
+}
+
+// Health fetches the server's liveness and counter summary.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	err := c.do(ctx, http.MethodGet, c.url("healthz"), "", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the plaintext metrics exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.send(ctx, http.MethodGet, c.url("metrics"), "", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

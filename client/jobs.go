@@ -1,0 +1,161 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"mochy/api"
+)
+
+// StartCount submits an asynchronous count job for the named graph and
+// returns the job resource without waiting for it.
+func (c *Client) StartCount(ctx context.Context, name string, req api.CountRequest) (api.Job, error) {
+	var out api.Job
+	err := c.postJSON(ctx, c.url("graphs", name, "count"), req, &out)
+	return out, err
+}
+
+// Count runs a count to completion: it submits the job and blocks — via the
+// job's event stream, falling back to polling — until the result is ready,
+// the job fails (*JobError), or ctx is cancelled.
+func (c *Client) Count(ctx context.Context, name string, req api.CountRequest) (api.CountResult, error) {
+	return c.CountWithProgress(ctx, name, req, nil)
+}
+
+// CountWithProgress is Count with a live progress callback: onProgress
+// receives (done, total) hyperedge-anchor progress while an exact count
+// enumerates (sampling algorithms complete without progress events).
+func (c *Client) CountWithProgress(ctx context.Context, name string, req api.CountRequest, onProgress func(done, total int)) (api.CountResult, error) {
+	j, err := c.StartCount(ctx, name, req)
+	if err != nil {
+		return api.CountResult{}, err
+	}
+	j, err = c.WaitJob(ctx, j.ID, onProgress)
+	if err != nil {
+		return api.CountResult{}, err
+	}
+	return j.CountResult()
+}
+
+// StartProfile submits an asynchronous characteristic-profile job.
+func (c *Client) StartProfile(ctx context.Context, name string, req api.ProfileRequest) (api.Job, error) {
+	var out api.Job
+	err := c.postJSON(ctx, c.url("graphs", name, "profile"), req, &out)
+	return out, err
+}
+
+// Profile runs a characteristic profile to completion (see Count for the
+// waiting semantics).
+func (c *Client) Profile(ctx context.Context, name string, req api.ProfileRequest) (api.ProfileResult, error) {
+	j, err := c.StartProfile(ctx, name, req)
+	if err != nil {
+		return api.ProfileResult{}, err
+	}
+	j, err = c.WaitJob(ctx, j.ID, nil)
+	if err != nil {
+		return api.ProfileResult{}, err
+	}
+	return j.ProfileResult()
+}
+
+// Job polls one job by id.
+func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodGet, c.url("jobs", id), "", nil, &out)
+	return out, err
+}
+
+// Jobs lists the server's retained jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
+	var out api.JobList
+	err := c.do(ctx, http.MethodGet, c.url("jobs"), "", nil, &out)
+	return out.Jobs, err
+}
+
+// WaitJob blocks until the job reaches a terminal state, preferring the
+// server's NDJSON event stream and falling back to polling if the stream is
+// unavailable or breaks. A done job is returned with its result; a failed
+// job returns *JobError. Cancelling ctx aborts the wait (not the job).
+func (c *Client) WaitJob(ctx context.Context, id string, onProgress func(done, total int)) (api.Job, error) {
+	j, err, terminal := c.waitEvents(ctx, id, onProgress)
+	if terminal {
+		return j, err
+	}
+	if ctx.Err() != nil {
+		return api.Job{}, ctx.Err()
+	}
+	// The events stream broke before a terminal event (proxy dropped the
+	// connection, server restarted mid-stream, ...): the job may well still
+	// finish, so fall back to polling the job resource.
+	return c.pollJob(ctx, id, onProgress)
+}
+
+// waitEvents consumes the job's event stream. terminal reports whether a
+// terminal event was observed (in which case j/err are the outcome);
+// otherwise the caller should fall back to polling.
+func (c *Client) waitEvents(ctx context.Context, id string, onProgress func(done, total int)) (j api.Job, err error, terminal bool) {
+	resp, err := c.send(ctx, http.MethodGet, c.url("jobs", id, "events"), "", nil)
+	if err != nil {
+		if apiErr, ok := err.(*APIError); ok && apiErr.StatusCode == http.StatusNotFound {
+			// No such job: polling would 404 forever, so fail now.
+			return api.Job{}, err, true
+		}
+		return api.Job{}, err, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev api.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return api.Job{}, err, false
+		}
+		switch ev.Type {
+		case api.EventProgress:
+			if onProgress != nil {
+				onProgress(ev.Done, ev.Total)
+			}
+		case api.EventResult:
+			// Re-poll for the authoritative resource (timestamps, state).
+			j, err := c.Job(ctx, id)
+			return j, err, true
+		case api.EventError:
+			return api.Job{}, &JobError{ID: id, Message: ev.Error}, true
+		}
+	}
+	return api.Job{}, sc.Err(), false
+}
+
+// pollJob polls the job resource until it is terminal.
+func (c *Client) pollJob(ctx context.Context, id string, onProgress func(done, total int)) (api.Job, error) {
+	ticker := time.NewTicker(c.pollInterval)
+	defer ticker.Stop()
+	lastDone := -1
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return api.Job{}, err
+		}
+		if onProgress != nil && j.Total > 0 && j.Done > lastDone {
+			lastDone = j.Done
+			onProgress(j.Done, j.Total)
+		}
+		switch j.State {
+		case api.JobDone:
+			return j, nil
+		case api.JobFailed:
+			return j, &JobError{ID: id, Message: j.Error}
+		}
+		select {
+		case <-ctx.Done():
+			return api.Job{}, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"mochy/api"
+)
+
+// mutateErr recovers the partial MutateResult a 4xx mutation response
+// carries (batches stop at the first failing op but everything before it
+// stays applied) and fills the error message from the failing op when the
+// envelope had none.
+func mutateErr(err error, out *api.MutateResult) error {
+	err = decodeErrBody(err, out)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Message == "" && out.Applied < len(out.Results) {
+		apiErr.Message = out.Results[out.Applied].Error
+	}
+	return err
+}
+
+// InsertEdges batch-inserts hyperedges into the live graph name, creating
+// it on first use. The result carries per-op outcomes (assigned edge ids)
+// and the incrementally-maintained exact counts after the batch. On a
+// partial failure (e.g. a duplicate mid-batch) the returned result still
+// reports which ops applied, alongside the *APIError.
+func (c *Client) InsertEdges(ctx context.Context, name string, edges [][]int32) (api.MutateResult, error) {
+	var out api.MutateResult
+	if err := c.postJSON(ctx, c.url("graphs", name, "edges"), api.EdgesRequest{Edges: edges}, &out); err != nil {
+		return out, mutateErr(err, &out)
+	}
+	return out, nil
+}
+
+// DeleteEdge removes one live hyperedge by id.
+func (c *Client) DeleteEdge(ctx context.Context, name string, id int32) (api.MutateResult, error) {
+	var out api.MutateResult
+	if err := c.do(ctx, http.MethodDelete,
+		c.url("graphs", name, "edges", strconv.FormatInt(int64(id), 10)), "", nil, &out); err != nil {
+		return out, mutateErr(err, &out)
+	}
+	return out, nil
+}
+
+// LiveEdges lists the live hyperedge ids of name.
+func (c *Client) LiveEdges(ctx context.Context, name string) (api.EdgeList, error) {
+	var out api.EdgeList
+	err := c.do(ctx, http.MethodGet, c.url("graphs", name, "edges"), "", nil, &out)
+	return out, err
+}
+
+// Patch applies one mixed delta to the live graph: deletes first (in
+// order), then inserts. A patch containing inserts creates the graph on
+// first use. Partial failures report the applied prefix like InsertEdges.
+func (c *Client) Patch(ctx context.Context, name string, deletes []int32, inserts [][]int32) (api.MutateResult, error) {
+	var out api.MutateResult
+	b, err := json.Marshal(api.PatchRequest{Deletes: deletes, Inserts: inserts})
+	if err != nil {
+		return out, err
+	}
+	if err := c.do(ctx, http.MethodPatch, c.url("graphs", name), api.ContentTypeJSON, bytes.NewReader(b), &out); err != nil {
+		return out, mutateErr(err, &out)
+	}
+	return out, nil
+}
+
+// LiveCounts reads the live graph's always-current exact counts in O(1),
+// with reservoir estimates side by side when the graph is fed by a stream.
+func (c *Client) LiveCounts(ctx context.Context, name string) (api.LiveCounts, error) {
+	var out api.LiveCounts
+	err := c.do(ctx, http.MethodGet, c.url("graphs", name, "counts"), "", nil, &out)
+	return out, err
+}
+
+// Snapshot freezes the live graph's current edge set into the immutable
+// registry under as (empty means the live graph's own name), where the
+// count and profile jobs operate on it with its exact count pre-seeded in
+// the server cache.
+func (c *Client) Snapshot(ctx context.Context, name, as string) (api.SnapshotResult, error) {
+	var out api.SnapshotResult
+	err := c.postJSON(ctx, c.url("graphs", name, "snapshot"), api.SnapshotRequest{As: as}, &out)
+	return out, err
+}
+
+// IngestOptions configure the reservoir estimator attached on a stream's
+// first ingest; later batches reuse the attached estimator.
+type IngestOptions struct {
+	// Capacity is the reservoir size (default 1000).
+	Capacity int
+	// Seed drives reservoir sampling (default 1).
+	Seed int64
+}
+
+// IngestStream feeds an NDJSON body — one hyperedge per line, as a JSON
+// array of node ids — into the live graph name, creating it on first use.
+func (c *Client) IngestStream(ctx context.Context, name string, body io.Reader, opts IngestOptions) (api.IngestResult, error) {
+	u := c.url("streams", name)
+	q := url.Values{}
+	if opts.Capacity > 0 {
+		q.Set("capacity", strconv.Itoa(opts.Capacity))
+	}
+	if opts.Seed != 0 {
+		q.Set("seed", strconv.FormatInt(opts.Seed, 10))
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var out api.IngestResult
+	if err := c.do(ctx, http.MethodPost, u, api.ContentTypeNDJSON, body, &out); err != nil {
+		// A mid-stream failure applies the prefix and reports it in the
+		// result document; recover it so callers see the partial state.
+		err = decodeErrBody(err, &out)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Message == "" && out.Error != "" {
+			apiErr.Message = out.Error
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// IngestEdges is IngestStream over an in-memory batch of hyperedges.
+func (c *Client) IngestEdges(ctx context.Context, name string, edges [][]int32, opts IngestOptions) (api.IngestResult, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range edges {
+		if err := enc.Encode(e); err != nil {
+			return api.IngestResult{}, fmt.Errorf("encode hyperedge: %w", err)
+		}
+	}
+	return c.IngestStream(ctx, name, &buf, opts)
+}
+
+// StreamState reads the reservoir estimator state of a streamed live graph
+// next to its current exact counts.
+func (c *Client) StreamState(ctx context.Context, name string) (api.IngestResult, error) {
+	var out api.IngestResult
+	err := c.do(ctx, http.MethodGet, c.url("streams", name), "", nil, &out)
+	return out, err
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/generator"
+	counting "mochy/internal/mochy"
+	"mochy/internal/projection"
+)
+
+// TestMochydEndToEnd is the CI smoke: it builds the real mochyd binary,
+// starts it on a random loopback port, and drives it with the client SDK —
+// binary graph upload, an exact count job, and a clean shutdown. This is
+// the one test that exercises the daemon as a separate process rather than
+// an in-process handler.
+func TestMochydEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mochyd")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build mochyd: %v\n%s", err, out)
+	}
+
+	// Reserve a loopback port, then hand it to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	daemon := exec.CommandContext(ctx, bin, "-addr", addr, "-queue-budget", "5s")
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		_ = daemon.Wait()
+	})
+
+	c := client.New("http://" + addr)
+
+	// Wait for the daemon to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mochyd did not become healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Upload over the binary transport and count through the job protocol.
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 200, Edges: 900, Seed: 17,
+	})
+	load, err := c.UploadGraph(ctx, "smoke", g)
+	if err != nil {
+		t.Fatalf("binary upload: %v", err)
+	}
+	if load.Stats.NumEdges != g.NumEdges() {
+		t.Fatalf("uploaded %d edges, want %d", load.Stats.NumEdges, g.NumEdges())
+	}
+	res, err := c.Count(ctx, "smoke", api.CountRequest{Algorithm: api.AlgoExact, Workers: 2})
+	if err != nil {
+		t.Fatalf("count job: %v", err)
+	}
+	want := counting.CountExact(g, projection.Build(g), 2)
+	for i, v := range res.Counts {
+		if v != want[i] {
+			t.Fatalf("counts[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+
+	// The graph round-trips back out over the binary transport.
+	got, err := c.DownloadGraph(ctx, "smoke")
+	if err != nil {
+		t.Fatalf("binary download: %v", err)
+	}
+	if fmt.Sprint(got.NumNodes(), got.NumEdges()) != fmt.Sprint(g.NumNodes(), g.NumEdges()) {
+		t.Fatalf("round trip shape mismatch: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}

@@ -1,34 +1,46 @@
-// Command mochyd serves the MoCHy engine over HTTP/JSON to many concurrent
-// clients. It holds a registry of named immutable hypergraphs (uploaded
-// once, shared across requests), a registry of live graphs whose exact
-// h-motif counts stay current under hyperedge insertions and deletions, an
-// LRU cache of count and profile results, and a bounded pool of counting
-// jobs.
+// Command mochyd serves the MoCHy engine over a versioned HTTP API to many
+// concurrent clients. It holds a registry of named immutable hypergraphs
+// (uploaded once, shared across requests), a registry of live graphs whose
+// exact h-motif counts stay current under hyperedge insertions and
+// deletions, an LRU cache of count and profile results with cost-weighted
+// eviction, a bounded pool of counting jobs with queue backpressure, and an
+// asynchronous job store.
+//
+// Go programs should use the typed SDK in mochy/client rather than
+// hand-rolling HTTP.
 //
 // Usage:
 //
-//	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N] [-sampling-ttl 15m] [-load name=path ...]
+//	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N]
+//	       [-sampling-ttl 15m] [-queue-budget 10s] [-load name=path ...]
 //
-// Endpoints:
+// v1 endpoints (see mochy/api for the wire types):
 //
-//	GET    /healthz                   liveness, cache and pool counters
-//	GET    /graphs                    registered graph names (immutable and live)
-//	POST   /graphs                    load an immutable graph {"name": ..., "text"|"edges": ...}
-//	GET    /graphs/{name}/stats       structural statistics
-//	POST   /graphs/{name}/count       exact / edge-sample / wedge-sample counts
-//	POST   /graphs/{name}/profile     characteristic profile vs Chung-Lu nulls
-//	DELETE /graphs/{name}             unregister (immutable and live) and purge cached results
+//	GET    /v1/healthz                   liveness, cache and pool counters
+//	GET    /v1/metrics                   plaintext queue/job/cache/request metrics
+//	GET    /v1/graphs                    registered graph names (immutable and live)
+//	PUT    /v1/graphs/{name}             upload: binary, text or JSON by Content-Type
+//	GET    /v1/graphs/{name}             download: binary, text or JSON by Accept
+//	DELETE /v1/graphs/{name}             unregister (immutable and live), purge cached results
+//	GET    /v1/graphs/{name}/stats       structural statistics
+//	POST   /v1/graphs/{name}/count       start an exact / edge-sample / wedge-sample job -> 202
+//	POST   /v1/graphs/{name}/profile     start a characteristic-profile job -> 202
+//	GET    /v1/jobs[/{id}[/events]]      list / poll / stream job progress (NDJSON)
 //
 // Live graphs (mutable, incrementally counted):
 //
-//	POST   /graphs/{name}/edges       batch-insert hyperedges {"edges": [[...], ...]}
-//	DELETE /graphs/{name}/edges/{id}  remove one live hyperedge
-//	GET    /graphs/{name}/edges       list live hyperedge ids
-//	PATCH  /graphs/{name}             mixed delta {"deletes": [...], "inserts": [[...], ...]}
-//	GET    /graphs/{name}/counts      always-current exact counts, O(1)
-//	POST   /graphs/{name}/snapshot    freeze into the immutable registry [{"as": ...}]
-//	POST   /streams/{name}            NDJSON hyperedge ingest (exact + reservoir estimates)
-//	GET    /streams/{name}            reservoir estimator state next to exact counts
+//	POST   /v1/graphs/{name}/edges       batch-insert hyperedges {"edges": [[...], ...]}
+//	DELETE /v1/graphs/{name}/edges/{id}  remove one live hyperedge
+//	GET    /v1/graphs/{name}/edges       list live hyperedge ids
+//	PATCH  /v1/graphs/{name}             mixed delta {"deletes": [...], "inserts": [[...], ...]}
+//	GET    /v1/graphs/{name}/counts      always-current exact counts, O(1)
+//	POST   /v1/graphs/{name}/snapshot    freeze into the immutable registry [{"as": ...}]
+//	POST   /v1/streams/{name}            NDJSON hyperedge ingest (exact + reservoir estimates)
+//	GET    /v1/streams/{name}            reservoir estimator state next to exact counts
+//
+// The pre-v1 unversioned routes (including the synchronous count/profile
+// forms) remain mounted as deprecated aliases; responses carry a
+// "Deprecation: true" header and a "Link" to the /v1 successor.
 package main
 
 import (
@@ -68,6 +80,7 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent counting jobs (0 = GOMAXPROCS)")
 		maxWorkers    = flag.Int("max-workers", 0, "cap on per-request workers (0 = GOMAXPROCS)")
 		samplingTTL   = flag.Duration("sampling-ttl", 15*time.Minute, "lifetime of cached sampling-based results (0 = keep until evicted)")
+		queueBudget   = flag.Duration("queue-budget", 10*time.Second, "answer 429 once the job queue has been saturated this long (0 = never)")
 		loads         loadFlags
 	)
 	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
@@ -79,11 +92,15 @@ func main() {
 	if *samplingTTL == 0 {
 		*samplingTTL = -1 // flag 0 means "no expiry", Config 0 means "default"
 	}
+	if *queueBudget == 0 {
+		*queueBudget = -1 // flag 0 means "no backpressure", Config 0 means "default"
+	}
 	srv := server.New(server.Config{
 		CacheSize:        *cacheSize,
 		MaxConcurrent:    *maxConcurrent,
 		MaxWorkersPerJob: *maxWorkers,
 		SamplingTTL:      *samplingTTL,
+		QueueBudget:      *queueBudget,
 	})
 	defer srv.Close()
 

@@ -1,117 +1,98 @@
-// Example: mochyd live graphs — evolving hypergraphs served with
-// always-current exact h-motif counts. The example starts an in-process
-// server (point baseURL at a running mochyd to use it as a plain client),
-// then: batch-inserts hyperedges, reads the incrementally-maintained counts,
-// applies a mixed PATCH delta, deletes one hyperedge by id, streams NDJSON
-// records so exact counts and reservoir estimates sit side by side, and
-// finally freezes a snapshot into the immutable registry where the sampling
-// endpoints run against it — with its exact count pre-seeded in the cache.
+// Example: mochyd live graphs through the client SDK — evolving
+// hypergraphs served with always-current exact h-motif counts. The example
+// starts an in-process server (point baseURL at a running mochyd to use it
+// as a plain client), then: batch-inserts hyperedges, reads the
+// incrementally-maintained counts, applies a mixed patch delta, deletes one
+// hyperedge by id, streams records so exact counts and reservoir estimates
+// sit side by side, and finally freezes a snapshot into the immutable
+// registry where the count jobs run against it — with its exact count
+// pre-seeded in the cache.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
-	"strings"
 
+	"mochy/api"
+	"mochy/client"
 	"mochy/internal/server"
 )
 
 func main() {
 	ts := httptest.NewServer(server.New(server.DefaultConfig()))
 	defer ts.Close()
-	baseURL := ts.URL
+	c := client.New(ts.URL)
+	ctx := context.Background()
 
 	// Batch-insert hyperedges into the live graph "social" (created on
-	// first use). The response carries the assigned edge ids and the exact
+	// first use). The result carries the assigned edge ids and the exact
 	// counts after the batch — no recount ever runs.
-	res := do("POST", baseURL+"/graphs/social/edges", map[string]any{
-		"edges": [][]int{{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}, {1, 4, 6}},
+	ins, err := c.InsertEdges(ctx, "social", [][]int32{
+		{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}, {1, 4, 6},
 	})
-	fmt.Printf("inserted %v hyperedges: version=%v total instances=%v\n",
-		res["applied"], res["version"], res["total"])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inserted %d hyperedges: version=%d total instances=%.0f\n",
+		ins.Applied, ins.Version, ins.Total)
 
 	// The counts endpoint is an O(1) read of maintained state.
-	counts := do("GET", baseURL+"/graphs/social/counts", nil)
-	fmt.Printf("live counts: edges=%v wedges=%v total=%v open fraction=%.3f\n",
-		counts["edges"], counts["wedges"], counts["total"], counts["open_fraction"])
+	counts, err := c.LiveCounts(ctx, "social")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("live counts: edges=%d wedges=%d total=%.0f open fraction=%.3f\n",
+		counts.Edges, counts.Wedges, counts.Total, counts.OpenFraction)
 
-	// A mixed delta: retire edge 1 and add two replacements, one PATCH.
-	patch := do("PATCH", baseURL+"/graphs/social", map[string]any{
-		"deletes": []int{1},
-		"inserts": [][]int{{0, 3, 7}, {2, 5, 6}},
-	})
-	fmt.Printf("patched: applied=%v version=%v total=%v\n",
-		patch["applied"], patch["version"], patch["total"])
+	// A mixed delta: retire the second hyperedge and add two replacements,
+	// one atomic patch.
+	pat, err := c.Patch(ctx, "social", []int32{ins.Results[1].ID}, [][]int32{{0, 3, 7}, {2, 5, 6}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("patched: applied=%d version=%d total=%.0f\n", pat.Applied, pat.Version, pat.Total)
 
 	// Remove one hyperedge by id.
-	del := do("DELETE", baseURL+"/graphs/social/edges/0", nil)
-	fmt.Printf("deleted edge 0: edges=%v total=%v\n", del["edges"], del["total"])
-
-	// Stream NDJSON records into a fresh live graph: every record feeds the
-	// exact counter and a reservoir estimator, so the maintained exact
-	// counts and the fixed-memory unbiased estimate can be read side by
-	// side. With capacity covering the stream the estimate is exact.
-	ndjson := "[0,1,2]\n[0,3,1]\n[4,5,0]\n[6,7,2]\n[1,4,6]\n[8,9,1]\n[2,8,4]\n"
-	resp, err := http.Post(baseURL+"/streams/ticks?capacity=100&seed=7",
-		"application/x-ndjson", strings.NewReader(ndjson))
+	del, err := c.DeleteEdge(ctx, "social", ins.Results[0].ID)
 	if err != nil {
 		panic(err)
 	}
-	var ingest map[string]any
-	decode(resp, &ingest)
-	est := ingest["estimator"].(map[string]any)
-	fmt.Printf("streamed %v records: exact total=%v, reservoir estimate total=%v (reservoir %v/%v)\n",
-		ingest["ingested"], ingest["total"], est["estimated_total"],
-		est["reservoir_size"], est["capacity"])
+	fmt.Printf("deleted edge %d: edges=%d total=%.0f\n", ins.Results[0].ID, del.Edges, del.Total)
 
-	// Freeze the live graph into the immutable registry. The sampled and
-	// profile endpoints run on the frozen view, and its exact count is
-	// already cached — seeded from the live counter, never recomputed.
-	snap := do("POST", baseURL+"/graphs/social/snapshot", map[string]any{})
-	fmt.Printf("snapshot: version=%v nodes=%v edges=%v\n", snap["version"],
-		snap["stats"].(map[string]any)["num_nodes"],
-		snap["stats"].(map[string]any)["num_edges"])
-	exact := do("POST", baseURL+"/graphs/social/count", map[string]any{"algorithm": "exact"})
-	fmt.Printf("frozen-view exact count: total=%v cached=%v\n", exact["total"], exact["cached"])
-	sampled := do("POST", baseURL+"/graphs/social/count", map[string]any{
-		"algorithm": "wedge-sample", "samples": 500, "seed": 42,
+	// Stream records into a fresh live graph: every record feeds the exact
+	// counter and a reservoir estimator, so the maintained exact counts and
+	// the fixed-memory unbiased estimate can be read side by side. With
+	// capacity covering the stream the estimate is exact.
+	ing, err := c.IngestEdges(ctx, "ticks", [][]int32{
+		{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}, {1, 4, 6}, {8, 9, 1}, {2, 8, 4},
+	}, client.IngestOptions{Capacity: 100, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("streamed %d records: exact total=%.0f, reservoir estimate total=%.0f (reservoir %d/%d)\n",
+		ing.Ingested, ing.Total, ing.Estimator.EstimatedTotal,
+		ing.Estimator.ReservoirSize, ing.Estimator.Capacity)
+
+	// Freeze the live graph into the immutable registry. The count and
+	// profile jobs run on the frozen view, and its exact count is already
+	// cached — seeded from the live counter, never recomputed.
+	snap, err := c.Snapshot(ctx, "social", "")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshot: version=%d nodes=%d edges=%d\n",
+		snap.Version, snap.Stats.NumNodes, snap.Stats.NumEdges)
+	exact, err := c.Count(ctx, "social", api.CountRequest{Algorithm: api.AlgoExact})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("frozen-view exact count: total=%.0f cached=%v\n", exact.Total, exact.Cached)
+	sampled, err := c.Count(ctx, "social", api.CountRequest{
+		Algorithm: api.AlgoWedge, Samples: 500, Seed: 42,
 	})
-	fmt.Printf("frozen-view wedge-sample estimate: total=%v\n", sampled["total"])
-}
-
-// do issues one JSON request and decodes the JSON response.
-func do(method, url string, body any) map[string]any {
-	var rd bytes.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			panic(err)
-		}
-		rd = *bytes.NewReader(b)
-	}
-	req, err := http.NewRequest(method, url, &rd)
 	if err != nil {
 		panic(err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		panic(err)
-	}
-	var out map[string]any
-	decode(resp, &out)
-	if e, ok := out["error"]; ok {
-		panic(fmt.Sprintf("%s %s: %v", method, url, e))
-	}
-	return out
-}
-
-func decode(resp *http.Response, out any) {
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		panic(err)
-	}
+	fmt.Printf("frozen-view wedge-sample estimate: total=%.0f\n", sampled.Total)
 }

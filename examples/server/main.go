@@ -1,22 +1,21 @@
-// Example: talk to mochyd as an HTTP client. The example starts an
-// in-process server on a loopback listener (so it runs standalone, with no
-// daemon required), uploads a generated hypergraph, and then exercises the
-// whole API: stats, an exact count (cold, then served from cache), a
-// MoCHy-A+ sampling estimate, a streamed count with progress lines, and a
-// characteristic profile. Point baseURL at a running `mochyd` to use it as a
-// plain client instead.
+// Example: talk to mochyd through the typed client SDK. The example starts
+// an in-process server on a loopback listener (so it runs standalone, with
+// no daemon required), uploads a generated hypergraph over the binary
+// transport, and then exercises the v1 API end to end: stats, an exact
+// count job (cold, then served from cache), a MoCHy-A+ sampling estimate,
+// live progress events, a characteristic profile, a binary download round
+// trip, and the health counters. Point baseURL at a running `mochyd` to use
+// it as a plain client instead.
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
-	"strings"
 
 	"mochy"
+	"mochy/api"
+	"mochy/client"
 	"mochy/internal/generator"
 	"mochy/internal/server"
 )
@@ -26,107 +25,85 @@ func main() {
 	// replaced by baseURL := "http://localhost:8080".
 	ts := httptest.NewServer(server.New(server.DefaultConfig()))
 	defer ts.Close()
-	baseURL := ts.URL
+	c := client.New(ts.URL)
+	ctx := context.Background()
 
-	// Upload a synthetic contact-domain hypergraph as text.
+	// Upload a synthetic contact-domain hypergraph over the framed binary
+	// transport — no text parsing on either side.
 	g := generator.Generate(generator.Config{
 		Domain: generator.Contact, Nodes: 300, Edges: 1500, Seed: 7,
 	})
-	var buf bytes.Buffer
-	if err := g.Write(&buf); err != nil {
+	load, err := c.UploadGraph(ctx, "contact", g)
+	if err != nil {
 		panic(err)
 	}
-	load := post(baseURL+"/graphs", map[string]any{
-		"name": "contact", "text": buf.String(),
-	})
-	fmt.Printf("loaded %v: stats %v nodes, %v hyperedges\n",
-		load["name"], load["stats"].(map[string]any)["num_nodes"],
-		load["stats"].(map[string]any)["num_edges"])
+	fmt.Printf("loaded %s: %d nodes, %d hyperedges (binary transport)\n",
+		load.Name, load.Stats.NumNodes, load.Stats.NumEdges)
 
-	// Exact count: the first query runs MoCHy-E, the repeat is a cache hit.
+	// Exact count: the first job runs MoCHy-E, the repeat is a cache hit.
 	for _, run := range []string{"cold", "warm"} {
-		res := post(baseURL+"/graphs/contact/count", map[string]any{
-			"algorithm": "exact",
-		})
+		res, err := c.Count(ctx, "contact", api.CountRequest{Algorithm: api.AlgoExact})
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%s exact count: total=%.0f cached=%v (%.2f ms)\n",
-			run, res["total"], res["cached"], res["elapsed_ms"])
+			run, res.Total, res.Cached, res.ElapsedMS)
 	}
 
 	// MoCHy-A+ estimate with an explicit budget and seed.
-	est := post(baseURL+"/graphs/contact/count", map[string]any{
-		"algorithm": "wedge-sample", "samples": 2000, "seed": 42, "workers": 2,
+	est, err := c.Count(ctx, "contact", api.CountRequest{
+		Algorithm: api.AlgoWedge, Samples: 2000, Seed: 42, Workers: 2,
 	})
-	fmt.Printf("wedge-sample estimate: total=%.0f\n", est["total"])
-
-	// Streamed exact count: NDJSON progress lines, then the result. The
-	// cache is keyed per (graph, algorithm), so this replays the cached
-	// exact result; on a cold graph the progress lines tick upward.
-	resp, err := http.Post(baseURL+"/graphs/contact/count", "application/json",
-		strings.NewReader(`{"algorithm": "exact", "stream": true}`))
 	if err != nil {
 		panic(err)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		var ev map[string]any
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			panic(err)
-		}
-		switch ev["type"] {
-		case "progress":
-			fmt.Printf("  progress %v/%v\n", ev["done"], ev["total"])
-		case "result":
-			fmt.Printf("stream result: total=%.0f cached=%v\n", ev["total"], ev["cached"])
-		}
+	fmt.Printf("wedge-sample estimate: total=%.0f\n", est.Total)
+
+	// Progress events: upload a fresh (uncached) graph and watch an exact
+	// count enumerate through the job events stream.
+	big := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 800, Edges: 6000, Seed: 9,
+	})
+	if _, err := c.UploadGraph(ctx, "big", big); err != nil {
+		panic(err)
 	}
-	resp.Body.Close()
+	events := 0
+	res, err := c.CountWithProgress(ctx, "big", api.CountRequest{Algorithm: api.AlgoExact, Workers: 2},
+		func(done, total int) {
+			if events < 3 { // keep the output short
+				fmt.Printf("  progress %d/%d\n", done, total)
+			}
+			events++
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("streamed count: total=%.0f after %d progress events\n", res.Total, events)
 
 	// Characteristic profile against Chung-Lu nulls (reuses the cached
 	// exact counts of the real graph for its most expensive half).
-	prof := post(baseURL+"/graphs/contact/profile", map[string]any{
-		"randomizations": 2, "seed": 9,
-	})
-	vec := prof["profile"].([]any)
-	fmt.Printf("characteristic profile: %d components, norm=%.3f\n",
-		len(vec), prof["norm"])
-	if len(vec) != mochy.NumMotifs {
+	prof, err := c.Profile(ctx, "contact", api.ProfileRequest{Randomizations: 2, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("characteristic profile: %d components, norm=%.3f\n", len(prof.Profile), prof.Norm)
+	if len(prof.Profile) != mochy.NumMotifs {
 		panic("profile length mismatch")
 	}
 
+	// Download the graph back over the binary transport.
+	round, err := c.DownloadGraph(ctx, "contact")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("binary download round trip: %d nodes, %d hyperedges\n",
+		round.NumNodes(), round.NumEdges())
+
 	// Health: cache and pool counters.
-	health := get(baseURL + "/healthz")
-	fmt.Printf("healthz: graphs=%v cache_hits=%v cache_misses=%v\n",
-		health["graphs"], health["cache_hits"], health["cache_misses"])
-}
-
-func post(url string, body map[string]any) map[string]any {
-	b, err := json.Marshal(body)
+	health, err := c.Health(ctx)
 	if err != nil {
 		panic(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		panic(err)
-	}
-	return decode(resp)
-}
-
-func get(url string) map[string]any {
-	resp, err := http.Get(url)
-	if err != nil {
-		panic(err)
-	}
-	return decode(resp)
-}
-
-func decode(resp *http.Response) map[string]any {
-	defer resp.Body.Close()
-	var v map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		panic(err)
-	}
-	if resp.StatusCode >= 300 {
-		panic(fmt.Sprintf("HTTP %d: %v", resp.StatusCode, v["error"]))
-	}
-	return v
+	fmt.Printf("healthz: graphs=%d cache_hits=%d cache_misses=%d\n",
+		health.Graphs, health.CacheHits, health.CacheMisses)
 }

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mochy/api"
+	"mochy/internal/generator"
+)
+
+// BenchmarkUploadTransport is the transport acceptance benchmark: uploading
+// a large generated hypergraph over the framed binary transport must beat
+// the text form by >= 3x on the same graph — the headroom that was hiding
+// in the serialization boundary. Both paths go through the full router and
+// handler stack (recorder-backed, so the network is out of the picture and
+// only parsing is measured).
+func BenchmarkUploadTransport(b *testing.B) {
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 50_000, Edges: 200_000, Seed: 3,
+	})
+
+	var text bytes.Buffer
+	if err := g.Write(&text); err != nil {
+		b.Fatal(err)
+	}
+	binary, err := api.EncodeGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("graph: %d nodes, %d hyperedges; text %d bytes, binary %d bytes",
+		g.NumNodes(), g.NumEdges(), text.Len(), len(binary))
+
+	run := func(b *testing.B, contentType string, payload []byte) {
+		s := New(Config{CacheSize: 16, MaxConcurrent: 2, MaxWorkersPerJob: 2})
+		defer s.Close()
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPut, "/v1/graphs/bench", bytes.NewReader(payload))
+			req.Header.Set("Content-Type", contentType)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusCreated {
+				b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	b.Run("text", func(b *testing.B) { run(b, api.ContentTypeText, text.Bytes()) })
+	b.Run("binary", func(b *testing.B) { run(b, api.ContentTypeBinary, binary) })
+}

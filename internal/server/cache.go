@@ -13,21 +13,35 @@ import (
 // expensive exact results are stored forever (until evicted or purged),
 // while cheap sampling-based estimates can be given a bounded lifetime so
 // they age out instead of pinning LRU capacity.
+//
+// Eviction is cost-weighted LRU: every entry records how long its result
+// took to compute, and when the cache overflows, the cheapest-to-recompute
+// entry among the evictScan least-recently-used ones is dropped. Under
+// pressure a 2 ms sampled estimate goes before a 100-hour exact count, while
+// equal-cost entries still evict in strict LRU order.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	hits     uint64
-	misses   uint64
-	now      func() time.Time // injectable clock for TTL tests
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	now       func() time.Time // injectable clock for TTL tests
 }
 
 type cacheEntry struct {
 	key     string
 	val     any
-	expires time.Time // zero = never expires
+	expires time.Time     // zero = never expires
+	cost    time.Duration // compute time; higher cost resists eviction
 }
+
+// evictScan is how many entries from the LRU tail the evictor considers.
+// Small enough that eviction stays O(1)-ish, large enough that a cheap
+// sampled result sitting just above the tail is found before an expensive
+// exact count at the tail is sacrificed.
+const evictScan = 8
 
 // NewCache returns an LRU cache holding at most capacity results. A
 // capacity <= 0 disables caching: Get always misses and Put is a no-op.
@@ -62,15 +76,22 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores val under key with no expiry, evicting the least recently used
-// entry when the cache is full.
+// Put stores val under key with no expiry and zero recompute cost.
 func (c *Cache) Put(key string, val any) {
-	c.PutTTL(key, val, 0)
+	c.PutCost(key, val, 0, 0)
 }
 
-// PutTTL stores val under key; a positive ttl makes the entry expire that
-// far in the future, ttl <= 0 stores it without expiry.
+// PutTTL stores val under key with zero recompute cost; a positive ttl makes
+// the entry expire that far in the future, ttl <= 0 stores it without expiry.
 func (c *Cache) PutTTL(key string, val any, ttl time.Duration) {
+	c.PutCost(key, val, ttl, 0)
+}
+
+// PutCost stores val under key, recording how long the result took to
+// compute so eviction can prefer dropping cheap-to-recompute entries. A
+// positive ttl bounds the entry's lifetime; ttl <= 0 stores it without
+// expiry.
+func (c *Cache) PutCost(key string, val any, ttl, cost time.Duration) {
 	if c.capacity <= 0 {
 		return
 	}
@@ -82,14 +103,38 @@ func (c *Cache) PutTTL(key string, val any, ttl time.Duration) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.val, e.expires = val, expires
+		e.val, e.expires, e.cost = val, expires, cost
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires, cost: cost})
 	for c.ll.Len() > c.capacity {
-		c.removeLocked(c.ll.Back())
+		c.evictLocked()
 	}
+}
+
+// evictLocked drops one entry to relieve pressure: the cheapest-to-recompute
+// among the evictScan least-recently-used ones, with ties going to the least
+// recently used. Already-expired entries are claimed first regardless of
+// cost. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	now := c.now()
+	victim := c.ll.Back()
+	scanned := 0
+	for el := c.ll.Back(); el != nil && scanned < evictScan; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if !e.expires.IsZero() && !now.Before(e.expires) {
+			victim = el
+			break
+		}
+		// Strict inequality keeps equal-cost eviction in LRU order.
+		if e.cost < victim.Value.(*cacheEntry).cost {
+			victim = el
+		}
+		scanned++
+	}
+	c.removeLocked(victim)
+	c.evictions++
 }
 
 // Purge removes every entry whose key matches, returning how many were
@@ -129,6 +174,14 @@ func (c *Cache) Counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns how many entries have been evicted under capacity
+// pressure (purges and lazy TTL collection are not evictions).
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // flightGroup collapses concurrent computations of the same key into one:

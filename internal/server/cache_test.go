@@ -43,6 +43,48 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheCostWeightedEviction: under capacity pressure the cache drops
+// the cheapest-to-recompute entry in the scan window, not blindly the least
+// recently used one — a cheap sampled estimate goes before an expensive
+// exact count even when the exact count is older.
+func TestCacheCostWeightedEviction(t *testing.T) {
+	c := NewCache(3)
+	c.PutCost("exact-old", 1, 0, time.Hour)      // oldest, expensive
+	c.PutCost("cheap", 2, 0, 2*time.Millisecond) // cheap sampled result
+	c.PutCost("exact-new", 3, 0, 30*time.Minute) // expensive
+	c.PutCost("incoming", 4, 0, 10*time.Millisecond)
+
+	if _, ok := c.Get("cheap"); ok {
+		t.Fatal("cheap entry survived eviction over expensive exact results")
+	}
+	for _, k := range []string{"exact-old", "exact-new", "incoming"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("expensive/new entry %q was evicted before the cheap one", k)
+		}
+	}
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+}
+
+// TestCacheEvictionPrefersExpired: an already-expired entry in the scan
+// window is reclaimed first regardless of its recorded cost.
+func TestCacheEvictionPrefersExpired(t *testing.T) {
+	c := NewCache(2)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.PutCost("expiring-expensive", 1, time.Second, time.Hour)
+	c.PutCost("cheap", 2, 0, time.Millisecond)
+	now = now.Add(2 * time.Second)
+	c.PutCost("incoming", 3, 0, 0)
+	if _, ok := c.Get("cheap"); !ok {
+		t.Fatal("live cheap entry evicted while an expired entry remained")
+	}
+	if _, ok := c.Get("incoming"); !ok {
+		t.Fatal("incoming entry missing")
+	}
+}
+
 func TestCachePutUpdatesExisting(t *testing.T) {
 	c := NewCache(2)
 	c.Put("a", 1)

@@ -1,0 +1,12 @@
+package server
+
+import "mochy/api"
+
+// Type aliases keeping the pre-v1 test suite readable against the shared
+// wire types: the JSON shapes did not change when they moved to mochy/api,
+// and the legacy tests double as the alias-compatibility proof.
+type (
+	statsResult   = api.Stats
+	streamState   = api.StreamState
+	progressEvent = legacyProgressEvent
+)

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"mochy/api"
 	"mochy/internal/hypergraph"
 	counting "mochy/internal/mochy"
 )
@@ -26,42 +26,33 @@ const maxQueryBytes = 1 << 20
 // tiny request naming node 2e9 would force a multi-gigabyte allocation.
 const maxGraphNodes = 1 << 24
 
-// apiError is the JSON error envelope returned on every non-2xx response.
-type apiError struct {
-	Error string `json:"error"`
+// loadRequest is the legacy POST /graphs body: a GraphDoc whose Name rides
+// in the body instead of the path.
+type loadRequest = api.GraphDoc
+
+// countRequest is the POST count body. The legacy synchronous endpoint
+// additionally accepts Stream to select NDJSON progress streaming (exact
+// counts only); /v1 moved streaming onto the job events endpoint.
+type countRequest struct {
+	api.CountRequest
+	Stream bool `json:"stream,omitempty"`
 }
 
-// loadRequest is the POST /graphs body. Exactly one of Text (the whitespace
-// hyperedge-list format accepted by mochy.Parse) or Edges must be set.
-type loadRequest struct {
-	Name     string    `json:"name"`
-	Text     string    `json:"text,omitempty"`
-	Edges    [][]int32 `json:"edges,omitempty"`
-	NumNodes int       `json:"num_nodes,omitempty"`
+// streamResult is the final NDJSON line of a legacy streamed exact count.
+type streamResult struct {
+	Type string `json:"type"` // "result"
+	api.CountResult
 }
 
-// loadResponse answers a graph upload.
-type loadResponse struct {
-	Name     string      `json:"name"`
-	Replaced bool        `json:"replaced"`
-	Stats    statsResult `json:"stats"`
+// legacyProgressEvent is one NDJSON line of a legacy streamed exact count.
+type legacyProgressEvent struct {
+	Type  string `json:"type"` // "progress"
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
 }
 
-// statsResult is the JSON shape of hypergraph.Stats.
-type statsResult struct {
-	NumNodes       int         `json:"num_nodes"`
-	NumEdges       int         `json:"num_edges"`
-	TotalIncidence int         `json:"total_incidence"`
-	MaxEdgeSize    int         `json:"max_edge_size"`
-	MeanEdgeSize   float64     `json:"mean_edge_size"`
-	MaxDegree      int         `json:"max_degree"`
-	MeanDegree     float64     `json:"mean_degree"`
-	SizeHistogram  map[int]int `json:"size_histogram"`
-	DegreeHist     map[int]int `json:"degree_histogram"`
-}
-
-func toStatsResult(s hypergraph.Stats) statsResult {
-	return statsResult{
+func toStats(s hypergraph.Stats) api.Stats {
+	return api.Stats{
 		NumNodes:       s.NumNodes,
 		NumEdges:       s.NumEdges,
 		TotalIncidence: s.TotalIncidence,
@@ -74,77 +65,16 @@ func toStatsResult(s hypergraph.Stats) statsResult {
 	}
 }
 
-// countRequest is the POST /graphs/{name}/count body.
-type countRequest struct {
-	// Algorithm is "exact" (MoCHy-E, the default), "edge-sample" (MoCHy-A)
-	// or "wedge-sample" (MoCHy-A+).
-	Algorithm string `json:"algorithm"`
-	// Samples is the sampling budget; required for the sampling algorithms.
-	Samples int `json:"samples,omitempty"`
-	// Seed makes sampling estimates reproducible.
-	Seed int64 `json:"seed,omitempty"`
-	// Workers is the per-job parallelism; 0 means the server maximum.
-	Workers int `json:"workers,omitempty"`
-	// Stream selects NDJSON progress streaming (exact counts only).
-	Stream bool `json:"stream,omitempty"`
-}
-
-// countResponse answers a count query.
-type countResponse struct {
-	Graph        string    `json:"graph"`
-	Algorithm    string    `json:"algorithm"`
-	Counts       []float64 `json:"counts"`
-	Total        float64   `json:"total"`
-	OpenFraction float64   `json:"open_fraction"`
-	Cached       bool      `json:"cached"`
-	ElapsedMS    float64   `json:"elapsed_ms"`
-}
-
-// progressEvent is one NDJSON line of a streamed exact count.
-type progressEvent struct {
-	Type  string `json:"type"` // "progress"
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
-}
-
-// streamResult is the final NDJSON line of a streamed exact count.
-type streamResult struct {
-	Type string `json:"type"` // "result"
-	countResponse
-}
-
-// profileRequest is the POST /graphs/{name}/profile body.
-type profileRequest struct {
-	// Randomizations is the number of Chung-Lu null copies (default 3).
-	Randomizations int `json:"randomizations,omitempty"`
-	// Seed drives the null-model generation.
-	Seed int64 `json:"seed,omitempty"`
-	// Workers is the per-count parallelism; 0 means the server maximum.
-	Workers int `json:"workers,omitempty"`
-}
-
-// profileResponse answers a characteristic-profile query.
-type profileResponse struct {
-	Graph          string    `json:"graph"`
-	Randomizations int       `json:"randomizations"`
-	Seed           int64     `json:"seed"`
-	Profile        []float64 `json:"profile"`
-	Norm           float64   `json:"norm"`
-	Cached         bool      `json:"cached"`
-	ElapsedMS      float64   `json:"elapsed_ms"`
-}
-
-// healthResponse answers GET /healthz.
-type healthResponse struct {
-	Status        string `json:"status"`
-	UptimeSeconds int64  `json:"uptime_seconds"`
-	Graphs        int    `json:"graphs"`
-	LiveGraphs    int    `json:"live_graphs"`
-	CacheEntries  int    `json:"cache_entries"`
-	CacheHits     uint64 `json:"cache_hits"`
-	CacheMisses   uint64 `json:"cache_misses"`
-	ActiveJobs    int    `json:"active_jobs"`
-	JobCapacity   int    `json:"job_capacity"`
+func toCountResult(graph, algo string, c counting.Counts, cached bool, elapsed time.Duration) api.CountResult {
+	return api.CountResult{
+		Graph:        graph,
+		Algorithm:    algo,
+		Counts:       c[:],
+		Total:        c.Total(),
+		OpenFraction: c.OpenFraction(),
+		Cached:       cached,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -156,16 +86,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return
+// writeBackpressure answers 429 with a Retry-After hint when the job pool's
+// queue has outlived the configured budget.
+func (s *Server) writeBackpressure(w http.ResponseWriter) {
+	retry := int64(s.cfg.QueueBudget / time.Second)
+	if retry < 1 {
+		retry = 1
 	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	writeError(w, http.StatusTooManyRequests,
+		"job queue saturated for more than %s; retry later", s.cfg.QueueBudget)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, _ params) {
 	hits, misses := s.cache.Counters()
-	writeJSON(w, http.StatusOK, healthResponse{
+	writeJSON(w, http.StatusOK, api.Health{
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Graphs:        s.registry.Len(),
@@ -175,26 +113,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:   misses,
 		ActiveJobs:    s.pool.Active(),
 		JobCapacity:   s.pool.Capacity(),
+		QueueDepth:    s.pool.Waiting(),
 	})
 }
 
-// handleGraphs serves the /graphs collection: POST loads a graph, GET lists
-// registered names.
-func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string][]string{
-			"graphs": s.registry.Names(),
-			"live":   s.liveReg.Names(),
-		})
-	case http.MethodPost:
-		s.handleLoad(w, r)
+// handleList serves the graph listing: registered immutable names plus live
+// graph names.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, _ params) {
+	writeJSON(w, http.StatusOK, api.GraphList{
+		Graphs: s.registry.Names(),
+		Live:   s.liveReg.Names(),
+	})
+}
+
+// buildGraphDoc materializes a hypergraph from the JSON transport form:
+// exactly one of Text (the whitespace hyperedge-list format) or Edges.
+func buildGraphDoc(doc *api.GraphDoc) (*hypergraph.Hypergraph, error) {
+	switch {
+	case doc.Text != "" && doc.Edges != nil:
+		return nil, fmt.Errorf("provide either text or edges, not both")
+	case doc.Text != "":
+		return hypergraph.ParseLimit(strings.NewReader(doc.Text), maxGraphNodes)
+	case doc.Edges != nil:
+		if doc.NumNodes > maxGraphNodes {
+			return nil, fmt.Errorf("num_nodes %d exceeds the limit of %d", doc.NumNodes, maxGraphNodes)
+		}
+		b := hypergraph.NewBuilder(doc.NumNodes).LimitNodes(maxGraphNodes)
+		for _, e := range doc.Edges {
+			b.AddEdge(e)
+		}
+		return b.Build()
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return nil, fmt.Errorf("provide text or edges")
 	}
 }
 
-func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+// registerGraph loads g into the immutable registry under name and purges
+// any replaced generation's cached results.
+func (s *Server) registerGraph(name string, g *hypergraph.Hypergraph) api.LoadResult {
+	e, replaced := s.registry.Load(name, g)
+	if replaced {
+		// The replaced generation's cached results can never be read again;
+		// drop them now instead of letting them squat in the LRU.
+		s.purgeStaleGenerations(name, e.Gen)
+	}
+	return api.LoadResult{Name: name, Replaced: replaced, Stats: toStats(e.Stats)}
+}
+
+// handleLegacyLoad serves the deprecated POST /graphs: a JSON GraphDoc with
+// the name in the body. The v1 successor is PUT /v1/graphs/{name}.
+func (s *Server) handleLegacyLoad(w http.ResponseWriter, r *http.Request, _ params) {
 	var req loadRequest
 	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -209,120 +177,49 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "name must not contain '/'")
 		return
 	}
-	var g *hypergraph.Hypergraph
-	var err error
-	switch {
-	case req.Text != "" && req.Edges != nil:
-		writeError(w, http.StatusBadRequest, "provide either text or edges, not both")
-		return
-	case req.Text != "":
-		g, err = hypergraph.ParseLimit(strings.NewReader(req.Text), maxGraphNodes)
-	case req.Edges != nil:
-		if req.NumNodes > maxGraphNodes {
-			writeError(w, http.StatusBadRequest, "num_nodes %d exceeds the limit of %d", req.NumNodes, maxGraphNodes)
-			return
-		}
-		b := hypergraph.NewBuilder(req.NumNodes).LimitNodes(maxGraphNodes)
-		for _, e := range req.Edges {
-			b.AddEdge(e)
-		}
-		g, err = b.Build()
-	default:
-		writeError(w, http.StatusBadRequest, "provide text or edges")
-		return
-	}
+	g, err := buildGraphDoc(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid hypergraph: %v", err)
 		return
 	}
-	e, replaced := s.registry.Load(req.Name, g)
-	if replaced {
-		// The replaced generation's cached results can never be read again;
-		// drop them now instead of letting them squat in the LRU.
-		s.purgeStaleGenerations(req.Name, e.Gen)
-	}
-	writeJSON(w, http.StatusCreated, loadResponse{
-		Name:     req.Name,
-		Replaced: replaced,
-		Stats:    toStatsResult(e.Stats),
-	})
+	writeJSON(w, http.StatusCreated, s.registerGraph(req.Name, g))
 }
 
-// handleGraph routes /graphs/{name}[/{action}[/{sub}]] requests. Live-graph
-// actions (edges, counts, snapshot, PATCH deltas) are routed before the
-// static registry lookup: a name may exist as a live graph, as an immutable
-// snapshot, or as both at once.
-func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
-	name, rest, _ := strings.Cut(rest, "/")
-	action, sub, _ := strings.Cut(rest, "/")
-	if name == "" {
-		writeError(w, http.StatusNotFound, "graph name missing")
-		return
-	}
-	if action == "" {
-		switch r.Method {
-		case http.MethodDelete:
-			s.handleDeleteGraph(w, name)
-			return
-		case http.MethodPatch:
-			s.handlePatchGraph(w, r, name)
-			return
-		}
-	}
-	if action == "edges" {
-		s.handleEdges(w, r, name, sub)
-		return
-	}
-	// Only /edges takes a sub-path; anything else trailing the action is a
-	// malformed URL, not a laxer spelling of it.
-	if sub != "" {
-		writeError(w, http.StatusNotFound, "unknown action %q", action+"/"+sub)
-		return
-	}
-	switch action {
-	case "counts":
-		s.handleLiveCounts(w, r, name)
-		return
-	case "snapshot":
-		s.handleSnapshot(w, r, name)
-		return
-	}
-	e, ok := s.registry.Get(name)
+// handleStats serves graph statistics (and the legacy GET /graphs/{name},
+// whose v1 successor returns the graph itself).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, p params) {
+	e, ok := s.registry.Get(p["name"])
 	if !ok {
-		writeError(w, http.StatusNotFound, "graph %q not found", name)
+		writeError(w, http.StatusNotFound, "graph %q not found", p["name"])
 		return
 	}
-	switch action {
-	case "", "stats":
-		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-			return
+	writeJSON(w, http.StatusOK, toStats(e.Stats))
+}
+
+// throttledProgress wraps emit in the shared ~1%-granularity progress
+// throttle used by both the legacy NDJSON stream and the v1 job events:
+// huge graphs must not produce one event per enumeration stride, and
+// progress must never go backwards (the internal mutex makes the decide-
+// and-emit step atomic across worker goroutines).
+func throttledProgress(total int, emit func(done, total int)) func(done, total int) {
+	step := total / 100
+	if step < 1 {
+		step = 1
+	}
+	lastEmit := 0
+	var mu sync.Mutex
+	return func(done, tot int) {
+		mu.Lock()
+		if done >= lastEmit+step && done < tot {
+			lastEmit = done
+			emit(done, tot)
 		}
-		writeJSON(w, http.StatusOK, toStatsResult(e.Stats))
-	case "count":
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-			return
-		}
-		s.handleCount(w, r, e)
-	case "profile":
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-			return
-		}
-		s.handleProfile(w, r, e)
-	default:
-		writeError(w, http.StatusNotFound, "unknown action %q", action)
+		mu.Unlock()
 	}
 }
 
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry) {
-	var req countRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
-		return
-	}
+// validateCount normalizes and validates a count request in place.
+func validateCount(req *api.CountRequest) error {
 	if req.Algorithm == "" {
 		req.Algorithm = algoExact
 	}
@@ -330,12 +227,34 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry) {
 	case algoExact:
 	case algoEdge, algoWedge:
 		if req.Samples <= 0 {
-			writeError(w, http.StatusBadRequest, "samples must be positive for %s", req.Algorithm)
-			return
+			return fmt.Errorf("samples must be positive for %s", req.Algorithm)
 		}
 	default:
-		writeError(w, http.StatusBadRequest, "unknown algorithm %q (want %s, %s or %s)",
+		return fmt.Errorf("unknown algorithm %q (want %s, %s or %s)",
 			req.Algorithm, algoExact, algoEdge, algoWedge)
+	}
+	return nil
+}
+
+// handleSyncCount serves the deprecated synchronous POST /graphs/{name}/count.
+// The v1 successor returns a job resource instead of blocking.
+func (s *Server) handleSyncCount(w http.ResponseWriter, r *http.Request, p params) {
+	e, ok := s.registry.Get(p["name"])
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q not found", p["name"])
+		return
+	}
+	var req countRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if err := validateCount(&req.CountRequest); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.overBudget() {
+		s.writeBackpressure(w)
 		return
 	}
 	workers := s.clampWorkers(req.Workers)
@@ -349,28 +268,20 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, e *Entry) {
 		writeError(w, http.StatusServiceUnavailable, "count failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, countResponse{
-		Graph:        e.Name,
-		Algorithm:    req.Algorithm,
-		Counts:       c[:],
-		Total:        c.Total(),
-		OpenFraction: c.OpenFraction(),
-		Cached:       cached,
-		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
-	})
+	writeJSON(w, http.StatusOK, toCountResult(e.Name, req.Algorithm, c, cached, time.Since(start)))
 }
 
-// streamCount serves an exact count as NDJSON: progress events while the
-// enumeration runs, then one final result line. A cache hit skips straight
-// to the result; concurrent identical streamed queries collapse into one
-// computation (only the caller that runs it sees progress events).
+// streamCount serves a legacy exact count as NDJSON: progress events while
+// the enumeration runs, then one final result line. A cache hit skips
+// straight to the result; concurrent identical streamed queries collapse
+// into one computation (only the caller that runs it sees progress events).
 func (s *Server) streamCount(w http.ResponseWriter, r *http.Request, e *Entry, workers int) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	// mu guards enc and lastEmit together: deciding to fire and writing the
-	// line happen in one critical section, so progress never goes backwards
-	// on the wire.
+	// mu guards enc and the progress throttle together: deciding to fire
+	// and writing the line happen in one critical section, so progress
+	// never goes backwards on the wire.
 	var mu sync.Mutex
 	emitLocked := func(v any) {
 		_ = enc.Encode(v)
@@ -385,61 +296,27 @@ func (s *Server) streamCount(w http.ResponseWriter, r *http.Request, e *Entry, w
 	}
 
 	start := time.Now()
-	key := countKey(e, algoExact, 0, 0, workers)
-	c, cached := counting.Counts{}, false
-	if v, ok := s.cache.Get(key); ok {
-		c, cached = v.(counting.Counts), true
-	} else {
-		// Report progress at ~1% granularity so huge graphs don't flood
-		// the connection with one line per stride.
-		total := e.Graph.NumEdges()
-		step := total / 100
-		if step < 1 {
-			step = 1
-		}
-		lastEmit := 0
-		// The computation is detached from this request's context and
-		// shared through the flight group, so a herd of identical streamed
-		// queries runs MoCHy-E once, and the leader disconnecting neither
-		// wastes the work nor fails the followers.
-		ctx := context.WithoutCancel(r.Context())
-		v, err, shared := s.flight.Do(key, func() (any, error) {
-			result, err := s.runCount(ctx, e, algoExact, 0, 0, workers, func(done, tot int) {
-				mu.Lock()
-				if done >= lastEmit+step && done < tot {
-					lastEmit = done
-					emitLocked(progressEvent{Type: "progress", Done: done, Total: tot})
-				}
-				mu.Unlock()
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.putIfCurrent(e, key, result, 0)
-			return result, nil
-		})
-		if err != nil {
-			emit(apiError{Error: err.Error()})
-			return
-		}
-		c, cached = v.(counting.Counts), shared
-	}
-	emit(streamResult{
-		Type: "result",
-		countResponse: countResponse{
-			Graph:        e.Name,
-			Algorithm:    algoExact,
-			Counts:       c[:],
-			Total:        c.Total(),
-			OpenFraction: c.OpenFraction(),
-			Cached:       cached,
-			ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
-		},
+	progress := throttledProgress(e.Graph.NumEdges(), func(done, tot int) {
+		mu.Lock()
+		emitLocked(legacyProgressEvent{Type: "progress", Done: done, Total: tot})
+		mu.Unlock()
 	})
+	c, cached, err := s.countProgress(r.Context(), e, algoExact, 0, 0, workers, progress)
+	if err != nil {
+		emit(api.Error{Error: err.Error()})
+		return
+	}
+	emit(streamResult{Type: "result", CountResult: toCountResult(e.Name, algoExact, c, cached, time.Since(start))})
 }
 
-func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, e *Entry) {
-	var req profileRequest
+// handleSyncProfile serves the deprecated synchronous POST /graphs/{name}/profile.
+func (s *Server) handleSyncProfile(w http.ResponseWriter, r *http.Request, p params) {
+	e, ok := s.registry.Get(p["name"])
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q not found", p["name"])
+		return
+	}
+	var req api.ProfileRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
@@ -451,19 +328,23 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, e *Entry)
 		writeError(w, http.StatusBadRequest, "randomizations must be positive")
 		return
 	}
+	if s.overBudget() {
+		s.writeBackpressure(w)
+		return
+	}
 	workers := s.clampWorkers(req.Workers)
 	start := time.Now()
-	p, cached, err := s.profile(r.Context(), e, req.Randomizations, req.Seed, workers)
+	prof, cached, err := s.profile(r.Context(), e, req.Randomizations, req.Seed, workers)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "profile failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, profileResponse{
+	writeJSON(w, http.StatusOK, api.ProfileResult{
 		Graph:          e.Name,
 		Randomizations: req.Randomizations,
 		Seed:           req.Seed,
-		Profile:        p[:],
-		Norm:           p.Norm(),
+		Profile:        prof[:],
+		Norm:           prof.Norm(),
 		Cached:         cached,
 		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
 	})

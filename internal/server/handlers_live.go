@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mochy/api"
 	"mochy/internal/dynamic"
 	"mochy/internal/server/live"
 	"mochy/internal/stream"
@@ -21,97 +22,11 @@ const (
 	defaultStreamSeed     = 1
 )
 
-// edgesRequest is the POST /graphs/{name}/edges body: a batch of hyperedges
-// to insert, applied in order.
-type edgesRequest struct {
-	Edges [][]int32 `json:"edges"`
-}
-
-// patchRequest is the PATCH /graphs/{name} body: a mixed delta. Deletes are
-// applied first (in order), then inserts, so a patch can atomically retire
-// an old version of a hyperedge and add its replacement.
-type patchRequest struct {
-	Deletes []int32   `json:"deletes,omitempty"`
-	Inserts [][]int32 `json:"inserts,omitempty"`
-}
-
-// opResult is the JSON shape of one applied (or failed) mutation.
-type opResult struct {
-	Op    string `json:"op"` // "insert" or "delete"
-	ID    int32  `json:"id"`
-	Error string `json:"error,omitempty"`
-}
-
-// mutateResponse answers every mutation endpoint with the per-op outcomes
-// and the always-current exact counts after the batch.
-type mutateResponse struct {
-	Graph   string     `json:"graph"`
-	Applied int        `json:"applied"`
-	Version uint64     `json:"version"`
-	Edges   int        `json:"edges"`
-	Results []opResult `json:"results"`
-	Counts  []float64  `json:"counts"`
-	Total   float64    `json:"total"`
-}
-
-// streamState is the JSON shape of a live graph's reservoir estimator.
-type streamState struct {
-	Capacity       int       `json:"capacity"`
-	EdgesSeen      int64     `json:"edges_seen"`
-	ReservoirSize  int       `json:"reservoir_size"`
-	Estimates      []float64 `json:"estimates"`
-	EstimatedTotal float64   `json:"estimated_total"`
-}
-
-// liveCountsResponse answers GET /graphs/{name}/counts: maintained exact
-// counts in O(1), with reservoir estimates side by side when the graph is
-// fed by a stream.
-type liveCountsResponse struct {
-	Graph        string       `json:"graph"`
-	Version      uint64       `json:"version"`
-	Edges        int          `json:"edges"`
-	Wedges       int64        `json:"wedges"`
-	Counts       []float64    `json:"counts"`
-	Total        float64      `json:"total"`
-	OpenFraction float64      `json:"open_fraction"`
-	Stream       *streamState `json:"stream,omitempty"`
-}
-
-// snapshotRequest is the optional POST /graphs/{name}/snapshot body.
-type snapshotRequest struct {
-	// As names the immutable registry entry to create; empty means the live
-	// graph's own name.
-	As string `json:"as,omitempty"`
-}
-
-// snapshotResponse answers a snapshot.
-type snapshotResponse struct {
-	Graph    string      `json:"graph"`
-	As       string      `json:"as"`
-	Version  uint64      `json:"version"`
-	Replaced bool        `json:"replaced"`
-	Stats    statsResult `json:"stats"`
-}
-
-// ingestResponse answers POST /streams/{name}.
-type ingestResponse struct {
-	Stream     string       `json:"stream"`
-	Ingested   int          `json:"ingested"`
-	Inserted   int          `json:"inserted"`
-	Duplicates int          `json:"duplicates"`
-	Version    uint64       `json:"version"`
-	Edges      int          `json:"edges"`
-	Counts     []float64    `json:"counts"`
-	Total      float64      `json:"total"`
-	Estimator  *streamState `json:"estimator,omitempty"`
-	Error      string       `json:"error,omitempty"`
-}
-
-func toStreamState(in *live.StreamInfo) *streamState {
+func toStreamState(in *live.StreamInfo) *api.StreamState {
 	if in == nil {
 		return nil
 	}
-	return &streamState{
+	return &api.StreamState{
 		Capacity:       in.Capacity,
 		EdgesSeen:      in.EdgesSeen,
 		ReservoirSize:  in.ReservoirSize,
@@ -120,13 +35,13 @@ func toStreamState(in *live.StreamInfo) *streamState {
 	}
 }
 
-func toMutateResponse(name string, res live.BatchResult) mutateResponse {
-	out := mutateResponse{
+func toMutateResult(name string, res live.BatchResult) api.MutateResult {
+	out := api.MutateResult{
 		Graph:   name,
 		Applied: res.Applied,
 		Version: res.Version,
 		Edges:   res.Edges,
-		Results: make([]opResult, len(res.Results)),
+		Results: make([]api.OpResult, len(res.Results)),
 		Counts:  res.Counts[:],
 		Total:   res.Counts.Total(),
 	}
@@ -135,7 +50,7 @@ func toMutateResponse(name string, res live.BatchResult) mutateResponse {
 		if r.Insert {
 			op = "insert"
 		}
-		out.Results[i] = opResult{Op: op, ID: r.ID}
+		out.Results[i] = api.OpResult{Op: op, ID: r.ID}
 		if r.Err != nil {
 			out.Results[i].Error = r.Err.Error()
 		}
@@ -201,79 +116,77 @@ func writeBatch(w http.ResponseWriter, name string, res live.BatchResult, err er
 		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
 		return
 	}
-	writeJSON(w, batchStatus(res), toMutateResponse(name, res))
+	writeJSON(w, batchStatus(res), toMutateResult(name, res))
 }
 
-// handleEdges serves /graphs/{name}/edges[/{id}]: POST batch-inserts into
-// the live graph (creating it on first use), DELETE removes one live
-// hyperedge by id, GET lists the live hyperedge ids.
-func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, name, sub string) {
-	switch r.Method {
-	case http.MethodPost:
-		if sub != "" {
-			writeError(w, http.StatusNotFound, "POST to /graphs/%s/edges, not an edge id", name)
-			return
-		}
-		var req edgesRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
-			return
-		}
-		if len(req.Edges) == 0 {
-			writeError(w, http.StatusBadRequest, "edges is required and must be non-empty")
-			return
-		}
-		g, created, ok := s.createLiveGraph(w, name)
-		if !ok {
-			return
-		}
-		ops := make([]live.Op, len(req.Edges))
-		for i, e := range req.Edges {
-			ops[i] = live.Op{Insert: e}
-		}
-		res, err := g.Apply(ops)
-		s.rollbackIfUnused(name, g, created, res.Applied)
-		writeBatch(w, name, res, err)
-	case http.MethodDelete:
-		if sub == "" {
-			writeError(w, http.StatusBadRequest, "edge id missing: DELETE /graphs/%s/edges/{id}", name)
-			return
-		}
-		id, err := strconv.ParseInt(sub, 10, 32)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "invalid edge id %q", sub)
-			return
-		}
-		g, ok := s.liveGraphOrError(w, name)
-		if !ok {
-			return
-		}
-		res, aerr := g.Apply([]live.Op{{Delete: int32(id)}})
-		writeBatch(w, name, res, aerr)
-	case http.MethodGet:
-		g, ok := s.liveGraphOrError(w, name)
-		if !ok {
-			return
-		}
-		ids, version, err := g.EdgeIDs()
-		if err != nil {
-			writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"graph": name, "edges": len(ids), "ids": ids, "version": version,
-		})
-	default:
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+// handleInsertEdges serves POST /v1/graphs/{name}/edges: a batch insert
+// into the live graph, creating it on first use.
+func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
+	var req api.EdgesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
 	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "edges is required and must be non-empty")
+		return
+	}
+	g, created, ok := s.createLiveGraph(w, name)
+	if !ok {
+		return
+	}
+	ops := make([]live.Op, len(req.Edges))
+	for i, e := range req.Edges {
+		ops[i] = live.Op{Insert: e}
+	}
+	res, err := g.Apply(ops)
+	s.rollbackIfUnused(name, g, created, res.Applied)
+	writeBatch(w, name, res, err)
 }
 
-// handlePatchGraph serves PATCH /graphs/{name}: one mixed delta of deletes
-// (applied first) and inserts, against the live graph. A patch containing
-// inserts creates the graph on first use (so a pure-insert patch can
-// bootstrap one); a pure-delete patch requires it to exist.
-func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request, name string) {
-	var req patchRequest
+// handleListEdges serves GET /v1/graphs/{name}/edges: the live hyperedge
+// ids.
+func (s *Server) handleListEdges(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
+	g, ok := s.liveGraphOrError(w, name)
+	if !ok {
+		return
+	}
+	ids, version, err := g.EdgeIDs()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.EdgeList{
+		Graph: name, Edges: len(ids), IDs: ids, Version: version,
+	})
+}
+
+// handleDeleteEdge serves DELETE /v1/graphs/{name}/edges/{id}: removal of
+// one live hyperedge by id.
+func (s *Server) handleDeleteEdge(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
+	id, err := strconv.ParseInt(p["id"], 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid edge id %q", p["id"])
+		return
+	}
+	g, ok := s.liveGraphOrError(w, name)
+	if !ok {
+		return
+	}
+	res, aerr := g.Apply([]live.Op{{Delete: int32(id)}})
+	writeBatch(w, name, res, aerr)
+}
+
+// handlePatchGraph serves PATCH /v1/graphs/{name}: one mixed delta of
+// deletes (applied first) and inserts, against the live graph. A patch
+// containing inserts creates the graph on first use (so a pure-insert patch
+// can bootstrap one); a pure-delete patch requires it to exist.
+func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
+	var req api.PatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
@@ -307,14 +220,11 @@ func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request, name s
 	writeBatch(w, name, res, err)
 }
 
-// handleLiveCounts serves GET /graphs/{name}/counts: the always-current
+// handleLiveCounts serves GET /v1/graphs/{name}/counts: the always-current
 // exact counts of the live graph, maintained incrementally in O(delta) per
 // mutation, read in O(1) — no counting job, pool slot, or cache involved.
-func (s *Server) handleLiveCounts(w http.ResponseWriter, r *http.Request, name string) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return
-	}
+func (s *Server) handleLiveCounts(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
 	g, ok := s.liveGraphOrError(w, name)
 	if !ok {
 		return
@@ -324,7 +234,7 @@ func (s *Server) handleLiveCounts(w http.ResponseWriter, r *http.Request, name s
 		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, liveCountsResponse{
+	writeJSON(w, http.StatusOK, api.LiveCounts{
 		Graph:        name,
 		Version:      info.Version,
 		Edges:        info.Edges,
@@ -336,18 +246,16 @@ func (s *Server) handleLiveCounts(w http.ResponseWriter, r *http.Request, name s
 	})
 }
 
-// handleSnapshot serves POST /graphs/{name}/snapshot: it freezes the live
-// graph's current edge set into the immutable registry (default under the
-// same name), where the sampled-count and profile endpoints operate on it.
-// The counter's exact counts are seeded into the result cache for the new
-// generation — the frozen view's exact count is a cache hit without ever
-// running MoCHy-E — and stale generations of the target name are purged.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, name string) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return
-	}
-	var req snapshotRequest
+// handleSnapshot serves POST /v1/graphs/{name}/snapshot: it freezes the
+// live graph's current edge set into the immutable registry (default under
+// the same name), where the sampled-count and profile endpoints operate on
+// it. The counter's exact counts are seeded into the result cache for the
+// new generation — the frozen view's exact count is a cache hit without
+// ever running MoCHy-E — and stale generations of the target name are
+// purged.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
+	var req api.SnapshotRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
@@ -371,21 +279,24 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, name str
 	}
 	e, replaced := s.registry.Load(target, snap)
 	s.purgeStaleGenerations(target, e.Gen)
-	s.putIfCurrent(e, countKey(e, algoExact, 0, 0, 0), counts, 0)
-	writeJSON(w, http.StatusCreated, snapshotResponse{
+	// Recomputing a seeded exact count means a full MoCHy-E run, so it gets
+	// a high eviction cost even though it cost this request nothing.
+	s.putIfCurrent(e, countKey(e, algoExact, 0, 0, 0), counts, 0, snapshotSeedCost)
+	writeJSON(w, http.StatusCreated, api.SnapshotResult{
 		Graph:    name,
 		As:       target,
 		Version:  version,
 		Replaced: replaced,
-		Stats:    toStatsResult(e.Stats),
+		Stats:    toStats(e.Stats),
 	})
 }
 
-// handleDeleteGraph serves DELETE /graphs/{name}: it unregisters the
+// handleDeleteGraph serves DELETE /v1/graphs/{name}: it unregisters the
 // immutable entry and the live graph (whichever exist) and purges every
 // cached result of the name, so dead generation-keyed entries stop
 // occupying LRU capacity the moment the graph goes away.
-func (s *Server) handleDeleteGraph(w http.ResponseWriter, name string) {
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
 	static := s.registry.Delete(name)
 	liveDeleted := s.liveReg.Delete(name)
 	if !static && !liveDeleted {
@@ -393,58 +304,47 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, name string) {
 		return
 	}
 	purged := s.purgeGraph(name)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"deleted": name, "static": static, "live": liveDeleted, "cache_purged": purged,
+	writeJSON(w, http.StatusOK, api.DeleteResult{
+		Deleted: name, Static: static, Live: liveDeleted, CachePurged: purged,
 	})
 }
 
-// handleStream serves /streams/{name}.
-//
-// POST ingests an NDJSON body — one hyperedge per line, as a JSON array of
-// node ids — into the live graph name (created on first use), feeding every
-// record to both the dynamic exact counter and a reservoir stream.Estimator
-// so GET /graphs/{name}/counts reports exact counts and unbiased estimates
-// side by side. Query parameters capacity and seed configure the estimator
-// when this stream first attaches it.
-//
-// GET returns the estimator state next to the current exact counts.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/streams/")
-	if name == "" || strings.ContainsRune(name, '/') {
-		writeError(w, http.StatusNotFound, "want /streams/{name}, got %q", r.URL.Path)
+// handleStreamGet serves GET /v1/streams/{name}: the estimator state next
+// to the current exact counts.
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
+	g, ok := s.liveGraphOrError(w, name)
+	if !ok {
 		return
 	}
-	switch r.Method {
-	case http.MethodGet:
-		g, ok := s.liveGraphOrError(w, name)
-		if !ok {
-			return
-		}
-		info, err := g.Info()
-		if err != nil {
-			writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
-			return
-		}
-		if info.Stream == nil {
-			writeError(w, http.StatusNotFound, "live graph %q has no stream estimator", name)
-			return
-		}
-		writeJSON(w, http.StatusOK, ingestResponse{
-			Stream:    name,
-			Version:   info.Version,
-			Edges:     info.Edges,
-			Counts:    info.Counts[:],
-			Total:     info.Counts.Total(),
-			Estimator: toStreamState(info.Stream),
-		})
-	case http.MethodPost:
-		s.handleStreamIngest(w, r, name)
-	default:
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	info, err := g.Info()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
+		return
 	}
+	if info.Stream == nil {
+		writeError(w, http.StatusNotFound, "live graph %q has no stream estimator", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.IngestResult{
+		Stream:    name,
+		Version:   info.Version,
+		Edges:     info.Edges,
+		Counts:    info.Counts[:],
+		Total:     info.Counts.Total(),
+		Estimator: toStreamState(info.Stream),
+	})
 }
 
-func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, name string) {
+// handleStreamIngest serves POST /v1/streams/{name}: an NDJSON body — one
+// hyperedge per line, as a JSON array of node ids — ingested into the live
+// graph name (created on first use), feeding every record to both the
+// dynamic exact counter and a reservoir stream.Estimator so the counts
+// endpoint reports exact counts and unbiased estimates side by side. Query
+// parameters capacity and seed configure the estimator when this stream
+// first attaches it.
+func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, p params) {
+	name := p["name"]
 	capacity := defaultStreamCapacity
 	seed := int64(defaultStreamSeed)
 	q := r.URL.Query()
@@ -486,7 +386,7 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, name
 	}
 	res, ingestErr := g.IngestBatch(edges)
 	s.rollbackIfUnused(name, g, created, res.Inserted)
-	resp := ingestResponse{
+	resp := api.IngestResult{
 		Stream:     name,
 		Ingested:   res.Ingested,
 		Inserted:   res.Inserted,

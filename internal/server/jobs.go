@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mochy/api"
+)
+
+// Retention policy for finished jobs: a completed job stays pollable for
+// jobRetain (so a client that lost its events stream can still collect the
+// result), and at most jobMaxFinished finished jobs are kept so a burst of
+// short jobs cannot grow the store without bound.
+const (
+	jobRetain      = 10 * time.Minute
+	jobMaxFinished = 1024
+)
+
+// job is one asynchronous counting or profiling job. The v1 API hands out
+// its ID from POST /graphs/{name}/count|profile, serves its state from
+// GET /jobs/{id}, and streams its progress from GET /jobs/{id}/events.
+type job struct {
+	id    string
+	kind  string // api.JobKindCount or api.JobKindProfile
+	graph string
+
+	mu          sync.Mutex
+	state       string
+	done, total int
+	result      json.RawMessage
+	errMsg      string
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	subs        map[chan api.JobEvent]struct{}
+
+	// doneCh closes exactly once, when the job reaches a terminal state.
+	doneCh chan struct{}
+}
+
+// snapshot renders the job as its wire representation.
+func (j *job) snapshot() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := api.Job{
+		ID:        j.id,
+		Kind:      j.kind,
+		Graph:     j.graph,
+		State:     j.state,
+		Done:      j.done,
+		Total:     j.total,
+		Result:    j.result,
+		Error:     j.errMsg,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.FinishedAt = &t
+	}
+	return out
+}
+
+// setRunning transitions queued -> running.
+func (j *job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = api.JobRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+// progress records enumeration progress and fans it out to every events
+// subscriber. Slow subscribers drop progress events rather than stall the
+// counting job; the terminal event is never delivered this way (see the
+// doneCh path in the events handler).
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	ev := api.JobEvent{Type: api.EventProgress, Done: done, Total: total}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state: done with a result, or failed
+// with an error message.
+func (j *job) finish(result any, err error, now time.Time) {
+	j.mu.Lock()
+	j.finished = now
+	if err != nil {
+		j.state = api.JobFailed
+		j.errMsg = err.Error()
+	} else {
+		raw, merr := json.Marshal(result)
+		if merr != nil {
+			j.state = api.JobFailed
+			j.errMsg = fmt.Sprintf("encode result: %v", merr)
+		} else {
+			j.state = api.JobDone
+			j.result = raw
+		}
+	}
+	j.mu.Unlock()
+	close(j.doneCh)
+}
+
+// terminalEvent renders the job's end as the final NDJSON event. Only valid
+// after doneCh is closed.
+func (j *job) terminalEvent() api.JobEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == api.JobFailed {
+		return api.JobEvent{Type: api.EventError, Error: j.errMsg}
+	}
+	return api.JobEvent{Type: api.EventResult, Result: j.result}
+}
+
+// subscribe registers an events channel. The buffer absorbs progress bursts;
+// overflow drops progress (never the terminal event, which travels via
+// doneCh).
+func (j *job) subscribe() chan api.JobEvent {
+	ch := make(chan api.JobEvent, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan api.JobEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// jobStore issues job IDs and retains finished jobs for a bounded window.
+type jobStore struct {
+	mu    sync.Mutex
+	seq   uint64
+	jobs  map[string]*job
+	order []*job           // creation order, for pruning
+	now   func() time.Time // injectable clock for retention tests
+
+	started  atomic.Uint64
+	finished atomic.Uint64
+	failed   atomic.Uint64
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job), now: time.Now}
+}
+
+// create registers a new queued job.
+func (st *jobStore) create(kind, graph string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pruneLocked()
+	st.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%d", st.seq),
+		kind:    kind,
+		graph:   graph,
+		state:   api.JobQueued,
+		created: st.now(),
+		subs:    make(map[chan api.JobEvent]struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j)
+	st.started.Add(1)
+	return j
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained job, newest first.
+func (st *jobStore) list() []api.Job {
+	st.mu.Lock()
+	jobs := make([]*job, len(st.order))
+	copy(jobs, st.order)
+	st.mu.Unlock()
+	out := make([]api.Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].CreatedAt.After(out[b].CreatedAt) })
+	return out
+}
+
+// inflight counts jobs that are queued or running.
+func (st *jobStore) inflight() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.order {
+		select {
+		case <-j.doneCh:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// pruneLocked drops finished jobs older than jobRetain, and the oldest
+// finished jobs beyond jobMaxFinished. In-flight jobs are never pruned.
+func (st *jobStore) pruneLocked() {
+	cutoff := st.now().Add(-jobRetain)
+	finished := 0
+	for _, j := range st.order {
+		if jobFinished(j) {
+			finished++
+		}
+	}
+	keep := st.order[:0]
+	for _, j := range st.order {
+		drop := false
+		if jobFinished(j) {
+			j.mu.Lock()
+			old := j.finished.Before(cutoff)
+			j.mu.Unlock()
+			if old || finished > jobMaxFinished {
+				drop = true
+				finished--
+			}
+		}
+		if drop {
+			delete(st.jobs, j.id)
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	st.order = keep
+}
+
+func jobFinished(j *job) bool {
+	select {
+	case <-j.doneCh:
+		return true
+	default:
+		return false
+	}
+}

@@ -3,7 +3,9 @@ package server
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrPoolClosed is returned by Acquire after the pool is closed.
@@ -13,10 +15,20 @@ var ErrPoolClosed = errors.New("server: worker pool closed")
 // out over multiple goroutines (the per-request workers parameter), so the
 // pool caps admission, not total goroutines; it exists to keep an overloaded
 // server queueing requests instead of thrashing every core at once.
+//
+// The pool also tracks its queue: how many Acquires are blocked and for how
+// long the oldest of them has been waiting. That signal drives backpressure
+// — once the queue has been non-empty longer than the configured budget, the
+// handlers answer 429 instead of queueing more work unboundedly.
 type Pool struct {
 	sem    chan struct{}
 	closed chan struct{}
 	active atomic.Int64
+
+	mu       sync.Mutex
+	waiters  int
+	satSince time.Time        // when the queue last went empty -> non-empty
+	now      func() time.Time // injectable clock for saturation tests
 }
 
 // NewPool returns a pool admitting at most n concurrent jobs (minimum 1).
@@ -27,27 +39,72 @@ func NewPool(n int) *Pool {
 	return &Pool{
 		sem:    make(chan struct{}, n),
 		closed: make(chan struct{}),
+		now:    time.Now,
 	}
 }
 
 // Acquire blocks until a job slot is free, the context is cancelled, or the
 // pool is closed. On success the caller must Release the slot.
 func (p *Pool) Acquire(ctx context.Context) error {
+	// Fast path: a free slot means no queueing and no saturation tracking.
+	select {
+	case p.sem <- struct{}{}:
+		return p.admit()
+	default:
+	}
+	p.mu.Lock()
+	p.waiters++
+	if p.waiters == 1 {
+		p.satSince = p.now()
+	}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.waiters--
+		p.mu.Unlock()
+	}()
 	select {
 	case <-p.closed:
 		return ErrPoolClosed
 	case <-ctx.Done():
 		return ctx.Err()
 	case p.sem <- struct{}{}:
-		select {
-		case <-p.closed:
-			<-p.sem
-			return ErrPoolClosed
-		default:
-		}
-		p.active.Add(1)
-		return nil
+		return p.admit()
 	}
+}
+
+// admit finalizes a successful slot grab, re-checking for a concurrent
+// Close.
+func (p *Pool) admit() error {
+	select {
+	case <-p.closed:
+		<-p.sem
+		return ErrPoolClosed
+	default:
+	}
+	p.active.Add(1)
+	return nil
+}
+
+// Waiting returns how many Acquires are currently blocked on a slot — the
+// queue depth behind the admission semaphore.
+func (p *Pool) Waiting() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waiters
+}
+
+// SaturatedFor returns how long the pool's queue has been continuously
+// non-empty, or 0 when no Acquire is waiting. This is the backpressure
+// signal: a long-saturated queue means new work should be rejected rather
+// than enqueued.
+func (p *Pool) SaturatedFor() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.waiters == 0 {
+		return 0
+	}
+	return p.now().Sub(p.satSince)
 }
 
 // Release frees a slot obtained by Acquire.

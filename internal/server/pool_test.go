@@ -42,6 +42,56 @@ func TestPoolMinimumCapacity(t *testing.T) {
 	}
 }
 
+// TestPoolSaturationTracking: queue depth and saturation age reflect
+// blocked Acquires and clear once the queue drains.
+func TestPoolSaturationTracking(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d with a free queue, want 0", got)
+	}
+	if got := p.SaturatedFor(); got != 0 {
+		t.Fatalf("SaturatedFor = %v with no waiters, want 0", got)
+	}
+
+	acquired := make(chan error, 1)
+	go func() { acquired <- p.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return p.Waiting() == 1 })
+
+	// Drive the clock: the queue has been saturated since the waiter
+	// arrived.
+	p.mu.Lock()
+	p.satSince = p.satSince.Add(-time.Minute)
+	p.mu.Unlock()
+	if got := p.SaturatedFor(); got < time.Minute {
+		t.Fatalf("SaturatedFor = %v, want >= 1m", got)
+	}
+
+	p.Release()
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Waiting() == 0 })
+	if got := p.SaturatedFor(); got != 0 {
+		t.Fatalf("SaturatedFor = %v after the queue drained, want 0", got)
+	}
+	p.Release()
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestPoolClose(t *testing.T) {
 	p := NewPool(1)
 	if err := p.Acquire(context.Background()); err != nil {

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// router dispatches requests through an explicit method + path-pattern
+// table: every endpoint is one registered route, patterns bind named
+// parameters ("/v1/graphs/{name}/edges/{id}"), and unmatched requests get a
+// uniform 404/405 treatment — no strings.Split handlers deciding routing
+// case by case. Each route also carries a request counter (surfaced on
+// /v1/metrics) and a deprecation flag: legacy unversioned aliases answer
+// with a "Deprecation: true" header plus a "Link" to the /v1 successor.
+type router struct {
+	routes    []*route
+	unmatched atomic.Uint64 // requests that hit no route at all
+}
+
+type route struct {
+	method     string
+	pattern    string
+	segs       []routeSeg
+	handler    func(http.ResponseWriter, *http.Request, params)
+	deprecated bool
+	count      atomic.Uint64
+}
+
+type routeSeg struct {
+	literal string // empty for a parameter segment
+	param   string // parameter name for "{param}" segments
+}
+
+// params carries the values bound by a pattern's parameter segments.
+type params map[string]string
+
+func newRouter() *router { return &router{} }
+
+// handle registers one route. Pattern segments are either literals or
+// "{param}" placeholders; placeholders match any single non-empty segment.
+func (rt *router) handle(method, pattern string, h func(http.ResponseWriter, *http.Request, params)) {
+	rt.add(method, pattern, h, false)
+}
+
+// handleDeprecated registers a legacy alias: same dispatch, but responses
+// carry deprecation headers pointing clients at the /v1 successor.
+func (rt *router) handleDeprecated(method, pattern string, h func(http.ResponseWriter, *http.Request, params)) {
+	rt.add(method, pattern, h, true)
+}
+
+func (rt *router) add(method, pattern string, h func(http.ResponseWriter, *http.Request, params), deprecated bool) {
+	parts := strings.Split(strings.TrimPrefix(pattern, "/"), "/")
+	segs := make([]routeSeg, len(parts))
+	for i, p := range parts {
+		if strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}") {
+			segs[i] = routeSeg{param: p[1 : len(p)-1]}
+		} else {
+			segs[i] = routeSeg{literal: p}
+		}
+	}
+	rt.routes = append(rt.routes, &route{
+		method:     method,
+		pattern:    pattern,
+		segs:       segs,
+		handler:    h,
+		deprecated: deprecated,
+	})
+}
+
+// match reports whether the path segments satisfy the route's pattern,
+// binding parameters into p.
+func (r *route) match(segs []string, p params) bool {
+	if len(segs) != len(r.segs) {
+		return false
+	}
+	for i, s := range r.segs {
+		if s.param != "" {
+			if segs[i] == "" {
+				return false
+			}
+			continue
+		}
+		if s.literal != segs[i] {
+			return false
+		}
+	}
+	for i, s := range r.segs {
+		if s.param != "" {
+			p[s.param] = segs[i]
+		}
+	}
+	return true
+}
+
+// ServeHTTP dispatches to the route table: an exact method+pattern match
+// runs the handler; a path that matches only other methods answers 405 with
+// an Allow header; anything else is 404.
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	segs := strings.Split(strings.TrimPrefix(r.URL.Path, "/"), "/")
+	p := make(params, 2)
+	var allowed []string
+	for _, rte := range rt.routes {
+		if !rte.match(segs, p) {
+			continue
+		}
+		if rte.method != r.Method {
+			allowed = append(allowed, rte.method)
+			continue
+		}
+		rte.count.Add(1)
+		if rte.deprecated {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "</v1"+r.URL.Path+">; rel=\"successor-version\"")
+		}
+		rte.handler(w, r, p)
+		return
+	}
+	if len(allowed) > 0 {
+		sort.Strings(allowed)
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	rt.unmatched.Add(1)
+	writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+}
+
+// visitCounters walks every route's request counter in registration order.
+func (rt *router) visitCounters(fn func(method, pattern string, deprecated bool, count uint64)) {
+	for _, rte := range rt.routes {
+		fn(rte.method, rte.pattern, rte.deprecated, rte.count.Load())
+	}
+}

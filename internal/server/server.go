@@ -20,6 +20,13 @@ import (
 // a dynamic counter and an apply-loop goroutine.
 const maxLiveGraphs = 4096
 
+// snapshotSeedCost is the recompute cost recorded for exact counts seeded
+// into the cache from a live graph's incremental counter. Recomputing one
+// means running MoCHy-E from scratch, so under eviction pressure these
+// entries must outlive cheap sampling estimates whose measured cost is
+// milliseconds.
+const snapshotSeedCost = time.Hour
+
 // Config parameterizes a Server.
 type Config struct {
 	// CacheSize is the capacity of the LRU result cache in entries.
@@ -37,6 +44,12 @@ type Config struct {
 	// capacity that exact results need. 0 selects the default; negative
 	// stores them without expiry. Exact counts never expire.
 	SamplingTTL time.Duration
+	// QueueBudget is the backpressure threshold: once the job pool's queue
+	// has been continuously non-empty for longer than this, count and
+	// profile endpoints answer 429 with Retry-After instead of queueing
+	// more work unboundedly. 0 selects the default; negative disables
+	// backpressure.
+	QueueBudget time.Duration
 }
 
 // DefaultConfig returns the configuration mochyd starts with.
@@ -46,21 +59,24 @@ func DefaultConfig() Config {
 		MaxConcurrent:    runtime.GOMAXPROCS(0),
 		MaxWorkersPerJob: runtime.GOMAXPROCS(0),
 		SamplingTTL:      15 * time.Minute,
+		QueueBudget:      10 * time.Second,
 	}
 }
 
-// Server is the mochyd engine: a graph registry, a result cache, and a
-// bounded pool of counting jobs, exposed over HTTP/JSON. It implements
-// http.Handler; requests are safe to serve concurrently.
+// Server is the mochyd engine: a graph registry, a result cache, a bounded
+// pool of counting jobs, and an asynchronous job store, exposed over a
+// versioned HTTP API. It implements http.Handler; requests are safe to
+// serve concurrently.
 type Server struct {
 	registry *Registry
 	liveReg  *live.Registry
 	cache    *Cache
 	flight   *flightGroup
 	pool     *Pool
+	jobs     *jobStore
 	cfg      Config
 	start    time.Time
-	mux      *http.ServeMux
+	router   *router
 }
 
 // New returns a Server with the given configuration.
@@ -78,21 +94,77 @@ func New(cfg Config) *Server {
 	if cfg.SamplingTTL == 0 {
 		cfg.SamplingTTL = def.SamplingTTL
 	}
+	if cfg.QueueBudget == 0 {
+		cfg.QueueBudget = def.QueueBudget
+	}
 	s := &Server{
 		registry: NewRegistry(),
 		liveReg:  live.NewRegistry(maxGraphNodes, maxLiveGraphs),
 		cache:    NewCache(cfg.CacheSize),
 		flight:   newFlightGroup(),
 		pool:     NewPool(cfg.MaxConcurrent),
+		jobs:     newJobStore(),
 		cfg:      cfg,
 		start:    time.Now(),
 	}
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/graphs", s.handleGraphs)
-	s.mux.HandleFunc("/graphs/", s.handleGraph)
-	s.mux.HandleFunc("/streams/", s.handleStream)
+	s.router = s.buildRouter()
 	return s
+}
+
+// buildRouter assembles the route table: the canonical /v1 surface plus the
+// pre-v1 unversioned routes as deprecated aliases with identical behavior.
+func (s *Server) buildRouter() *router {
+	rt := newRouter()
+
+	// v1: service meta.
+	rt.handle(http.MethodGet, "/v1/healthz", s.handleHealthz)
+	rt.handle(http.MethodGet, "/v1/metrics", s.handleMetrics)
+
+	// v1: immutable graph transport (content negotiated).
+	rt.handle(http.MethodGet, "/v1/graphs", s.handleList)
+	rt.handle(http.MethodPut, "/v1/graphs/{name}", s.handleUploadGraph)
+	rt.handle(http.MethodGet, "/v1/graphs/{name}", s.handleDownloadGraph)
+	rt.handle(http.MethodDelete, "/v1/graphs/{name}", s.handleDeleteGraph)
+	rt.handle(http.MethodGet, "/v1/graphs/{name}/stats", s.handleStats)
+
+	// v1: asynchronous job protocol.
+	rt.handle(http.MethodPost, "/v1/graphs/{name}/count", s.handleStartCount)
+	rt.handle(http.MethodPost, "/v1/graphs/{name}/profile", s.handleStartProfile)
+	rt.handle(http.MethodGet, "/v1/jobs", s.handleJobs)
+	rt.handle(http.MethodGet, "/v1/jobs/{id}", s.handleJob)
+	rt.handle(http.MethodGet, "/v1/jobs/{id}/events", s.handleJobEvents)
+
+	// v1: live graphs and stream ingest.
+	rt.handle(http.MethodPost, "/v1/graphs/{name}/edges", s.handleInsertEdges)
+	rt.handle(http.MethodGet, "/v1/graphs/{name}/edges", s.handleListEdges)
+	rt.handle(http.MethodDelete, "/v1/graphs/{name}/edges/{id}", s.handleDeleteEdge)
+	rt.handle(http.MethodPatch, "/v1/graphs/{name}", s.handlePatchGraph)
+	rt.handle(http.MethodGet, "/v1/graphs/{name}/counts", s.handleLiveCounts)
+	rt.handle(http.MethodPost, "/v1/graphs/{name}/snapshot", s.handleSnapshot)
+	rt.handle(http.MethodPost, "/v1/streams/{name}", s.handleStreamIngest)
+	rt.handle(http.MethodGet, "/v1/streams/{name}", s.handleStreamGet)
+
+	// Legacy unversioned aliases (deprecated): the bootstrap API, kept
+	// byte-compatible. Count and profile stay synchronous here; /v1 moved
+	// them onto the job protocol.
+	rt.handleDeprecated(http.MethodGet, "/healthz", s.handleHealthz)
+	rt.handleDeprecated(http.MethodGet, "/graphs", s.handleList)
+	rt.handleDeprecated(http.MethodPost, "/graphs", s.handleLegacyLoad)
+	rt.handleDeprecated(http.MethodGet, "/graphs/{name}", s.handleStats)
+	rt.handleDeprecated(http.MethodGet, "/graphs/{name}/stats", s.handleStats)
+	rt.handleDeprecated(http.MethodDelete, "/graphs/{name}", s.handleDeleteGraph)
+	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/count", s.handleSyncCount)
+	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/profile", s.handleSyncProfile)
+	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/edges", s.handleInsertEdges)
+	rt.handleDeprecated(http.MethodGet, "/graphs/{name}/edges", s.handleListEdges)
+	rt.handleDeprecated(http.MethodDelete, "/graphs/{name}/edges/{id}", s.handleDeleteEdge)
+	rt.handleDeprecated(http.MethodPatch, "/graphs/{name}", s.handlePatchGraph)
+	rt.handleDeprecated(http.MethodGet, "/graphs/{name}/counts", s.handleLiveCounts)
+	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/snapshot", s.handleSnapshot)
+	rt.handleDeprecated(http.MethodPost, "/streams/{name}", s.handleStreamIngest)
+	rt.handleDeprecated(http.MethodGet, "/streams/{name}", s.handleStreamGet)
+
+	return rt
 }
 
 // Registry exposes the graph registry (used by mochyd to preload graphs).
@@ -105,9 +177,9 @@ func (s *Server) Close() {
 	s.liveReg.Close()
 }
 
-// ServeHTTP dispatches to the JSON API.
+// ServeHTTP dispatches through the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.router.ServeHTTP(w, r)
 }
 
 // clampWorkers resolves a request's workers parameter to [1, MaxWorkersPerJob].
@@ -194,15 +266,23 @@ func (s *Server) samplingTTL() time.Duration {
 // putIfCurrent caches a computed result only while e is still the live
 // generation of its name. A long count finishing after its graph was
 // deleted or replaced would otherwise re-insert an unreadable entry right
-// after the purge removed its generation.
-func (s *Server) putIfCurrent(e *Entry, key string, val any, ttl time.Duration) {
+// after the purge removed its generation. cost feeds the cache's
+// cost-weighted eviction: cheap results go first under pressure.
+func (s *Server) putIfCurrent(e *Entry, key string, val any, ttl, cost time.Duration) {
 	if cur, ok := s.registry.Get(e.Name); !ok || cur.Gen != e.Gen {
 		return
 	}
-	s.cache.PutTTL(key, val, ttl)
+	s.cache.PutCost(key, val, ttl, cost)
 }
 
-// Supported counting algorithms.
+// overBudget reports whether the job pool's queue has outlived the
+// configured backpressure budget, meaning new count/profile work should be
+// rejected with 429 rather than enqueued.
+func (s *Server) overBudget() bool {
+	return s.cfg.QueueBudget > 0 && s.pool.SaturatedFor() > s.cfg.QueueBudget
+}
+
+// Supported counting algorithms (wire names shared with mochy/api).
 const (
 	algoExact = "exact"
 	algoEdge  = "edge-sample"
@@ -211,53 +291,68 @@ const (
 
 // runCount executes one counting job under the pool, optionally reporting
 // exact-count progress. It does not consult the cache; callers wrap it.
-func (s *Server) runCount(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int, progress func(done, total int)) (counting.Counts, error) {
+// cost is the pure compute time, measured after pool admission — queue wait
+// must not inflate an entry's eviction weight, or a cheap estimate that
+// queued behind a saturated pool would outrank a genuinely expensive exact
+// count.
+func (s *Server) runCount(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int, progress func(done, total int)) (c counting.Counts, cost time.Duration, err error) {
 	if err := s.pool.Acquire(ctx); err != nil {
-		return counting.Counts{}, err
+		return counting.Counts{}, 0, err
 	}
 	defer s.pool.Release()
+	t0 := time.Now()
 	p := e.Projection()
 	switch algo {
 	case algoExact:
-		return counting.CountExactProgress(e.Graph, p, workers, progress), nil
+		c = counting.CountExactProgress(e.Graph, p, workers, progress)
 	case algoEdge:
-		return counting.CountEdgeSamples(e.Graph, p, samples, seed, workers), nil
+		c = counting.CountEdgeSamples(e.Graph, p, samples, seed, workers)
 	case algoWedge:
-		return counting.CountWedgeSamples(e.Graph, p, p, samples, seed, workers), nil
+		c = counting.CountWedgeSamples(e.Graph, p, p, samples, seed, workers)
 	default:
-		return counting.Counts{}, fmt.Errorf("unknown algorithm %q (want %s, %s or %s)", algo, algoExact, algoEdge, algoWedge)
+		return counting.Counts{}, 0, fmt.Errorf("unknown algorithm %q (want %s, %s or %s)", algo, algoExact, algoEdge, algoWedge)
 	}
+	return c, time.Since(t0), nil
 }
 
-// count returns the (possibly cached) counts for one query. Concurrent
+// countProgress returns the (possibly cached) counts for one query,
+// reporting exact-count progress to the optional callback. Concurrent
 // identical cold queries share a single computation, which is detached from
 // the leader's request context: one client disconnecting must neither fail
 // the collapsed waiters nor waste a result every future query would reuse.
-func (s *Server) count(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int) (counting.Counts, bool, error) {
+// Only the leader of a collapsed flight observes progress. The second
+// return reports whether the result was served from cache or shared from
+// another caller's flight.
+func (s *Server) countProgress(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int, progress func(done, total int)) (counting.Counts, bool, error) {
 	key := countKey(e, algo, samples, seed, workers)
 	if v, ok := s.cache.Get(key); ok {
 		return v.(counting.Counts), true, nil
 	}
 	dctx := context.WithoutCancel(ctx)
 	v, err, shared := s.flight.Do(key, func() (any, error) {
-		c, err := s.runCount(dctx, e, algo, samples, seed, workers, nil)
+		c, cost, err := s.runCount(dctx, e, algo, samples, seed, workers, progress)
 		if err != nil {
 			return nil, err
 		}
-		// Sampling estimates are cheap to recompute; give them a bounded
-		// lifetime so they age out of the LRU instead of crowding exact
-		// results, which are stored without expiry.
+		// The measured compute time becomes the entry's eviction weight,
+		// and sampling estimates additionally get a bounded lifetime so
+		// they age out instead of crowding exact results.
 		ttl := time.Duration(0)
 		if algo != algoExact {
 			ttl = s.samplingTTL()
 		}
-		s.putIfCurrent(e, key, c, ttl)
+		s.putIfCurrent(e, key, c, ttl, cost)
 		return c, nil
 	})
 	if err != nil {
 		return counting.Counts{}, false, err
 	}
 	return v.(counting.Counts), shared, nil
+}
+
+// count is countProgress without progress reporting.
+func (s *Server) count(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int) (counting.Counts, bool, error) {
+	return s.countProgress(ctx, e, algo, samples, seed, workers, nil)
 }
 
 // profile returns the (possibly cached) characteristic profile of e against
@@ -283,6 +378,8 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 			return nil, err
 		}
 		defer s.pool.Release()
+		// Cost clock starts after admission: queue wait is not compute.
+		t0 := time.Now()
 		copies := nullmodel.NewRandomizer(e.Graph).GenerateN(randomizations, seed)
 		randomized := make([]*counting.Counts, len(copies))
 		for i, c := range copies {
@@ -291,8 +388,9 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 		}
 		prof := cp.Compute(&real, randomized)
 		// Profiles depend on sampled null models, so they take the
-		// sampling TTL like the other randomization-based results.
-		s.putIfCurrent(e, key, prof, s.samplingTTL())
+		// sampling TTL like the other randomization-based results; the
+		// measured cost covers the null-model half actually computed here.
+		s.putIfCurrent(e, key, prof, s.samplingTTL(), time.Since(t0))
 		return prof, nil
 	})
 	if err != nil {

@@ -321,6 +321,48 @@ type IngestResult struct {
 	Error      string       `json:"error,omitempty"`
 }
 
+// CheckpointRequest is the optional POST /v1/admin/checkpoint body. An
+// empty Graphs list checkpoints every live graph.
+type CheckpointRequest struct {
+	Graphs []string `json:"graphs,omitempty"`
+}
+
+// CheckpointedGraph reports one live graph's checkpoint: its WAL was folded
+// into a fresh base segment and truncated, so recovery replays only
+// mutations applied after this point.
+type CheckpointedGraph struct {
+	Graph      string `json:"graph"`
+	Version    uint64 `json:"version"`
+	Edges      int    `json:"edges"`
+	ReplayFrom uint64 `json:"replay_from"`
+	Error      string `json:"error,omitempty"`
+}
+
+// CheckpointResult answers POST /v1/admin/checkpoint.
+type CheckpointResult struct {
+	Checkpointed []CheckpointedGraph `json:"checkpointed"`
+	ElapsedMS    float64             `json:"elapsed_ms"`
+}
+
+// StoreStatus answers GET /v1/admin/store: the persistence subsystem's
+// footprint and counters. Enabled is false (and everything else zero) when
+// mochyd runs without -data-dir.
+type StoreStatus struct {
+	Enabled          bool    `json:"enabled"`
+	Dir              string  `json:"dir,omitempty"`
+	Graphs           int     `json:"graphs"`
+	LiveGraphs       int     `json:"live_graphs"`
+	SegmentBytes     int64   `json:"segment_bytes"`
+	WALBytes         int64   `json:"wal_bytes"`
+	WALRecords       uint64  `json:"wal_records"`
+	WALSyncs         uint64  `json:"wal_syncs"`
+	Checkpoints      uint64  `json:"checkpoints"`
+	RecoveredGraphs  int     `json:"recovered_graphs"`
+	RecoveredLive    int     `json:"recovered_live"`
+	RecoveredRecords int     `json:"recovered_wal_records"`
+	RecoveryMS       float64 `json:"recovery_ms"`
+}
+
 // Health answers GET /v1/healthz.
 type Health struct {
 	Status        string `json:"status"`

@@ -1,0 +1,26 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"mochy/api"
+)
+
+// Checkpoint folds the named live graphs' write-ahead logs into fresh base
+// segments and truncates them; no names means every live graph. Requires a
+// mochyd started with -data-dir (409 otherwise). Per-graph failures are
+// reported inline in the result, not as an error.
+func (c *Client) Checkpoint(ctx context.Context, graphs ...string) (api.CheckpointResult, error) {
+	var out api.CheckpointResult
+	err := c.postJSON(ctx, c.url("admin", "checkpoint"), api.CheckpointRequest{Graphs: graphs}, &out)
+	return out, err
+}
+
+// StoreStatus reports the persistence subsystem's footprint and counters.
+// Enabled is false when the server runs in-memory only.
+func (c *Client) StoreStatus(ctx context.Context) (api.StoreStatus, error) {
+	var out api.StoreStatus
+	err := c.do(ctx, http.MethodGet, c.url("admin", "store"), "", nil, &out)
+	return out, err
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/projection"
+)
+
+// buildMochyd compiles the daemon once per test into a temp dir.
+func buildMochyd(t *testing.T) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "mochyd")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build mochyd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startMochyd launches the daemon on a fresh loopback port against dataDir
+// and waits for it to come healthy. The returned kill function sends the
+// given signal and reaps the process.
+func startMochyd(t *testing.T, bin, dataDir string) (*client.Client, func(sig syscall.Signal)) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	daemon := exec.Command(bin, "-addr", addr, "-data-dir", dataDir)
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	reaped := false
+	kill := func(sig syscall.Signal) {
+		if reaped {
+			return
+		}
+		reaped = true
+		_ = daemon.Process.Signal(sig)
+		_ = daemon.Wait()
+	}
+	t.Cleanup(func() { kill(syscall.SIGKILL) })
+
+	c := client.New("http://" + addr)
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := c.Health(ctx); err == nil {
+			return c, kill
+		}
+		if time.Now().After(deadline) {
+			kill(syscall.SIGKILL)
+			t.Fatal("mochyd did not become healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestMochydKill9Recovery is the PR's acceptance scenario end to end: a
+// real daemon process holding an immutable registry graph and a live graph
+// mid-mutation is killed with SIGKILL (no shutdown hook runs), restarted
+// on the same -data-dir, and must come back with every acknowledged
+// mutation present, live counts matching a fresh client-side MoCHy-E
+// recount, and the registry graph's exact count served from the recovered
+// seed rather than recomputed.
+func TestMochydKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon recovery e2e in -short mode")
+	}
+	bin := buildMochyd(t)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	c, kill := startMochyd(t, bin, dataDir)
+
+	// Immutable registry graph, counted so the sidecar is written.
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 150, Edges: 600, Seed: 17,
+	})
+	if _, err := c.UploadGraph(ctx, "web", g); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	res, err := c.Count(ctx, "web", api.CountRequest{Algorithm: api.AlgoExact, Workers: 2})
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+
+	// Live graph mid-mutation: acknowledged inserts and one delete.
+	liveEdges := [][]int32{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {0, 3, 5}, {1, 4, 6}, {5, 6, 7}}
+	ins, err := c.InsertEdges(ctx, "feed", liveEdges)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if _, err := c.DeleteEdge(ctx, "feed", ins.Results[2].ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	acked, err := c.LiveCounts(ctx, "feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL: no flush, no graceful anything.
+	kill(syscall.SIGKILL)
+
+	c2, kill2 := startMochyd(t, bin, dataDir)
+	defer kill2(syscall.SIGTERM)
+
+	// Registry graph survived, and its exact count is a recovered cache
+	// seed, not a recount.
+	res2, err := c2.Count(ctx, "web", api.CountRequest{Algorithm: api.AlgoExact, Workers: 2})
+	if err != nil {
+		t.Fatalf("count after kill -9: %v", err)
+	}
+	if !res2.Cached {
+		t.Fatal("exact count was recomputed after restart; want recovered seed")
+	}
+	for i, v := range res2.Counts {
+		if v != res.Counts[i] {
+			t.Fatalf("counts[%d] = %v, want %v", i, v, res.Counts[i])
+		}
+	}
+
+	// Live graph: all acknowledged mutations present...
+	got, err := c2.LiveCounts(ctx, "feed")
+	if err != nil {
+		t.Fatalf("live counts after kill -9: %v", err)
+	}
+	if got.Version != acked.Version || got.Edges != acked.Edges {
+		t.Fatalf("live graph = v%d/%d edges, acked v%d/%d", got.Version, got.Edges, acked.Version, acked.Edges)
+	}
+	// ...and the recovered counts equal a fresh client-side exact count of
+	// the acknowledged edge set.
+	b := hypergraph.NewBuilder(0)
+	for i, e := range liveEdges {
+		if i == 2 {
+			continue // the deleted edge
+		}
+		b.AddEdge(e)
+	}
+	ref, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := counting.CountExact(ref, projection.Build(ref), 1)
+	for i, v := range got.Counts {
+		if v != want[i] {
+			t.Fatalf("recovered live counts[%d] = %v, fresh CountExact says %v", i, v, want[i])
+		}
+	}
+
+	// Recovery used the WAL/seed path, not a recount: the store reports the
+	// replayed records and the daemon keeps serving mutations with intact ids.
+	status, err := c2.StoreStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Enabled || status.RecoveredLive != 1 || status.RecoveredGraphs != 1 {
+		t.Fatalf("store status after recovery = %+v", status)
+	}
+	if status.RecoveredRecords != len(liveEdges)+1 {
+		t.Fatalf("replayed %d wal records, want %d", status.RecoveredRecords, len(liveEdges)+1)
+	}
+	if _, err := c2.DeleteEdge(ctx, "feed", ins.Results[0].ID); err != nil {
+		t.Fatalf("pre-crash edge id unusable after recovery: %v", err)
+	}
+}
+
+// TestMochydGracefulShutdownFlushes: SIGTERM must flush WAL buffers and the
+// manifest before exit, and a checkpointed graph restarts from its base.
+func TestMochydGracefulShutdownFlushes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon shutdown e2e in -short mode")
+	}
+	bin := buildMochyd(t)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	c, kill := startMochyd(t, bin, dataDir)
+	if _, err := c.InsertEdges(ctx, "feed", [][]int32{{0, 1, 2}, {2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := c.Checkpoint(ctx, "feed")
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if len(cp.Checkpointed) != 1 || cp.Checkpointed[0].Error != "" {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	if _, err := c.InsertEdges(ctx, "feed", [][]int32{{4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	kill(syscall.SIGTERM)
+
+	c2, kill2 := startMochyd(t, bin, dataDir)
+	defer kill2(syscall.SIGTERM)
+	got, err := c2.LiveCounts(ctx, "feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 3 || got.Edges != 3 {
+		t.Fatalf("after graceful restart: v%d/%d edges, want v3/3", got.Version, got.Edges)
+	}
+	status, err := c2.StoreStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.RecoveredRecords != 1 {
+		t.Fatalf("replayed %d records, want 1 (checkpoint absorbed the rest)", status.RecoveredRecords)
+	}
+}

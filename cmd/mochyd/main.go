@@ -12,7 +12,16 @@
 // Usage:
 //
 //	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N]
-//	       [-sampling-ttl 15m] [-queue-budget 10s] [-load name=path ...]
+//	       [-sampling-ttl 15m] [-queue-budget 10s] [-data-dir DIR]
+//	       [-load name=path ...]
+//
+// With -data-dir, mochyd is durable: uploaded graphs persist as binary
+// segment files, live-graph mutations append to per-graph write-ahead logs
+// (group-committed fsync) before they are acknowledged, and on boot the
+// same flag replays manifest → segments → WAL tails so graphs, live
+// counts, and cached exact counts all survive a crash or restart.
+// POST /v1/admin/checkpoint compacts a long WAL into a fresh base segment;
+// GET /v1/admin/store reports the store's footprint.
 //
 // v1 endpoints (see mochy/api for the wire types):
 //
@@ -26,6 +35,8 @@
 //	POST   /v1/graphs/{name}/count       start an exact / edge-sample / wedge-sample job -> 202
 //	POST   /v1/graphs/{name}/profile     start a characteristic-profile job -> 202
 //	GET    /v1/jobs[/{id}[/events]]      list / poll / stream job progress (NDJSON)
+//	POST   /v1/admin/checkpoint          fold live WALs into base segments
+//	GET    /v1/admin/store               persistence footprint and counters
 //
 // Live graphs (mutable, incrementally counted):
 //
@@ -58,6 +69,7 @@ import (
 
 	"mochy/internal/hypergraph"
 	"mochy/internal/server"
+	"mochy/internal/store"
 )
 
 // loadFlags collects repeated -load name=path flags.
@@ -81,6 +93,7 @@ func main() {
 		maxWorkers    = flag.Int("max-workers", 0, "cap on per-request workers (0 = GOMAXPROCS)")
 		samplingTTL   = flag.Duration("sampling-ttl", 15*time.Minute, "lifetime of cached sampling-based results (0 = keep until evicted)")
 		queueBudget   = flag.Duration("queue-budget", 10*time.Second, "answer 429 once the job queue has been saturated this long (0 = never)")
+		dataDir       = flag.String("data-dir", "", "directory for durable graph storage (empty = in-memory only)")
 		loads         loadFlags
 	)
 	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
@@ -95,14 +108,31 @@ func main() {
 	if *queueBudget == 0 {
 		*queueBudget = -1 // flag 0 means "no backpressure", Config 0 means "default"
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		CacheSize:        *cacheSize,
 		MaxConcurrent:    *maxConcurrent,
 		MaxWorkersPerJob: *maxWorkers,
 		SamplingTTL:      *samplingTTL,
 		QueueBudget:      *queueBudget,
-	})
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		cfg.Store = st // the server owns it from here; srv.Close flushes it
+	}
+	srv := server.New(cfg)
 	defer srv.Close()
+
+	if *dataDir != "" {
+		stats, err := srv.Recover()
+		if err != nil {
+			log.Fatalf("recover %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered %s: %d graphs, %d live graphs, %d wal records (%d torn tails) in %s",
+			*dataDir, stats.Graphs, stats.LiveGraphs, stats.WALRecords, stats.TornTails, stats.Duration.Round(time.Millisecond))
+	}
 
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
@@ -115,8 +145,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("preload %s: %v", spec, err)
 		}
-		e, _ := srv.Registry().Load(name, g)
-		log.Printf("loaded %q: %d nodes, %d hyperedges", name, e.Stats.NumNodes, e.Stats.NumEdges)
+		res, err := srv.LoadGraph(name, g)
+		if err != nil {
+			log.Fatalf("preload %s: %v", spec, err)
+		}
+		log.Printf("loaded %q: %d nodes, %d hyperedges", name, res.Stats.NumNodes, res.Stats.NumEdges)
 	}
 
 	httpSrv := &http.Server{
@@ -133,13 +166,21 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		// log.Fatalf would skip the deferred Close and leave WAL buffers
+		// unflushed; close explicitly, then exit non-zero.
+		srv.Close()
+		log.Printf("serve: %v", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
+	// Graceful shutdown: stop accepting work and drain in-flight requests
+	// first, then srv.Close (deferred above) flushes every WAL buffer and
+	// the manifest so no acknowledged mutation is lost.
 	log.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	log.Printf("flushed; exiting")
 }

@@ -36,6 +36,7 @@ var (
 	ErrDuplicateEdge = errors.New("dynamic: hyperedge with identical node set is already live")
 	ErrNoSuchEdge    = errors.New("dynamic: no live hyperedge with that id")
 	ErrNodeLimit     = errors.New("dynamic: node id exceeds the node-universe limit")
+	ErrBadSnapshot   = errors.New("dynamic: invalid counter snapshot")
 )
 
 // Counter is a fully-dynamic exact h-motif counter. The zero value is not
@@ -222,6 +223,118 @@ func (c *Counter) Delete(id int32) error {
 	}
 	delete(c.edges, id)
 	return nil
+}
+
+// Snapshot is an exported Counter state: the live edge set with its assigned
+// ids, the id allocator position, and the raw per-motif instance counts.
+// Snapshots exist so a persisted counter can be rebuilt by FromSnapshot
+// without re-enumerating h-motif instances — the structural indexes are
+// cheap to rederive, the instance enumeration is not.
+type Snapshot struct {
+	// IDs holds the live edge ids in strictly ascending order.
+	IDs []int32
+	// Edges holds the canonical (sorted, distinct) node sets, aligned with
+	// IDs.
+	Edges [][]int32
+	// NextID is the id the next insertion will receive.
+	NextID int32
+	// Counts[t-1] is the live instance count of h-motif t.
+	Counts [motif.Count]int64
+}
+
+// Export captures the counter's state for persistence. The returned edge
+// slices are copies; mutating the counter afterwards does not affect them.
+func (c *Counter) Export() Snapshot {
+	var s Snapshot
+	s.IDs = c.IDs()
+	s.Edges = make([][]int32, len(s.IDs))
+	for i, id := range s.IDs {
+		e := c.edges[id]
+		s.Edges[i] = append([]int32(nil), e...)
+	}
+	s.NextID = c.nextID
+	for t := 1; t <= motif.Count; t++ {
+		s.Counts[t-1] = c.counts[t]
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a counter from an exported snapshot. The incidence
+// lists, projected graph and duplicate index are rederived structurally in
+// O(total incidence + overlapping pairs); the motif counts are taken from
+// the snapshot as-is, skipping the instance enumeration that dominates a
+// from-scratch rebuild. Malformed snapshots (unsorted ids, non-canonical or
+// duplicate edges, negative counts) fail with ErrBadSnapshot.
+func FromSnapshot(s Snapshot) (*Counter, error) {
+	if len(s.IDs) != len(s.Edges) {
+		return nil, fmt.Errorf("%w: %d ids for %d edges", ErrBadSnapshot, len(s.IDs), len(s.Edges))
+	}
+	c := New()
+	for i, id := range s.IDs {
+		if i > 0 && id <= s.IDs[i-1] {
+			return nil, fmt.Errorf("%w: ids not strictly ascending at %d", ErrBadSnapshot, i)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("%w: negative edge id %d", ErrBadSnapshot, id)
+		}
+		set := s.Edges[i]
+		if len(set) == 0 {
+			return nil, fmt.Errorf("%w: edge %d is empty", ErrBadSnapshot, id)
+		}
+		for j, v := range set {
+			if v < 0 || (j > 0 && set[j-1] >= v) {
+				return nil, fmt.Errorf("%w: edge %d is not canonical", ErrBadSnapshot, id)
+			}
+		}
+		h := hashSet(set)
+		for _, other := range c.setIndex[h] {
+			if equal32(c.edges[other], set) {
+				return nil, fmt.Errorf("%w: duplicate edge %d", ErrBadSnapshot, id)
+			}
+		}
+
+		// Splice the edge in exactly as Insert does, minus applyInstances.
+		ov := make(map[int32]int32)
+		for _, v := range set {
+			for f := range c.inc[v] {
+				ov[f]++
+			}
+		}
+		cp := append([]int32(nil), set...)
+		c.edges[id] = cp
+		for _, v := range cp {
+			in := c.inc[v]
+			if in == nil {
+				in = make(map[int32]struct{})
+				c.inc[v] = in
+			}
+			in[id] = struct{}{}
+		}
+		row := make(map[int32]int32, len(ov))
+		for f, w := range ov {
+			row[f] = w
+			nf := c.wadj[f]
+			if nf == nil {
+				nf = make(map[int32]int32)
+				c.wadj[f] = nf
+			}
+			nf[id] = w
+		}
+		c.wadj[id] = row
+		c.wedges += int64(len(ov))
+		c.setIndex[h] = append(c.setIndex[h], id)
+	}
+	c.nextID = s.NextID
+	if n := len(s.IDs); n > 0 && s.IDs[n-1] >= c.nextID {
+		return nil, fmt.Errorf("%w: next id %d not past largest live id %d", ErrBadSnapshot, s.NextID, s.IDs[n-1])
+	}
+	for t := 1; t <= motif.Count; t++ {
+		if s.Counts[t-1] < 0 {
+			return nil, fmt.Errorf("%w: negative count for motif %d", ErrBadSnapshot, t)
+		}
+		c.counts[t] = s.Counts[t-1]
+	}
+	return c, nil
 }
 
 // applyInstances visits every h-motif instance containing edge e exactly

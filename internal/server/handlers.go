@@ -148,16 +148,40 @@ func buildGraphDoc(doc *api.GraphDoc) (*hypergraph.Hypergraph, error) {
 	}
 }
 
-// registerGraph loads g into the immutable registry under name and purges
-// any replaced generation's cached results.
-func (s *Server) registerGraph(name string, g *hypergraph.Hypergraph) api.LoadResult {
+// registerGraph loads g into the immutable registry under name, purges any
+// replaced generation's cached results, and — when persistence is
+// configured — writes the graph's segment before reporting success, so an
+// acknowledged upload survives a crash. A persistence failure leaves the
+// graph registered in memory (requests already racing it stay coherent)
+// but reports the error so the client knows durability was not achieved.
+func (s *Server) registerGraph(name string, g *hypergraph.Hypergraph) (api.LoadResult, error) {
 	e, replaced := s.registry.Load(name, g)
 	if replaced {
 		// The replaced generation's cached results can never be read again;
 		// drop them now instead of letting them squat in the LRU.
 		s.purgeStaleGenerations(name, e.Gen)
 	}
-	return api.LoadResult{Name: name, Replaced: replaced, Stats: toStats(e.Stats)}
+	if s.store != nil {
+		if err := s.store.PutGraph(name, e.Gen, g); err != nil {
+			return api.LoadResult{}, fmt.Errorf("graph %q registered but not persisted: %v", name, err)
+		}
+	}
+	return api.LoadResult{Name: name, Replaced: replaced, Stats: toStats(e.Stats)}, nil
+}
+
+// LoadGraph registers g under name exactly like an upload would, including
+// persistence. mochyd uses it for -load preloads.
+func (s *Server) LoadGraph(name string, g *hypergraph.Hypergraph) (api.LoadResult, error) {
+	return s.registerGraph(name, g)
+}
+
+// writeRegistered renders a registerGraph outcome.
+func (s *Server) writeRegistered(w http.ResponseWriter, res api.LoadResult, err error) {
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
 }
 
 // handleLegacyLoad serves the deprecated POST /graphs: a JSON GraphDoc with
@@ -182,7 +206,8 @@ func (s *Server) handleLegacyLoad(w http.ResponseWriter, r *http.Request, _ para
 		writeError(w, http.StatusBadRequest, "invalid hypergraph: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, s.registerGraph(req.Name, g))
+	res, rerr := s.registerGraph(req.Name, g)
+	s.writeRegistered(w, res, rerr)
 }
 
 // handleStats serves graph statistics (and the legacy GET /graphs/{name},

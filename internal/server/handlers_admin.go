@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"mochy/api"
+)
+
+// handleCheckpoint serves POST /v1/admin/checkpoint: it folds each named
+// live graph's write-ahead log into a fresh base segment and truncates the
+// log — the LSM memtable-flush analog. An empty (or absent) body
+// checkpoints every live graph. Per-graph failures are reported inline so
+// one broken graph cannot hide the others' progress.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, _ params) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "persistence is not enabled; start mochyd with -data-dir")
+		return
+	}
+	var req api.CheckpointRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	names := req.Graphs
+	if len(names) == 0 {
+		names = s.liveReg.Names()
+	}
+	start := time.Now()
+	out := api.CheckpointResult{Checkpointed: make([]api.CheckpointedGraph, 0, len(names))}
+	for _, name := range names {
+		entry := api.CheckpointedGraph{Graph: name}
+		g, ok := s.liveReg.Get(name)
+		if !ok {
+			entry.Error = "live graph not found"
+			out.Checkpointed = append(out.Checkpointed, entry)
+			continue
+		}
+		st, replayFrom, err := g.Checkpoint()
+		if err != nil {
+			entry.Error = err.Error()
+			out.Checkpointed = append(out.Checkpointed, entry)
+			continue
+		}
+		info, err := s.store.CheckpointLive(name, st, replayFrom)
+		if err != nil {
+			entry.Error = err.Error()
+			out.Checkpointed = append(out.Checkpointed, entry)
+			continue
+		}
+		entry.Version = info.Version
+		entry.Edges = info.Edges
+		entry.ReplayFrom = info.ReplayFrom
+		out.Checkpointed = append(out.Checkpointed, entry)
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStoreStatus serves GET /v1/admin/store: the persistence
+// subsystem's footprint and counters, or {"enabled": false} when mochyd
+// runs in-memory only.
+func (s *Server) handleStoreStatus(w http.ResponseWriter, r *http.Request, _ params) {
+	if s.store == nil {
+		writeJSON(w, http.StatusOK, api.StoreStatus{Enabled: false})
+		return
+	}
+	st := s.store.Status()
+	writeJSON(w, http.StatusOK, api.StoreStatus{
+		Enabled:          true,
+		Dir:              st.Dir,
+		Graphs:           st.Graphs,
+		LiveGraphs:       st.LiveGraphs,
+		SegmentBytes:     st.SegmentBytes,
+		WALBytes:         st.WALBytes,
+		WALRecords:       st.WALRecords,
+		WALSyncs:         st.WALSyncs,
+		Checkpoints:      st.Checkpoints,
+		RecoveredGraphs:  st.RecoveredGraphs,
+		RecoveredLive:    st.RecoveredLive,
+		RecoveredRecords: st.RecoveredRecords,
+		RecoveryMS:       float64(st.RecoveryDuration.Microseconds()) / 1000,
+	})
+}

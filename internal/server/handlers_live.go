@@ -102,21 +102,29 @@ func (s *Server) createLiveGraph(w http.ResponseWriter, name string) (g *live.Gr
 }
 
 // rollbackIfUnused undoes a this-request graph creation when the request
-// ended up applying nothing.
+// ended up applying nothing, including the on-disk WAL the creation opened.
+// The drop names the rolled-back graph's own journal, so it cannot touch a
+// replacement graph that claimed the name concurrently.
 func (s *Server) rollbackIfUnused(name string, g *live.Graph, created bool, applied int) {
 	if created && applied == 0 {
-		s.liveReg.Rollback(name, g)
+		if s.liveReg.Rollback(name, g) && s.store != nil {
+			_ = s.store.DropLiveIf(name, g.Journal())
+		}
 	}
 }
 
 // writeBatch renders a batch result, mapping a concurrently-deleted graph
-// to 404.
+// to 404 and a journal failure — the batch applied in memory but could not
+// be made durable — to 500 so the client knows not to trust the ack.
 func writeBatch(w http.ResponseWriter, name string, res live.BatchResult, err error) {
-	if err != nil {
+	switch {
+	case err == nil:
+		writeJSON(w, batchStatus(res), toMutateResult(name, res))
+	case errors.Is(err, live.ErrNotDurable):
+		writeError(w, http.StatusInternalServerError, "live graph %q: %v", name, err)
+	default:
 		writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
-		return
 	}
-	writeJSON(w, batchStatus(res), toMutateResult(name, res))
 }
 
 // handleInsertEdges serves POST /v1/graphs/{name}/edges: a batch insert
@@ -282,6 +290,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, p params
 	// Recomputing a seeded exact count means a full MoCHy-E run, so it gets
 	// a high eviction cost even though it cost this request nothing.
 	s.putIfCurrent(e, countKey(e, algoExact, 0, 0, 0), counts, 0, snapshotSeedCost)
+	if s.store != nil {
+		// Persist the frozen view with its exact counts; replacing an older
+		// generation's segment deletes that segment and its sidecar, so
+		// snapshot-replace can never leak dead files. Failures are reported:
+		// the snapshot exists in memory but did not reach disk.
+		if err := s.store.PutGraph(target, e.Gen, snap); err != nil {
+			writeError(w, http.StatusInternalServerError, "snapshot %q registered but not persisted: %v", target, err)
+			return
+		}
+		if err := s.store.PutCounts(target, e.Gen, counts); err != nil {
+			s.persistErrs.Add(1)
+		}
+	}
 	writeJSON(w, http.StatusCreated, api.SnapshotResult{
 		Graph:    name,
 		As:       target,
@@ -298,12 +319,27 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, p params
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request, p params) {
 	name := p["name"]
 	static := s.registry.Delete(name)
-	liveDeleted := s.liveReg.Delete(name)
+	liveGraph, liveDeleted := s.liveReg.Delete(name)
 	if !static && !liveDeleted {
 		writeError(w, http.StatusNotFound, "graph %q not found", name)
 		return
 	}
 	purged := s.purgeGraph(name)
+	if s.store != nil {
+		// Mirror the cache purge on disk: segment, counts sidecar, live
+		// base and WAL generations all go, so storage cannot leak dead
+		// generations the way the cache once did. The live half is keyed
+		// to the removed graph's own journal, so a graph recreated under
+		// the name while this runs keeps its durable state.
+		var jrn live.Journal
+		if liveGraph != nil {
+			jrn = liveGraph.Journal()
+		}
+		if err := s.store.DeleteGraph(name, jrn); err != nil {
+			writeError(w, http.StatusInternalServerError, "graph %q deleted but storage not reclaimed: %v", name, err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, api.DeleteResult{
 		Deleted: name, Static: static, Live: liveDeleted, CachePurged: purged,
 	})
@@ -377,9 +413,12 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, p pa
 	}
 	if _, err := g.EnsureStream(capacity, seed); err != nil {
 		s.rollbackIfUnused(name, g, created, 0)
-		if errors.Is(err, stream.ErrBadCapacity) {
+		switch {
+		case errors.Is(err, stream.ErrBadCapacity):
 			writeError(w, http.StatusBadRequest, "attach estimator: %v", err)
-		} else {
+		case errors.Is(err, live.ErrNotDurable):
+			writeError(w, http.StatusInternalServerError, "live graph %q: %v", name, err)
+		default:
 			writeError(w, http.StatusNotFound, "live graph %q: %v", name, err)
 		}
 		return
@@ -401,9 +440,12 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, p pa
 	if ingestErr != nil {
 		// Records before the failure stay applied; report both the partial
 		// state and what stopped the batch.
-		if errors.Is(ingestErr, live.ErrClosed) {
+		switch {
+		case errors.Is(ingestErr, live.ErrClosed):
 			status = http.StatusNotFound
-		} else {
+		case errors.Is(ingestErr, live.ErrNotDurable):
+			status = http.StatusInternalServerError
+		default:
 			status = http.StatusBadRequest
 		}
 		resp.Error = ingestErr.Error()

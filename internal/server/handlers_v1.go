@@ -64,14 +64,16 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request, p par
 			writeError(w, http.StatusBadRequest, "invalid binary graph: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, s.registerGraph(name, g))
+		res, rerr := s.registerGraph(name, g)
+		s.writeRegistered(w, res, rerr)
 	case api.ContentTypeText:
 		g, err := hypergraph.ParseLimit(body, maxGraphNodes)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "invalid hypergraph text: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, s.registerGraph(name, g))
+		res, rerr := s.registerGraph(name, g)
+		s.writeRegistered(w, res, rerr)
 	case api.ContentTypeJSON:
 		var doc api.GraphDoc
 		if err := json.NewDecoder(body).Decode(&doc); err != nil {
@@ -83,7 +85,8 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request, p par
 			writeError(w, http.StatusBadRequest, "invalid hypergraph: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, s.registerGraph(name, g))
+		res, rerr := s.registerGraph(name, g)
+		s.writeRegistered(w, res, rerr)
 	default:
 		writeError(w, http.StatusUnsupportedMediaType,
 			"unsupported Content-Type %q (want %s, %s or %s)",
@@ -156,6 +159,7 @@ func (s *Server) handleStartCount(w http.ResponseWriter, r *http.Request, p para
 // or an error.
 func (s *Server) runCountJob(j *job, e *Entry, algo string, samples int, seed int64, workers int) {
 	start := time.Now()
+	defer func() { s.jobs.observe(j.kind, time.Since(start)) }()
 	j.setRunning(s.jobs.now())
 	var progress func(done, total int)
 	if algo == algoExact {
@@ -203,6 +207,7 @@ func (s *Server) handleStartProfile(w http.ResponseWriter, r *http.Request, p pa
 // runProfileJob executes one asynchronous characteristic profile.
 func (s *Server) runProfileJob(j *job, e *Entry, randomizations int, seed int64, workers int) {
 	start := time.Now()
+	defer func() { s.jobs.observe(j.kind, time.Since(start)) }()
 	j.setRunning(s.jobs.now())
 	prof, cached, err := s.profile(context.Background(), e, randomizations, seed, workers)
 	if err != nil {
@@ -309,6 +314,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, _ params)
 	fmt.Fprintf(w, "mochyd_jobs_started_total %d\n", s.jobs.started.Load())
 	fmt.Fprintf(w, "mochyd_jobs_done_total %d\n", s.jobs.finished.Load())
 	fmt.Fprintf(w, "mochyd_jobs_failed_total %d\n", s.jobs.failed.Load())
+	s.jobs.visitHist(func(kind string, h *latencyHistogram) {
+		h.writeProm(w, "mochyd_job_duration_seconds", kind)
+	})
+	if s.store != nil {
+		st := s.store.Status()
+		fmt.Fprintf(w, "mochyd_store_enabled 1\n")
+		fmt.Fprintf(w, "mochyd_store_segments %d\n", st.Graphs)
+		fmt.Fprintf(w, "mochyd_store_live_wals %d\n", st.LiveGraphs)
+		fmt.Fprintf(w, "mochyd_store_segment_bytes %d\n", st.SegmentBytes)
+		fmt.Fprintf(w, "mochyd_store_wal_bytes %d\n", st.WALBytes)
+		fmt.Fprintf(w, "mochyd_store_wal_records_total %d\n", st.WALRecords)
+		fmt.Fprintf(w, "mochyd_store_wal_syncs_total %d\n", st.WALSyncs)
+		fmt.Fprintf(w, "mochyd_store_checkpoints_total %d\n", st.Checkpoints)
+		fmt.Fprintf(w, "mochyd_store_persist_errors_total %d\n", s.persistErrs.Load())
+		fmt.Fprintf(w, "mochyd_store_recovered_graphs %d\n", st.RecoveredGraphs)
+		fmt.Fprintf(w, "mochyd_store_recovered_live_graphs %d\n", st.RecoveredLive)
+		fmt.Fprintf(w, "mochyd_store_recovered_wal_records %d\n", st.RecoveredRecords)
+		fmt.Fprintf(w, "mochyd_store_recovery_seconds %g\n", st.RecoveryDuration.Seconds())
+	} else {
+		fmt.Fprintf(w, "mochyd_store_enabled 0\n")
+	}
 	fmt.Fprintf(w, "mochyd_requests_unmatched_total %d\n", s.router.unmatched.Load())
 	s.router.visitCounters(func(method, pattern string, deprecated bool, count uint64) {
 		fmt.Fprintf(w, "mochyd_requests_total{route=%q,deprecated=%q} %d\n",

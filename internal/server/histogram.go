@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// jobDurationBounds are the upper bounds (seconds) of the per-job latency
+// histogram buckets: sub-millisecond cache hits through multi-minute exact
+// counts on paper-scale graphs.
+var jobDurationBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 60, 300}
+
+// latencyHistogram is a fixed-bucket, lock-free histogram in the Prometheus
+// exposition shape: observe is a couple of atomic adds, cheap enough to sit
+// on the job completion path.
+type latencyHistogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus a +Inf overflow bucket
+	sumNS  atomic.Int64
+	n      atomic.Uint64
+}
+
+func newLatencyHistogram() *latencyHistogram {
+	return &latencyHistogram{
+		bounds: jobDurationBounds,
+		counts: make([]atomic.Uint64, len(jobDurationBounds)+1),
+	}
+}
+
+// observe records one duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	// SearchFloat64s finds the first bound >= the observation, matching
+	// Prometheus "le" bucket semantics; beyond the last bound lands in +Inf.
+	i := sort.SearchFloat64s(h.bounds, d.Seconds())
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// writeProm emits the histogram as cumulative le-buckets plus sum and count,
+// labeled with kind.
+func (h *latencyHistogram) writeProm(w io.Writer, name, kind string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{kind=%q,le=\"%g\"} %d\n", name, kind, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{kind=%q,le=\"+Inf\"} %d\n", name, kind, cum)
+	fmt.Fprintf(w, "%s_sum{kind=%q} %g\n", name, kind, float64(h.sumNS.Load())/float64(time.Second))
+	fmt.Fprintf(w, "%s_count{kind=%q} %d\n", name, kind, h.n.Load())
+}

@@ -150,6 +150,7 @@ type jobStore struct {
 	jobs  map[string]*job
 	order []*job           // creation order, for pruning
 	now   func() time.Time // injectable clock for retention tests
+	hist  map[string]*latencyHistogram
 
 	started  atomic.Uint64
 	finished atomic.Uint64
@@ -157,7 +158,46 @@ type jobStore struct {
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*job), now: time.Now}
+	return &jobStore{
+		jobs: make(map[string]*job),
+		now:  time.Now,
+		hist: map[string]*latencyHistogram{
+			api.JobKindCount:   newLatencyHistogram(),
+			api.JobKindProfile: newLatencyHistogram(),
+		},
+	}
+}
+
+// observe records a finished job's wall-clock duration in its kind's
+// latency histogram (surfaced as mochyd_job_duration_seconds on
+// /v1/metrics).
+func (st *jobStore) observe(kind string, d time.Duration) {
+	st.mu.Lock()
+	h := st.hist[kind]
+	if h == nil {
+		h = newLatencyHistogram()
+		st.hist[kind] = h
+	}
+	st.mu.Unlock()
+	h.observe(d)
+}
+
+// visitHist walks the per-kind histograms in sorted kind order.
+func (st *jobStore) visitHist(fn func(kind string, h *latencyHistogram)) {
+	st.mu.Lock()
+	kinds := make([]string, 0, len(st.hist))
+	for kind := range st.hist {
+		kinds = append(kinds, kind)
+	}
+	hists := make([]*latencyHistogram, len(kinds))
+	sort.Strings(kinds)
+	for i, kind := range kinds {
+		hists[i] = st.hist[kind]
+	}
+	st.mu.Unlock()
+	for i, kind := range kinds {
+		fn(kind, hists[i])
+	}
 }
 
 // create registers a new queued job.

@@ -1,0 +1,181 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+
+	"mochy/internal/dynamic"
+	"mochy/internal/stream"
+)
+
+// Rec is one write-ahead-log record: a durably-logged mutation that the
+// apply loop has executed. Replaying a graph's records in order against the
+// same starting state reproduces the graph exactly — edge ids are assigned
+// deterministically by the dynamic counter, so they are not logged for
+// inserts.
+type Rec struct {
+	Kind RecKind
+	// Nodes is the hyperedge node set (RecInsert, RecIngest).
+	Nodes []int32
+	// ID is the deleted hyperedge id (RecDelete).
+	ID int32
+	// Capacity and Seed configure the reservoir estimator (RecStream).
+	Capacity int
+	Seed     int64
+}
+
+// RecKind discriminates WAL records.
+type RecKind uint8
+
+const (
+	// RecInsert is a hyperedge insertion applied to the exact counter.
+	RecInsert RecKind = 1
+	// RecDelete is a hyperedge deletion by id.
+	RecDelete RecKind = 2
+	// RecStream attaches a reservoir estimator (capacity, seed).
+	RecStream RecKind = 3
+	// RecIngest is one stream record: it feeds the exact counter (duplicates
+	// tolerated) and, when attached, the reservoir estimator.
+	RecIngest RecKind = 4
+)
+
+// Journal persists a live graph's applied mutations. Append is only called
+// from the graph's apply loop, so records arrive in apply order; it may
+// buffer. Commit makes everything appended up to seq durable before
+// returning — implementations amortize the fsync across concurrent
+// committers (group commit). Rotate finalizes the current log generation
+// and starts a new one; it is called from the apply loop during a
+// checkpoint, so no record straddles the boundary.
+type Journal interface {
+	// Append buffers recs in order and returns the sequence number of the
+	// last record. A failed Append must poison the journal: once it errors,
+	// every later Append and Commit must error too, so in-memory state can
+	// never silently run ahead of the log.
+	Append(recs []Rec) (seq uint64, err error)
+	// Commit blocks until every record with sequence <= seq is durable.
+	Commit(seq uint64) error
+	// Rotate syncs and closes the current generation and opens the next,
+	// returning the new generation number.
+	Rotate() (uint64, error)
+	// Size returns the bytes appended to the journal since the generation
+	// recovery would replay from.
+	Size() int64
+}
+
+// State is a consistent export of a live graph for persistence: the exact
+// counter's snapshot (edge set, ids, counts — restorable without
+// re-enumerating instances), the mutation version, and the reservoir
+// estimator snapshot when one is attached.
+type State struct {
+	Version uint64
+	Counter dynamic.Snapshot
+	Stream  *stream.Snapshot
+}
+
+// exportState captures the apply loop's state; callers run on the loop.
+func exportState(st *state, version uint64) State {
+	out := State{Version: version, Counter: st.counter.Export()}
+	if st.est != nil {
+		snap := st.est.Export()
+		out.Stream = &snap
+	}
+	return out
+}
+
+// applyRec replays one WAL record against the apply loop's state, bumping
+// the version exactly as the original execution did. Replay is strict: a
+// record that cannot re-apply means the log and the base state diverged
+// (corruption or a foreign file), and recovery must fail cleanly rather
+// than rebuild a graph that silently differs from what was acknowledged.
+func (g *Graph) applyRec(st *state, rec Rec) error {
+	switch rec.Kind {
+	case RecInsert:
+		if _, err := st.counter.Insert(rec.Nodes); err != nil {
+			return fmt.Errorf("replay insert: %w", err)
+		}
+		g.version.Add(1)
+	case RecDelete:
+		if err := st.counter.Delete(rec.ID); err != nil {
+			return fmt.Errorf("replay delete %d: %w", rec.ID, err)
+		}
+		g.version.Add(1)
+	case RecStream:
+		if st.est != nil {
+			return errors.New("replay stream attach: estimator already attached")
+		}
+		est, err := stream.NewEstimator(rec.Capacity, rec.Seed)
+		if err != nil {
+			return fmt.Errorf("replay stream attach: %w", err)
+		}
+		est.LimitNodes(st.nodeLimit)
+		st.est = est
+	case RecIngest:
+		_, err := st.counter.Insert(rec.Nodes)
+		switch {
+		case err == nil:
+			g.version.Add(1)
+		case errors.Is(err, dynamic.ErrDuplicateEdge):
+			// A re-ingested duplicate only feeds the estimator, as it did
+			// originally.
+		default:
+			return fmt.Errorf("replay ingest: %w", err)
+		}
+		if st.est != nil {
+			if err := st.est.Ingest(rec.Nodes); err != nil {
+				return fmt.Errorf("replay ingest (estimator): %w", err)
+			}
+		}
+	default:
+		return fmt.Errorf("replay: unknown record kind %d", rec.Kind)
+	}
+	return nil
+}
+
+// log appends recs from inside the apply loop. A nil journal (ephemeral
+// graph) and an empty batch both log nothing. The returned seq is 0 when
+// nothing was appended.
+func (g *Graph) log(recs []Rec) (uint64, error) {
+	if g.jrn == nil || len(recs) == 0 {
+		return 0, nil
+	}
+	return g.jrn.Append(recs)
+}
+
+// commit makes a batch durable from outside the apply loop, so the fsync
+// never serializes other graphs' — or this graph's later — mutations.
+// Concurrent committers share one fsync via the journal's group commit.
+func (g *Graph) commit(seq uint64) error {
+	if g.jrn == nil || seq == 0 {
+		return nil
+	}
+	if err := g.jrn.Commit(seq); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	return nil
+}
+
+// Checkpoint atomically exports the graph's state and rotates its journal
+// to a fresh generation: the export covers exactly the records of the
+// generations before the rotation, so a persisted export plus a replay of
+// generations >= the returned one reconstructs the graph. Graphs without a
+// journal just export and return generation 0.
+func (g *Graph) Checkpoint() (State, uint64, error) {
+	var (
+		st   State
+		gen  uint64
+		rerr error
+	)
+	err := g.do(func(s *state) {
+		st = exportState(s, g.version.Load())
+		if g.jrn != nil {
+			gen, rerr = g.jrn.Rotate()
+		}
+	})
+	if err != nil {
+		return State{}, 0, err
+	}
+	if rerr != nil {
+		return State{}, 0, fmt.Errorf("rotate journal: %w", rerr)
+	}
+	return st, gen, nil
+}

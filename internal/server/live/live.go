@@ -32,6 +32,11 @@ import (
 var (
 	ErrClosed   = errors.New("live: graph closed")
 	ErrNoStream = errors.New("live: graph has no stream estimator attached")
+	// ErrNotDurable wraps a journal failure: the mutation was applied in
+	// memory but could not be made durable. The journal is poisoned once
+	// this happens, so later mutations fail too and the in-memory state
+	// can run at most one failed batch ahead of the log.
+	ErrNotDurable = errors.New("live: mutation applied but not durable")
 )
 
 // Op is one mutation: a non-nil Insert adds that hyperedge, otherwise the
@@ -102,6 +107,7 @@ type state struct {
 // All methods are safe for concurrent use; they funnel into the apply loop.
 type Graph struct {
 	name      string
+	jrn       Journal // nil for ephemeral graphs
 	reqs      chan func(*state)
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -111,10 +117,20 @@ type Graph struct {
 }
 
 // newGraph starts a graph's apply loop. nodeLimit caps the node universe of
-// inserted hyperedges (<= 0 means unlimited).
-func newGraph(name string, nodeLimit int) *Graph {
+// inserted hyperedges (<= 0 means unlimited); a non-nil journal makes every
+// applied mutation durable before its batch is acknowledged.
+func newGraph(name string, nodeLimit int, jrn Journal) *Graph {
+	g, st := buildGraph(name, nodeLimit, jrn)
+	go g.loop(st)
+	return g
+}
+
+// buildGraph constructs a graph and its apply-loop state without starting
+// the loop, so restore paths can populate the state first.
+func buildGraph(name string, nodeLimit int, jrn Journal) (*Graph, *state) {
 	g := &Graph{
 		name:   name,
+		jrn:    jrn,
 		reqs:   make(chan func(*state)),
 		closed: make(chan struct{}),
 	}
@@ -122,8 +138,7 @@ func newGraph(name string, nodeLimit int) *Graph {
 		counter:   dynamic.New().LimitNodes(nodeLimit),
 		nodeLimit: nodeLimit,
 	}
-	go g.loop(st)
-	return g
+	return g, st
 }
 
 // loop is the single writer: it executes submitted operations in order until
@@ -164,6 +179,12 @@ func (g *Graph) do(fn func(*state)) error {
 // Name returns the graph's registry name.
 func (g *Graph) Name() string { return g.name }
 
+// Journal returns the graph's write-ahead log, or nil for ephemeral
+// graphs. The store uses it as an identity token: cleanup of a removed
+// graph's durable state must name the journal it means, so it can never
+// destroy the state of a new graph that took the name concurrently.
+func (g *Graph) Journal() Journal { return g.jrn }
+
 // Version returns the number of mutations applied so far.
 func (g *Graph) Version() uint64 { return g.version.Load() }
 
@@ -173,11 +194,21 @@ func (g *Graph) Close() { g.closeOnce.Do(func() { close(g.closed) }) }
 
 // Apply executes ops in order, stopping at the first failing op (earlier
 // ops stay applied — batches are ordered, not transactional). Each applied
-// mutation bumps the version by one.
+// mutation bumps the version by one. With a journal attached, the applied
+// ops are logged in apply order and the batch is made durable (one shared
+// fsync across concurrent batches) before Apply returns.
 func (g *Graph) Apply(ops []Op) (BatchResult, error) {
-	var res BatchResult
+	var (
+		res    BatchResult
+		seq    uint64
+		logErr error
+	)
 	err := g.do(func(st *state) {
 		res.Results = make([]OpResult, 0, len(ops))
+		var recs []Rec
+		if g.jrn != nil {
+			recs = make([]Rec, 0, len(ops))
+		}
 		for _, op := range ops {
 			var r OpResult
 			if op.Insert != nil {
@@ -191,14 +222,28 @@ func (g *Graph) Apply(ops []Op) (BatchResult, error) {
 			if r.Err != nil {
 				break
 			}
+			if g.jrn != nil {
+				if r.Insert {
+					recs = append(recs, Rec{Kind: RecInsert, Nodes: st.counter.Edge(r.ID)})
+				} else {
+					recs = append(recs, Rec{Kind: RecDelete, ID: r.ID})
+				}
+			}
 			res.Applied++
 			g.version.Add(1)
 		}
+		seq, logErr = g.log(recs)
 		res.Version = g.version.Load()
 		res.Edges = st.counter.NumEdges()
 		res.Counts = st.counter.Counts()
 	})
-	return res, err
+	if err != nil {
+		return res, err
+	}
+	if logErr != nil {
+		return res, fmt.Errorf("%w: %v", ErrNotDurable, logErr)
+	}
+	return res, g.commit(seq)
 }
 
 // Counts returns the always-current exact h-motif counts and the version
@@ -275,6 +320,10 @@ func (g *Graph) Snapshot() (*hypergraph.Hypergraph, counting.Counts, uint64, err
 // seed if the graph has none, reporting whether it was created now. The
 // parameters of an already-attached estimator are left unchanged.
 func (g *Graph) EnsureStream(capacity int, seed int64) (created bool, err error) {
+	var (
+		seq    uint64
+		logErr error
+	)
 	doErr := g.do(func(st *state) {
 		if st.est != nil {
 			return
@@ -287,11 +336,18 @@ func (g *Graph) EnsureStream(capacity int, seed int64) (created bool, err error)
 		est.LimitNodes(st.nodeLimit)
 		st.est = est
 		created = true
+		seq, logErr = g.log([]Rec{{Kind: RecStream, Capacity: capacity, Seed: seed}})
 	})
 	if doErr != nil {
 		return false, doErr
 	}
-	return created, err
+	if err != nil {
+		return false, err
+	}
+	if logErr != nil {
+		return created, fmt.Errorf("%w: %v", ErrNotDurable, logErr)
+	}
+	return created, g.commit(seq)
 }
 
 // StreamInfo returns the state of the attached estimator, or ErrNoStream.
@@ -322,20 +378,37 @@ func (g *Graph) StreamInfo() (StreamInfo, error) {
 // stops at the first invalid record (earlier records stay applied).
 func (g *Graph) IngestBatch(edges [][]int32) (IngestResult, error) {
 	var (
-		res  IngestResult
-		ferr error
+		res    IngestResult
+		ferr   error
+		seq    uint64
+		logErr error
 	)
 	err := g.do(func(st *state) {
+		var recs []Rec
+		if g.jrn != nil {
+			recs = make([]Rec, 0, len(edges))
+		}
 		for i, nodes := range edges {
 			_, ierr := st.counter.Insert(nodes)
+			mutated := false
 			switch {
 			case ierr == nil:
 				res.Inserted++
 				g.version.Add(1)
+				mutated = true
 			case errors.Is(ierr, dynamic.ErrDuplicateEdge):
 				res.Duplicates++
+				mutated = true
 			default:
 				ferr = fmt.Errorf("record %d: %w", i, ierr)
+			}
+			if mutated && g.jrn != nil {
+				// Logged as soon as the counter (or the estimator's
+				// duplicate path) has consumed the record, even if the
+				// estimator rejects it below: the counter mutation must
+				// replay either way.
+				cp := append([]int32(nil), nodes...)
+				recs = append(recs, Rec{Kind: RecIngest, Nodes: cp})
 			}
 			if ferr == nil && st.est != nil {
 				if e := st.est.Ingest(nodes); e != nil {
@@ -347,6 +420,7 @@ func (g *Graph) IngestBatch(edges [][]int32) (IngestResult, error) {
 			}
 			res.Ingested++
 		}
+		seq, logErr = g.log(recs)
 		res.Version = g.version.Load()
 		res.Edges = st.counter.NumEdges()
 		res.Counts = st.counter.Counts()
@@ -354,6 +428,12 @@ func (g *Graph) IngestBatch(edges [][]int32) (IngestResult, error) {
 	})
 	if err != nil {
 		return IngestResult{}, err
+	}
+	if logErr != nil {
+		return res, fmt.Errorf("%w: %v", ErrNotDurable, logErr)
+	}
+	if cerr := g.commit(seq); cerr != nil {
+		return res, cerr
 	}
 	return res, ferr
 }

@@ -40,7 +40,7 @@ func mustApply(t *testing.T, g *Graph, ops []Op) BatchResult {
 }
 
 func TestApplyMatchesExactRecount(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 
 	edges := [][]int32{{0, 1, 2}, {0, 3, 1}, {4, 5, 0}, {6, 7, 2}}
@@ -69,7 +69,7 @@ func TestApplyMatchesExactRecount(t *testing.T) {
 }
 
 func TestApplyStopsAtFirstError(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 
 	res, err := g.Apply([]Op{
@@ -92,7 +92,7 @@ func TestApplyStopsAtFirstError(t *testing.T) {
 }
 
 func TestNodeLimitEnforced(t *testing.T) {
-	g := newGraph("g", 10)
+	g := newGraph("g", 10, nil)
 	defer g.Close()
 
 	res, err := g.Apply([]Op{{Insert: []int32{1, 100}}})
@@ -108,7 +108,7 @@ func TestNodeLimitEnforced(t *testing.T) {
 }
 
 func TestSnapshotMaterializesLiveEdges(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 
 	res := mustApply(t, g, []Op{
@@ -133,7 +133,7 @@ func TestSnapshotMaterializesLiveEdges(t *testing.T) {
 }
 
 func TestStreamIngest(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 
 	// Capacity covers the whole stream, so estimates must be exact.
@@ -178,7 +178,7 @@ func TestStreamIngest(t *testing.T) {
 }
 
 func TestStreamInfoWithoutEstimator(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 	if _, err := g.StreamInfo(); !errors.Is(err, ErrNoStream) {
 		t.Fatalf("err = %v, want ErrNoStream", err)
@@ -186,7 +186,7 @@ func TestStreamInfoWithoutEstimator(t *testing.T) {
 }
 
 func TestClosedGraph(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	mustApply(t, g, []Op{{Insert: []int32{0, 1}}})
 	g.Close()
 	g.Close() // idempotent
@@ -220,8 +220,11 @@ func TestRegistryLifecycle(t *testing.T) {
 	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Fatalf("names = %v", names)
 	}
-	if !r.Delete("a") || r.Delete("a") {
-		t.Fatal("delete semantics broken")
+	if _, ok := r.Delete("a"); !ok {
+		t.Fatal("delete missed a registered graph")
+	}
+	if _, ok := r.Delete("a"); ok {
+		t.Fatal("double delete reported success")
 	}
 	if _, _, err := a.Counts(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("deleted graph still serving: %v", err)
@@ -235,7 +238,7 @@ func TestRegistryLifecycle(t *testing.T) {
 // workload and checks after every few steps that the maintained counts
 // equal a from-scratch MoCHy-E recount of the live edge set.
 func TestRandomWorkloadMatchesExact(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 	rng := rand.New(rand.NewSource(11))
 
@@ -292,7 +295,7 @@ func TestRandomWorkloadMatchesExact(t *testing.T) {
 // TestConcurrentMutateAndRead hammers one graph from mutating and reading
 // goroutines; under -race this checks the apply loop's serialization.
 func TestConcurrentMutateAndRead(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 
 	var wg sync.WaitGroup
@@ -355,7 +358,7 @@ func TestConcurrentMutateAndRead(t *testing.T) {
 }
 
 func TestVersionMonotonicUnderConcurrency(t *testing.T) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 	var wg sync.WaitGroup
 	for w := 0; w < 3; w++ {
@@ -392,7 +395,7 @@ func TestVersionMonotonicUnderConcurrency(t *testing.T) {
 }
 
 func BenchmarkApplyInsertDelete(b *testing.B) {
-	g := newGraph("g", 0)
+	g := newGraph("g", 0, nil)
 	defer g.Close()
 	// Preload a neighborhood so updates touch real instances.
 	for i := int32(0); i < 200; i++ {

@@ -2,8 +2,12 @@ package live
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
+
+	"mochy/internal/dynamic"
+	"mochy/internal/stream"
 )
 
 // ErrTooManyGraphs is returned by GetOrCreate when the registry is full.
@@ -17,6 +21,10 @@ type Registry struct {
 	graphs    map[string]*Graph
 	nodeLimit int
 	maxGraphs int
+	// journals, when set, is called under the registry lock to create the
+	// write-ahead log of every graph GetOrCreate makes. Restored graphs
+	// arrive with their journal already open.
+	journals func(name string) (Journal, error)
 }
 
 // NewRegistry returns an empty live registry. nodeLimit caps the node
@@ -31,6 +39,16 @@ func NewRegistry(nodeLimit, maxGraphs int) *Registry {
 	}
 }
 
+// SetJournalFactory installs fn as the write-ahead-log source for graphs
+// created later: GetOrCreate calls it (under the registry lock) before the
+// graph accepts its first mutation, so no applied op can predate its log.
+// Call it before the registry is exposed to traffic.
+func (r *Registry) SetJournalFactory(fn func(name string) (Journal, error)) {
+	r.mu.Lock()
+	r.journals = fn
+	r.mu.Unlock()
+}
+
 // GetOrCreate returns the live graph registered under name, creating an
 // empty one if absent; created reports whether this call made it.
 func (r *Registry) GetOrCreate(name string) (g *Graph, created bool, err error) {
@@ -42,9 +60,70 @@ func (r *Registry) GetOrCreate(name string) (g *Graph, created bool, err error) 
 	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
 		return nil, false, ErrTooManyGraphs
 	}
-	g = newGraph(name, r.nodeLimit)
+	var jrn Journal
+	if r.journals != nil {
+		jrn, err = r.journals(name)
+		if err != nil {
+			return nil, false, fmt.Errorf("live: create journal for %q: %w", name, err)
+		}
+	}
+	g = newGraph(name, r.nodeLimit, jrn)
 	r.graphs[name] = g
 	return g, true, nil
+}
+
+// Restore rebuilds a live graph from its persisted base state and WAL tail
+// and registers it under name: the base (nil for a graph that never
+// checkpointed) is loaded without re-enumerating motif instances, then tail
+// records replay in order exactly as they originally applied. jrn, which
+// may be nil, becomes the graph's journal for future mutations; replayed
+// records are NOT re-appended. Restore fails cleanly — no graph is
+// registered and no goroutine leaks — if the state and log diverge.
+func (r *Registry) Restore(name string, base *State, tail []Rec, jrn Journal) (*Graph, error) {
+	// Replay runs without the node-universe limit: every record was
+	// admitted (and acknowledged) under the limit in force when it was
+	// written, so a later restart with a tighter limit must not refuse to
+	// boot over its own durable data. The limit re-arms below for new
+	// mutations.
+	g, st := buildGraph(name, 0, nil)
+	if base != nil {
+		counter, err := dynamic.FromSnapshot(base.Counter)
+		if err != nil {
+			return nil, fmt.Errorf("live: restore %q: %w", name, err)
+		}
+		st.counter = counter
+		if base.Stream != nil {
+			est, err := stream.FromSnapshot(*base.Stream, 0)
+			if err != nil {
+				return nil, fmt.Errorf("live: restore %q estimator: %w", name, err)
+			}
+			st.est = est
+		}
+		g.version.Store(base.Version)
+	}
+	for i, rec := range tail {
+		if err := g.applyRec(st, rec); err != nil {
+			return nil, fmt.Errorf("live: restore %q: wal record %d: %w", name, i, err)
+		}
+	}
+	st.nodeLimit = r.nodeLimit
+	st.counter.LimitNodes(r.nodeLimit)
+	if st.est != nil {
+		st.est.LimitNodes(r.nodeLimit)
+	}
+	g.jrn = jrn
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return nil, fmt.Errorf("live: restore %q: already registered", name)
+	}
+	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
+		return nil, ErrTooManyGraphs
+	}
+	go g.loop(st)
+	r.graphs[name] = g
+	return g, nil
 }
 
 // Rollback undoes a GetOrCreate whose caller never managed to apply a
@@ -72,10 +151,12 @@ func (r *Registry) Get(name string) (*Graph, bool) {
 	return g, ok
 }
 
-// Delete removes and closes the live graph under name, reporting whether it
-// was present. In-flight operations on the graph complete; later ones fail
-// with ErrClosed.
-func (r *Registry) Delete(name string) bool {
+// Delete removes and closes the live graph under name, returning the
+// removed graph (nil if absent). In-flight operations on the graph
+// complete; later ones fail with ErrClosed. Callers with a store pass the
+// removed graph's Journal to the store's cleanup so it targets exactly
+// this graph's durable state.
+func (r *Registry) Delete(name string) (*Graph, bool) {
 	r.mu.Lock()
 	g, ok := r.graphs[name]
 	delete(r.graphs, name)
@@ -83,7 +164,7 @@ func (r *Registry) Delete(name string) bool {
 	if ok {
 		g.Close()
 	}
-	return ok
+	return g, ok
 }
 
 // Close removes and closes every live graph, stopping their apply loops.

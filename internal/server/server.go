@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mochy/internal/cp"
@@ -14,6 +15,7 @@ import (
 	"mochy/internal/nullmodel"
 	"mochy/internal/projection"
 	"mochy/internal/server/live"
+	"mochy/internal/store"
 )
 
 // maxLiveGraphs caps how many live graphs may exist at once; each one pins
@@ -50,6 +52,12 @@ type Config struct {
 	// more work unboundedly. 0 selects the default; negative disables
 	// backpressure.
 	QueueBudget time.Duration
+	// Store, when non-nil, makes the server durable: uploads become
+	// segment files, live mutations append to per-graph write-ahead logs
+	// before they are acknowledged, and Recover rebuilds everything on
+	// boot. The server takes ownership and closes it in Close. nil keeps
+	// the pre-durability in-memory behavior.
+	Store *store.Store
 }
 
 // DefaultConfig returns the configuration mochyd starts with.
@@ -74,9 +82,13 @@ type Server struct {
 	flight   *flightGroup
 	pool     *Pool
 	jobs     *jobStore
+	store    *store.Store // nil when running without persistence
 	cfg      Config
 	start    time.Time
 	router   *router
+	// persistErrs counts best-effort persistence failures (exact-count
+	// sidecar writes); hard failures surface on the request instead.
+	persistErrs atomic.Uint64
 }
 
 // New returns a Server with the given configuration.
@@ -104,11 +116,50 @@ func New(cfg Config) *Server {
 		flight:   newFlightGroup(),
 		pool:     NewPool(cfg.MaxConcurrent),
 		jobs:     newJobStore(),
+		store:    cfg.Store,
 		cfg:      cfg,
 		start:    time.Now(),
 	}
+	if s.store != nil {
+		// Every live graph created from here on gets a write-ahead log
+		// before it can accept its first mutation.
+		s.liveReg.SetJournalFactory(func(name string) (live.Journal, error) {
+			return s.store.CreateLive(name)
+		})
+	}
 	s.router = s.buildRouter()
 	return s
+}
+
+// Recover replays the configured store into the registries: immutable
+// graphs load with their persisted exact counts pre-seeded into the result
+// cache, and live graphs rebuild from base segment + WAL tail with their
+// incremental counters restored in O(structure + delta) — no motif
+// re-enumeration. Call it once, before serving traffic; without a store it
+// is a no-op.
+func (s *Server) Recover() (store.RecoveryStats, error) {
+	if s.store == nil {
+		return store.RecoveryStats{}, nil
+	}
+	rec, err := s.store.Recover()
+	if err != nil {
+		return store.RecoveryStats{}, err
+	}
+	for _, rg := range rec.Graphs {
+		e, _ := s.registry.Load(rg.Name, rg.Graph)
+		s.store.BindGraphGen(rg.Name, e.Gen)
+		if rg.Counts != nil {
+			// The persisted exact count seeds the cache exactly like a
+			// snapshot would: high eviction cost, no expiry.
+			s.cache.PutCost(countKey(e, algoExact, 0, 0, 0), *rg.Counts, 0, snapshotSeedCost)
+		}
+	}
+	for _, rl := range rec.Live {
+		if _, err := s.liveReg.Restore(rl.Name, rl.Base, rl.Tail, rl.Journal); err != nil {
+			return store.RecoveryStats{}, err
+		}
+	}
+	return rec.Stats, nil
 }
 
 // buildRouter assembles the route table: the canonical /v1 surface plus the
@@ -133,6 +184,10 @@ func (s *Server) buildRouter() *router {
 	rt.handle(http.MethodGet, "/v1/jobs", s.handleJobs)
 	rt.handle(http.MethodGet, "/v1/jobs/{id}", s.handleJob)
 	rt.handle(http.MethodGet, "/v1/jobs/{id}/events", s.handleJobEvents)
+
+	// v1: persistence administration.
+	rt.handle(http.MethodPost, "/v1/admin/checkpoint", s.handleCheckpoint)
+	rt.handle(http.MethodGet, "/v1/admin/store", s.handleStoreStatus)
 
 	// v1: live graphs and stream ingest.
 	rt.handle(http.MethodPost, "/v1/graphs/{name}/edges", s.handleInsertEdges)
@@ -170,11 +225,16 @@ func (s *Server) buildRouter() *router {
 // Registry exposes the graph registry (used by mochyd to preload graphs).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Close stops admitting new counting jobs and shuts down every live
-// graph's apply loop.
+// Close stops admitting new counting jobs, shuts down every live graph's
+// apply loop, and — when persistence is configured — flushes every WAL
+// buffer and the manifest to disk. Callers drain HTTP traffic first (see
+// cmd/mochyd), so every acknowledged mutation is durable before exit.
 func (s *Server) Close() {
 	s.pool.Close()
 	s.liveReg.Close()
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 }
 
 // ServeHTTP dispatches through the route table.
@@ -342,6 +402,17 @@ func (s *Server) countProgress(ctx context.Context, e *Entry, algo string, sampl
 			ttl = s.samplingTTL()
 		}
 		s.putIfCurrent(e, key, c, ttl, cost)
+		// A freshly computed exact count is the most expensive thing the
+		// server makes; persist it next to the graph's segment so the next
+		// boot seeds the cache instead of recounting. Best-effort: the
+		// count itself is already correct and cached.
+		if algo == algoExact && s.store != nil {
+			if cur, ok := s.registry.Get(e.Name); ok && cur.Gen == e.Gen {
+				if perr := s.store.PutCounts(e.Name, e.Gen, c); perr != nil {
+					s.persistErrs.Add(1)
+				}
+			}
+		}
 		return c, nil
 	})
 	if err != nil {

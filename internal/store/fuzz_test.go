@@ -1,0 +1,107 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mochy/internal/server/live"
+)
+
+// FuzzWALRead throws arbitrary bytes at the WAL reader and the replay path:
+// whatever is on disk, recovery must either produce a valid record prefix
+// or stop cleanly — never panic, never allocate absurdly.
+func FuzzWALRead(f *testing.F) {
+	var seed []byte
+	for _, rec := range []live.Rec{
+		{Kind: live.RecInsert, Nodes: []int32{1, 2, 3}},
+		{Kind: live.RecDelete, ID: 0},
+		{Kind: live.RecStream, Capacity: 10, Seed: 1},
+		{Kind: live.RecIngest, Nodes: []int32{4, 5}},
+	} {
+		seed, _ = appendRec(seed, rec)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, _, err := readWALRecords(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("in-memory reader returned io error: %v", err)
+		}
+		if valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d exceeds input %d", valid, len(data))
+		}
+		// Replaying whatever decoded must not panic either: drive it
+		// through a real graph restore with no base.
+		reg := live.NewRegistry(1<<20, 0)
+		if g, err := reg.Restore("f", nil, recs, nil); err == nil {
+			g.Close()
+		}
+	})
+}
+
+// FuzzGraphSegment feeds arbitrary bytes to the segment reader: corrupt
+// segments must fail with a clean error.
+func FuzzGraphSegment(f *testing.F) {
+	dir := f.TempDir()
+	good := filepath.Join(dir, "good.seg")
+	if err := writeGraphSegment(good, testGraph(1)); err != nil {
+		f.Fatal(err)
+	}
+	b, err := os.ReadFile(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add(b[:len(b)/2])
+	f.Add([]byte("MCHY garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.seg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g, err := readGraphSegment(path)
+		if err == nil && g == nil {
+			t.Fatal("nil graph without error")
+		}
+	})
+}
+
+// FuzzLiveSidecar feeds arbitrary bytes to the live state reader next to a
+// valid segment: recovery must degrade to a clean error.
+func FuzzLiveSidecar(f *testing.F) {
+	f.Add([]byte(`{"version":3,"ids":[0,1],"next_id":2,"counts":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, state []byte) {
+		dir := t.TempDir()
+		seg := filepath.Join(dir, "l.seg")
+		b := testGraphBuilderPair(t, dir, seg, state)
+		_ = b
+	})
+}
+
+// testGraphBuilderPair writes a two-edge segment plus the fuzzed sidecar
+// and exercises readLiveBase + live restore.
+func testGraphBuilderPair(t *testing.T, dir, seg string, state []byte) bool {
+	g := testGraph(2)
+	if err := writeGraphSegment(seg, g); err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(dir, "l.seg.state")
+	if err := writeFileAtomic(statePath, state); err != nil {
+		t.Fatal(err)
+	}
+	st, err := readLiveBase(seg, statePath)
+	if err != nil {
+		return false
+	}
+	reg := live.NewRegistry(1<<20, 0)
+	if lg, err := reg.Restore("f", st, nil, nil); err == nil {
+		lg.Close()
+	}
+	return true
+}

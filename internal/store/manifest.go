@@ -1,0 +1,157 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// manifestName is the manifest's file name inside the data directory.
+const manifestName = "MANIFEST"
+
+// manifestVersion guards the on-disk schema.
+const manifestVersion = 1
+
+// manifest is the store's root of trust: it names every current segment and
+// the WAL generation recovery replays from, and is replaced atomically
+// (temp file + rename) so readers always observe a complete document. A
+// graph exists durably iff the manifest says so — recovery garbage-collects
+// files the manifest does not reference, which is what makes segment and
+// WAL writes safe to crash out of at any point.
+type manifest struct {
+	Version    int                    `json:"version"`
+	NextFileID uint64                 `json:"next_file_id"`
+	Graphs     map[string]*graphEntry `json:"graphs"`
+	Live       map[string]*liveEntry  `json:"live"`
+}
+
+// graphEntry is one immutable registry graph.
+type graphEntry struct {
+	// Segment is the data-dir-relative path of the graph's segment file;
+	// the exact-counts sidecar, when present, lives at Segment + ".counts".
+	Segment string `json:"segment"`
+}
+
+// liveEntry is one live graph.
+type liveEntry struct {
+	// WALID names the graph's WAL file family (wal/<safe>-<id>-<gen>.wal).
+	WALID uint64 `json:"wal_id"`
+	// ReplayFrom is the first WAL generation recovery replays; generations
+	// below it are folded into the base segment and deleted.
+	ReplayFrom uint64 `json:"replay_from"`
+	// Segment and State are the base checkpoint (empty before the first
+	// checkpoint: recovery then replays the WAL from an empty graph).
+	Segment string `json:"segment,omitempty"`
+	State   string `json:"state,omitempty"`
+}
+
+func newManifest() *manifest {
+	return &manifest{
+		Version:    manifestVersion,
+		NextFileID: 1,
+		Graphs:     make(map[string]*graphEntry),
+		Live:       make(map[string]*liveEntry),
+	}
+}
+
+// loadManifest reads the manifest, returning a fresh one when none exists.
+func loadManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return newManifest(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Graphs == nil {
+		m.Graphs = make(map[string]*graphEntry)
+	}
+	if m.Live == nil {
+		m.Live = make(map[string]*liveEntry)
+	}
+	if m.NextFileID == 0 {
+		m.NextFileID = 1
+	}
+	return &m, nil
+}
+
+// save atomically replaces the manifest on disk.
+func (m *manifest) save(dir string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// referenced reports every data-dir-relative path the manifest still needs,
+// used by recovery's garbage collection.
+func (m *manifest) referenced() map[string]bool {
+	refs := make(map[string]bool)
+	for _, e := range m.Graphs {
+		refs[e.Segment] = true
+		refs[e.Segment+".counts"] = true
+	}
+	for _, e := range m.Live {
+		if e.Segment != "" {
+			refs[e.Segment] = true
+		}
+		if e.State != "" {
+			refs[e.State] = true
+		}
+	}
+	return refs
+}
+
+// safeName maps a user-supplied graph name onto a filesystem-safe slug used
+// purely for operator readability — uniqueness comes from the numeric file
+// id appended after it, never from the slug.
+func safeName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 32 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "g"
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"mochy/api"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/server/live"
+	"mochy/internal/stream"
+)
+
+// Segment files persist immutable graph payloads: the framed binary graph
+// transport (mochy/api's length-prefixed hypergraph codec — the same bytes
+// that ride PUT /v1/graphs/{name}) followed by a u32 CRC-32 of everything
+// before it. Sidecar files (exact counts for registry graphs; ids, version,
+// counts and estimator state for live bases) are JSON with the same CRC
+// trailer. Every file is written to a temp name, fsynced, and renamed into
+// place, so a crash leaves either the old file or the new one — never a
+// half-written hybrid.
+
+// writeFileAtomic writes data+CRC to path via a temp file and rename,
+// fsyncing the file and its directory so the rename survives a crash.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	trailer := binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(data))
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(trailer); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readFileChecked reads a CRC-trailed file and verifies it.
+func readFileChecked(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("store: %s: too short for a CRC trailer", filepath.Base(path))
+	}
+	data, trailer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("store: %s: CRC mismatch (corrupt file)", filepath.Base(path))
+	}
+	return data, nil
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems reject fsync on directories; the rename itself is
+	// still atomic there, so this is best-effort.
+	_ = d.Sync()
+	return nil
+}
+
+// writeGraphSegment persists g as a segment file.
+func writeGraphSegment(path string, g *hypergraph.Hypergraph) error {
+	payload, err := api.EncodeGraph(g)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, payload)
+}
+
+// readGraphSegment loads a segment file, verifying the CRC and the graph's
+// structural invariants. Corruption yields a clean error, never a panic.
+func readGraphSegment(path string) (*hypergraph.Hypergraph, error) {
+	data, err := readFileChecked(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := api.ReadGraph(bytes.NewReader(data), int64(len(data)), 0)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	return g, nil
+}
+
+// countsSidecar is the JSON body of a registry graph's counts sidecar.
+type countsSidecar struct {
+	Algorithm string    `json:"algorithm"`
+	Counts    []float64 `json:"counts"`
+}
+
+// writeCountsSidecar persists a graph's exact counts next to its segment.
+func writeCountsSidecar(path string, c counting.Counts) error {
+	b, err := json.Marshal(countsSidecar{Algorithm: api.AlgoExact, Counts: c[:]})
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, b)
+}
+
+// readCountsSidecar loads a counts sidecar. A missing or corrupt sidecar is
+// reported as an error; callers treat it as "no seeded counts" rather than
+// failing recovery, since counts are recomputable.
+func readCountsSidecar(path string) (counting.Counts, error) {
+	var c counting.Counts
+	data, err := readFileChecked(path)
+	if err != nil {
+		return c, err
+	}
+	var doc countsSidecar
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return c, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	if doc.Algorithm != api.AlgoExact || len(doc.Counts) != len(c) {
+		return c, fmt.Errorf("store: %s: not an exact-counts sidecar", filepath.Base(path))
+	}
+	copy(c[:], doc.Counts)
+	return c, nil
+}
+
+// liveSidecar is the JSON body of a live base's state sidecar. The edge
+// node sets live in the companion graph segment; IDs aligns with its edge
+// indexes.
+type liveSidecar struct {
+	Version uint64         `json:"version"`
+	IDs     []int32        `json:"ids"`
+	NextID  int32          `json:"next_id"`
+	Counts  []int64        `json:"counts"`
+	Stream  *streamSidecar `json:"stream,omitempty"`
+}
+
+type streamSidecar struct {
+	Capacity  int       `json:"capacity"`
+	Seed      int64     `json:"seed"`
+	EdgesSeen int64     `json:"edges_seen"`
+	Reservoir [][]int32 `json:"reservoir"`
+	Seen      []uint64  `json:"seen,omitempty"`
+	Estimates []float64 `json:"estimates"`
+}
+
+// writeLiveBase persists a live graph's checkpoint: the edge set as a graph
+// segment and everything else as a state sidecar.
+func writeLiveBase(segPath, statePath string, st live.State) error {
+	b := hypergraph.NewBuilder(0)
+	for _, e := range st.Counter.Edges {
+		b.AddEdge(e)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("store: build checkpoint graph: %w", err)
+	}
+	if g.NumEdges() != len(st.Counter.IDs) {
+		return fmt.Errorf("store: checkpoint graph dropped edges (%d != %d)", g.NumEdges(), len(st.Counter.IDs))
+	}
+	doc := liveSidecar{
+		Version: st.Version,
+		IDs:     st.Counter.IDs,
+		NextID:  st.Counter.NextID,
+		Counts:  st.Counter.Counts[:],
+	}
+	if st.Stream != nil {
+		doc.Stream = &streamSidecar{
+			Capacity:  st.Stream.Capacity,
+			Seed:      st.Stream.Seed,
+			EdgesSeen: st.Stream.EdgesSeen,
+			Reservoir: st.Stream.Reservoir,
+			Seen:      st.Stream.Seen,
+			Estimates: st.Stream.Estimates[:],
+		}
+	}
+	sb, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	if err := writeGraphSegment(segPath, g); err != nil {
+		return err
+	}
+	return writeFileAtomic(statePath, sb)
+}
+
+// readLiveBase loads a live graph's checkpoint back into a live.State.
+func readLiveBase(segPath, statePath string) (*live.State, error) {
+	g, err := readGraphSegment(segPath)
+	if err != nil {
+		return nil, err
+	}
+	data, err := readFileChecked(statePath)
+	if err != nil {
+		return nil, err
+	}
+	var doc liveSidecar
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(statePath), err)
+	}
+	if len(doc.IDs) != g.NumEdges() {
+		return nil, fmt.Errorf("store: %s: %d ids for a %d-edge segment", filepath.Base(statePath), len(doc.IDs), g.NumEdges())
+	}
+	if len(doc.Counts) != motif.Count {
+		return nil, fmt.Errorf("store: %s: %d counts, want %d", filepath.Base(statePath), len(doc.Counts), motif.Count)
+	}
+	st := &live.State{Version: doc.Version}
+	st.Counter.IDs = doc.IDs
+	st.Counter.NextID = doc.NextID
+	copy(st.Counter.Counts[:], doc.Counts)
+	st.Counter.Edges = make([][]int32, g.NumEdges())
+	for i := range st.Counter.Edges {
+		st.Counter.Edges[i] = g.Edge(i)
+	}
+	if doc.Stream != nil {
+		if len(doc.Stream.Estimates) != motif.Count {
+			return nil, fmt.Errorf("store: %s: malformed estimator estimates", filepath.Base(statePath))
+		}
+		snap := stream.Snapshot{
+			Capacity:  doc.Stream.Capacity,
+			Seed:      doc.Stream.Seed,
+			EdgesSeen: doc.Stream.EdgesSeen,
+			Reservoir: doc.Stream.Reservoir,
+			Seen:      doc.Stream.Seen,
+		}
+		copy(snap.Estimates[:], doc.Stream.Estimates)
+		st.Stream = &snap
+	}
+	return st, nil
+}

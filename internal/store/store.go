@@ -1,0 +1,751 @@
+// Package store is mochyd's durability subsystem. It persists the graph
+// service across restarts with the classic LSM-style split between a write
+// path and a read-optimized base:
+//
+//   - immutable registry graphs become segment files — the framed binary
+//     graph codec from mochy/api plus a CRC trailer — with an optional
+//     sidecar holding their exact h-motif counts, so a restart reloads both
+//     the graph and its most expensive derived result;
+//   - live graphs append every applied mutation to a per-graph write-ahead
+//     log before the batch is acknowledged, with group-commit batching so
+//     concurrent mutators share fsyncs;
+//   - an atomically-replaced manifest names the current segments and the
+//     WAL generation to replay from; checkpointing folds a long WAL into a
+//     fresh base segment (memtable-flush style) and truncates the log.
+//
+// Recovery replays manifest → segments → WAL tails: registry graphs load
+// with their counts pre-seeded, and live graphs rebuild their incremental
+// counters in O(structure + delta) — the persisted counts make re-running
+// the motif enumeration unnecessary.
+//
+// The store assumes a single process owns the data directory.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/server/live"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Subdirectories of the data dir.
+const (
+	segmentsDir = "segments"
+	walDir      = "wal"
+)
+
+// Store owns one data directory.
+type Store struct {
+	dir string
+
+	mu        sync.Mutex
+	man       *manifest
+	wals      map[string]*walHandle // open journals by live graph name
+	graphGens map[string]uint64     // registry generation bound to each persisted graph
+	closed    bool
+	recovered bool
+
+	stats RecoveryStats
+
+	walRecords  atomic.Uint64
+	walSyncs    atomic.Uint64
+	walBytes    atomic.Int64
+	checkpoints atomic.Uint64
+}
+
+// Open prepares a data directory (creating it if needed) and loads its
+// manifest. Call Recover before using the store or serving traffic.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, segmentsDir), filepath.Join(dir, walDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:       dir,
+		man:       man,
+		wals:      make(map[string]*walHandle),
+		graphGens: make(map[string]uint64),
+	}, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(rel string) string { return filepath.Join(s.dir, rel) }
+
+func (s *Store) walPath(name string, id, gen uint64) string {
+	return s.path(s.walRel(name, id, gen))
+}
+
+func (s *Store) walRel(name string, id, gen uint64) string {
+	return filepath.Join(walDir, fmt.Sprintf("%s-%d-%d.wal", safeName(name), id, gen))
+}
+
+func (s *Store) segRel(prefix, name string, id uint64) string {
+	return filepath.Join(segmentsDir, fmt.Sprintf("%s%s-%d.seg", prefix, safeName(name), id))
+}
+
+// allocFileID hands out a fresh file id; callers hold s.mu.
+func (s *Store) allocFileID() uint64 {
+	id := s.man.NextFileID
+	s.man.NextFileID++
+	return id
+}
+
+// RecoveredGraph is one immutable registry graph read back from disk.
+type RecoveredGraph struct {
+	Name  string
+	Graph *hypergraph.Hypergraph
+	// Counts carries the exact counts sidecar when one was present and
+	// intact; nil otherwise (the graph is still served, just not pre-seeded).
+	Counts *counting.Counts
+}
+
+// RecoveredLive is one live graph ready to be rebuilt: its base checkpoint
+// (nil if it never checkpointed), the WAL tail to replay on top, and the
+// journal future mutations must append to.
+type RecoveredLive struct {
+	Name    string
+	Base    *live.State
+	Tail    []live.Rec
+	Journal live.Journal
+}
+
+// RecoveryStats summarizes a recovery pass for logs and metrics.
+type RecoveryStats struct {
+	Graphs     int
+	LiveGraphs int
+	WALRecords int
+	TornTails  int
+	Duration   time.Duration
+}
+
+// Recovery is everything Recover read back from the data directory.
+type Recovery struct {
+	Graphs []RecoveredGraph
+	Live   []RecoveredLive
+	Stats  RecoveryStats
+}
+
+// Recover replays the manifest: it loads every registry segment (with its
+// counts sidecar when intact), reads every live graph's base and WAL tail,
+// truncates torn WAL tails (the normal crash artifact), opens the journals
+// for appending, and garbage-collects files the manifest no longer
+// references. Corruption anywhere in the durable chain — manifest, segment
+// CRC, state sidecar, or mid-sequence WAL damage — fails with a clean
+// error rather than serving a graph that differs from what was
+// acknowledged.
+func (s *Store) Recover() (*Recovery, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.recovered {
+		return nil, errors.New("store: Recover called twice")
+	}
+
+	out := &Recovery{}
+
+	// Immutable registry graphs: segment + optional counts sidecar.
+	names := make([]string, 0, len(s.man.Graphs))
+	for name := range s.man.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := s.man.Graphs[name]
+		g, err := readGraphSegment(s.path(e.Segment))
+		if err != nil {
+			return nil, fmt.Errorf("recover graph %q: %w", name, err)
+		}
+		rg := RecoveredGraph{Name: name, Graph: g}
+		if c, err := readCountsSidecar(s.path(e.Segment + ".counts")); err == nil {
+			rg.Counts = &c
+		}
+		out.Graphs = append(out.Graphs, rg)
+	}
+
+	// Live graphs: base checkpoint + WAL generations >= ReplayFrom.
+	walFiles, err := s.scanWALFiles()
+	if err != nil {
+		return nil, err
+	}
+	liveNames := make([]string, 0, len(s.man.Live))
+	for name := range s.man.Live {
+		liveNames = append(liveNames, name)
+	}
+	sort.Strings(liveNames)
+	for _, name := range liveNames {
+		e := s.man.Live[name]
+		rl, err := s.recoverLive(name, e, walFiles[e.WALID], out)
+		if err != nil {
+			return nil, err
+		}
+		if rl == nil {
+			// Nothing durable ever existed for this entry (a crash between
+			// manifest update and WAL creation): drop it.
+			delete(s.man.Live, name)
+			continue
+		}
+		out.Live = append(out.Live, *rl)
+	}
+	if err := s.man.save(s.dir); err != nil {
+		return nil, err
+	}
+
+	s.gcLocked()
+
+	s.stats = RecoveryStats{
+		Graphs:     len(out.Graphs),
+		LiveGraphs: len(out.Live),
+		WALRecords: out.Stats.WALRecords,
+		TornTails:  out.Stats.TornTails,
+		Duration:   time.Since(start),
+	}
+	out.Stats = s.stats
+	s.recovered = true
+	return out, nil
+}
+
+// recoverLive rebuilds one live entry. gens maps generation -> relative
+// path for this entry's WAL family. A nil, nil return means the entry has
+// no durable trace and should be dropped.
+func (s *Store) recoverLive(name string, e *liveEntry, gens map[uint64]string, out *Recovery) (*RecoveredLive, error) {
+	var base *live.State
+	if e.Segment != "" {
+		st, err := readLiveBase(s.path(e.Segment), s.path(e.State))
+		if err != nil {
+			return nil, fmt.Errorf("recover live graph %q: %w", name, err)
+		}
+		base = st
+	}
+
+	var present []uint64
+	for gen := range gens {
+		if gen >= e.ReplayFrom {
+			present = append(present, gen)
+		}
+	}
+	sort.Slice(present, func(a, b int) bool { return present[a] < present[b] })
+	if base == nil && len(present) == 0 {
+		return nil, nil
+	}
+	for i, gen := range present {
+		if want := e.ReplayFrom + uint64(i); gen != want {
+			return nil, fmt.Errorf("recover live graph %q: wal generation %d missing", name, want)
+		}
+	}
+
+	var (
+		tail    []live.Rec
+		lastSeq uint64
+		size    int64
+	)
+	lastGen := e.ReplayFrom // generation the journal reopens at
+	for i, gen := range present {
+		path := s.path(gens[gen])
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("recover live graph %q: %w", name, err)
+		}
+		recs, valid, torn, rerr := readWALRecords(bytes.NewReader(raw))
+		if rerr != nil {
+			return nil, fmt.Errorf("recover live graph %q: read wal gen %d: %w", name, gen, rerr)
+		}
+		last := i == len(present)-1
+		if torn {
+			// Only the physical tail of the final generation may be
+			// discarded: a crash tears the end of the log, nothing else.
+			// Valid frames after the damage — or damage in an already-
+			// rotated generation — mean acknowledged records were
+			// corrupted, and recovery must fail rather than drop them.
+			if !last {
+				return nil, fmt.Errorf("recover live graph %q: wal generation %d is corrupt mid-sequence", name, gen)
+			}
+			if hasValidFrameAfter(raw[valid:]) {
+				return nil, fmt.Errorf("recover live graph %q: wal generation %d is corrupt mid-file (valid records follow the damage)", name, gen)
+			}
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, fmt.Errorf("recover live graph %q: truncate torn wal: %w", name, err)
+			}
+			out.Stats.TornTails++
+		}
+		tail = append(tail, recs...)
+		size += valid
+		if last {
+			lastGen = gen
+			lastSeq = uint64(len(recs))
+		}
+	}
+	out.Stats.WALRecords += len(tail)
+
+	f, err := os.OpenFile(s.walPath(name, e.WALID, lastGen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("recover live graph %q: reopen wal: %w", name, err)
+	}
+	h := &walHandle{
+		store:  s,
+		name:   name,
+		id:     e.WALID,
+		f:      f,
+		bw:     newWALWriter(f),
+		gen:    lastGen,
+		seq:    lastSeq,
+		synced: lastSeq,
+		size:   size,
+	}
+	s.wals[name] = h
+	return &RecoveredLive{Name: name, Base: base, Tail: tail, Journal: h}, nil
+}
+
+// scanWALFiles indexes the wal directory by file id and generation.
+func (s *Store) scanWALFiles() (map[uint64]map[uint64]string, error) {
+	entries, err := os.ReadDir(s.path(walDir))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]map[uint64]string)
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		id, gen, ok := parseWALName(ent.Name())
+		if !ok {
+			continue
+		}
+		if out[id] == nil {
+			out[id] = make(map[uint64]string)
+		}
+		out[id][gen] = filepath.Join(walDir, ent.Name())
+	}
+	return out, nil
+}
+
+// parseWALName extracts the (id, gen) suffix of "<safe>-<id>-<gen>.wal".
+func parseWALName(name string) (id, gen uint64, ok bool) {
+	base, found := strings.CutSuffix(name, ".wal")
+	if !found {
+		return 0, 0, false
+	}
+	i := strings.LastIndexByte(base, '-')
+	if i < 0 {
+		return 0, 0, false
+	}
+	gen, err := strconv.ParseUint(base[i+1:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	base = base[:i]
+	j := strings.LastIndexByte(base, '-')
+	if j < 0 {
+		return 0, 0, false
+	}
+	id, err = strconv.ParseUint(base[j+1:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return id, gen, true
+}
+
+// gcLocked deletes files in segments/ and wal/ that the manifest no longer
+// references: replaced segments, compacted WAL generations, and temp files
+// from interrupted writes. Callers hold s.mu.
+func (s *Store) gcLocked() {
+	refs := s.man.referenced()
+	walRefs := make(map[uint64]uint64) // wal id -> replay-from generation
+	for _, e := range s.man.Live {
+		walRefs[e.WALID] = e.ReplayFrom
+	}
+	if ents, err := os.ReadDir(s.path(segmentsDir)); err == nil {
+		for _, ent := range ents {
+			rel := filepath.Join(segmentsDir, ent.Name())
+			if !ent.IsDir() && !refs[rel] {
+				_ = os.Remove(s.path(rel))
+			}
+		}
+	}
+	if ents, err := os.ReadDir(s.path(walDir)); err == nil {
+		for _, ent := range ents {
+			if ent.IsDir() {
+				continue
+			}
+			id, gen, ok := parseWALName(ent.Name())
+			from, known := walRefs[id]
+			if ok && known && gen >= from {
+				continue
+			}
+			_ = os.Remove(s.path(filepath.Join(walDir, ent.Name())))
+		}
+	}
+}
+
+// CreateLive registers a new live graph and returns its journal. The
+// manifest entry is durable before the journal exists, so no acknowledged
+// mutation can ever refer to a graph recovery does not know about. A
+// handle already present under name belongs to a condemned graph (its
+// delete or rollback has removed it from the live registry but not yet
+// reached the store): it is never reused — the new graph gets a fresh WAL
+// family, and the condemned graph's identity-checked cleanup can no
+// longer touch it. The superseded files become orphans until the next
+// boot's GC.
+func (s *Store) CreateLive(name string) (live.Journal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	id := s.allocFileID()
+	prev := s.man.Live[name]
+	s.man.Live[name] = &liveEntry{WALID: id, ReplayFrom: 1}
+	if err := s.man.save(s.dir); err != nil {
+		if prev == nil {
+			delete(s.man.Live, name)
+		} else {
+			s.man.Live[name] = prev
+		}
+		return nil, err
+	}
+	f, err := os.OpenFile(s.walPath(name, id, 1), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	h := &walHandle{store: s, name: name, id: id, f: f, bw: newWALWriter(f), gen: 1}
+	s.wals[name] = h
+	return h, nil
+}
+
+// DropLiveIf forgets a live graph's durable state, but only if jrn is
+// still the journal registered under name: the caller got jrn from the
+// graph it actually removed, so a new graph that took the name in the
+// meantime (delete + immediate recreate) keeps its manifest entry, WAL
+// and files untouched — only the condemned journal's file handle is
+// released, its superseded files left for the next boot's GC. A nil jrn
+// (no store-backed journal) is a no-op.
+func (s *Store) DropLiveIf(name string, jrn live.Journal) error {
+	if jrn == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, _ := jrn.(*walHandle)
+	if s.wals[name] != h || h == nil {
+		if h != nil {
+			_ = h.close()
+		}
+		return nil
+	}
+	return s.dropLiveLocked(name)
+}
+
+func (s *Store) dropLiveLocked(name string) error {
+	e, ok := s.man.Live[name]
+	if !ok {
+		return nil
+	}
+	if h, ok := s.wals[name]; ok {
+		_ = h.close()
+		delete(s.wals, name)
+	}
+	delete(s.man.Live, name)
+	if err := s.man.save(s.dir); err != nil {
+		s.man.Live[name] = e // keep manifest and memory consistent
+		return err
+	}
+	s.removeLiveFiles(name, e)
+	return nil
+}
+
+// removeLiveFiles best-effort deletes a dropped entry's files; leftovers
+// are swept by the next boot's GC.
+func (s *Store) removeLiveFiles(name string, e *liveEntry) {
+	if files, err := s.scanWALFiles(); err == nil {
+		for _, path := range files[e.WALID] {
+			_ = os.Remove(s.path(path))
+		}
+	}
+	if e.Segment != "" {
+		_ = os.Remove(s.path(e.Segment))
+	}
+	if e.State != "" {
+		_ = os.Remove(s.path(e.State))
+	}
+}
+
+// PutGraph persists an immutable registry graph under name, replacing any
+// previous segment. gen is the registry generation now serving name; it
+// gates later PutCounts calls so a slow count can never attach its result
+// to a replaced graph's segment.
+func (s *Store) PutGraph(name string, gen uint64, g *hypergraph.Hypergraph) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	id := s.allocFileID()
+	rel := s.segRel("g", name, id)
+	s.mu.Unlock()
+
+	if err := writeGraphSegment(s.path(rel), g); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	old := s.man.Graphs[name]
+	s.man.Graphs[name] = &graphEntry{Segment: rel}
+	if err := s.man.save(s.dir); err != nil {
+		if old == nil {
+			delete(s.man.Graphs, name)
+		} else {
+			s.man.Graphs[name] = old
+		}
+		_ = os.Remove(s.path(rel))
+		return err
+	}
+	s.graphGens[name] = gen
+	if old != nil {
+		_ = os.Remove(s.path(old.Segment))
+		_ = os.Remove(s.path(old.Segment + ".counts"))
+	}
+	return nil
+}
+
+// BindGraphGen associates a recovered graph's fresh registry generation
+// with its persisted segment, re-arming PutCounts after a restart.
+func (s *Store) BindGraphGen(name string, gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.man.Graphs[name]; ok {
+		s.graphGens[name] = gen
+	}
+}
+
+// PutCounts persists the exact counts of name's current segment. A gen that
+// no longer matches the segment's bound registry generation means the graph
+// was replaced while the count ran; the write is skipped.
+func (s *Store) PutCounts(name string, gen uint64, c counting.Counts) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, ok := s.man.Graphs[name]
+	if !ok || s.graphGens[name] != gen {
+		return nil
+	}
+	return writeCountsSidecar(s.path(e.Segment+".counts"), c)
+}
+
+// DeleteGraph removes every durable trace of name — registry segment,
+// counts sidecar, live base, WAL generations, and both manifest entries —
+// so storage cannot leak dead generations after DELETE /v1/graphs/{name}.
+// liveJrn is the journal of the live graph the caller removed from its
+// registry (nil if there was none); like DropLiveIf, the live half only
+// fires when that journal is still the one registered under name, so a
+// graph recreated concurrently keeps its durable state.
+func (s *Store) DeleteGraph(name string, liveJrn live.Journal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var firstErr error
+	if e, ok := s.man.Graphs[name]; ok {
+		delete(s.man.Graphs, name)
+		delete(s.graphGens, name)
+		if err := s.man.save(s.dir); err != nil {
+			s.man.Graphs[name] = e
+			return err
+		}
+		_ = os.Remove(s.path(e.Segment))
+		_ = os.Remove(s.path(e.Segment + ".counts"))
+	}
+	if h, _ := liveJrn.(*walHandle); h != nil {
+		if s.wals[name] == h {
+			if err := s.dropLiveLocked(name); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			_ = h.close()
+		}
+	}
+	return firstErr
+}
+
+// CheckpointInfo reports one committed live checkpoint.
+type CheckpointInfo struct {
+	Name       string
+	Edges      int
+	Version    uint64
+	ReplayFrom uint64
+}
+
+// CheckpointLive folds a live graph's WAL into a fresh base segment: st is
+// the state the graph exported when it rotated its journal to generation
+// replayFrom, so base + replay of generations >= replayFrom reproduces the
+// graph. Older generations and the previous base are deleted once the
+// manifest durably points at the new base. A checkpoint that lost the race
+// against a newer one for the same graph is skipped.
+func (s *Store) CheckpointLive(name string, st live.State, replayFrom uint64) (CheckpointInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CheckpointInfo{}, ErrClosed
+	}
+	e, ok := s.man.Live[name]
+	if !ok {
+		s.mu.Unlock()
+		return CheckpointInfo{}, fmt.Errorf("store: live graph %q not registered", name)
+	}
+	if replayFrom <= e.ReplayFrom && e.Segment != "" {
+		s.mu.Unlock()
+		return CheckpointInfo{Name: name, Edges: len(st.Counter.IDs), Version: st.Version, ReplayFrom: e.ReplayFrom}, nil
+	}
+	id := s.allocFileID()
+	segRel := s.segRel("l", name, id)
+	stateRel := segRel + ".state"
+	s.mu.Unlock()
+
+	if err := writeLiveBase(s.path(segRel), s.path(stateRel), st); err != nil {
+		return CheckpointInfo{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CheckpointInfo{}, ErrClosed
+	}
+	e, ok = s.man.Live[name]
+	if !ok || replayFrom <= e.ReplayFrom && e.Segment != "" {
+		// Deleted or superseded while we wrote: discard our files.
+		_ = os.Remove(s.path(segRel))
+		_ = os.Remove(s.path(stateRel))
+		if !ok {
+			return CheckpointInfo{}, fmt.Errorf("store: live graph %q deleted during checkpoint", name)
+		}
+		return CheckpointInfo{Name: name, Edges: len(st.Counter.IDs), Version: st.Version, ReplayFrom: e.ReplayFrom}, nil
+	}
+	oldSeg, oldState, oldFrom := e.Segment, e.State, e.ReplayFrom
+	e.Segment, e.State, e.ReplayFrom = segRel, stateRel, replayFrom
+	if err := s.man.save(s.dir); err != nil {
+		e.Segment, e.State, e.ReplayFrom = oldSeg, oldState, oldFrom
+		_ = os.Remove(s.path(segRel))
+		_ = os.Remove(s.path(stateRel))
+		return CheckpointInfo{}, err
+	}
+	if oldSeg != "" {
+		_ = os.Remove(s.path(oldSeg))
+	}
+	if oldState != "" {
+		_ = os.Remove(s.path(oldState))
+	}
+	if files, err := s.scanWALFiles(); err == nil {
+		for gen, path := range files[e.WALID] {
+			if gen < replayFrom {
+				_ = os.Remove(s.path(path))
+			}
+		}
+	}
+	s.checkpoints.Add(1)
+	return CheckpointInfo{Name: name, Edges: len(st.Counter.IDs), Version: st.Version, ReplayFrom: replayFrom}, nil
+}
+
+// Close flushes and closes every journal and the manifest. The graceful-
+// shutdown path calls it after the HTTP server has drained, so every
+// acknowledged mutation is on disk before the process exits.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var firstErr error
+	for _, h := range s.wals {
+		if err := h.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.man.save(s.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.closed = true
+	return firstErr
+}
+
+// Status is a point-in-time summary of the store for the admin API and
+// metrics.
+type Status struct {
+	Dir              string
+	Graphs           int
+	LiveGraphs       int
+	SegmentBytes     int64
+	WALBytes         int64
+	WALRecords       uint64
+	WALSyncs         uint64
+	Checkpoints      uint64
+	RecoveredGraphs  int
+	RecoveredLive    int
+	RecoveredRecords int
+	RecoveryDuration time.Duration
+}
+
+// Status gathers the store's current footprint and counters. The
+// filesystem walk happens outside the store lock — sizes are advisory, and
+// a slow stat must not stall uploads, mutations or checkpoints behind a
+// metrics scrape.
+func (s *Store) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		Dir:              s.dir,
+		Graphs:           len(s.man.Graphs),
+		LiveGraphs:       len(s.man.Live),
+		WALRecords:       s.walRecords.Load(),
+		WALSyncs:         s.walSyncs.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+		RecoveredGraphs:  s.stats.Graphs,
+		RecoveredLive:    s.stats.LiveGraphs,
+		RecoveredRecords: s.stats.WALRecords,
+		RecoveryDuration: s.stats.Duration,
+	}
+	refs := s.man.referenced()
+	s.mu.Unlock()
+	for rel := range refs {
+		if fi, err := os.Stat(s.path(rel)); err == nil {
+			st.SegmentBytes += fi.Size()
+		}
+	}
+	if files, err := s.scanWALFiles(); err == nil {
+		for _, gens := range files {
+			for _, rel := range gens {
+				if fi, err := os.Stat(s.path(rel)); err == nil {
+					st.WALBytes += fi.Size()
+				}
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,584 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mochy/internal/generator"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/projection"
+	"mochy/internal/server/live"
+)
+
+func testGraph(seed int64) *hypergraph.Hypergraph {
+	return generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 60, Edges: 150, Seed: seed,
+	})
+}
+
+func openStore(t *testing.T, dir string) (*Store, *Recovery) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return st, rec
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []live.Rec{
+		{Kind: live.RecInsert, Nodes: []int32{1, 5, 9}},
+		{Kind: live.RecDelete, ID: 7},
+		{Kind: live.RecStream, Capacity: 100, Seed: -3},
+		{Kind: live.RecIngest, Nodes: []int32{0}},
+	}
+	var buf []byte
+	for _, r := range recs {
+		var err error
+		if buf, err = appendRec(buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, valid, torn, err := readWALRecords(bytes.NewReader(buf))
+	if err != nil || torn {
+		t.Fatalf("read: err=%v torn=%v", err, torn)
+	}
+	if valid != int64(len(buf)) {
+		t.Fatalf("valid = %d, want %d", valid, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		w := recs[i]
+		if r.Kind != w.Kind || r.ID != w.ID || r.Capacity != w.Capacity || r.Seed != w.Seed {
+			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+		if len(r.Nodes) != len(w.Nodes) {
+			t.Fatalf("record %d nodes = %v, want %v", i, r.Nodes, w.Nodes)
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	var buf []byte
+	for _, r := range []live.Rec{
+		{Kind: live.RecInsert, Nodes: []int32{1, 2}},
+		{Kind: live.RecInsert, Nodes: []int32{3, 4}},
+	} {
+		var err error
+		if buf, err = appendRec(buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := int64(len(buf))
+	for cut := int64(1); cut < 12; cut += 3 {
+		recs, valid, torn, err := readWALRecords(bytes.NewReader(buf[:whole-cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !torn || len(recs) != 1 || valid != whole/2 {
+			t.Fatalf("cut %d: recs=%d valid=%d torn=%v", cut, len(recs), valid, torn)
+		}
+	}
+	// Flip a payload byte in the first record: nothing valid survives.
+	mut := append([]byte(nil), buf...)
+	mut[9] ^= 0xFF
+	recs, valid, torn, err := readWALRecords(bytes.NewReader(mut))
+	if err != nil || !torn || len(recs) != 0 || valid != 0 {
+		t.Fatalf("corrupt first record: recs=%d valid=%d torn=%v err=%v", len(recs), valid, torn, err)
+	}
+}
+
+func TestGraphSegmentRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(3)
+	path := filepath.Join(dir, "g.seg")
+	if err := writeGraphSegment(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readGraphSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+
+	// Any single corrupted byte must be detected, not served.
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readGraphSegment(path); err == nil {
+		t.Fatal("corrupt segment read back without error")
+	}
+}
+
+func TestStoreRecoversGraphsAndCounts(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := testGraph(5)
+	want := counting.CountExact(g, projection.Build(g), 2)
+	if err := st.PutGraph("web", 1, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCounts("web", 1, want); err != nil {
+		t.Fatal(err)
+	}
+	// Stale generation writes are skipped silently.
+	if err := st.PutCounts("web", 99, counting.Counts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Graphs) != 1 || rec.Graphs[0].Name != "web" {
+		t.Fatalf("recovered %+v", rec.Graphs)
+	}
+	if rec.Graphs[0].Counts == nil || *rec.Graphs[0].Counts != want {
+		t.Fatalf("recovered counts = %v, want %v", rec.Graphs[0].Counts, want)
+	}
+	if rec.Graphs[0].Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("recovered %d edges, want %d", rec.Graphs[0].Graph.NumEdges(), g.NumEdges())
+	}
+}
+
+// applyAll journals and applies ops through a real live graph wired to the
+// store, returning the graph.
+func newJournaledGraph(t *testing.T, st *Store, name string) *live.Graph {
+	t.Helper()
+	reg := live.NewRegistry(0, 0)
+	reg.SetJournalFactory(func(n string) (live.Journal, error) { return st.CreateLive(n) })
+	g, created, err := reg.GetOrCreate(name)
+	if err != nil || !created {
+		t.Fatalf("GetOrCreate: %v created=%v", err, created)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func restoreLive(t *testing.T, rl RecoveredLive) *live.Graph {
+	t.Helper()
+	reg := live.NewRegistry(0, 0)
+	g, err := reg.Restore(rl.Name, rl.Base, rl.Tail, rl.Journal)
+	if err != nil {
+		t.Fatalf("restore %s: %v", rl.Name, err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func TestStoreRecoversLiveGraphFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "feed")
+
+	edges := [][]int32{{0, 1, 2}, {1, 2, 3}, {3, 4, 5}, {0, 5, 6}, {2, 6, 7}}
+	var ids []int32
+	for _, e := range edges {
+		res, err := g.Apply([]live.Op{{Insert: e}})
+		if err != nil || res.Applied != 1 {
+			t.Fatalf("apply: %v %+v", err, res)
+		}
+		ids = append(ids, res.Results[0].ID)
+	}
+	del, err := g.Apply([]live.Op{{Delete: ids[1]}})
+	if err != nil || del.Applied != 1 {
+		t.Fatalf("delete: %v", err)
+	}
+	wantCounts := del.Counts
+	wantVersion := del.Version
+
+	// Crash: no Close. The WAL was fsynced by each Apply's commit.
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Live) != 1 || rec.Live[0].Name != "feed" {
+		t.Fatalf("recovered live = %+v", rec.Live)
+	}
+	if rec.Live[0].Base != nil {
+		t.Fatal("no checkpoint happened, base should be nil")
+	}
+	g2 := restoreLive(t, rec.Live[0])
+	counts, version, err := g2.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts != wantCounts || version != wantVersion {
+		t.Fatalf("recovered counts=%v version=%d, want %v / %d", counts.String(), version, wantCounts.String(), wantVersion)
+	}
+	// Recovered ids still resolve: deleting a pre-crash id works.
+	if res, err := g2.Apply([]live.Op{{Delete: ids[0]}}); err != nil || res.Applied != 1 {
+		t.Fatalf("delete pre-crash id after recovery: %v %+v", err, res)
+	}
+}
+
+func TestCheckpointCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "feed")
+
+	for i := int32(0); i < 30; i++ {
+		if _, err := g.Apply([]live.Op{{Insert: []int32{i, i + 1, i + 2}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, replayFrom, err := g.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayFrom != 2 {
+		t.Fatalf("replayFrom = %d, want 2", replayFrom)
+	}
+	info, err := st.CheckpointLive("feed", state, replayFrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Edges != 30 || info.Version != 30 {
+		t.Fatalf("checkpoint info = %+v", info)
+	}
+	// Post-checkpoint delta ends up in the new generation.
+	post, err := g.Apply([]live.Op{{Insert: []int32{100, 101}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Live) != 1 || rec.Live[0].Base == nil {
+		t.Fatalf("recovered live = %+v", rec.Live)
+	}
+	if n := len(rec.Live[0].Tail); n != 1 {
+		t.Fatalf("replayed %d wal records, want 1 (the post-checkpoint delta)", n)
+	}
+	g2 := restoreLive(t, rec.Live[0])
+	counts, version, err := g2.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts != post.Counts || version != post.Version {
+		t.Fatalf("recovered counts=%v version=%d, want %v / %d",
+			counts.String(), version, post.Counts.String(), post.Version)
+	}
+}
+
+func TestStreamEstimatorSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "s")
+	if created, err := g.EnsureStream(1000, 7); err != nil || !created {
+		t.Fatalf("EnsureStream: %v", err)
+	}
+	edges := [][]int32{{0, 1, 2}, {1, 2, 3}, {3, 4, 5}, {0, 1, 2}}
+	res, err := g.IngestBatch(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 3 || res.Duplicates != 1 {
+		t.Fatalf("ingest = %+v", res)
+	}
+
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	g2 := restoreLive(t, rec.Live[0])
+	info, err := g2.StreamInfo()
+	if err != nil {
+		t.Fatalf("estimator lost in recovery: %v", err)
+	}
+	if info.EdgesSeen != 3 || info.Estimates != res.Stream.Estimates {
+		t.Fatalf("estimator state = %+v, want %d seen, estimates %v", info, 3, res.Stream.Estimates.String())
+	}
+	// The duplicate filter survived too: re-ingesting a pre-crash edge is a
+	// duplicate, not a fresh arrival.
+	res2, err := g2.IngestBatch([][]int32{{3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Duplicates != 1 || res2.Inserted != 0 {
+		t.Fatalf("re-ingest after recovery = %+v, want duplicate", res2)
+	}
+}
+
+func TestDeleteGraphRemovesAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	defer st.Close()
+	if err := st.PutGraph("web", 1, testGraph(9)); err != nil {
+		t.Fatal(err)
+	}
+	g := newJournaledGraph(t, st, "web")
+	if _, err := g.Apply([]live.Op{{Insert: []int32{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	state, from, err := g.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CheckpointLive("web", state, from); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteGraph("web", g.Journal()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{segmentsDir, walDir} {
+		ents, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("%s not empty after delete: %v", sub, ents)
+		}
+	}
+	status := st.Status()
+	if status.Graphs != 0 || status.LiveGraphs != 0 {
+		t.Fatalf("status after delete = %+v", status)
+	}
+}
+
+func TestTornWALTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "feed")
+	for i := int32(0); i < 5; i++ {
+		if _, err := g.Apply([]live.Op{{Insert: []int32{i, i + 1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-append: garbage after the valid prefix.
+	files, err := st.scanWALFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walFile string
+	for _, gens := range files {
+		for _, rel := range gens {
+			walFile = filepath.Join(dir, rel)
+		}
+	}
+	f, err := os.OpenFile(walFile, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if rec.Stats.TornTails != 1 {
+		t.Fatalf("torn tails = %d, want 1", rec.Stats.TornTails)
+	}
+	if len(rec.Live[0].Tail) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(rec.Live[0].Tail))
+	}
+	g2 := restoreLive(t, rec.Live[0])
+	// The truncated journal accepts new appends cleanly.
+	if res, err := g2.Apply([]live.Op{{Insert: []int32{50, 51}}}); err != nil || res.Applied != 1 {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+}
+
+func TestGroupCommitConcurrentMutators(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "hot")
+
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n := int32(w*per + i)
+				if _, err := g.Apply([]live.Op{{Insert: []int32{n, n + 1000, n + 2000}}}); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	syncs := st.walSyncs.Load()
+	if syncs == 0 || syncs > workers*per {
+		t.Fatalf("syncs = %d for %d commits", syncs, workers*per)
+	}
+
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	g2 := restoreLive(t, rec.Live[0])
+	counts, version, err := g2.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != workers*per {
+		t.Fatalf("recovered version = %d, want %d", version, workers*per)
+	}
+	want, _, werr := g.Counts()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if counts != want {
+		t.Fatalf("recovered counts diverge: %v vs %v", counts.String(), want.String())
+	}
+}
+
+func TestCorruptLiveStateFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "feed")
+	if _, err := g.Apply([]live.Op{{Insert: []int32{1, 2, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	state, from, err := g.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CheckpointLive("feed", state, from); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the state sidecar.
+	ents, _ := os.ReadDir(filepath.Join(dir, segmentsDir))
+	for _, ent := range ents {
+		if filepath.Ext(ent.Name()) == ".state" {
+			p := filepath.Join(dir, segmentsDir, ent.Name())
+			b, _ := os.ReadFile(p)
+			b[len(b)/2] ^= 0xFF
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Recover(); err == nil {
+		t.Fatal("recovery with a corrupt live state succeeded")
+	}
+}
+
+func TestCreateLiveSurvivesManifestOnlyCrash(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	if _, err := st.CreateLive("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the WAL file, simulating a crash between the manifest write
+	// and the file creation (or an operator deleting it).
+	ents, _ := os.ReadDir(filepath.Join(dir, walDir))
+	for _, ent := range ents {
+		_ = os.Remove(filepath.Join(dir, walDir, ent.Name()))
+	}
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Live) != 0 {
+		t.Fatalf("ghost graph resurrected: %+v", rec.Live)
+	}
+}
+
+// TestDropLiveIfSparesRecreatedGraph: cleanup keyed to a condemned graph's
+// journal must not destroy the durable state of a graph recreated under
+// the same name in the meantime.
+func TestDropLiveIfSparesRecreatedGraph(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	old, err := st.CreateLive("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The name is recreated (delete raced with an insert): fresh WAL family.
+	neu, err := st.CreateLive("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neu == old {
+		t.Fatal("CreateLive reused the condemned journal")
+	}
+	if _, err := neu.Append([]live.Rec{{Kind: live.RecInsert, Nodes: []int32{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := neu.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	// The condemned graph's cleanup arrives late: it must only release the
+	// old journal, never the new graph's state.
+	if err := st.DropLiveIf("feed", old); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Live) != 1 || len(rec.Live[0].Tail) != 1 {
+		t.Fatalf("recreated graph lost its durable state: %+v", rec.Live)
+	}
+}
+
+// TestMidFileWALCorruptionFailsBoot: damage with valid acknowledged
+// records after it must fail recovery, not silently truncate them.
+func TestMidFileWALCorruptionFailsBoot(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	g := newJournaledGraph(t, st, "feed")
+	for i := int32(0); i < 6; i++ {
+		if _, err := g.Apply([]live.Op{{Insert: []int32{i, i + 1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := st.scanWALFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walFile string
+	for _, gens := range files {
+		for _, rel := range gens {
+			walFile = filepath.Join(dir, rel)
+		}
+	}
+	b, err := os.ReadFile(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF // corrupt a middle record; valid records follow
+	if err := os.WriteFile(walFile, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Recover(); err == nil {
+		t.Fatal("mid-file WAL corruption recovered silently; want clean boot failure")
+	}
+}
+
+func TestWALPoisonedAfterCloseStopsAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	j, err := st.CreateLive("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]live.Rec{{Kind: live.RecInsert, Nodes: []int32{1}}}); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close = %v, want ErrWALClosed", err)
+	}
+}

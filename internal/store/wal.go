@@ -1,0 +1,327 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"mochy/internal/server/live"
+)
+
+// Write-ahead log format: a sequence of self-delimiting frames,
+//
+//	frame   := u32 payloadLen | u32 crc32(payload) | payload
+//	payload := u8 kind | body
+//	insert  := u32 n | n × i32 nodes        (kind 1, live.RecInsert)
+//	delete  := i32 id                       (kind 2, live.RecDelete)
+//	stream  := i64 capacity | i64 seed      (kind 3, live.RecStream)
+//	ingest  := u32 n | n × i32 nodes        (kind 4, live.RecIngest)
+//
+// all little-endian. The CRC makes a torn tail (the normal artifact of a
+// crash mid-write) distinguishable from a complete record: recovery keeps
+// the longest valid prefix and truncates the rest.
+
+// ErrWALClosed is the sticky state of a closed or poisoned journal.
+var ErrWALClosed = errors.New("store: wal closed")
+
+// walBufSize is the journal's write-buffer size.
+const walBufSize = 64 << 10
+
+// newWALWriter wraps a WAL file in the journal's buffered writer.
+func newWALWriter(f *os.File) *bufio.Writer { return bufio.NewWriterSize(f, walBufSize) }
+
+// maxWALRecBytes bounds a single record's payload. The frame length is read
+// from disk before allocating, so a corrupted length can never force a huge
+// allocation; a legitimate record is one hyperedge, far below this.
+const maxWALRecBytes = 64 << 20
+
+// appendRec appends rec's frame to buf.
+func appendRec(buf []byte, rec live.Rec) ([]byte, error) {
+	var payload []byte
+	switch rec.Kind {
+	case live.RecInsert, live.RecIngest:
+		payload = make([]byte, 0, 5+4*len(rec.Nodes))
+		payload = append(payload, byte(rec.Kind))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Nodes)))
+		for _, v := range rec.Nodes {
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(v))
+		}
+	case live.RecDelete:
+		payload = append(make([]byte, 0, 5), byte(rec.Kind))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(rec.ID))
+	case live.RecStream:
+		payload = append(make([]byte, 0, 17), byte(rec.Kind))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(rec.Capacity))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(rec.Seed))
+	default:
+		return nil, fmt.Errorf("store: unknown wal record kind %d", rec.Kind)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...), nil
+}
+
+// decodeRec parses one frame payload.
+func decodeRec(payload []byte) (live.Rec, error) {
+	if len(payload) < 1 {
+		return live.Rec{}, errors.New("store: empty wal payload")
+	}
+	kind := live.RecKind(payload[0])
+	body := payload[1:]
+	switch kind {
+	case live.RecInsert, live.RecIngest:
+		if len(body) < 4 {
+			return live.Rec{}, errors.New("store: truncated wal node count")
+		}
+		n := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if uint64(len(body)) != uint64(n)*4 {
+			return live.Rec{}, fmt.Errorf("store: wal record claims %d nodes in %d bytes", n, len(body))
+		}
+		nodes := make([]int32, n)
+		for i := range nodes {
+			nodes[i] = int32(binary.LittleEndian.Uint32(body[i*4:]))
+		}
+		return live.Rec{Kind: kind, Nodes: nodes}, nil
+	case live.RecDelete:
+		if len(body) != 4 {
+			return live.Rec{}, errors.New("store: malformed wal delete record")
+		}
+		return live.Rec{Kind: kind, ID: int32(binary.LittleEndian.Uint32(body))}, nil
+	case live.RecStream:
+		if len(body) != 16 {
+			return live.Rec{}, errors.New("store: malformed wal stream record")
+		}
+		return live.Rec{
+			Kind:     kind,
+			Capacity: int(int64(binary.LittleEndian.Uint64(body))),
+			Seed:     int64(binary.LittleEndian.Uint64(body[8:])),
+		}, nil
+	default:
+		return live.Rec{}, fmt.Errorf("store: unknown wal record kind %d", kind)
+	}
+}
+
+// readWALRecords parses a generation's frames from r, stopping at the first
+// torn or corrupt frame. It returns the decoded records, the byte offset of
+// the end of the valid prefix, and whether trailing bytes were discarded.
+// IO errors other than EOF are returned as err. Callers distinguish a torn
+// tail (crash artifact, safe to truncate) from mid-file damage with
+// hasValidFrameAfter.
+func readWALRecords(r io.Reader) (recs []live.Rec, valid int64, torn bool, err error) {
+	br := bufio.NewReader(r)
+	var header [8]byte
+	for {
+		if _, rerr := io.ReadFull(br, header[:]); rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return recs, valid, false, nil
+			}
+			if errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return recs, valid, true, nil
+			}
+			return recs, valid, false, rerr
+		}
+		n := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if n > maxWALRecBytes {
+			return recs, valid, true, nil
+		}
+		payload := make([]byte, n)
+		if _, rerr := io.ReadFull(br, payload); rerr != nil {
+			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return recs, valid, true, nil
+			}
+			return recs, valid, false, rerr
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, true, nil
+		}
+		rec, derr := decodeRec(payload)
+		if derr != nil {
+			return recs, valid, true, nil
+		}
+		recs = append(recs, rec)
+		valid += int64(8 + n)
+	}
+}
+
+// hasValidFrameAfter reports whether rest — the bytes after a WAL's valid
+// prefix, starting at the frame that failed to parse — contains a complete,
+// CRC-valid, decodable frame at any later offset. A crash tears off the
+// physical end of the log, so nothing valid can follow the tear; a valid
+// frame after the damage means mid-file corruption (bit rot, a bad sector)
+// of records that were acknowledged, which recovery must refuse to
+// silently truncate.
+func hasValidFrameAfter(rest []byte) bool {
+	for off := 1; off+8 <= len(rest); off++ {
+		n := binary.LittleEndian.Uint32(rest[off : off+4])
+		if n > maxWALRecBytes || off+8+int(n) > len(rest) {
+			continue
+		}
+		payload := rest[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[off+4:off+8]) {
+			continue
+		}
+		if _, err := decodeRec(payload); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walHandle is the live.Journal of one live graph: an append-only file per
+// generation, buffered writes from the apply loop, and group-commit fsync —
+// concurrent committers behind a leader return as soon as the leader's
+// fsync covers their records, so the fsync cost amortizes across mutators.
+type walHandle struct {
+	store *Store
+	name  string
+	id    uint64
+
+	mu   sync.Mutex // file, buffer, seq, size, sticky error
+	f    *os.File
+	bw   *bufio.Writer
+	gen  uint64
+	seq  uint64 // records appended (buffered or better)
+	size int64  // bytes appended since the replay-from generation
+	err  error  // sticky: once set, the journal refuses all work
+
+	syncMu sync.Mutex // group-commit leader lock
+	synced uint64     // records known durable (guarded by syncMu)
+}
+
+// Append implements live.Journal: it buffers recs in apply order. A write
+// failure poisons the handle so memory can never run ahead of the log
+// unnoticed.
+func (h *walHandle) Append(recs []live.Rec) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		return 0, h.err
+	}
+	var buf []byte
+	for _, rec := range recs {
+		var err error
+		if buf, err = appendRec(buf, rec); err != nil {
+			h.err = err
+			return 0, err
+		}
+	}
+	if _, err := h.bw.Write(buf); err != nil {
+		h.err = err
+		return 0, err
+	}
+	h.seq += uint64(len(recs))
+	h.size += int64(len(buf))
+	h.store.walRecords.Add(uint64(len(recs)))
+	h.store.walBytes.Add(int64(len(buf)))
+	return h.seq, nil
+}
+
+// Commit implements live.Journal: it returns once every record up to seq is
+// durable. The syncMu serializes leaders; a committer that waited behind a
+// leader whose fsync already covered its records returns without another
+// fsync.
+func (h *walHandle) Commit(seq uint64) error {
+	h.syncMu.Lock()
+	defer h.syncMu.Unlock()
+	if h.synced >= seq {
+		return nil
+	}
+	h.mu.Lock()
+	if h.err != nil {
+		h.mu.Unlock()
+		return h.err
+	}
+	if err := h.bw.Flush(); err != nil {
+		h.err = err
+		h.mu.Unlock()
+		return err
+	}
+	target := h.seq
+	f := h.f
+	h.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		h.mu.Lock()
+		h.err = err
+		h.mu.Unlock()
+		return err
+	}
+	h.synced = target
+	h.store.walSyncs.Add(1)
+	return nil
+}
+
+// Rotate implements live.Journal: it finalizes the current generation and
+// starts the next. Called from the graph's apply loop during a checkpoint,
+// so the generation boundary is also a mutation-order boundary.
+func (h *walHandle) Rotate() (uint64, error) {
+	h.syncMu.Lock()
+	defer h.syncMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		return 0, h.err
+	}
+	if err := h.bw.Flush(); err != nil {
+		h.err = err
+		return 0, err
+	}
+	if err := h.f.Sync(); err != nil {
+		h.err = err
+		return 0, err
+	}
+	if err := h.f.Close(); err != nil {
+		h.err = err
+		return 0, err
+	}
+	h.synced = h.seq
+	h.gen++
+	f, err := os.OpenFile(h.store.walPath(h.name, h.id, h.gen), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		h.err = fmt.Errorf("store: open wal generation %d: %w", h.gen, err)
+		return 0, h.err
+	}
+	h.f = f
+	h.bw.Reset(f)
+	h.size = 0
+	return h.gen, nil
+}
+
+// Size implements live.Journal.
+func (h *walHandle) Size() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.size
+}
+
+// close flushes, syncs and closes the handle; later use fails.
+func (h *walHandle) close() error {
+	h.syncMu.Lock()
+	defer h.syncMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		if errors.Is(h.err, ErrWALClosed) {
+			return nil
+		}
+		err := h.err
+		h.err = ErrWALClosed
+		_ = h.f.Close()
+		return err
+	}
+	ferr := h.bw.Flush()
+	if ferr == nil {
+		ferr = h.f.Sync()
+	}
+	if cerr := h.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	h.err = ErrWALClosed
+	return ferr
+}

@@ -21,6 +21,7 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"mochy/internal/dynamic"
@@ -38,6 +39,7 @@ var (
 // of the cumulative h-motif instance counts. Not safe for concurrent use.
 type Estimator struct {
 	capacity int
+	seed     int64
 	rng      *rand.Rand
 	counter  *dynamic.Counter
 	live     []int32             // reservoir edge ids, for uniform eviction
@@ -54,6 +56,7 @@ func NewEstimator(capacity int, seed int64) (*Estimator, error) {
 	}
 	return &Estimator{
 		capacity: capacity,
+		seed:     seed,
 		rng:      rand.New(rand.NewSource(seed)),
 		counter:  dynamic.New(),
 		seen:     make(map[uint64]struct{}),
@@ -150,4 +153,77 @@ func (s *Estimator) IngestHypergraph(g *hypergraph.Hypergraph) error {
 		}
 	}
 	return nil
+}
+
+// Snapshot is an exported Estimator state for persistence: the reservoir's
+// node sets, the duplicate-filter hashes, and the running estimates. It is
+// sufficient to rebuild an estimator whose estimates and reservoir equal the
+// exported ones; only the random eviction sequence restarts (re-seeded from
+// Seed and EdgesSeen), so a restored estimator remains a valid uniform
+// reservoir process but will not make bit-identical eviction choices to the
+// original after the export point.
+type Snapshot struct {
+	Capacity  int
+	Seed      int64
+	EdgesSeen int64
+	Reservoir [][]int32
+	Seen      []uint64
+	Estimates [motif.Count]float64
+}
+
+// Export captures the estimator's state. The reservoir node sets are copies.
+func (s *Estimator) Export() Snapshot {
+	snap := Snapshot{
+		Capacity:  s.capacity,
+		Seed:      s.seed,
+		EdgesSeen: s.edges,
+		Reservoir: make([][]int32, len(s.live)),
+		Seen:      make([]uint64, 0, len(s.seen)),
+	}
+	for i, id := range s.live {
+		snap.Reservoir[i] = append([]int32(nil), s.counter.Edge(id)...)
+	}
+	for h := range s.seen {
+		snap.Seen = append(snap.Seen, h)
+	}
+	for t := 1; t <= motif.Count; t++ {
+		snap.Estimates[t-1] = s.est[t]
+	}
+	return snap
+}
+
+// FromSnapshot rebuilds an estimator from an exported snapshot. nodeLimit
+// caps the node universe like LimitNodes (<= 0 unlimited). The reservoir is
+// re-inserted into a fresh counter (bounded by the capacity, so this is
+// cheap), the duplicate filter and estimates are restored verbatim, and the
+// eviction RNG is re-seeded deterministically from Seed and EdgesSeen.
+func FromSnapshot(snap Snapshot, nodeLimit int) (*Estimator, error) {
+	if snap.Capacity < 2 {
+		return nil, ErrBadCapacity
+	}
+	if len(snap.Reservoir) > snap.Capacity {
+		return nil, fmt.Errorf("stream: snapshot reservoir of %d exceeds capacity %d", len(snap.Reservoir), snap.Capacity)
+	}
+	est := &Estimator{
+		capacity: snap.Capacity,
+		seed:     snap.Seed,
+		rng:      rand.New(rand.NewSource(snap.Seed ^ int64(uint64(snap.EdgesSeen)*0x9E3779B97F4A7C15))),
+		counter:  dynamic.New().LimitNodes(nodeLimit),
+		seen:     make(map[uint64]struct{}, len(snap.Seen)),
+		edges:    snap.EdgesSeen,
+	}
+	for _, nodes := range snap.Reservoir {
+		id, err := est.counter.Insert(nodes)
+		if err != nil {
+			return nil, fmt.Errorf("stream: restore reservoir edge: %w", err)
+		}
+		est.live = append(est.live, id)
+	}
+	for _, h := range snap.Seen {
+		est.seen[h] = struct{}{}
+	}
+	for t := 1; t <= motif.Count; t++ {
+		est.est[t] = snap.Estimates[t-1]
+	}
+	return est, nil
 }

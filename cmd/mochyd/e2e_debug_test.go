@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMochydDebugAddr: -debug-addr serves pprof on its own listener, and
+// the public listener never exposes /debug/pprof/ — the debug surface is
+// opt-in and firewallable separately from the API.
+func TestMochydDebugAddr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mochyd")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build mochyd: %v\n%s", err, out)
+	}
+
+	reserve := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	addr, dbgAddr := reserve(), reserve()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	daemon := exec.CommandContext(ctx, bin, "-addr", addr, "-debug-addr", dbgAddr)
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		_ = daemon.Wait()
+	})
+
+	get := func(url string) (int, string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(url)
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				return resp.StatusCode, string(body)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("GET %s never answered: %v", url, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	if code, _ := get("http://" + addr + "/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d, want 200", code)
+	}
+	code, body := get("http://" + dbgAddr + "/debug/pprof/cmdline")
+	if code != http.StatusOK || !strings.Contains(body, "mochyd") {
+		t.Fatalf("debug listener cmdline: HTTP %d, body %q; want the daemon's argv", code, body)
+	}
+	if code, _ := get("http://" + dbgAddr + "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("debug listener index: HTTP %d, want 200", code)
+	}
+	// The public mux must not serve the debug surface.
+	if code, _ := get("http://" + addr + "/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("public listener served /debug/pprof/ with HTTP %d, want 404", code)
+	}
+}

@@ -13,7 +13,7 @@
 //
 //	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N]
 //	       [-sampling-ttl 15m] [-queue-budget 10s] [-data-dir DIR]
-//	       [-load name=path ...]
+//	       [-checkpoint-wal-bytes N] [-debug-addr ADDR] [-load name=path ...]
 //
 // With -data-dir, mochyd is durable: uploaded graphs persist as binary
 // segment files, live-graph mutations append to per-graph write-ahead logs
@@ -21,7 +21,15 @@
 // same flag replays manifest → segments → WAL tails so graphs, live
 // counts, and cached exact counts all survive a crash or restart.
 // POST /v1/admin/checkpoint compacts a long WAL into a fresh base segment;
-// GET /v1/admin/store reports the store's footprint.
+// GET /v1/admin/store reports the store's footprint. With
+// -checkpoint-wal-bytes, that compaction is automatic: a live graph whose
+// WAL outgrows the threshold is checkpointed in the background, keeping
+// long-running daemons' logs (and their next recovery) bounded.
+//
+// -debug-addr starts a second HTTP listener serving net/http/pprof under
+// /debug/pprof/ for contention and profile diagnosis. It is a separate
+// server on a separate port — the public API mux never mounts the debug
+// handlers — so operators can firewall it independently.
 //
 // v1 endpoints (see mochy/api for the wire types):
 //
@@ -61,6 +69,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -85,6 +94,20 @@ func (l *loadFlags) Set(v string) error {
 	return nil
 }
 
+// debugMux builds the pprof-only mux for -debug-addr. The handlers are
+// registered explicitly on a private mux — importing net/http/pprof for its
+// side effect would put them on http.DefaultServeMux, which is one careless
+// Handler swap away from the public listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
@@ -94,6 +117,8 @@ func main() {
 		samplingTTL   = flag.Duration("sampling-ttl", 15*time.Minute, "lifetime of cached sampling-based results (0 = keep until evicted)")
 		queueBudget   = flag.Duration("queue-budget", 10*time.Second, "answer 429 once the job queue has been saturated this long (0 = never)")
 		dataDir       = flag.String("data-dir", "", "directory for durable graph storage (empty = in-memory only)")
+		ckptWALBytes  = flag.Int64("checkpoint-wal-bytes", 0, "checkpoint a live graph automatically once its WAL exceeds this many bytes (0 = manual checkpoints only; requires -data-dir)")
+		debugAddr     = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled; never exposed on -addr)")
 		loads         loadFlags
 	)
 	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
@@ -109,11 +134,12 @@ func main() {
 		*queueBudget = -1 // flag 0 means "no backpressure", Config 0 means "default"
 	}
 	cfg := server.Config{
-		CacheSize:        *cacheSize,
-		MaxConcurrent:    *maxConcurrent,
-		MaxWorkersPerJob: *maxWorkers,
-		SamplingTTL:      *samplingTTL,
-		QueueBudget:      *queueBudget,
+		CacheSize:          *cacheSize,
+		MaxConcurrent:      *maxConcurrent,
+		MaxWorkersPerJob:   *maxWorkers,
+		SamplingTTL:        *samplingTTL,
+		QueueBudget:        *queueBudget,
+		CheckpointWALBytes: *ckptWALBytes,
 	}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
@@ -150,6 +176,22 @@ func main() {
 			log.Fatalf("preload %s: %v", spec, err)
 		}
 		log.Printf("loaded %q: %d nodes, %d hyperedges", name, res.Stats.NumNodes, res.Stats.NumEdges)
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug server (pprof) listening on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The debug listener is diagnostics, not service: losing it
+				// must not take mochyd down.
+				log.Printf("debug server: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mochy/client"
+	"mochy/internal/store"
+)
+
+// newAutoCheckpointServer stands up a durable server whose WAL threshold is
+// tiny, so any acknowledged mutation arms the background checkpoint.
+func newAutoCheckpointServer(t *testing.T, dir string, walBytes int64) (*Server, *client.Client) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	s := New(Config{CacheSize: 64, MaxConcurrent: 2, MaxWorkersPerJob: 2, Store: st, CheckpointWALBytes: walBytes})
+	if _, err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, client.New(ts.URL)
+}
+
+// TestAutoCheckpointFoldsLongWAL: with -checkpoint-wal-bytes set, a live
+// graph whose WAL outgrows the threshold is checkpointed in the background
+// — no manual POST /v1/admin/checkpoint — and the fold truncates the log.
+func TestAutoCheckpointFoldsLongWAL(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, c := newAutoCheckpointServer(t, dir, 1)
+	defer s.Close()
+
+	if _, err := c.InsertEdges(ctx, "hot", [][]int32{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.autoCheckpoints.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic checkpoint within deadline (store checkpoints: %d)",
+				s.store.Status().Checkpoints)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.store.Status().Checkpoints; got == 0 {
+		t.Fatalf("auto counter fired but store recorded %d checkpoints", got)
+	}
+
+	// The fold rotated the WAL: mutations since the checkpoint are the only
+	// thing left to replay, and a restart reproduces the graph exactly.
+	want, err := c.LiveCounts(ctx, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, c2 := newAutoCheckpointServer(t, dir, 1)
+	defer s2.Close()
+	got, err := c2.LiveCounts(ctx, "hot")
+	if err != nil {
+		t.Fatalf("live counts after restart: %v", err)
+	}
+	if got.Version != want.Version || got.Edges != want.Edges {
+		t.Fatalf("restarted live graph = v%d/%d edges, want v%d/%d", got.Version, got.Edges, want.Version, want.Edges)
+	}
+	for i, v := range got.Counts {
+		if v != want.Counts[i] {
+			t.Fatalf("counts[%d] = %v, want %v after checkpointed recovery", i, v, want.Counts[i])
+		}
+	}
+}
+
+// TestAutoCheckpointDisabledByDefault: without the threshold, mutations
+// never schedule a background fold — checkpointing stays manual-only.
+func TestAutoCheckpointDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, c := newAutoCheckpointServer(t, dir, 0)
+	defer s.Close()
+	if _, err := c.InsertEdges(ctx, "calm", [][]int32{{0, 1, 2}, {1, 2, 3}}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if n := s.store.Status().Checkpoints; n != 0 {
+		t.Fatalf("store recorded %d checkpoints with auto-checkpointing disabled", n)
+	}
+	if n := s.autoCheckpoints.Load(); n != 0 {
+		t.Fatalf("auto counter = %d with auto-checkpointing disabled", n)
+	}
+}
+
+// TestAutoCheckpointCoalesces: a burst of mutations past the threshold
+// schedules at most one concurrent fold per graph; later triggers while one
+// is in flight are dropped, and the graph keeps serving throughout.
+func TestAutoCheckpointCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, c := newAutoCheckpointServer(t, dir, 1)
+	defer s.Close()
+	for i := int32(0); i < 20; i++ {
+		if _, err := c.InsertEdges(ctx, "burst", [][]int32{{i, i + 1, i + 2}}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.autoCheckpoints.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic checkpoint within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Folds ran, but nowhere near one per mutation: every trigger that
+	// arrived while a fold was in flight coalesced into it.
+	if folds := s.store.Status().Checkpoints; folds > 20 {
+		t.Fatalf("%d checkpoints for 20 mutations; triggers are not coalescing", folds)
+	}
+	got, err := c.LiveCounts(ctx, "burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Edges != 20 {
+		t.Fatalf("burst graph has %d edges, want 20", got.Edges)
+	}
+}

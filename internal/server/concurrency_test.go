@@ -1,0 +1,222 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mochy/api"
+)
+
+// partitionNames returns graph names whose cache keys land in two different
+// partitions of c, so a test can apply pressure to one and watch the other.
+func partitionNames(t *testing.T, c *Cache) (a, b string) {
+	t.Helper()
+	part := func(name string) uint32 {
+		return partitionHash(fmt.Sprintf("count|%s#1|exact", name)) & c.mask
+	}
+	a = "g0"
+	for i := 1; i < 256; i++ {
+		b = fmt.Sprintf("g%d", i)
+		if part(b) != part(a) {
+			return a, b
+		}
+	}
+	t.Fatal("could not find names in distinct partitions")
+	return "", ""
+}
+
+// TestCacheEvictionIsolation: flooding one graph's partition far past its
+// capacity cannot evict another partition's entries — the property the
+// per-graph partitioning exists to provide. Under the old global LRU, the
+// hot graph's churn flushed everything.
+func TestCacheEvictionIsolation(t *testing.T) {
+	c := NewCacheParts(8, 2) // 2 partitions × 4 entries
+	hot, cold := partitionNames(t, c)
+
+	// Two entries for the cold graph, then a hot-graph flood 10× the whole
+	// cache's capacity.
+	coldKeys := []string{
+		fmt.Sprintf("count|%s#1|exact", cold),
+		fmt.Sprintf("count|%s#1|edge-sample|s=100|seed=1|w=1", cold),
+	}
+	for _, k := range coldKeys {
+		c.PutCost(k, 1, 0, time.Millisecond)
+	}
+	for i := 0; i < 80; i++ {
+		c.PutCost(fmt.Sprintf("count|%s#1|edge-sample|s=100|seed=%d|w=1", hot, i), i, 0, time.Millisecond)
+	}
+
+	if c.Evictions() == 0 {
+		t.Fatal("hot-graph flood produced no evictions; test is not applying pressure")
+	}
+	for _, k := range coldKeys {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("cold partition entry %q evicted by hot-graph pressure", k)
+		}
+	}
+	// The flood stayed within its partition's budget.
+	stats := c.Stats()
+	for i, ps := range stats {
+		if ps.Entries > ps.Capacity {
+			t.Fatalf("partition %d holds %d entries over capacity %d", i, ps.Entries, ps.Capacity)
+		}
+	}
+}
+
+// TestCachePartitionStatsAttribution: hits, misses and evictions land on
+// the partition that served them.
+func TestCachePartitionStatsAttribution(t *testing.T) {
+	c := NewCacheParts(8, 2)
+	hot, cold := partitionNames(t, c)
+	hotKey := fmt.Sprintf("count|%s#1|exact", hot)
+	coldKey := fmt.Sprintf("count|%s#1|exact", cold)
+	c.Put(hotKey, 1)
+	c.Get(hotKey)
+	c.Get(coldKey) // miss in the cold partition
+
+	hp := partitionHash(hotKey) & c.mask
+	cp := partitionHash(coldKey) & c.mask
+	stats := c.Stats()
+	if stats[hp].Hits != 1 || stats[hp].Misses != 0 {
+		t.Fatalf("hot partition = %d hits, %d misses; want 1, 0", stats[hp].Hits, stats[hp].Misses)
+	}
+	if stats[cp].Hits != 0 || stats[cp].Misses != 1 {
+		t.Fatalf("cold partition = %d hits, %d misses; want 0, 1", stats[cp].Hits, stats[cp].Misses)
+	}
+	if hits, misses := c.Counters(); hits != 1 || misses != 1 {
+		t.Fatalf("aggregate counters = %d, %d; want 1, 1", hits, misses)
+	}
+}
+
+// TestCacheSweepCollectsExpired: Sweep removes every expired entry across
+// partitions and attributes them as TTL collections, not evictions.
+func TestCacheSweepCollectsExpired(t *testing.T) {
+	c := NewCacheParts(64, 4)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	for i := 0; i < 16; i++ {
+		c.PutTTL(fmt.Sprintf("count|g%d#1|edge-sample|s=1|seed=0|w=1", i), i, time.Minute)
+	}
+	c.Put("count|keep#1|exact", 42)
+	now = now.Add(2 * time.Minute)
+	if n := c.Sweep(); n != 16 {
+		t.Fatalf("Sweep collected %d entries, want 16", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after sweep = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get("count|keep#1|exact"); !ok {
+		t.Fatal("unexpired entry swept")
+	}
+	if c.Evictions() != 0 {
+		t.Fatal("TTL sweep was counted as eviction")
+	}
+	var expired uint64
+	for _, ps := range c.Stats() {
+		expired += ps.Expired
+	}
+	if expired != 16 {
+		t.Fatalf("expired counters sum to %d, want 16", expired)
+	}
+}
+
+// TestCachePartitionSizing: automatic partitioning keeps tiny caches on a
+// single exact-LRU partition and splits big ones without exceeding the
+// configured total capacity.
+func TestCachePartitionSizing(t *testing.T) {
+	for _, tc := range []struct{ capacity, parts int }{
+		{-1, 1}, {0, 1}, {2, 1}, {64, 1}, {127, 1}, {128, 2}, {256, 4}, {1 << 20, 16},
+	} {
+		c := NewCache(tc.capacity)
+		if got := c.Partitions(); got != tc.parts {
+			t.Errorf("NewCache(%d).Partitions = %d, want %d", tc.capacity, got, tc.parts)
+		}
+		total := 0
+		for _, ps := range c.Stats() {
+			total += ps.Capacity
+		}
+		if tc.capacity > 0 && total != tc.capacity {
+			t.Errorf("NewCache(%d) partition capacities sum to %d", tc.capacity, total)
+		}
+	}
+}
+
+// TestRegistryConcurrentRecreate is the copy-on-write registry's race
+// stress: heavy Get traffic against Load/Delete/recreate churn of the same
+// names. Run under -race it proves the lock-free read path; the invariant
+// checks prove a reader can never observe a half-replaced entry.
+func TestRegistryConcurrentRecreate(t *testing.T) {
+	r := NewRegistry()
+	g := testGraph(t, "0 1 2\n0 1 3\n2 3\n")
+	const names = 16
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				name := fmt.Sprintf("g%d", (i+w)%names)
+				switch i % 8 {
+				case 0:
+					e, _ := r.Load(name, g)
+					if e.Gen == 0 {
+						t.Error("Load handed out generation 0")
+					}
+				case 1:
+					r.Delete(name)
+				case 2:
+					r.Names()
+					r.Len()
+				default:
+					if e, ok := r.Get(name); ok {
+						if e.Name != name || e.Graph == nil {
+							t.Errorf("Get(%q) returned torn entry %+v", name, e)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestJobStoreConcurrent: create/get/list/inflight churn across job-store
+// shards, with finishes racing prunes.
+func TestJobStoreConcurrent(t *testing.T) {
+	st := newJobStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j := st.create(api.JobKindCount, fmt.Sprintf("g%d", w))
+				if _, ok := st.get(j.id); !ok {
+					t.Errorf("created job %s not gettable", j.id)
+				}
+				if i%2 == 0 {
+					j.finish(api.CountResult{Graph: j.graph}, nil, st.now())
+				}
+				if i%17 == 0 {
+					st.list()
+					st.inflight()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(st.list()); got != 800 {
+		t.Fatalf("list returned %d jobs, want 800 (nothing aged past retention)", got)
+	}
+	// IDs are unique across shards: the atomic sequence never reissued one.
+	seen := make(map[string]bool)
+	st.jobs.Range(func(id string, _ *job) bool {
+		if seen[id] {
+			t.Errorf("duplicate job id %s", id)
+		}
+		seen[id] = true
+		return true
+	})
+}

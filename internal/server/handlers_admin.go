@@ -45,7 +45,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, _ para
 			out.Checkpointed = append(out.Checkpointed, entry)
 			continue
 		}
-		info, err := s.store.CheckpointLive(name, st, replayFrom)
+		info, err := s.store.CheckpointLive(name, g.Journal(), st, replayFrom)
 		if err != nil {
 			entry.Error = err.Error()
 			out.Checkpointed = append(out.Checkpointed, entry)

@@ -150,6 +150,7 @@ func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request, p par
 	}
 	res, err := g.Apply(ops)
 	s.rollbackIfUnused(name, g, created, res.Applied)
+	s.maybeAutoCheckpoint(g)
 	writeBatch(w, name, res, err)
 }
 
@@ -185,6 +186,7 @@ func (s *Server) handleDeleteEdge(w http.ResponseWriter, r *http.Request, p para
 		return
 	}
 	res, aerr := g.Apply([]live.Op{{Delete: int32(id)}})
+	s.maybeAutoCheckpoint(g)
 	writeBatch(w, name, res, aerr)
 }
 
@@ -225,6 +227,7 @@ func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request, p para
 	}
 	res, err := g.Apply(ops)
 	s.rollbackIfUnused(name, g, created, res.Applied)
+	s.maybeAutoCheckpoint(g)
 	writeBatch(w, name, res, err)
 }
 
@@ -425,6 +428,7 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request, p pa
 	}
 	res, ingestErr := g.IngestBatch(edges)
 	s.rollbackIfUnused(name, g, created, res.Inserted)
+	s.maybeAutoCheckpoint(g)
 	resp := api.IngestResult{
 		Stream:     name,
 		Ingested:   res.Ingested,

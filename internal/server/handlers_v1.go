@@ -298,15 +298,34 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, p param
 // and counters for queue depth, jobs, cache effectiveness, and per-route
 // request counts.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, _ params) {
-	hits, misses := s.cache.Counters()
+	// One Stats() sweep feeds both the global cache gauges and the
+	// per-partition lines: each partition's lock is taken once per scrape,
+	// and the globals are exactly the sum of the partition lines.
+	cacheStats := s.cache.Stats()
+	var entries int
+	var hits, misses, evictions uint64
+	for _, ps := range cacheStats {
+		entries += ps.Entries
+		hits += ps.Hits
+		misses += ps.Misses
+		evictions += ps.Evictions
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "mochyd_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
 	fmt.Fprintf(w, "mochyd_graphs %d\n", s.registry.Len())
 	fmt.Fprintf(w, "mochyd_live_graphs %d\n", s.liveReg.Len())
-	fmt.Fprintf(w, "mochyd_cache_entries %d\n", s.cache.Len())
+	fmt.Fprintf(w, "mochyd_cache_entries %d\n", entries)
 	fmt.Fprintf(w, "mochyd_cache_hits %d\n", hits)
 	fmt.Fprintf(w, "mochyd_cache_misses %d\n", misses)
-	fmt.Fprintf(w, "mochyd_cache_evictions %d\n", s.cache.Evictions())
+	fmt.Fprintf(w, "mochyd_cache_evictions %d\n", evictions)
+	fmt.Fprintf(w, "mochyd_cache_partitions %d\n", len(cacheStats))
+	for i, ps := range cacheStats {
+		fmt.Fprintf(w, "mochyd_cache_partition_entries{partition=\"%d\"} %d\n", i, ps.Entries)
+		fmt.Fprintf(w, "mochyd_cache_partition_hits{partition=\"%d\"} %d\n", i, ps.Hits)
+		fmt.Fprintf(w, "mochyd_cache_partition_misses{partition=\"%d\"} %d\n", i, ps.Misses)
+		fmt.Fprintf(w, "mochyd_cache_partition_evictions{partition=\"%d\"} %d\n", i, ps.Evictions)
+		fmt.Fprintf(w, "mochyd_cache_partition_expired{partition=\"%d\"} %d\n", i, ps.Expired)
+	}
 	fmt.Fprintf(w, "mochyd_pool_active %d\n", s.pool.Active())
 	fmt.Fprintf(w, "mochyd_pool_capacity %d\n", s.pool.Capacity())
 	fmt.Fprintf(w, "mochyd_queue_depth %d\n", s.pool.Waiting())
@@ -327,6 +346,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, _ params)
 		fmt.Fprintf(w, "mochyd_store_wal_records_total %d\n", st.WALRecords)
 		fmt.Fprintf(w, "mochyd_store_wal_syncs_total %d\n", st.WALSyncs)
 		fmt.Fprintf(w, "mochyd_store_checkpoints_total %d\n", st.Checkpoints)
+		fmt.Fprintf(w, "mochyd_store_checkpoints_auto_total %d\n", s.autoCheckpoints.Load())
+		fmt.Fprintf(w, "mochyd_store_checkpoints_auto_errors_total %d\n", s.autoCheckpointErrs.Load())
 		fmt.Fprintf(w, "mochyd_store_persist_errors_total %d\n", s.persistErrs.Load())
 		fmt.Fprintf(w, "mochyd_store_recovered_graphs %d\n", st.RecoveredGraphs)
 		fmt.Fprintf(w, "mochyd_store_recovered_live_graphs %d\n", st.RecoveredLive)

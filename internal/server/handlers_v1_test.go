@@ -321,7 +321,7 @@ func TestJobEventsReplayAfterCompletion(t *testing.T) {
 func TestJobRetention(t *testing.T) {
 	st := newJobStore()
 	now := time.Unix(1000, 0)
-	st.now = func() time.Time { return now }
+	st.setNow(func() time.Time { return now })
 
 	j1 := st.create(api.JobKindCount, "g")
 	j1.finish(api.CountResult{Graph: "g"}, nil, now)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mochy/api"
+	"mochy/internal/shardmap"
 )
 
 // Retention policy for finished jobs: a completed job stays pollable for
@@ -25,6 +26,7 @@ const (
 // GET /jobs/{id}, and streams its progress from GET /jobs/{id}/events.
 type job struct {
 	id    string
+	seq   uint64 // creation order, for retention pruning and stable listing
 	kind  string // api.JobKindCount or api.JobKindProfile
 	graph string
 
@@ -144,13 +146,21 @@ func (j *job) unsubscribe(ch chan api.JobEvent) {
 }
 
 // jobStore issues job IDs and retains finished jobs for a bounded window.
+// The id table is hash-sharded so the per-request poll (GET /v1/jobs/{id})
+// and job creation contend only within a shard instead of serializing every
+// poller behind one store mutex.
 type jobStore struct {
-	mu    sync.Mutex
-	seq   uint64
-	jobs  map[string]*job
-	order []*job           // creation order, for pruning
-	now   func() time.Time // injectable clock for retention tests
-	hist  map[string]*latencyHistogram
+	seq  atomic.Uint64
+	jobs *shardmap.Map[*job]
+
+	nowMu sync.Mutex
+	nowFn func() time.Time // injectable clock for retention tests
+
+	histMu sync.Mutex
+	hist   map[string]*latencyHistogram
+
+	pruneMu   sync.Mutex   // one pruner at a time; creation never waits on one
+	lastPrune atomic.Int64 // unix nanos of the last prune scan (store clock)
 
 	started  atomic.Uint64
 	finished atomic.Uint64
@@ -159,8 +169,8 @@ type jobStore struct {
 
 func newJobStore() *jobStore {
 	return &jobStore{
-		jobs: make(map[string]*job),
-		now:  time.Now,
+		jobs:  shardmap.NewMap[*job](0),
+		nowFn: time.Now,
 		hist: map[string]*latencyHistogram{
 			api.JobKindCount:   newLatencyHistogram(),
 			api.JobKindProfile: newLatencyHistogram(),
@@ -168,23 +178,37 @@ func newJobStore() *jobStore {
 	}
 }
 
+// now reads the store clock (swappable by retention tests via setNow).
+func (st *jobStore) now() time.Time {
+	st.nowMu.Lock()
+	defer st.nowMu.Unlock()
+	return st.nowFn()
+}
+
+// setNow swaps the store clock; tests only.
+func (st *jobStore) setNow(fn func() time.Time) {
+	st.nowMu.Lock()
+	st.nowFn = fn
+	st.nowMu.Unlock()
+}
+
 // observe records a finished job's wall-clock duration in its kind's
 // latency histogram (surfaced as mochyd_job_duration_seconds on
 // /v1/metrics).
 func (st *jobStore) observe(kind string, d time.Duration) {
-	st.mu.Lock()
+	st.histMu.Lock()
 	h := st.hist[kind]
 	if h == nil {
 		h = newLatencyHistogram()
 		st.hist[kind] = h
 	}
-	st.mu.Unlock()
+	st.histMu.Unlock()
 	h.observe(d)
 }
 
 // visitHist walks the per-kind histograms in sorted kind order.
 func (st *jobStore) visitHist(fn func(kind string, h *latencyHistogram)) {
-	st.mu.Lock()
+	st.histMu.Lock()
 	kinds := make([]string, 0, len(st.hist))
 	for kind := range st.hist {
 		kinds = append(kinds, kind)
@@ -194,7 +218,7 @@ func (st *jobStore) visitHist(fn func(kind string, h *latencyHistogram)) {
 	for i, kind := range kinds {
 		hists[i] = st.hist[kind]
 	}
-	st.mu.Unlock()
+	st.histMu.Unlock()
 	for i, kind := range kinds {
 		fn(kind, hists[i])
 	}
@@ -202,12 +226,11 @@ func (st *jobStore) visitHist(fn func(kind string, h *latencyHistogram)) {
 
 // create registers a new queued job.
 func (st *jobStore) create(kind, graph string) *job {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.pruneLocked()
-	st.seq++
+	st.prune()
+	seq := st.seq.Add(1)
 	j := &job{
-		id:      fmt.Sprintf("j%d", st.seq),
+		id:      fmt.Sprintf("j%d", seq),
+		seq:     seq,
 		kind:    kind,
 		graph:   graph,
 		state:   api.JobQueued,
@@ -215,77 +238,98 @@ func (st *jobStore) create(kind, graph string) *job {
 		subs:    make(map[chan api.JobEvent]struct{}),
 		doneCh:  make(chan struct{}),
 	}
-	st.jobs[j.id] = j
-	st.order = append(st.order, j)
+	st.jobs.Store(j.id, j)
 	st.started.Add(1)
 	return j
 }
 
 func (st *jobStore) get(id string) (*job, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	j, ok := st.jobs[id]
-	return j, ok
+	return st.jobs.Get(id)
+}
+
+// all snapshots the retained jobs in creation order.
+func (st *jobStore) all() []*job {
+	var jobs []*job
+	st.jobs.Range(func(_ string, j *job) bool {
+		jobs = append(jobs, j)
+		return true
+	})
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	return jobs
 }
 
 // list snapshots every retained job, newest first.
 func (st *jobStore) list() []api.Job {
-	st.mu.Lock()
-	jobs := make([]*job, len(st.order))
-	copy(jobs, st.order)
-	st.mu.Unlock()
+	jobs := st.all()
 	out := make([]api.Job, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.snapshot()
+		out[len(jobs)-1-i] = j.snapshot()
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].CreatedAt.After(out[b].CreatedAt) })
 	return out
 }
 
 // inflight counts jobs that are queued or running.
 func (st *jobStore) inflight() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	n := 0
-	for _, j := range st.order {
-		select {
-		case <-j.doneCh:
-		default:
+	st.jobs.Range(func(_ string, j *job) bool {
+		if !jobFinished(j) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
-// pruneLocked drops finished jobs older than jobRetain, and the oldest
-// finished jobs beyond jobMaxFinished. In-flight jobs are never pruned.
-func (st *jobStore) pruneLocked() {
-	cutoff := st.now().Add(-jobRetain)
+// jobPruneInterval bounds how often the create path pays a full prune scan.
+// Between scans the store can exceed its bounds by at most one interval's
+// worth of finishes — acceptable slack for turning every create's O(n)
+// cross-shard walk into a once-a-second one.
+const jobPruneInterval = time.Second
+
+// prune drops finished jobs older than jobRetain, and the oldest finished
+// jobs beyond jobMaxFinished. In-flight jobs are never pruned. Creates
+// racing a prune just skip it — the next due create prunes again, so the
+// store stays within one burst of its bounds.
+func (st *jobStore) prune() {
+	if !st.pruneMu.TryLock() {
+		return
+	}
+	defer st.pruneMu.Unlock()
+	now := st.now()
+	if now.UnixNano()-st.lastPrune.Load() < int64(jobPruneInterval) {
+		return
+	}
+	st.lastPrune.Store(now.UnixNano())
+	cutoff := now.Add(-jobRetain)
 	finished := 0
-	for _, j := range st.order {
-		if jobFinished(j) {
-			finished++
+	anyOld := false
+	jobs := st.all()
+	for _, j := range jobs {
+		if !jobFinished(j) {
+			continue
+		}
+		finished++
+		j.mu.Lock()
+		if j.finished.Before(cutoff) {
+			anyOld = true
+		}
+		j.mu.Unlock()
+	}
+	if !anyOld && finished <= jobMaxFinished {
+		return
+	}
+	for _, j := range jobs {
+		if !jobFinished(j) {
+			continue
+		}
+		j.mu.Lock()
+		old := j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if old || finished > jobMaxFinished {
+			st.jobs.Delete(j.id)
+			finished--
 		}
 	}
-	keep := st.order[:0]
-	for _, j := range st.order {
-		drop := false
-		if jobFinished(j) {
-			j.mu.Lock()
-			old := j.finished.Before(cutoff)
-			j.mu.Unlock()
-			if old || finished > jobMaxFinished {
-				drop = true
-				finished--
-			}
-		}
-		if drop {
-			delete(st.jobs, j.id)
-		} else {
-			keep = append(keep, j)
-		}
-	}
-	st.order = keep
 }
 
 func jobFinished(j *job) bool {

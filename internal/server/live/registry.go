@@ -3,10 +3,11 @@ package live
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mochy/internal/dynamic"
+	"mochy/internal/shardmap"
 	"mochy/internal/stream"
 )
 
@@ -16,13 +17,23 @@ var ErrTooManyGraphs = errors.New("live: too many live graphs")
 // Registry maps names to live graphs. Unlike the immutable server registry,
 // entries here are long-lived mutable objects: GetOrCreate never replaces an
 // existing graph, and Delete closes the removed graph's apply loop.
+//
+// The name table is hash-sharded: lookups and creates of different graphs
+// contend only when their names share a shard, so one graph's create (which
+// may open a write-ahead log on disk) never stalls every other graph's
+// lookup the way the old single-mutex table did. The maxGraphs cap is
+// enforced exactly with an atomic slot counter: creators reserve a slot
+// before inserting and release it on failure or removal.
 type Registry struct {
-	mu        sync.Mutex
-	graphs    map[string]*Graph
+	graphs    *shardmap.Map[*Graph]
+	count     atomic.Int64 // registered graphs, reserved before insert
 	nodeLimit int
 	maxGraphs int
-	// journals, when set, is called under the registry lock to create the
-	// write-ahead log of every graph GetOrCreate makes. Restored graphs
+	// jmu guards journals, which is installed once at boot and read by every
+	// create thereafter.
+	jmu sync.Mutex
+	// journals, when set, is called under the name's shard lock to create
+	// the write-ahead log of every graph GetOrCreate makes. Restored graphs
 	// arrive with their journal already open.
 	journals func(name string) (Journal, error)
 }
@@ -33,43 +44,63 @@ type Registry struct {
 // dynamic counter and a goroutine.
 func NewRegistry(nodeLimit, maxGraphs int) *Registry {
 	return &Registry{
-		graphs:    make(map[string]*Graph),
+		graphs:    shardmap.NewMap[*Graph](0),
 		nodeLimit: nodeLimit,
 		maxGraphs: maxGraphs,
 	}
 }
 
 // SetJournalFactory installs fn as the write-ahead-log source for graphs
-// created later: GetOrCreate calls it (under the registry lock) before the
-// graph accepts its first mutation, so no applied op can predate its log.
-// Call it before the registry is exposed to traffic.
+// created later: GetOrCreate calls it (under the name's shard lock) before
+// the graph accepts its first mutation, so no applied op can predate its
+// log. Call it before the registry is exposed to traffic.
 func (r *Registry) SetJournalFactory(fn func(name string) (Journal, error)) {
-	r.mu.Lock()
+	r.jmu.Lock()
 	r.journals = fn
-	r.mu.Unlock()
+	r.jmu.Unlock()
 }
+
+func (r *Registry) journalFactory() func(name string) (Journal, error) {
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	return r.journals
+}
+
+// reserve claims one registry slot, failing when the cap is reached.
+func (r *Registry) reserve() error {
+	n := r.count.Add(1)
+	if r.maxGraphs > 0 && n > int64(r.maxGraphs) {
+		r.count.Add(-1)
+		return ErrTooManyGraphs
+	}
+	return nil
+}
+
+// release returns one registry slot.
+func (r *Registry) release() { r.count.Add(-1) }
 
 // GetOrCreate returns the live graph registered under name, creating an
 // empty one if absent; created reports whether this call made it.
 func (r *Registry) GetOrCreate(name string) (g *Graph, created bool, err error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok := r.graphs[name]; ok {
+	if g, ok := r.graphs.Get(name); ok {
 		return g, false, nil
 	}
-	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
-		return nil, false, ErrTooManyGraphs
-	}
-	var jrn Journal
-	if r.journals != nil {
-		jrn, err = r.journals(name)
-		if err != nil {
-			return nil, false, fmt.Errorf("live: create journal for %q: %w", name, err)
+	journals := r.journalFactory()
+	return r.graphs.GetOrCreate(name, func() (*Graph, error) {
+		if err := r.reserve(); err != nil {
+			return nil, err
 		}
-	}
-	g = newGraph(name, r.nodeLimit, jrn)
-	r.graphs[name] = g
-	return g, true, nil
+		var jrn Journal
+		if journals != nil {
+			j, jerr := journals(name)
+			if jerr != nil {
+				r.release()
+				return nil, fmt.Errorf("live: create journal for %q: %w", name, jerr)
+			}
+			jrn = j
+		}
+		return newGraph(name, r.nodeLimit, jrn), nil
+	})
 }
 
 // Restore rebuilds a live graph from its persisted base state and WAL tail
@@ -113,16 +144,21 @@ func (r *Registry) Restore(name string, base *State, tail []Rec, jrn Journal) (*
 	}
 	g.jrn = jrn
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.graphs[name]; ok {
+	// Duplicate check before the slot reservation: at the cap, re-restoring
+	// an existing name must report the real problem ("already registered"),
+	// not a spurious capacity error, and must not transiently inflate the
+	// count under a concurrent create. SetIfAbsent re-checks for races.
+	if _, ok := r.graphs.Get(name); ok {
 		return nil, fmt.Errorf("live: restore %q: already registered", name)
 	}
-	if r.maxGraphs > 0 && len(r.graphs) >= r.maxGraphs {
-		return nil, ErrTooManyGraphs
+	if err := r.reserve(); err != nil {
+		return nil, err
+	}
+	if !r.graphs.SetIfAbsent(name, g) {
+		r.release()
+		return nil, fmt.Errorf("live: restore %q: already registered", name)
 	}
 	go g.loop(st)
-	r.graphs[name] = g
 	return g, nil
 }
 
@@ -132,23 +168,20 @@ func (r *Registry) Restore(name string, base *State, tail []Rec, jrn Journal) (*
 // leave an empty graph pinning a registry slot. Concurrent requests that
 // did mutate the graph keep it alive.
 func (r *Registry) Rollback(name string, g *Graph) bool {
-	r.mu.Lock()
-	if r.graphs[name] != g || g.Version() != 0 {
-		r.mu.Unlock()
+	_, ok := r.graphs.DeleteIf(name, func(cur *Graph) bool {
+		return cur == g && g.Version() == 0
+	})
+	if !ok {
 		return false
 	}
-	delete(r.graphs, name)
-	r.mu.Unlock()
+	r.release()
 	g.Close()
 	return true
 }
 
 // Get returns the live graph registered under name.
 func (r *Registry) Get(name string) (*Graph, bool) {
-	r.mu.Lock()
-	g, ok := r.graphs[name]
-	r.mu.Unlock()
-	return g, ok
+	return r.graphs.Get(name)
 }
 
 // Delete removes and closes the live graph under name, returning the
@@ -157,11 +190,9 @@ func (r *Registry) Get(name string) (*Graph, bool) {
 // removed graph's Journal to the store's cleanup so it targets exactly
 // this graph's durable state.
 func (r *Registry) Delete(name string) (*Graph, bool) {
-	r.mu.Lock()
-	g, ok := r.graphs[name]
-	delete(r.graphs, name)
-	r.mu.Unlock()
+	g, ok := r.graphs.Delete(name)
 	if ok {
+		r.release()
 		g.Close()
 	}
 	return g, ok
@@ -170,30 +201,18 @@ func (r *Registry) Delete(name string) (*Graph, bool) {
 // Close removes and closes every live graph, stopping their apply loops.
 // The registry stays usable afterwards (a later GetOrCreate starts fresh).
 func (r *Registry) Close() {
-	r.mu.Lock()
-	graphs := r.graphs
-	r.graphs = make(map[string]*Graph)
-	r.mu.Unlock()
-	for _, g := range graphs {
+	for _, g := range r.graphs.Drain() {
+		r.release()
 		g.Close()
 	}
 }
 
 // Names returns the registered live graph names in sorted order.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	out := make([]string, 0, len(r.graphs))
-	for name := range r.graphs {
-		out = append(out, name)
-	}
-	r.mu.Unlock()
-	sort.Strings(out)
-	return out
+	return r.graphs.Keys()
 }
 
 // Len returns the number of live graphs.
 func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.graphs)
+	return r.graphs.Len()
 }

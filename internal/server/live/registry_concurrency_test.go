@@ -1,0 +1,101 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentChurn: GetOrCreate/Get/Delete/Rollback churn across
+// shards. Run under -race it is the sharded registry's memory-safety proof;
+// the final sweep proves no graph leaked a registry slot.
+func TestRegistryConcurrentChurn(t *testing.T) {
+	r := NewRegistry(0, 0)
+	defer r.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("g%d", (i+w)%16)
+				g, created, err := r.GetOrCreate(name)
+				if err != nil {
+					t.Errorf("GetOrCreate(%q): %v", name, err)
+					continue
+				}
+				switch i % 5 {
+				case 0:
+					// Mutate so a racing Rollback must keep the graph.
+					g.Apply([]Op{{Insert: []int32{int32(i), int32(i + 1), int32(i + 2)}}})
+				case 1:
+					if created {
+						r.Rollback(name, g)
+					}
+				case 2:
+					r.Delete(name)
+				case 3:
+					r.Get(name)
+					r.Names()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, l := int(r.count.Load()), r.Len(); n != l {
+		t.Fatalf("slot counter %d != registered graphs %d; a slot leaked", n, l)
+	}
+}
+
+// TestRegistryCapExactUnderContention: the maxGraphs cap is enforced
+// exactly when many goroutines race to create distinct graphs, and deleting
+// frees slots for later creates.
+func TestRegistryCapExactUnderContention(t *testing.T) {
+	const maxG = 8
+	r := NewRegistry(0, maxG)
+	defer r.Close()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		created []string
+		refused int
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				name := fmt.Sprintf("w%d-g%d", w, i)
+				_, madeIt, err := r.GetOrCreate(name)
+				mu.Lock()
+				switch {
+				case errors.Is(err, ErrTooManyGraphs):
+					refused++
+				case err != nil:
+					t.Errorf("GetOrCreate(%q): %v", name, err)
+				case madeIt:
+					created = append(created, name)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(created) != maxG || refused != 4*16-maxG {
+		t.Fatalf("created %d, refused %d; want exactly %d created", len(created), refused, maxG)
+	}
+	if r.Len() != maxG {
+		t.Fatalf("Len = %d, want %d", r.Len(), maxG)
+	}
+	// Freeing one slot re-admits exactly one create.
+	if _, ok := r.Delete(created[0]); !ok {
+		t.Fatal("delete of created graph failed")
+	}
+	if _, madeIt, err := r.GetOrCreate("late"); err != nil || !madeIt {
+		t.Fatalf("create after delete = %v, %v; want created", madeIt, err)
+	}
+	if _, _, err := r.GetOrCreate("over"); !errors.Is(err, ErrTooManyGraphs) {
+		t.Fatalf("create past cap = %v, want ErrTooManyGraphs", err)
+	}
+}

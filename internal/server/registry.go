@@ -1,19 +1,19 @@
 // Package server implements mochyd, a long-lived HTTP/JSON service exposing
 // the MoCHy engine to many concurrent clients. It holds a registry of named
-// hypergraphs (loaded once, shared immutably across requests), an LRU result
-// cache so repeated count/profile queries are served without recomputation,
-// and a bounded worker pool that runs MoCHy-E / MoCHy-A / MoCHy-A+ jobs with
-// per-request worker counts and sampling budgets, streaming progress for
-// long exact counts.
+// hypergraphs (loaded once, shared immutably across requests), a partitioned
+// LRU result cache so repeated count/profile queries are served without
+// recomputation, and a bounded worker pool that runs MoCHy-E / MoCHy-A /
+// MoCHy-A+ jobs with per-request worker counts and sampling budgets,
+// streaming progress for long exact counts.
 package server
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"mochy/internal/hypergraph"
 	"mochy/internal/projection"
+	"mochy/internal/shardmap"
 )
 
 // Entry is one registered hypergraph. The graph and its stats are immutable;
@@ -36,18 +36,20 @@ func (e *Entry) Projection() *projection.Projected {
 	return e.proj
 }
 
-// Registry maps names to immutable hypergraph entries. Loads replace
-// atomically: requests running against a replaced entry keep their snapshot,
-// while new requests see the new graph.
+// Registry maps names to immutable hypergraph entries. It is copy-on-write:
+// Get is a lock-free atomic snapshot load (the per-request lookup must scale
+// with GOMAXPROCS, not serialize on a registry lock), while Load and Delete
+// clone-and-replace the map under a writer mutex. Loads replace atomically:
+// requests running against a replaced entry keep their snapshot, while new
+// requests see the new graph.
 type Registry struct {
-	mu     sync.RWMutex
 	gen    atomic.Uint64
-	graphs map[string]*Entry
+	graphs *shardmap.COW[*Entry]
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{graphs: make(map[string]*Entry)}
+	return &Registry{graphs: shardmap.NewCOW[*Entry]()}
 }
 
 // Load registers g under name, replacing any previous graph of that name.
@@ -59,45 +61,27 @@ func (r *Registry) Load(name string, g *hypergraph.Hypergraph) (*Entry, bool) {
 		Graph: g,
 		Stats: hypergraph.ComputeStats(g),
 	}
-	r.mu.Lock()
-	_, replaced := r.graphs[name]
-	r.graphs[name] = e
-	r.mu.Unlock()
+	_, replaced := r.graphs.Store(name, e)
 	return e, replaced
 }
 
-// Get returns the entry registered under name.
+// Get returns the entry registered under name. It takes no lock.
 func (r *Registry) Get(name string) (*Entry, bool) {
-	r.mu.RLock()
-	e, ok := r.graphs[name]
-	r.mu.RUnlock()
-	return e, ok
+	return r.graphs.Get(name)
 }
 
 // Delete removes name from the registry, reporting whether it was present.
 func (r *Registry) Delete(name string) bool {
-	r.mu.Lock()
-	_, ok := r.graphs[name]
-	delete(r.graphs, name)
-	r.mu.Unlock()
+	_, ok := r.graphs.Delete(name)
 	return ok
 }
 
 // Names returns the registered graph names in sorted order.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	out := make([]string, 0, len(r.graphs))
-	for name := range r.graphs {
-		out = append(out, name)
-	}
-	r.mu.RUnlock()
-	sort.Strings(out)
-	return out
+	return r.graphs.Keys()
 }
 
 // Len returns the number of registered graphs.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.graphs)
+	return r.graphs.Len()
 }

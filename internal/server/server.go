@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"mochy/internal/nullmodel"
 	"mochy/internal/projection"
 	"mochy/internal/server/live"
+	"mochy/internal/shardmap"
 	"mochy/internal/store"
 )
 
@@ -58,6 +61,13 @@ type Config struct {
 	// boot. The server takes ownership and closes it in Close. nil keeps
 	// the pre-durability in-memory behavior.
 	Store *store.Store
+	// CheckpointWALBytes, when positive and a Store is configured, makes
+	// checkpointing automatic: after a live mutation pushes a graph's WAL
+	// past this many bytes, a background checkpoint folds the log into a
+	// fresh base segment — long-running daemons keep their WALs (and their
+	// next recovery) bounded without a manual POST /v1/admin/checkpoint.
+	// <= 0 leaves checkpointing manual-only.
+	CheckpointWALBytes int64
 }
 
 // DefaultConfig returns the configuration mochyd starts with.
@@ -89,6 +99,15 @@ type Server struct {
 	// persistErrs counts best-effort persistence failures (exact-count
 	// sidecar writes); hard failures surface on the request instead.
 	persistErrs atomic.Uint64
+	// ckptInflight marks graphs with an automatic checkpoint in progress,
+	// so a burst of mutations past the WAL threshold schedules one fold,
+	// not one per request.
+	ckptInflight       *shardmap.Map[struct{}]
+	autoCheckpoints    atomic.Uint64
+	autoCheckpointErrs atomic.Uint64
+	// stopc ends the background cache sweeper; closed once by Close.
+	stopc     chan struct{}
+	closeOnce sync.Once
 }
 
 // New returns a Server with the given configuration.
@@ -110,15 +129,17 @@ func New(cfg Config) *Server {
 		cfg.QueueBudget = def.QueueBudget
 	}
 	s := &Server{
-		registry: NewRegistry(),
-		liveReg:  live.NewRegistry(maxGraphNodes, maxLiveGraphs),
-		cache:    NewCache(cfg.CacheSize),
-		flight:   newFlightGroup(),
-		pool:     NewPool(cfg.MaxConcurrent),
-		jobs:     newJobStore(),
-		store:    cfg.Store,
-		cfg:      cfg,
-		start:    time.Now(),
+		registry:     NewRegistry(),
+		liveReg:      live.NewRegistry(maxGraphNodes, maxLiveGraphs),
+		cache:        NewCache(cfg.CacheSize),
+		flight:       newFlightGroup(),
+		pool:         NewPool(cfg.MaxConcurrent),
+		jobs:         newJobStore(),
+		store:        cfg.Store,
+		cfg:          cfg,
+		start:        time.Now(),
+		ckptInflight: shardmap.NewMap[struct{}](0),
+		stopc:        make(chan struct{}),
 	}
 	if s.store != nil {
 		// Every live graph created from here on gets a write-ahead log
@@ -128,7 +149,80 @@ func New(cfg Config) *Server {
 		})
 	}
 	s.router = s.buildRouter()
+	// The sweeper only exists for TTL'd entries, which only the sampling
+	// TTL produces; servers that cannot accumulate them (cache disabled, or
+	// TTLs off) start no goroutine, so constructing one without Close stays
+	// leak-free as it was pre-sweeper.
+	if cfg.CacheSize > 0 && cfg.SamplingTTL > 0 {
+		go s.sweepLoop()
+	}
 	return s
+}
+
+// cacheSweepInterval is how often the background sweeper collects expired
+// TTL entries across the cache partitions.
+const cacheSweepInterval = time.Minute
+
+// sweepLoop periodically sweeps expired entries out of every cache
+// partition until the server closes, so TTL'd sampling results release
+// capacity on schedule instead of squatting until a Get or eviction scan
+// happens to find them.
+func (s *Server) sweepLoop() {
+	t := time.NewTicker(cacheSweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.cache.Sweep()
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// maybeAutoCheckpoint schedules a background checkpoint of g when automatic
+// checkpointing is configured and g's WAL has outgrown the threshold. At
+// most one checkpoint per graph runs at a time; overlapping triggers are
+// dropped (the running fold already covers their records). Failures are
+// left for the next trigger or a manual checkpoint — the WAL is still the
+// durable truth either way.
+func (s *Server) maybeAutoCheckpoint(g *live.Graph) {
+	limit := s.cfg.CheckpointWALBytes
+	if s.store == nil || limit <= 0 || g == nil {
+		return
+	}
+	jrn := g.Journal()
+	if jrn == nil || jrn.Size() < limit {
+		return
+	}
+	name := g.Name()
+	if !s.ckptInflight.SetIfAbsent(name, struct{}{}) {
+		return
+	}
+	go func() {
+		defer s.ckptInflight.Delete(name)
+		st, replayFrom, err := g.Checkpoint()
+		if err != nil {
+			// A closed graph (deleted mid-trigger) is the normal way a
+			// scheduled fold becomes moot, not a persistence failure.
+			if !errors.Is(err, live.ErrClosed) {
+				s.autoCheckpointErrs.Add(1)
+			}
+			return
+		}
+		if _, err := s.store.CheckpointLive(name, jrn, st, replayFrom); err != nil {
+			// Surfaced on /v1/metrics: a WAL that keeps growing because
+			// every background fold fails (disk full, permissions) must be
+			// visible, not just quietly non-advancing. Routine outcomes —
+			// the daemon shutting down, or the graph deleted/recreated
+			// mid-fold — are not persistence failures.
+			if !errors.Is(err, store.ErrClosed) && !errors.Is(err, store.ErrSuperseded) {
+				s.autoCheckpointErrs.Add(1)
+			}
+			return
+		}
+		s.autoCheckpoints.Add(1)
+	}()
 }
 
 // Recover replays the configured store into the registries: immutable
@@ -225,11 +319,13 @@ func (s *Server) buildRouter() *router {
 // Registry exposes the graph registry (used by mochyd to preload graphs).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Close stops admitting new counting jobs, shuts down every live graph's
-// apply loop, and — when persistence is configured — flushes every WAL
-// buffer and the manifest to disk. Callers drain HTTP traffic first (see
-// cmd/mochyd), so every acknowledged mutation is durable before exit.
+// Close stops admitting new counting jobs, stops the background cache
+// sweeper, shuts down every live graph's apply loop, and — when persistence
+// is configured — flushes every WAL buffer and the manifest to disk.
+// Callers drain HTTP traffic first (see cmd/mochyd), so every acknowledged
+// mutation is durable before exit.
 func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stopc) })
 	s.pool.Close()
 	s.liveReg.Close()
 	if s.store != nil {

@@ -1,0 +1,306 @@
+// Package shardmap provides the concurrent building blocks mochyd's shared
+// state is built on. Every structure on the request hot path used to be a
+// single-mutex map, so one lock serialized every reader in the process; this
+// package replaces that pattern with two primitives chosen by workload:
+//
+//   - COW is a copy-on-write map for read-mostly data (the immutable graph
+//     registry): Get is one atomic snapshot load and a plain map read — no
+//     lock, no shared cache-line writes — while the rare writers copy the
+//     map under a mutex and atomically replace it.
+//   - Map is an N-way hash-sharded map for write-heavy tables (live graphs,
+//     the job store): keys spread across shards by hash, so operations on
+//     different keys contend only 1/N of the time, and per-key
+//     read-modify-write steps (create-if-absent, conditional delete) run
+//     under a single shard's lock instead of a global one.
+//
+// Both are keyed by string. Values are typically pointers; neither structure
+// copies values beyond map assignment.
+package shardmap
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count selected when NewMap is given n <= 0.
+// 16 shards keep the per-shard maps small and make same-shard collisions
+// rare at the concurrency a single process serves, without bloating tiny
+// tables with hundreds of empty maps.
+const DefaultShards = 16
+
+// Hash is the shard-selection hash: FNV-1a over the key bytes. It is
+// exported so callers that partition sibling structures (caches, flight
+// groups) by the same key space agree with the map on placement.
+func Hash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// COW is a copy-on-write string-keyed map. Readers load an immutable
+// snapshot with one atomic pointer read; writers clone the current map under
+// a mutex and publish the clone atomically. Reads scale with GOMAXPROCS and
+// never block, at the cost of O(len) work per write — the right trade for a
+// registry that is read on every request and written on uploads.
+type COW[V any] struct {
+	mu sync.Mutex // serializes writers
+	p  atomic.Pointer[map[string]V]
+}
+
+// NewCOW returns an empty copy-on-write map.
+func NewCOW[V any]() *COW[V] {
+	c := &COW[V]{}
+	m := make(map[string]V)
+	c.p.Store(&m)
+	return c
+}
+
+// Get returns the value stored under key. It is lock-free: the snapshot it
+// reads is immutable, so a concurrent write can only make it miss or hit the
+// previous version, never observe a torn state.
+func (c *COW[V]) Get(key string) (V, bool) {
+	v, ok := (*c.p.Load())[key]
+	return v, ok
+}
+
+// Store sets key to v, returning the value it replaced, if any. The new
+// snapshot is visible to every Get that starts after Store returns.
+func (c *COW[V]) Store(key string, v V) (prev V, replaced bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.p.Load()
+	next := make(map[string]V, len(old)+1)
+	for k, ov := range old {
+		next[k] = ov
+	}
+	prev, replaced = old[key]
+	next[key] = v
+	c.p.Store(&next)
+	return prev, replaced
+}
+
+// Delete removes key, returning the removed value, if any. Deleting an
+// absent key publishes no new snapshot.
+func (c *COW[V]) Delete(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.p.Load()
+	prev, ok := old[key]
+	if !ok {
+		return prev, false
+	}
+	next := make(map[string]V, len(old)-1)
+	for k, ov := range old {
+		if k != key {
+			next[k] = ov
+		}
+	}
+	c.p.Store(&next)
+	return prev, true
+}
+
+// Snapshot returns the current immutable view. Callers must treat it as
+// read-only: it is shared with every concurrent reader.
+func (c *COW[V]) Snapshot() map[string]V { return *c.p.Load() }
+
+// Len returns the number of entries in the current snapshot.
+func (c *COW[V]) Len() int { return len(*c.p.Load()) }
+
+// Keys returns the keys of the current snapshot in sorted order.
+func (c *COW[V]) Keys() []string {
+	m := *c.p.Load()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Map is an N-way hash-sharded string-keyed map. Each shard is an
+// independently locked map; operations touch exactly one shard, so two
+// operations contend only when their keys hash to the same shard. N is
+// rounded up to a power of two so shard selection is a mask, not a divide.
+type Map[V any] struct {
+	shards []mapShard[V]
+	mask   uint32
+}
+
+type mapShard[V any] struct {
+	mu    sync.RWMutex
+	items map[string]V
+}
+
+// NewMap returns an empty map with n shards (rounded up to a power of two);
+// n <= 0 selects DefaultShards.
+func NewMap[V any](n int) *Map[V] {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	m := &Map[V]{shards: make([]mapShard[V], shards), mask: uint32(shards - 1)}
+	for i := range m.shards {
+		m.shards[i].items = make(map[string]V)
+	}
+	return m
+}
+
+func (m *Map[V]) shard(key string) *mapShard[V] {
+	return &m.shards[Hash(key)&m.mask]
+}
+
+// NumShards returns the shard count.
+func (m *Map[V]) NumShards() int { return len(m.shards) }
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	s := m.shard(key)
+	s.mu.RLock()
+	v, ok := s.items[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Store sets key to v, returning the value it replaced, if any.
+func (m *Map[V]) Store(key string, v V) (prev V, replaced bool) {
+	s := m.shard(key)
+	s.mu.Lock()
+	prev, replaced = s.items[key]
+	s.items[key] = v
+	s.mu.Unlock()
+	return prev, replaced
+}
+
+// SetIfAbsent stores v under key only if the key is free, reporting whether
+// it stored.
+func (m *Map[V]) SetIfAbsent(key string, v V) bool {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[key]; ok {
+		return false
+	}
+	s.items[key] = v
+	return true
+}
+
+// GetOrCreate returns the value under key, calling create to make one if the
+// key is free. create runs under the shard's write lock, so at most one
+// create per key runs at a time and no half-made value is ever visible; keep
+// it short, and never touch the same Map from inside it. A create error
+// leaves the map unchanged.
+func (m *Map[V]) GetOrCreate(key string, create func() (V, error)) (v V, created bool, err error) {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.items[key]; ok {
+		return v, false, nil
+	}
+	v, err = create()
+	if err != nil {
+		return v, false, err
+	}
+	s.items[key] = v
+	return v, true, nil
+}
+
+// Delete removes key, returning the removed value, if any.
+func (m *Map[V]) Delete(key string) (V, bool) {
+	s := m.shard(key)
+	s.mu.Lock()
+	v, ok := s.items[key]
+	delete(s.items, key)
+	s.mu.Unlock()
+	return v, ok
+}
+
+// DeleteIf removes key only if pred approves the current value. pred runs
+// under the shard's write lock, making the check-and-remove atomic against
+// concurrent stores of the same key.
+func (m *Map[V]) DeleteIf(key string, pred func(V) bool) (V, bool) {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[key]
+	if !ok || !pred(v) {
+		var zero V
+		return zero, false
+	}
+	delete(s.items, key)
+	return v, true
+}
+
+// Range calls fn for every entry until fn returns false. Each shard is
+// snapshotted under its read lock and visited outside it, so fn may call
+// back into the map; entries stored or deleted while Range runs may or may
+// not be observed.
+func (m *Map[V]) Range(fn func(key string, v V) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		keys := make([]string, 0, len(s.items))
+		vals := make([]V, 0, len(s.items))
+		for k, v := range s.items {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		s.mu.RUnlock()
+		for j, k := range keys {
+			if !fn(k, vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the total entry count across shards. Concurrent mutators make
+// it advisory, as with any concurrent map.
+func (m *Map[V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.items)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns every key in sorted order.
+func (m *Map[V]) Keys() []string {
+	out := make([]string, 0, m.Len())
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for k := range s.items {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drain removes and returns every entry, shard by shard. Entries stored
+// concurrently with Drain may survive it (they land in already-drained
+// shards); callers that need a hard stop must fence new stores themselves.
+func (m *Map[V]) Drain() map[string]V {
+	out := make(map[string]V)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, v := range s.items {
+			out[k] = v
+		}
+		s.items = make(map[string]V)
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package shardmap
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCOWBasics(t *testing.T) {
+	c := NewCOW[int]()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty COW reported a hit")
+	}
+	if _, replaced := c.Store("a", 1); replaced {
+		t.Fatal("first Store reported replaced")
+	}
+	if prev, replaced := c.Store("a", 2); !replaced || prev != 1 {
+		t.Fatalf("re-Store = %d, %v; want 1, true", prev, replaced)
+	}
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Fatalf("Get(a) = %d, %v; want 2, true", v, ok)
+	}
+	c.Store("b", 3)
+	if got, want := c.Keys(), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if v, ok := c.Delete("a"); !ok || v != 2 {
+		t.Fatalf("Delete(a) = %d, %v; want 2, true", v, ok)
+	}
+	if _, ok := c.Delete("a"); ok {
+		t.Fatal("Delete of absent key reported removal")
+	}
+}
+
+// TestCOWSnapshotIsolation: a snapshot taken before a write never observes
+// it — the property the registry's atomic-replace semantics rest on.
+func TestCOWSnapshotIsolation(t *testing.T) {
+	c := NewCOW[int]()
+	c.Store("a", 1)
+	snap := c.Snapshot()
+	c.Store("a", 2)
+	c.Store("b", 3)
+	if snap["a"] != 1 || len(snap) != 1 {
+		t.Fatalf("snapshot mutated by later writes: %v", snap)
+	}
+}
+
+func TestCOWConcurrent(t *testing.T) {
+	c := NewCOW[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				c.Store(key, i)
+				if v, ok := c.Get(key); ok && v < 0 {
+					t.Error("observed impossible value")
+				}
+				if i%17 == 0 {
+					c.Delete(key)
+				}
+				c.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[int](4)
+	if m.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", m.NumShards())
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	if _, replaced := m.Store("a", 1); replaced {
+		t.Fatal("first Store reported replaced")
+	}
+	if prev, replaced := m.Store("a", 2); !replaced || prev != 1 {
+		t.Fatalf("re-Store = %d, %v; want 1, true", prev, replaced)
+	}
+	if !m.SetIfAbsent("b", 3) {
+		t.Fatal("SetIfAbsent on a free key failed")
+	}
+	if m.SetIfAbsent("b", 4) {
+		t.Fatal("SetIfAbsent clobbered an existing key")
+	}
+	if v, _ := m.Get("b"); v != 3 {
+		t.Fatalf("Get(b) = %d, want 3", v)
+	}
+	if got, want := m.Keys(), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Delete("a"); !ok || v != 2 {
+		t.Fatalf("Delete(a) = %d, %v; want 2, true", v, ok)
+	}
+}
+
+func TestMapShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, DefaultShards}, {0, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewMap[int](tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewMap(%d).NumShards = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMapGetOrCreate(t *testing.T) {
+	m := NewMap[int](4)
+	calls := 0
+	v, created, err := m.GetOrCreate("a", func() (int, error) { calls++; return 7, nil })
+	if v != 7 || !created || err != nil || calls != 1 {
+		t.Fatalf("create = %d, %v, %v (%d calls)", v, created, err, calls)
+	}
+	v, created, err = m.GetOrCreate("a", func() (int, error) { calls++; return 8, nil })
+	if v != 7 || created || err != nil || calls != 1 {
+		t.Fatalf("second GetOrCreate = %d, %v, %v (%d calls); want existing 7", v, created, err, calls)
+	}
+	boom := errors.New("boom")
+	if _, created, err := m.GetOrCreate("c", func() (int, error) { return 0, boom }); created || !errors.Is(err, boom) {
+		t.Fatalf("failed create = %v, %v; want false, boom", created, err)
+	}
+	if _, ok := m.Get("c"); ok {
+		t.Fatal("failed create left an entry behind")
+	}
+}
+
+func TestMapDeleteIf(t *testing.T) {
+	m := NewMap[int](4)
+	m.Store("a", 1)
+	if _, ok := m.DeleteIf("a", func(v int) bool { return v == 2 }); ok {
+		t.Fatal("DeleteIf removed despite failing predicate")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("entry vanished after refused DeleteIf")
+	}
+	if v, ok := m.DeleteIf("a", func(v int) bool { return v == 1 }); !ok || v != 1 {
+		t.Fatalf("DeleteIf = %d, %v; want 1, true", v, ok)
+	}
+	if _, ok := m.DeleteIf("a", func(int) bool { return true }); ok {
+		t.Fatal("DeleteIf of absent key reported removal")
+	}
+}
+
+func TestMapRangeAndDrain(t *testing.T) {
+	m := NewMap[int](4)
+	want := map[string]int{"a": 1, "b": 2, "c": 3}
+	for k, v := range want {
+		m.Store(k, v)
+	}
+	got := map[string]int{}
+	m.Range(func(k string, v int) bool { got[k] = v; return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	// Early stop visits fewer entries.
+	n := 0
+	m.Range(func(string, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false visited %d entries, want 1", n)
+	}
+	if drained := m.Drain(); !reflect.DeepEqual(drained, want) {
+		t.Fatalf("Drain = %v, want %v", drained, want)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after Drain = %d, want 0", m.Len())
+	}
+}
+
+// TestMapConcurrent exercises every operation from many goroutines; run
+// under -race it is the package's memory-safety proof.
+func TestMapConcurrent(t *testing.T) {
+	m := NewMap[int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("k%d", i%20)
+				switch i % 5 {
+				case 0:
+					m.Store(key, i)
+				case 1:
+					m.Get(key)
+				case 2:
+					m.GetOrCreate(key, func() (int, error) { return i, nil })
+				case 3:
+					m.DeleteIf(key, func(v int) bool { return v%2 == 0 })
+				case 4:
+					m.Range(func(string, int) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHashSpreads(t *testing.T) {
+	m := NewMap[int](8)
+	for i := 0; i < 1024; i++ {
+		m.Store(fmt.Sprintf("key-%d", i), i)
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n := len(s.items)
+		s.mu.RUnlock()
+		// A uniform spread puts 128 per shard; a badly skewed hash would
+		// concentrate hundreds in one.
+		if n < 64 || n > 256 {
+			t.Fatalf("shard %d holds %d of 1024 entries; hash is skewed", i, n)
+		}
+	}
+}

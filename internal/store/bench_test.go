@@ -94,7 +94,7 @@ func BenchmarkRecovery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := st.CheckpointLive("bench", state, from); err != nil {
+	if _, err := st.CheckpointLive("bench", g.Journal(), state, from); err != nil {
 		b.Fatal(err)
 	}
 	g.Close()

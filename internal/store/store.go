@@ -42,6 +42,12 @@ import (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// ErrSuperseded reports a checkpoint that must not commit because the graph
+// it was computed from is no longer the one registered under its name (it
+// was deleted, or deleted and recreated, while the fold ran). A routine
+// outcome of delete churn, not a persistence failure.
+var ErrSuperseded = errors.New("graph superseded during checkpoint")
+
 // Subdirectories of the data dir.
 const (
 	segmentsDir = "segments"
@@ -610,16 +616,28 @@ type CheckpointInfo struct {
 // graph. Older generations and the previous base are deleted once the
 // manifest durably points at the new base. A checkpoint that lost the race
 // against a newer one for the same graph is skipped.
-func (s *Store) CheckpointLive(name string, st live.State, replayFrom uint64) (CheckpointInfo, error) {
+//
+// jrn is the checkpointed graph's own journal and acts as an identity token
+// (like DropLiveIf): the fold only commits while that journal is still the
+// one registered under name. Without the check, a checkpoint racing a
+// delete-and-recreate of the same name could install the condemned graph's
+// base onto the new graph's manifest entry and delete the new graph's WAL
+// generations — silently resurrecting deleted data and losing acknowledged
+// mutations.
+func (s *Store) CheckpointLive(name string, jrn live.Journal, st live.State, replayFrom uint64) (CheckpointInfo, error) {
+	h, _ := jrn.(*walHandle)
+	if h == nil {
+		return CheckpointInfo{}, fmt.Errorf("store: live graph %q has no store journal", name)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return CheckpointInfo{}, ErrClosed
 	}
 	e, ok := s.man.Live[name]
-	if !ok {
+	if !ok || s.wals[name] != h {
 		s.mu.Unlock()
-		return CheckpointInfo{}, fmt.Errorf("store: live graph %q not registered", name)
+		return CheckpointInfo{}, fmt.Errorf("store: live graph %q: %w", name, ErrSuperseded)
 	}
 	if replayFrom <= e.ReplayFrom && e.Segment != "" {
 		s.mu.Unlock()
@@ -637,15 +655,21 @@ func (s *Store) CheckpointLive(name string, st live.State, replayFrom uint64) (C
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		// The manifest will never reference the files we just wrote;
+		// leaving them would leak a base + sidecar into the data dir on
+		// every shutdown that races an in-flight fold.
+		_ = os.Remove(s.path(segRel))
+		_ = os.Remove(s.path(stateRel))
 		return CheckpointInfo{}, ErrClosed
 	}
 	e, ok = s.man.Live[name]
-	if !ok || replayFrom <= e.ReplayFrom && e.Segment != "" {
-		// Deleted or superseded while we wrote: discard our files.
+	if !ok || s.wals[name] != h || replayFrom <= e.ReplayFrom && e.Segment != "" {
+		// Deleted, recreated, or superseded while we wrote: discard our
+		// files rather than touch an entry that is no longer ours.
 		_ = os.Remove(s.path(segRel))
 		_ = os.Remove(s.path(stateRel))
-		if !ok {
-			return CheckpointInfo{}, fmt.Errorf("store: live graph %q deleted during checkpoint", name)
+		if !ok || s.wals[name] != h {
+			return CheckpointInfo{}, fmt.Errorf("store: live graph %q: %w", name, ErrSuperseded)
 		}
 		return CheckpointInfo{Name: name, Edges: len(st.Counter.IDs), Version: st.Version, ReplayFrom: e.ReplayFrom}, nil
 	}

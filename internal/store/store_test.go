@@ -243,7 +243,7 @@ func TestCheckpointCompactsWAL(t *testing.T) {
 	if replayFrom != 2 {
 		t.Fatalf("replayFrom = %d, want 2", replayFrom)
 	}
-	info, err := st.CheckpointLive("feed", state, replayFrom)
+	info, err := st.CheckpointLive("feed", g.Journal(), state, replayFrom)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +327,7 @@ func TestDeleteGraphRemovesAllFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.CheckpointLive("web", state, from); err != nil {
+	if _, err := st.CheckpointLive("web", g.Journal(), state, from); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.DeleteGraph("web", g.Journal()); err != nil {
@@ -448,7 +448,7 @@ func TestCorruptLiveStateFailsCleanly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.CheckpointLive("feed", state, from); err != nil {
+	if _, err := st.CheckpointLive("feed", g.Journal(), state, from); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the state sidecar.
@@ -580,5 +580,59 @@ func TestWALPoisonedAfterCloseStopsAppends(t *testing.T) {
 	}
 	if _, err := j.Append([]live.Rec{{Kind: live.RecInsert, Nodes: []int32{1}}}); !errors.Is(err, ErrWALClosed) {
 		t.Fatalf("append after close = %v, want ErrWALClosed", err)
+	}
+}
+
+// TestCheckpointSupersededByRecreate: a checkpoint computed against a graph
+// that was deleted and recreated under the same name while the fold ran
+// must not commit — the condemned graph's journal is no longer the one
+// registered, so installing its base would resurrect deleted data and its
+// WAL cleanup would destroy the new graph's acknowledged mutations.
+func TestCheckpointSupersededByRecreate(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	defer st.Close()
+
+	old := newJournaledGraph(t, st, "feed")
+	if _, err := old.Apply([]live.Op{{Insert: []int32{1, 2, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	state, from, err := old.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete and recreate the name before the fold commits, with new
+	// acknowledged mutations in the replacement's WAL.
+	oldJrn := old.Journal()
+	old.Close()
+	if err := st.DropLiveIf("feed", oldJrn); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newJournaledGraph(t, st, "feed")
+	if _, err := fresh.Apply([]live.Op{{Insert: []int32{7, 8, 9}}, {Insert: []int32{8, 9, 10}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.CheckpointLive("feed", oldJrn, state, from); err == nil {
+		t.Fatal("stale checkpoint committed onto a recreated graph")
+	}
+
+	// The recreated graph's durable state survived: a restart replays its
+	// two mutations, not the condemned graph's base.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Live) != 1 {
+		t.Fatalf("recovered %d live graphs, want 1", len(rec.Live))
+	}
+	rl := rec.Live[0]
+	if rl.Base != nil {
+		t.Fatal("recreated graph recovered with the condemned graph's base segment")
+	}
+	if len(rl.Tail) != 2 {
+		t.Fatalf("recovered %d wal records, want the recreated graph's 2", len(rl.Tail))
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"mochy/internal/testutil"
 	"net"
 	"net/http"
 	"os/exec"
@@ -52,19 +53,19 @@ func TestMochydDebugAddr(t *testing.T) {
 	})
 
 	get := func(url string) (int, string) {
-		deadline := time.Now().Add(10 * time.Second)
-		for {
+		var code int
+		var body string
+		testutil.Eventually(t, 10*time.Second, func() bool {
 			resp, err := http.Get(url)
-			if err == nil {
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				return resp.StatusCode, string(body)
+			if err != nil {
+				return false
 			}
-			if time.Now().After(deadline) {
-				t.Fatalf("GET %s never answered: %v", url, err)
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			code, body = resp.StatusCode, string(b)
+			return true
+		}, "GET %s never answered", url)
+		return code, body
 	}
 
 	if code, _ := get("http://" + addr + "/v1/healthz"); code != http.StatusOK {

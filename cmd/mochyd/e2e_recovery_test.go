@@ -15,6 +15,7 @@ import (
 	"mochy/internal/hypergraph"
 	counting "mochy/internal/mochy"
 	"mochy/internal/projection"
+	"mochy/internal/testutil"
 )
 
 // buildMochyd compiles the daemon once per test into a temp dir.
@@ -61,17 +62,11 @@ func startMochyd(t *testing.T, bin, dataDir string) (*client.Client, func(sig sy
 
 	c := client.New("http://" + addr)
 	ctx := context.Background()
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		if _, err := c.Health(ctx); err == nil {
-			return c, kill
-		}
-		if time.Now().After(deadline) {
-			kill(syscall.SIGKILL)
-			t.Fatal("mochyd did not become healthy")
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	testutil.Eventually(t, 15*time.Second, func() bool {
+		_, err := c.Health(ctx)
+		return err == nil
+	}, "mochyd did not become healthy") // the SIGKILL cleanup above reaps the daemon on failure
+	return c, kill
 }
 
 // TestMochydKill9Recovery is the PR's acceptance scenario end to end: a

@@ -14,6 +14,7 @@ import (
 	"mochy/internal/generator"
 	counting "mochy/internal/mochy"
 	"mochy/internal/projection"
+	"mochy/internal/testutil"
 )
 
 // TestMochydEndToEnd is the CI smoke: it builds the real mochyd binary,
@@ -58,16 +59,10 @@ func TestMochydEndToEnd(t *testing.T) {
 	c := client.New("http://" + addr)
 
 	// Wait for the daemon to come up.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if _, err := c.Health(ctx); err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("mochyd did not become healthy")
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, func() bool {
+		_, err := c.Health(ctx)
+		return err == nil
+	}, "mochyd did not become healthy")
 
 	// Upload over the binary transport and count through the job protocol.
 	g := generator.Generate(generator.Config{

@@ -149,6 +149,9 @@ func main() {
 		cfg.Store = st // the server owns it from here; srv.Close flushes it
 	}
 	srv := server.New(cfg)
+	// Safety net for the log.Fatalf paths below; the normal exits close
+	// explicitly so a failed WAL/manifest flush is reported. Close is
+	// idempotent.
 	defer srv.Close()
 
 	if *dataDir != "" {
@@ -210,7 +213,9 @@ func main() {
 	case err := <-errc:
 		// log.Fatalf would skip the deferred Close and leave WAL buffers
 		// unflushed; close explicitly, then exit non-zero.
-		srv.Close()
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
 		log.Printf("serve: %v", err)
 		os.Exit(1)
 	case <-ctx.Done():
@@ -223,6 +228,13 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	// An error here is the difference between "every acknowledged mutation
+	// is on disk" and silent data loss at exit — exit non-zero so
+	// supervisors notice.
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+		os.Exit(1)
 	}
 	log.Printf("flushed; exiting")
 }

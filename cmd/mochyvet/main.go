@@ -1,0 +1,258 @@
+// Command mochyvet machine-checks mochyd's concurrency and durability
+// invariants with the analyzer suite in internal/lint.
+//
+// It runs two ways:
+//
+// Standalone, over package patterns (test files included by default):
+//
+//	go run ./cmd/mochyvet ./...
+//	go run ./cmd/mochyvet -only lockscope,syncerr ./internal/store/...
+//
+// As a vet tool, where cmd/go drives it once per package with a vet
+// config file and export data it has already built:
+//
+//	go build -o /tmp/mochyvet ./cmd/mochyvet
+//	go vet -vettool=/tmp/mochyvet ./...
+//
+// The vet-tool protocol (see cmd/go/internal/work and .../vet) is:
+// answer -V=full with a versioned build ID for cmd/go's action cache,
+// answer -flags with the JSON list of accepted flags, accept a trailing
+// *.cfg argument naming a JSON vet config, emit diagnostics to stderr,
+// write the (fact-free) .vetx output, and exit 2 when diagnostics were
+// reported.
+//
+// Exit codes: 0 clean, 1 operational error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mochy/internal/lint"
+	"mochy/internal/lint/driver"
+	"mochy/internal/lint/framework"
+	"mochy/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mochyvet", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mochyvet [flags] [package pattern ... | vet.cfg]\n\n")
+		fs.PrintDefaults()
+	}
+	var (
+		vFlag     = fs.String("V", "", "print version information ('full' for cmd/go's tool handshake)")
+		flagsFlag = fs.Bool("flags", false, "print the accepted flags as JSON (vet-tool handshake)")
+		listFlag  = fs.Bool("list", false, "list the analyzers in the suite and exit")
+		pathFlag  = fs.Bool("print-path", false, "print the path of this executable and exit")
+		onlyFlag  = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		testsFlag = fs.Bool("tests", true, "standalone mode: analyze test files and test packages too")
+	)
+	perAnalyzer := make(map[string]*bool)
+	for _, a := range lint.All() {
+		perAnalyzer[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer (with any other analyzer flags set): "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *vFlag != "":
+		return printVersion(*vFlag)
+	case *flagsFlag:
+		return printFlags(fs)
+	case *listFlag:
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	case *pathFlag:
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mochyvet:", err)
+			return 1
+		}
+		fmt.Println(exe)
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*onlyFlag, perAnalyzer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], analyzers)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 1
+	}
+	return runStandalone(rest, analyzers, *testsFlag)
+}
+
+// selectAnalyzers resolves -only and the per-analyzer bool flags (the
+// form cmd/go forwards, e.g. `go vet -vettool=... -lockscope`) to the
+// active subset. Explicit per-analyzer flags win over -only; with
+// neither, the whole suite runs.
+func selectAnalyzers(only string, perAnalyzer map[string]*bool) ([]*framework.Analyzer, error) {
+	all := lint.All()
+	var picked []*framework.Analyzer
+	for _, a := range all {
+		if *perAnalyzer[a.Name] {
+			picked = append(picked, a)
+		}
+	}
+	if len(picked) > 0 {
+		return picked, nil
+	}
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*framework.Analyzer)
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// runStandalone loads packages with `go list -export` and analyzes them.
+func runStandalone(patterns []string, analyzers []*framework.Analyzer, tests bool) int {
+	pkgs, err := load.List(".", tests, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	findings, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		driver.Print(os.Stdout, findings)
+		return 2
+	}
+	return 0
+}
+
+// runUnit analyzes the single package described by a cmd/go vet config.
+func runUnit(cfgPath string, analyzers []*framework.Analyzer) int {
+	cfg, err := load.ReadVetCfg(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// cmd/go only wants the facts file for a dependency; this suite
+		// is fact-free, so satisfy the cache and stop.
+		if err := cfg.WriteVetx(); err != nil {
+			fmt.Fprintln(os.Stderr, "mochyvet:", err)
+			return 1
+		}
+		return 0
+	}
+	pkg, err := cfg.Load()
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler is about to report this same failure with a
+			// better message; stay quiet.
+			_ = cfg.WriteVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	findings, err := driver.Run([]*load.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	if err := cfg.WriteVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		driver.Print(os.Stderr, findings)
+		return 2
+	}
+	return 0
+}
+
+// printVersion answers cmd/go's tool-identity handshake. With -V=full
+// the last field must carry a build ID that changes whenever the tool's
+// behavior could; hashing the executable itself is exact.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("mochyvet version devel")
+		return 0
+	}
+	id, err := executableHash()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	fmt.Printf("mochyvet version devel buildID=%s\n", id)
+	return 0
+}
+
+func executableHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16]), nil
+}
+
+// printFlags answers `mochyvet -flags`: the JSON inventory cmd/go reads
+// to learn which flags it may forward (see cmd/go/internal/vet).
+func printFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" || f.Name == "print-path" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mochyvet:", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}

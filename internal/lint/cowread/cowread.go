@@ -1,0 +1,162 @@
+// Package cowread rejects mutation of values read from shardmap's
+// copy-on-write structures.
+//
+// shardmap.COW publishes immutable snapshots: Get and Snapshot return a
+// map shared with every concurrent reader, and the only legal write path
+// is Store/Delete's clone-and-replace. Writing into a snapshot — an
+// index assignment, a delete — is a data race that the race detector
+// only catches if a reader collides in the same run. The analyzer makes
+// the copy-on-write contract a compile-gate instead: any map obtained
+// from COW.Snapshot (or a map-typed COW.Get) must stay read-only.
+//
+// Tracking is per-function: the results of the COW read calls, and local
+// variables they flow into through plain assignments, are the tracked
+// set; index assignments, compound assignments, ++/--, and delete()
+// against tracked values are reported.
+package cowread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mochy/internal/lint/framework"
+)
+
+// Analyzer is the cowread pass.
+var Analyzer = &framework.Analyzer{
+	Name: "cowread",
+	Doc:  "values from shardmap copy-on-write reads (COW.Get/Snapshot) must not be mutated",
+	Run:  run,
+}
+
+// cowReadMethods are the shardmap.COW methods whose results are shared
+// snapshots. Maps returned by them must never be written.
+var cowReadMethods = map[string]bool{
+	"mochy/internal/shardmap.COW.Snapshot": true,
+	"mochy/internal/shardmap.COW.Get":      true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCowRead reports whether call reads a shared snapshot out of a COW
+// and the result at index i is a map (the mutable-looking shape worth
+// tracking; pointer element types are out of scope for a syntax pass).
+func isCowRead(pass *framework.Pass, call *ast.CallExpr) bool {
+	return cowReadMethods[framework.FuncKey(framework.CalleeFunc(pass.Info, call))]
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	// Pass 1: the tracked set — objects assigned from COW reads, plus
+	// one level of aliasing per iteration to a fixed point.
+	tracked := make(map[types.Object]bool)
+	addLHS := func(lhs ast.Expr) {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				tracked[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				tracked[obj] = true
+			}
+		}
+	}
+	for {
+		before := len(tracked)
+		ast.Inspect(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// m, ok := c.Get(k) / m := c.Snapshot() / alias := m
+			if len(asg.Rhs) == 1 {
+				switch rhs := framework.Unparen(asg.Rhs[0]).(type) {
+				case *ast.CallExpr:
+					if isCowRead(pass, rhs) && isMapTyped(pass, asg.Lhs[0]) {
+						addLHS(asg.Lhs[0])
+					}
+				case *ast.Ident:
+					if obj := pass.Info.Uses[rhs]; obj != nil && tracked[obj] && len(asg.Lhs) == 1 {
+						addLHS(asg.Lhs[0])
+					}
+				}
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				if call, ok := framework.Unparen(rhs).(*ast.CallExpr); ok && isCowRead(pass, call) && i < len(asg.Lhs) && isMapTyped(pass, asg.Lhs[i]) {
+					addLHS(asg.Lhs[i])
+				}
+			}
+			return true
+		})
+		if len(tracked) == before {
+			break
+		}
+	}
+
+	// Pass 2: writes against tracked values or direct COW-read results.
+	isTrackedMap := func(e ast.Expr) bool {
+		switch e := framework.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			return obj != nil && tracked[obj]
+		case *ast.CallExpr:
+			return isCowRead(pass, e)
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if ix, ok := framework.Unparen(lhs).(*ast.IndexExpr); ok && isTrackedMap(ix.X) {
+					pass.Reportf(st.Pos(), "write into a copy-on-write snapshot map: COW readers share this map; clone it or go through Store/Delete")
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := framework.Unparen(st.X).(*ast.IndexExpr); ok && isTrackedMap(ix.X) {
+				pass.Reportf(st.Pos(), "increment of a copy-on-write snapshot entry: COW readers share this map; clone it or go through Store")
+			}
+		case *ast.CallExpr:
+			if id, ok := framework.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "delete" && len(st.Args) == 2 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && isTrackedMap(st.Args[0]) {
+					pass.Reportf(st.Pos(), "delete from a copy-on-write snapshot map: COW readers share this map; go through COW.Delete")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMapTyped reports whether e's static type is a map.
+func isMapTyped(pass *framework.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	var t types.Type
+	if obj := pass.Info.Defs[id]; obj != nil {
+		t = obj.Type()
+	} else if obj := pass.Info.Uses[id]; obj != nil {
+		t = obj.Type()
+	} else if tv, ok := pass.Info.Types[e]; ok {
+		t = tv.Type
+	}
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}

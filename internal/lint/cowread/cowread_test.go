@@ -1,0 +1,12 @@
+package cowread_test
+
+import (
+	"testing"
+
+	"mochy/internal/lint/cowread"
+	"mochy/internal/lint/linttest"
+)
+
+func TestCowread(t *testing.T) {
+	linttest.Run(t, cowread.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,57 @@
+// Fixture for the cowread analyzer: mutations of shardmap COW snapshots
+// (direct, via locals, via aliases), legal clone-then-write, and one
+// justified suppression.
+package a
+
+import "mochy/internal/shardmap"
+
+func dirtySnapshotWrite(c *shardmap.COW[int]) {
+	snap := c.Snapshot()
+	snap["k"] = 1 // want "write into a copy-on-write snapshot map"
+}
+
+func dirtyDirectWrite(c *shardmap.COW[int]) {
+	c.Snapshot()["k"] = 2 // want "write into a copy-on-write snapshot map"
+}
+
+func dirtyIncrement(c *shardmap.COW[int]) {
+	snap := c.Snapshot()
+	snap["n"]++ // want "increment of a copy-on-write snapshot entry"
+}
+
+func dirtyAliasDelete(c *shardmap.COW[map[string]int]) {
+	m, ok := c.Get("k")
+	if !ok {
+		return
+	}
+	alias := m
+	delete(alias, "x") // want "delete from a copy-on-write snapshot map"
+}
+
+func cleanCloneThenWrite(c *shardmap.COW[int]) {
+	snap := c.Snapshot()
+	clone := make(map[string]int, len(snap))
+	for k, v := range snap {
+		clone[k] = v
+	}
+	clone["k"] = 3
+	c.Store("k", 3)
+}
+
+func cleanReadOnly(c *shardmap.COW[int]) int {
+	snap := c.Snapshot()
+	return snap["k"]
+}
+
+func cleanNonMapGet(c *shardmap.COW[int]) int {
+	v, _ := c.Get("k")
+	v++
+	return v
+}
+
+func suppressedSoleOwner(c *shardmap.COW[int]) map[string]int {
+	snap := c.Snapshot()
+	//lint:ignore cowread this fixture models migration code that snapshots a store no reader can reach yet, so the map has exactly one owner
+	snap["seed"] = 1
+	return snap
+}

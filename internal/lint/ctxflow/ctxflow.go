@@ -1,0 +1,94 @@
+// Package ctxflow enforces context discipline below mochyd's handler
+// layer.
+//
+// Request-path code in internal/server and internal/store must accept a
+// context.Context and forward the one it was given. Minting a fresh root
+// with context.Background() or context.TODO() down there silently
+// detaches work from cancellation and shutdown: a client disconnect or a
+// draining server can no longer reach it. The one legitimate root — the
+// server's own lifetime context — is created once at construction and
+// carries a justified //lint:ignore.
+//
+// The analyzer applies to packages named server, store, and live (the
+// daemon's serving and durability layers; library packages like the
+// counting kernel are free to be context-less), skips _test.go files,
+// and reports:
+//
+//   - any call to context.Background or context.TODO;
+//   - any function whose parameter list takes a context.Context
+//     anywhere but first, the ecosystem convention that keeps call
+//     sites honest.
+//
+// Detaching deliberately is still expressible — context.WithoutCancel
+// keeps values while shedding cancellation, and an explicit root gets a
+// suppression with its justification.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"mochy/internal/lint/framework"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc:  "server/store code must forward context.Context; no context.Background/TODO below the handler layer",
+	Run:  run,
+}
+
+// scopedPackages names the package layers the invariant covers.
+var scopedPackages = map[string]bool{
+	"server": true,
+	"store":  true,
+	"live":   true,
+}
+
+func run(pass *framework.Pass) error {
+	if !scopedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch framework.FuncKey(framework.CalleeFunc(pass.Info, n)) {
+				case "context.Background":
+					pass.Reportf(n.Pos(), "context.Background below the handler layer detaches this work from cancellation and shutdown; accept and forward a context.Context (or context.WithoutCancel an inherited one)")
+				case "context.TODO":
+					pass.Reportf(n.Pos(), "context.TODO below the handler layer; thread the caller's context.Context through instead")
+				}
+			case *ast.FuncDecl:
+				checkParamOrder(pass, n.Type)
+			case *ast.FuncLit:
+				checkParamOrder(pass, n.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParamOrder reports a context.Context parameter that is not the
+// first parameter.
+func checkParamOrder(pass *framework.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && framework.IsContextType(t) && pos != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			return
+		}
+		pos += n
+	}
+}

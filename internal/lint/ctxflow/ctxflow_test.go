@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mochy/internal/lint/ctxflow"
+	"mochy/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/server", "testdata/src/outofscope")
+}

@@ -1,0 +1,10 @@
+// Fixture for the ctxflow analyzer: a package outside the scoped layers
+// (not server/store/live) may mint context roots freely — library code
+// like the counting kernel is context-less by design.
+package outofscope
+
+import "context"
+
+func anyRootIsFine() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,41 @@
+// Fixture for the ctxflow analyzer. The package is named "server" so it
+// falls inside the analyzer's scope (serving-layer packages).
+package server
+
+import "context"
+
+func dirtyBackground() {
+	ctx := context.Background() // want "context.Background below the handler layer"
+	_ = ctx
+}
+
+func dirtyTODO() context.Context {
+	return context.TODO() // want "context.TODO below the handler layer"
+}
+
+func dirtyParamOrder(name string, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = name
+	_ = ctx
+}
+
+func cleanForwarded(ctx context.Context, name string) (context.Context, string) {
+	return ctx, name
+}
+
+func cleanDetach(ctx context.Context) context.Context {
+	// Shedding cancellation while keeping values is the sanctioned way
+	// to detach shared work from one caller's request.
+	return context.WithoutCancel(ctx)
+}
+
+type engine struct {
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+func newEngine() *engine {
+	e := &engine{}
+	//lint:ignore ctxflow this fixture's constructor owns the component's one legitimate lifetime root, cancelled by its Close
+	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
+	return e
+}

@@ -1,0 +1,149 @@
+// Package driver runs invariant analyzers over loaded packages, applies
+// //lint:ignore suppressions, and renders findings.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"mochy/internal/lint/framework"
+	"mochy/internal/lint/load"
+)
+
+// knownAnalyzers reports whether a name belongs to the full registered
+// suite; set once by the lint registry so the unused-directive check can
+// distinguish "skipped this run" from "no such analyzer".
+var knownAnalyzers func(name string) bool
+
+// SetKnownAnalyzers installs the full-suite membership predicate.
+func SetKnownAnalyzers(fn func(name string) bool) { knownAnalyzers = fn }
+
+// A Finding is one resolved diagnostic with its file position.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer over every package, filters findings
+// through the packages' suppression directives, and reports malformed
+// and unused directives as findings of their own. The result is sorted
+// by position.
+func Run(pkgs []*load.Package, analyzers []*framework.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		findings, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, findings...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+func runPackage(pkg *load.Package, analyzers []*framework.Analyzer) ([]Finding, error) {
+	var sups []*framework.Suppression
+	var directiveDiags []framework.Diagnostic
+	for _, f := range pkg.Files {
+		s, malformed := framework.ParseSuppressions(pkg.Fset, f)
+		sups = append(sups, s...)
+		directiveDiags = append(directiveDiags, malformed...)
+	}
+
+	var diags []framework.Diagnostic
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.Report = func(d framework.Diagnostic) {
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ID, err)
+		}
+	}
+
+	var out []Finding
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range sups {
+			if s.Matches(d.Analyzer, pos.Filename, pos.Line) {
+				s.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+		}
+	}
+	for _, d := range directiveDiags {
+		pos := pkg.Fset.Position(d.Pos)
+		out = append(out, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	// A directive is "unused" only when every analyzer it names ran in
+	// this invocation and none of them produced anything on its line;
+	// running a subset (mochyvet -only ...) must not flag directives for
+	// analyzers that were skipped. Directives naming a nonexistent
+	// analyzer (a typo) surface here on the default full-suite run.
+	known := knownAnalyzers
+	if known == nil {
+		known = func(string) bool { return false }
+	}
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for _, s := range sups {
+		skip := false
+		for _, name := range s.Analyzers {
+			if !active[name] && known(name) {
+				skip = true // names an analyzer that exists but didn't run
+			}
+		}
+		if skip {
+			continue
+		}
+		if !s.Used {
+			out = append(out, Finding{
+				Position: pkg.Fset.Position(s.Pos),
+				Analyzer: framework.DirectiveAnalyzer,
+				Message:  fmt.Sprintf("unused //lint:ignore directive for %v: nothing it suppresses fires here anymore", s.Analyzers),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Print writes findings one per line in the canonical vet format.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

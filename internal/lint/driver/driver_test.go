@@ -1,0 +1,158 @@
+package driver_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"mochy/internal/lint/driver"
+	"mochy/internal/lint/framework"
+	"mochy/internal/lint/load"
+)
+
+// checkSource type-checks one import-free source string into a package
+// the driver can run.
+func checkSource(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{ID: "fixture", PkgPath: "fixture", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// sleeper flags every call to the function named "sleep" — a stand-in
+// analyzer with predictable findings.
+var sleeper = &framework.Analyzer{
+	Name: "sleeper",
+	Doc:  "flags calls to sleep()",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sleep" {
+					pass.Reportf(call.Pos(), "sleep called")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func messages(fs []driver.Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Analyzer + ": " + f.Message
+	}
+	return out
+}
+
+func runOn(t *testing.T, src string) []driver.Finding {
+	t.Helper()
+	fs, err := driver.Run([]*load.Package{checkSource(t, src)}, []*framework.Analyzer{sleeper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestSuppressionSilencesFinding(t *testing.T) {
+	fs := runOn(t, `package fixture
+func sleep() {}
+func f() {
+	//lint:ignore sleeper the scheduler nap is load-bearing here
+	sleep()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("suppressed finding leaked: %v", messages(fs))
+	}
+}
+
+func TestMalformedDirectiveNeedsJustification(t *testing.T) {
+	fs := runOn(t, `package fixture
+func sleep() {}
+func f() {
+	//lint:ignore sleeper ok
+	sleep()
+}
+`)
+	// The directive is rejected, so BOTH the malformed-directive finding
+	// and the original sleep finding must surface.
+	if len(fs) != 2 {
+		t.Fatalf("got %v, want malformed-directive + original finding", messages(fs))
+	}
+	var sawDirective, sawSleep bool
+	for _, f := range fs {
+		switch f.Analyzer {
+		case framework.DirectiveAnalyzer:
+			sawDirective = strings.Contains(f.Message, "justification")
+		case "sleeper":
+			sawSleep = true
+		}
+	}
+	if !sawDirective || !sawSleep {
+		t.Fatalf("got %v", messages(fs))
+	}
+}
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	fs := runOn(t, `package fixture
+//lint:ignore sleeper nothing on this line ever fires the analyzer
+var x = 1
+`)
+	if len(fs) != 1 || fs[0].Analyzer != framework.DirectiveAnalyzer || !strings.Contains(fs[0].Message, "unused") {
+		t.Fatalf("got %v, want one unused-directive finding", messages(fs))
+	}
+}
+
+func TestDirectiveForInactiveKnownAnalyzerNotUnused(t *testing.T) {
+	// Running a subset (mochyvet -only ...) must not flag directives for
+	// suite analyzers that were skipped — but a typo'd name is not in the
+	// suite and still surfaces.
+	driver.SetKnownAnalyzers(func(name string) bool { return name == "sleeper" || name == "otherpass" })
+	defer driver.SetKnownAnalyzers(nil)
+
+	fs := runOn(t, `package fixture
+//lint:ignore otherpass that analyzer is not running in this invocation
+var x = 1
+
+//lint:ignore sleeeper misspelled analyzer names must not silently pass
+var y = 2
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "sleeeper") {
+		t.Fatalf("got %v, want exactly the typo'd directive reported unused", messages(fs))
+	}
+}
+
+func TestFileIgnoreCoversWholeFile(t *testing.T) {
+	fs := runOn(t, `package fixture
+
+//lint:file-ignore sleeper this whole fixture is the designed exception to the rule
+
+func sleep() {}
+func f() { sleep() }
+func g() { sleep() }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("file-ignore did not cover the file: %v", messages(fs))
+	}
+}

@@ -1,0 +1,163 @@
+// Package framework is a self-contained miniature of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast and go/types. mochyd's invariant analyzers (internal/lint/...)
+// are written against it, and cmd/mochyvet drives them either standalone
+// or as a `go vet -vettool`.
+//
+// The subset is deliberate: no facts, no cross-package inference, no
+// SSA. Every analyzer here is a single-package syntax+types pass, which
+// keeps the suite dependency-free (the container that builds this repo
+// has no module proxy access) and fast enough to run on every change.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc explains the invariant the analyzer guards. The first line is
+	// the short description shown by `mochyvet -list`.
+	Doc string
+	// Run inspects one type-checked package and reports findings
+	// through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Report delivers one finding. Filled in by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position, the analyzer that produced
+// it, and a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Unparen strips any enclosing parentheses from e. (go.mod pins the
+// language to 1.21, which predates ast.Unparen.)
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(f) >= len(suffix) && f[len(f)-len(suffix):] == suffix
+}
+
+// CalleeFunc resolves the function or method called by call, or nil when
+// the callee is not a static function (a call through a function value,
+// a conversion, a builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncKey renders fn as "pkgpath.Name" for package functions and
+// "pkgpath.Type.Method" for methods (pointerness of the receiver is
+// erased, and generic instantiations collapse to their origin type), so
+// analyzers can match callees against simple string tables.
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			obj := t.Origin().Obj()
+			if obj.Pkg() == nil {
+				return obj.Name() + "." + fn.Name()
+			}
+			return obj.Pkg().Path() + "." + obj.Name() + "." + fn.Name()
+		case *types.Interface:
+			// Interface method: attribute to the interface's named type
+			// via the method's package (e.g. net.Conn.Read resolves to
+			// package net).
+			if fn.Pkg() != nil {
+				return fn.Pkg().Path() + ".(interface)." + fn.Name()
+			}
+			return "(interface)." + fn.Name()
+		default:
+			return ""
+		}
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// ReturnsError reports whether fn's final result is an error.
+func ReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// IsChanType reports whether t's underlying type is a channel.
+func IsChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

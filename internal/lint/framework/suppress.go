@@ -1,0 +1,122 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding can be silenced with a justification comment:
+//
+//	//lint:ignore lockscope the group-commit leader holds syncMu across fsync by design
+//	h.syncMu.Lock()
+//
+// The directive applies to findings on its own line or on the line
+// immediately below it, and names one analyzer or a comma-separated
+// list. The justification is mandatory and must say something: a
+// directive with fewer than three words of explanation is itself a
+// finding, so "//lint:ignore lockscope ok" never ships.
+//
+// A whole file can opt out of one analyzer with
+//
+//	//lint:file-ignore lockscope <justification>
+//
+// reserved for files whose entire design is the exception (the WAL
+// holds its locks across fsync on purpose, in every function).
+//
+// Unused //lint:ignore directives are reported too, so stale
+// suppressions cannot silently accumulate.
+
+const (
+	ignorePrefix     = "//lint:ignore "
+	fileIgnorePrefix = "//lint:file-ignore "
+	// DirectiveAnalyzer is the pseudo-analyzer name under which
+	// malformed or unused directives are reported.
+	DirectiveAnalyzer = "lintdirective"
+)
+
+// A Suppression is one parsed //lint:ignore or //lint:file-ignore
+// directive.
+type Suppression struct {
+	Pos       token.Pos
+	File      string
+	Line      int
+	Analyzers []string
+	WholeFile bool
+	Used      bool
+}
+
+// ParseSuppressions extracts every well-formed directive from file and
+// reports malformed ones as diagnostics.
+func ParseSuppressions(fset *token.FileSet, file *ast.File) (sups []*Suppression, malformed []Diagnostic) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			var rest string
+			wholeFile := false
+			switch {
+			case strings.HasPrefix(text, ignorePrefix):
+				rest = text[len(ignorePrefix):]
+			case strings.HasPrefix(text, fileIgnorePrefix):
+				rest = text[len(fileIgnorePrefix):]
+				wholeFile = true
+			case strings.HasPrefix(text, "//lint:ignore") || strings.HasPrefix(text, "//lint:file-ignore"):
+				malformed = append(malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: DirectiveAnalyzer,
+					Message:  "malformed lint directive: want //lint:ignore <analyzer>[,<analyzer>] <justification>",
+				})
+				continue
+			default:
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				malformed = append(malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: DirectiveAnalyzer,
+					Message:  "lint directive names no analyzer: want //lint:ignore <analyzer>[,<analyzer>] <justification>",
+				})
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			just := fields[1:]
+			if len(just) < 3 {
+				malformed = append(malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: DirectiveAnalyzer,
+					Message:  "lint directive needs a real justification (at least a short sentence) explaining why breaking the invariant is safe here",
+				})
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			sups = append(sups, &Suppression{
+				Pos:       c.Pos(),
+				File:      pos.Filename,
+				Line:      pos.Line,
+				Analyzers: names,
+				WholeFile: wholeFile,
+			})
+		}
+	}
+	return sups, malformed
+}
+
+// Matches reports whether s silences a diagnostic from analyzer at
+// file:line.
+func (s *Suppression) Matches(analyzer, file string, line int) bool {
+	if s.File != file {
+		return false
+	}
+	if !s.WholeFile && line != s.Line && line != s.Line+1 {
+		return false
+	}
+	for _, a := range s.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}

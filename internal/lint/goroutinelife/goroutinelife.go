@@ -1,0 +1,132 @@
+// Package goroutinelife rejects goroutines with no tie to a lifecycle.
+//
+// Every `go` statement in mochyd's long-lived library code must answer
+// "who stops this, and who waits for it?": a WaitGroup the launcher
+// waits on, a stop/done channel the goroutine selects on, or a context
+// it observes. A goroutine with none of those is an orphan — it holds
+// its captures alive past Close, keeps running into a half-torn-down
+// server, and turns graceful shutdown into a race. The server's
+// background checkpoints and cache sweeper, the live graphs' apply
+// loops, and the counting kernel's worker fans are all lifecycle-tied;
+// this analyzer keeps the next launch site that way.
+//
+// A `go` statement passes when any of these holds:
+//
+//   - an argument to the launched call is a context.Context;
+//   - the launched function literal (or, for a named callee declared in
+//     the same package, its body) references a sync.WaitGroup's
+//     Done/Wait, receives from or ranges over a channel, or uses a
+//     context.Context;
+//
+// package main and _test.go files are exempt: mains die with the
+// process, and test goroutines are bounded by the test.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mochy/internal/lint/framework"
+)
+
+// Analyzer is the goroutinelife pass.
+var Analyzer = &framework.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every goroutine in library code must be tied to a WaitGroup, stop channel, or context",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goHasLifecycle(pass, decls, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine has no lifecycle: tie it to a WaitGroup the launcher waits on, a stop channel, or a context, or it outlives Close")
+			return true
+		})
+	}
+	return nil
+}
+
+// goHasLifecycle applies the evidence rules to one go statement.
+func goHasLifecycle(pass *framework.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) bool {
+	for _, arg := range g.Call.Args {
+		if t := pass.Info.TypeOf(arg); t != nil && framework.IsContextType(t) {
+			return true
+		}
+	}
+	if lit, ok := framework.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyHasLifecycle(pass, lit.Body)
+	}
+	if fn := framework.CalleeFunc(pass.Info, g.Call); fn != nil {
+		if decl, ok := decls[fn]; ok && decl.Body != nil {
+			return bodyHasLifecycle(pass, decl.Body)
+		}
+	}
+	return false
+}
+
+// bodyHasLifecycle scans a function body for lifecycle evidence. Nested
+// function literals are included on purpose: a worker that defers
+// wg.Done() inside a helper closure is still tied.
+func bodyHasLifecycle(pass *framework.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch framework.FuncKey(framework.CalleeFunc(pass.Info, n)) {
+			case "sync.WaitGroup.Done", "sync.WaitGroup.Wait":
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil && framework.IsChanType(t) {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && framework.IsContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// packageFuncDecls maps each declared function object to its
+// declaration, so `go s.loop()` can be checked against loop's body when
+// loop lives in the same package.
+func packageFuncDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}

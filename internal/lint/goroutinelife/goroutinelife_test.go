@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"mochy/internal/lint/goroutinelife"
+	"mochy/internal/lint/linttest"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	linttest.Run(t, goroutinelife.Analyzer, "testdata/src/worker")
+}

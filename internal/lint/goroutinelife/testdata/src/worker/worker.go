@@ -1,0 +1,68 @@
+// Fixture for the goroutinelife analyzer: orphan goroutines, the
+// accepted lifecycle shapes, and one justified suppression.
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+func dirtyOrphan() {
+	go func() { // want "goroutine has no lifecycle"
+		println("nobody stops me, nobody waits for me")
+	}()
+}
+
+func helper() { println("plain") }
+
+func dirtyOrphanNamed() {
+	go helper() // want "goroutine has no lifecycle"
+}
+
+func cleanWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("tracked")
+	}()
+	wg.Wait()
+}
+
+func cleanStopChannel(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+func cleanRangeOverChannel(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+func cleanContextArgument(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+func loop(stop chan struct{}) {
+	for range stop {
+	}
+}
+
+func cleanNamedCalleeWithLifecycle(stop chan struct{}) {
+	// The callee is declared in this package, so its body is inspected:
+	// it ranges over the stop channel.
+	go loop(stop)
+}
+
+func suppressedFireAndForget() {
+	//lint:ignore goroutinelife this fixture goroutine is process-lifetime telemetry that must outlive every component and dies with the program by design
+	go func() {
+		println("metrics heartbeat")
+	}()
+}

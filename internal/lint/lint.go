@@ -1,0 +1,38 @@
+// Package lint registers mochyd's invariant analyzers — the suite
+// cmd/mochyvet runs standalone or as a `go vet -vettool`.
+//
+// Each analyzer encodes an invariant the daemon's correctness rests on;
+// see the package docs under internal/lint/... and the "Static analysis
+// & invariants" section of the README for the full catalogue.
+package lint
+
+import (
+	"mochy/internal/lint/cowread"
+	"mochy/internal/lint/ctxflow"
+	"mochy/internal/lint/driver"
+	"mochy/internal/lint/framework"
+	"mochy/internal/lint/goroutinelife"
+	"mochy/internal/lint/lockscope"
+	"mochy/internal/lint/sleepytest"
+	"mochy/internal/lint/syncerr"
+)
+
+// All returns the full suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		cowread.Analyzer,
+		ctxflow.Analyzer,
+		goroutinelife.Analyzer,
+		lockscope.Analyzer,
+		sleepytest.Analyzer,
+		syncerr.Analyzer,
+	}
+}
+
+func init() {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	driver.SetKnownAnalyzers(func(name string) bool { return names[name] })
+}

@@ -1,0 +1,208 @@
+// Package linttest is the golden-file harness for mochyvet analyzers.
+//
+// A fixture is one directory under the analyzer's testdata/src holding a
+// single Go package. Source lines that should produce a diagnostic carry
+// a trailing `// want "regexp"` comment (several quoted regexps may
+// follow one want). The harness parses and type-checks the fixture
+// against real export data (via `go list -export`, so fixtures may
+// import the standard library and mochy's own packages), runs the
+// analyzer through the same driver the mochyvet binary uses —
+// //lint:ignore suppressions included — and diffs the surviving findings
+// against the want comments in both directions.
+//
+// Because suppressions are applied before the diff, a fixture line with
+// a justified //lint:ignore and no want comment is itself a test: it
+// proves the suppression is accepted.
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mochy/internal/lint/driver"
+	"mochy/internal/lint/framework"
+	"mochy/internal/lint/load"
+
+	// Register the full suite so the driver's unused-directive check
+	// knows every real analyzer name, exactly as in the binary.
+	_ "mochy/internal/lint"
+)
+
+// want is one expected diagnostic: a regexp that must match a finding's
+// message on a specific file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run executes the analyzer over each fixture directory (a path relative
+// to the calling test, e.g. "testdata/src/basic") and fails the test on
+// any mismatch between findings and want comments.
+func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Helper()
+			runDir(t, a, dir)
+		})
+	}
+}
+
+func runDir(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var gofiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			gofiles = append(gofiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(gofiles) == 0 {
+		t.Fatalf("fixture %s has no .go files", dir)
+	}
+	sort.Strings(gofiles)
+
+	pkg := typecheckFixture(t, dir, gofiles)
+	findings, err := driver.Run([]*load.Package{pkg}, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+
+	wants := parseWants(t, pkg.Fset, gofiles)
+	for _, f := range findings {
+		if !claimWant(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// typecheckFixture parses the fixture sources, resolves their imports to
+// export data, and type-checks them as one package.
+func typecheckFixture(t *testing.T, dir string, gofiles []string) *load.Package {
+	t.Helper()
+	imports := fixtureImports(t, gofiles)
+	resolve, err := load.ExportsFor(".", imports...)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, err := load.Typecheck(dir, "fixture/"+filepath.Base(dir), gofiles, resolve)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return pkg
+}
+
+// fixtureImports collects the distinct import paths of the fixture files
+// with a syntax-only parse.
+func fixtureImports(t *testing.T, gofiles []string) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range gofiles {
+		f, err := importsOnly(fset, name)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, imp := range f {
+			seen[imp] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importsOnly returns the import paths of one file from a syntax-only
+// parse.
+func importsOnly(fset *token.FileSet, name string) ([]string, error) {
+	f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(f.Imports))
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, path)
+	}
+	return out, nil
+}
+
+// claimWant marks the first unmatched want on the finding's line whose
+// pattern matches, and reports whether one was found.
+func claimWant(wants []*want, f driver.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRe extracts the comment payload after the want marker; quoted
+// regexps are then pulled out one strconv.Unquote at a time.
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWants re-parses each fixture file's comments for want markers.
+func parseWants(t *testing.T, fset *token.FileSet, gofiles []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, name := range gofiles {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRe.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted regexp", name, i+1)
+			}
+			for _, q := range quoted {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", name, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,138 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	ForTest    string
+	Match      []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// ExportsFor resolves the named import paths (and their transitive
+// dependencies) to compiler export data via `go list -export`, for
+// type-checking source that lives outside any listable package — e.g.
+// analyzer test fixtures under testdata. dir must be inside the module.
+func ExportsFor(dir string, paths ...string) (Resolver, error) {
+	exports := make(map[string]string)
+	if len(paths) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export,Standard,Incomplete,Error"}, paths...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e listEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("go list: decoding output: %v", err)
+			}
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	return mapResolver(exports, ""), nil
+}
+
+// List loads the packages matching patterns with `go list -export`,
+// type-checking each matched package from source against its
+// dependencies' export data. With tests true, in-package and external
+// test variants are loaded too (their generated ".test" mains are not).
+// The go command builds export data as a side effect, so this works
+// offline from a warm build cache.
+func List(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,ForTest,Match,DepOnly,Incomplete,Error"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if e.Standard || e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		// Skip the synthesized test main package ("p.test"): its only
+		// source is a generated _testmain.go.
+		if strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		if e.Error != nil || e.Incomplete {
+			return nil, fmt.Errorf("go list: package %s did not load cleanly: %+v", e.ImportPath, e.Error)
+		}
+		targets = append(targets, e)
+	}
+
+	// With -test, a package that has in-package test files is listed
+	// twice: plain "p" and the augmented "p [p.test]" (whose sources are
+	// a superset). Analyze only the augmented variant to avoid duplicate
+	// diagnostics on the shared files.
+	augmented := make(map[string]bool)
+	for _, t := range targets {
+		if t.ForTest != "" && t.ForTest == BasePath(t.ImportPath) {
+			augmented[t.ForTest] = true
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.ForTest == "" && augmented[t.ImportPath] {
+			continue
+		}
+		gofiles := make([]string, 0, len(t.GoFiles)+len(t.CgoFiles))
+		for _, f := range append(append([]string{}, t.GoFiles...), t.CgoFiles...) {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(t.Dir, f)
+			}
+			gofiles = append(gofiles, f)
+		}
+		pkg, err := Typecheck(t.ImportPath, BasePath(t.ImportPath), gofiles, mapResolver(exports, t.ImportPath))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,118 @@
+// Package load turns Go packages into type-checked framework inputs
+// without golang.org/x/tools: source files are parsed with go/parser and
+// type-checked against compiler export data obtained either from
+// `go list -export` (standalone mode) or from the vet config handed to a
+// -vettool by cmd/go (unit mode). Only the standard library is required.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	// ID is the build system's identifier, e.g.
+	// "mochy/internal/server [mochy/internal/server.test]".
+	ID string
+	// PkgPath is the canonical import path, without any test-variant
+	// suffix.
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// A Resolver maps an import path as written in source to the file
+// holding that package's export data.
+type Resolver func(importPath string) (exportFile string, err error)
+
+// Typecheck parses gofiles and type-checks them as package pkgPath,
+// resolving imports through resolve.
+func Typecheck(id, pkgPath string, gofiles []string, resolve Resolver) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(gofiles))
+	for _, name := range gofiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", id, err)
+	}
+	return &Package{ID: id, PkgPath: pkgPath, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// BasePath strips a test-variant suffix: "p [p.test]" -> "p".
+func BasePath(id string) string {
+	if i := strings.Index(id, " ["); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// variantSuffix returns the " [p.test]" suffix of a test-variant ID, or "".
+func variantSuffix(id string) string {
+	if i := strings.Index(id, " ["); i >= 0 {
+		return id[i:]
+	}
+	return ""
+}
+
+// mapResolver resolves imports against an export-file map, preferring
+// the importing package's own test variant of a dependency (the way an
+// external test package imports the test-augmented package under test).
+func mapResolver(exports map[string]string, importerID string) Resolver {
+	suffix := variantSuffix(importerID)
+	return func(path string) (string, error) {
+		if suffix != "" {
+			if f, ok := exports[path+suffix]; ok {
+				return f, nil
+			}
+		}
+		if f, ok := exports[path]; ok {
+			return f, nil
+		}
+		return "", fmt.Errorf("no export data for import %q (from %s)", path, importerID)
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

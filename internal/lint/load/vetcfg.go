@@ -1,0 +1,66 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// VetCfg mirrors the JSON configuration cmd/go writes for a vet tool
+// (see cmd/go/internal/work.vetConfig). One file describes one package.
+type VetCfg struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	NonGoFiles []string
+
+	ImportMap   map[string]string // import path in source -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetCfg parses a vet config file.
+func ReadVetCfg(path string) (*VetCfg, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetCfg)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// LoadVetCfg type-checks the package a vet config describes.
+func (cfg *VetCfg) Load() (*Package, error) {
+	resolve := func(path string) (string, error) {
+		canonical := path
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			canonical = mapped
+		}
+		if f, ok := cfg.PackageFile[canonical]; ok {
+			return f, nil
+		}
+		return "", fmt.Errorf("no export data for import %q in vet config for %s", path, cfg.ID)
+	}
+	return Typecheck(cfg.ID, BasePath(cfg.ImportPath), cfg.GoFiles, resolve)
+}
+
+// WriteVetx writes the (empty) facts output cmd/go expects a vet tool to
+// produce. The analyzers in this suite are fact-free, so the file exists
+// only to satisfy the protocol and its cache.
+func (cfg *VetCfg) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte("mochyvet.vetx\n"), 0o666)
+}

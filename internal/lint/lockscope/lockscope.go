@@ -1,0 +1,294 @@
+// Package lockscope rejects blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held.
+//
+// mochyd's hot paths are guarded by many small locks — shardmap's
+// per-shard mutexes, the cache partitions' locks, the job table — whose
+// whole value is that critical sections stay nanosecond-short. A channel
+// operation, file write, fsync, sleep, or HTTP round trip inside one
+// turns a shard lock into a convoy: every request hashing to that shard
+// queues behind the I/O. The analyzer flags those operations inside
+// critical sections so the pattern is rejected at vet time instead of
+// discovered in a latency profile.
+//
+// The analysis is per-function and intentionally simple: a critical
+// section runs from a Lock/RLock call to the next Unlock/RUnlock of the
+// same lock expression in source order (a deferred Unlock extends it to
+// the end of the function). Nested function literals are separate
+// functions — a goroutine launched under a lock does not inherit it.
+// Channel sends and receives that are the communication clauses of a
+// select with a default case are non-blocking and exempt.
+//
+// Code whose design is to hold a lock across I/O — the WAL's
+// group-commit path, where the journal mutex exists precisely to order
+// buffered appends and fsyncs — opts out with a justified
+// //lint:file-ignore or //lint:ignore directive.
+package lockscope
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"mochy/internal/lint/framework"
+)
+
+// Analyzer is the lockscope pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockscope",
+	Doc:  "no mutex held across channel operations, file I/O, fsync, sleeps, or HTTP calls",
+	Run:  run,
+}
+
+// blockingCalls maps framework.FuncKey strings to a short description of
+// why the call can block. The table is deliberately curated: it lists
+// operations that always (or routinely) reach the scheduler, a disk, or
+// a network, not everything that could conceivably be slow.
+var blockingCalls = map[string]string{
+	// Filesystem metadata and whole-file helpers.
+	"os.Open": "file I/O", "os.OpenFile": "file I/O", "os.Create": "file I/O",
+	"os.CreateTemp": "file I/O", "os.Remove": "file I/O", "os.RemoveAll": "file I/O",
+	"os.Rename": "file I/O", "os.ReadFile": "file I/O", "os.WriteFile": "file I/O",
+	"os.Mkdir": "file I/O", "os.MkdirAll": "file I/O", "os.ReadDir": "file I/O",
+	"os.Stat": "file I/O", "os.Lstat": "file I/O", "os.Truncate": "file I/O",
+
+	// os.File methods.
+	"os.File.Write": "file write", "os.File.WriteString": "file write",
+	"os.File.WriteAt": "file write", "os.File.Read": "file read",
+	"os.File.ReadAt": "file read", "os.File.ReadFrom": "file read",
+	"os.File.Sync": "fsync", "os.File.Close": "file close",
+	"os.File.Seek": "file I/O", "os.File.Truncate": "file I/O",
+
+	// Buffered writers flush to their underlying file when full, so a
+	// Write under a lock is file I/O on the unlucky call.
+	"bufio.Writer.Write":       "buffered write (may flush to disk)",
+	"bufio.Writer.WriteString": "buffered write (may flush to disk)",
+	"bufio.Writer.WriteByte":   "buffered write (may flush to disk)",
+	"bufio.Writer.WriteRune":   "buffered write (may flush to disk)",
+	"bufio.Writer.Flush":       "buffer flush", "bufio.Writer.ReadFrom": "buffered copy",
+	"bufio.Reader.Read": "buffered read", "bufio.Reader.ReadByte": "buffered read",
+	"bufio.Reader.ReadString": "buffered read", "bufio.Reader.ReadBytes": "buffered read",
+	"bufio.Reader.ReadSlice": "buffered read", "bufio.Reader.Peek": "buffered read",
+
+	// Unbounded copies through interfaces.
+	"io.Copy": "stream copy", "io.CopyN": "stream copy", "io.CopyBuffer": "stream copy",
+	"io.ReadAll": "stream read",
+
+	// Network.
+	"net/http.Get": "HTTP call", "net/http.Post": "HTTP call",
+	"net/http.PostForm": "HTTP call", "net/http.Head": "HTTP call",
+	"net/http.Client.Do": "HTTP call", "net/http.Client.Get": "HTTP call",
+	"net/http.Client.Post": "HTTP call", "net/http.Client.PostForm": "HTTP call",
+	"net/http.Client.Head": "HTTP call",
+	"net.Dial":             "network dial", "net.DialTimeout": "network dial",
+
+	// Scheduler-level waits.
+	"time.Sleep":          "sleep",
+	"sync.WaitGroup.Wait": "WaitGroup wait",
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			// Descend: nested function literals are found by the walk
+			// and checked as their own scopes; checkBody itself never
+			// crosses a FuncLit boundary.
+			return true
+		})
+	}
+	return nil
+}
+
+// interval is one critical section of a single lock expression.
+type interval struct {
+	lockExpr string
+	lockPos  token.Pos
+	from, to token.Pos
+}
+
+// checkBody analyzes one function body without descending into nested
+// function literals.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	intervals := lockIntervals(pass, body)
+	if len(intervals) == 0 {
+		return
+	}
+	exempt := nonBlockingSelectOps(body)
+	inspectShallow(body, func(n ast.Node) {
+		pos, what := blockingOp(pass, n, exempt)
+		if what == "" {
+			return
+		}
+		for _, iv := range intervals {
+			if pos > iv.from && pos < iv.to {
+				pass.Reportf(pos, "%s while holding %s (locked at %s); blocking under a lock convoys every contender",
+					what, iv.lockExpr, pass.Fset.Position(iv.lockPos))
+				return // one report per op, even under nested locks
+			}
+		}
+	})
+}
+
+// lockIntervals extracts the critical sections of body: each Lock/RLock
+// pairs with the next Unlock/RUnlock of the same lock expression in
+// source order; a deferred unlock (or an unpaired lock) extends the
+// section to the end of the body.
+func lockIntervals(pass *framework.Pass, body *ast.BlockStmt) []interval {
+	type event struct {
+		pos      token.Pos
+		expr     string
+		acquire  bool
+		deferred bool
+	}
+	var events []event
+	inspectShallow(body, func(n ast.Node) {
+		var call *ast.CallExpr
+		deferred := false
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if c, ok := st.X.(*ast.CallExpr); ok {
+				call = c
+			}
+		case *ast.DeferStmt:
+			call = st.Call
+			deferred = true
+		}
+		if call == nil {
+			return
+		}
+		fn := framework.CalleeFunc(pass.Info, call)
+		key := framework.FuncKey(fn)
+		var acquire bool
+		switch key {
+		case "sync.Mutex.Lock", "sync.RWMutex.Lock", "sync.RWMutex.RLock":
+			acquire = true
+		case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+			acquire = false
+		default:
+			return
+		}
+		sel, ok := framework.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		events = append(events, event{pos: call.Pos(), expr: exprString(pass.Fset, sel.X), acquire: acquire, deferred: deferred})
+	})
+
+	var out []interval
+	for i, ev := range events {
+		if !ev.acquire {
+			continue
+		}
+		iv := interval{lockExpr: ev.expr, lockPos: ev.pos, from: ev.pos, to: body.End()}
+		for _, later := range events[i+1:] {
+			if later.acquire || later.expr != ev.expr || later.pos < ev.pos {
+				continue
+			}
+			if later.deferred {
+				break // deferred unlock: held to the end of the function
+			}
+			iv.to = later.pos
+			break
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// blockingOp classifies n, returning its position and a description when
+// it can block, or "" otherwise. exempt holds positions of channel
+// operations made non-blocking by a select's default clause.
+func blockingOp(pass *framework.Pass, n ast.Node, exempt map[token.Pos]bool) (token.Pos, string) {
+	switch op := n.(type) {
+	case *ast.SendStmt:
+		if exempt[op.Pos()] {
+			return token.NoPos, ""
+		}
+		return op.Arrow, "channel send"
+	case *ast.UnaryExpr:
+		if op.Op != token.ARROW || exempt[op.Pos()] {
+			return token.NoPos, ""
+		}
+		return op.OpPos, "channel receive"
+	case *ast.SelectStmt:
+		for _, c := range op.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				return token.NoPos, "" // has default: non-blocking
+			}
+		}
+		return op.Select, "blocking select"
+	case *ast.RangeStmt:
+		if t := pass.Info.TypeOf(op.X); t != nil && framework.IsChanType(t) {
+			return op.For, "range over channel"
+		}
+	case *ast.CallExpr:
+		fn := framework.CalleeFunc(pass.Info, op)
+		if what, ok := blockingCalls[framework.FuncKey(fn)]; ok {
+			return op.Pos(), what
+		}
+	}
+	return token.NoPos, ""
+}
+
+// nonBlockingSelectOps collects the positions of channel operations that
+// appear as communication clauses of any select: with a default clause
+// they never block, and without one the select statement itself is
+// reported as the single blocking operation.
+func nonBlockingSelectOps(body *ast.BlockStmt) map[token.Pos]bool {
+	exempt := make(map[token.Pos]bool)
+	inspectShallow(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, c := range sel.Body.List {
+			comm := c.(*ast.CommClause).Comm
+			if comm == nil {
+				continue
+			}
+			ast.Inspect(comm, func(m ast.Node) bool {
+				switch op := m.(type) {
+				case *ast.SendStmt:
+					exempt[op.Pos()] = true
+				case *ast.UnaryExpr:
+					if op.Op == token.ARROW {
+						exempt[op.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	})
+	return exempt
+}
+
+// inspectShallow walks n calling fn on every node, but does not descend
+// into nested function literals: their bodies are independent scopes.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

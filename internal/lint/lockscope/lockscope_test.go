@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"mochy/internal/lint/linttest"
+	"mochy/internal/lint/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	linttest.Run(t, lockscope.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,93 @@
+// Fixture for the lockscope analyzer: blocking operations inside and
+// outside critical sections, plus one justified suppression.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	f  *os.File
+}
+
+func dirtySend(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func dirtyReceive(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding g.mu"
+}
+
+func dirtyDeferredUnlock(g *guarded) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, err := g.f.Write([]byte("x")) // want "file write while holding g.mu"
+	return err
+}
+
+func dirtySleep(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "sleep while holding g.mu"
+	g.mu.Unlock()
+}
+
+func dirtyBlockingSelect(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select while holding g.mu"
+	case v := <-g.ch:
+		_ = v
+	}
+}
+
+type rguarded struct {
+	mu sync.RWMutex
+}
+
+func dirtyUnderReadLock(r *rguarded) ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return os.ReadFile("state.bin") // want "file I/O while holding r.mu"
+}
+
+func cleanAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1
+}
+
+func cleanNonBlockingSelect(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+}
+
+func cleanGoroutineIsItsOwnScope(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		// A goroutine launched under the lock does not hold it.
+		g.ch <- 2
+		close(done)
+	}()
+	_ = done
+}
+
+func suppressedGroupCommit(g *guarded) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lint:ignore lockscope this fixture models group commit: the lock exists precisely to order appends with the fsync that makes them durable
+	return g.f.Sync()
+}

@@ -1,0 +1,47 @@
+// Package sleepytest rejects bare time.Sleep synchronization in tests.
+//
+// A sleep in a test encodes a guess about scheduling: "50ms is surely
+// enough for the goroutine/daemon/checkpoint to finish". Every such
+// guess is either too long (slow suite) or eventually too short (flaky
+// suite, and CI parallelism makes it shorter every year). The repo's
+// tests synchronize through channels, clocks they inject, or
+// testutil.Eventually — a bounded poll that fails with a message instead
+// of racing.
+//
+// The analyzer flags every time.Sleep call in _test.go files. Sleeps
+// that are genuinely simulating latency (a job that must outlive a
+// budget, a ticker that must fire) are not synchronization and carry a
+// justified //lint:ignore.
+package sleepytest
+
+import (
+	"go/ast"
+
+	"mochy/internal/lint/framework"
+)
+
+// Analyzer is the sleepytest pass.
+var Analyzer = &framework.Analyzer{
+	Name: "sleepytest",
+	Doc:  "no bare time.Sleep synchronization in _test.go files; poll with testutil.Eventually instead",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		if !framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if framework.FuncKey(framework.CalleeFunc(pass.Info, call)) == "time.Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep synchronization in a test is a scheduling guess that eventually flakes; poll the condition with testutil.Eventually or synchronize on a channel")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package sleepytest_test
+
+import (
+	"testing"
+
+	"mochy/internal/lint/linttest"
+	"mochy/internal/lint/sleepytest"
+)
+
+func TestSleepytest(t *testing.T) {
+	linttest.Run(t, sleepytest.Analyzer, "testdata/src/demo")
+}

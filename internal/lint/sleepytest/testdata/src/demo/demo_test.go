@@ -1,0 +1,25 @@
+package demo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDirtySleepSync(t *testing.T) {
+	go helperSleep()
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep synchronization in a test"
+}
+
+func TestCleanChannelSync(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		helperSleep()
+		close(done)
+	}()
+	<-done
+}
+
+func TestSuppressedLatencySimulation(t *testing.T) {
+	//lint:ignore sleepytest this fixture simulates request latency rather than waiting for a condition: only wall-clock time can age the budget under test
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,9 @@
+// Fixture for the sleepytest analyzer: the analyzer only looks at
+// _test.go files, so a sleep in this helper file is out of scope.
+package demo
+
+import "time"
+
+func helperSleep() {
+	time.Sleep(time.Millisecond)
+}

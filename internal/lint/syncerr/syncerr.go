@@ -1,0 +1,71 @@
+// Package syncerr rejects silently discarded Close/Sync/Flush errors in
+// mochyd's durability and serving layers.
+//
+// The store's whole contract is ack-after-fsync: an error from Sync,
+// Flush, or the Close that implies them is the moment durability was
+// lost, and a bare `f.Close()` statement throws that moment away. In
+// internal/store and internal/server (packages store, server, live), a
+// call to an error-returning Close, Sync, or Flush must have its error
+// consumed: checked, assigned, or — on paths already propagating an
+// earlier error — explicitly discarded with `_ =`, which at least
+// records the decision in the source. Deferred calls are exempt (defer
+// discards results by construction, and `defer f.Close()` on read-only
+// files is idiomatic); _test.go files are exempt.
+package syncerr
+
+import (
+	"go/ast"
+
+	"mochy/internal/lint/framework"
+)
+
+// Analyzer is the syncerr pass.
+var Analyzer = &framework.Analyzer{
+	Name: "syncerr",
+	Doc:  "Close/Sync/Flush errors in store/server code must be checked or explicitly discarded",
+	Run:  run,
+}
+
+// scopedPackages names the layers where a lost Close/Sync error is a
+// lost durability or shutdown signal.
+var scopedPackages = map[string]bool{
+	"store":  true,
+	"server": true,
+	"live":   true,
+}
+
+// methodNames are the flush-like methods whose errors carry the fate of
+// buffered or unsynced data.
+var methodNames = map[string]bool{
+	"Close": true,
+	"Sync":  true,
+	"Flush": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !scopedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := framework.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeFunc(pass.Info, call)
+			if fn == nil || !methodNames[fn.Name()] || !framework.ReturnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s's error is silently discarded; on a durability path this is where a lost write disappears — check it, or write `_ = %s(...)` to record the decision", fn.Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"mochy/internal/lint/linttest"
+	"mochy/internal/lint/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	linttest.Run(t, syncerr.Analyzer, "testdata/src/store")
+}

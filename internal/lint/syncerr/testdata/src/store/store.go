@@ -1,0 +1,43 @@
+// Fixture for the syncerr analyzer. The package is named "store" so it
+// falls inside the analyzer's scope (durability-layer packages).
+package store
+
+import (
+	"bufio"
+	"os"
+)
+
+func dirtyClose(f *os.File) {
+	f.Close() // want "Close's error is silently discarded"
+}
+
+func dirtySync(f *os.File) {
+	f.Sync() // want "Sync's error is silently discarded"
+}
+
+func dirtyFlush(w *bufio.Writer) {
+	w.Flush() // want "Flush's error is silently discarded"
+}
+
+func cleanChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func cleanDeferredReadOnly(f *os.File) {
+	// defer discards results by construction; flagging it would outlaw
+	// the idiomatic read-path `defer f.Close()`.
+	defer f.Close()
+}
+
+func cleanExplicitDiscard(f *os.File) {
+	// An earlier error is already propagating; the discard is recorded.
+	_ = f.Close()
+}
+
+func suppressedBestEffort(f *os.File) {
+	//lint:ignore syncerr this fixture closes a read-only sidecar where no buffered write can be lost
+	f.Close()
+}

@@ -8,6 +8,7 @@ import (
 
 	"mochy/client"
 	"mochy/internal/store"
+	"mochy/internal/testutil"
 )
 
 // newAutoCheckpointServer stands up a durable server whose WAL threshold is
@@ -39,14 +40,8 @@ func TestAutoCheckpointFoldsLongWAL(t *testing.T) {
 	if _, err := c.InsertEdges(ctx, "hot", [][]int32{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}); err != nil {
 		t.Fatalf("insert: %v", err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for s.autoCheckpoints.Load() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("no automatic checkpoint within deadline (store checkpoints: %d)",
-				s.store.Status().Checkpoints)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, func() bool { return s.autoCheckpoints.Load() > 0 },
+		"no automatic checkpoint fired")
 	if got := s.store.Status().Checkpoints; got == 0 {
 		t.Fatalf("auto counter fired but store recorded %d checkpoints", got)
 	}
@@ -105,13 +100,8 @@ func TestAutoCheckpointCoalesces(t *testing.T) {
 			t.Fatalf("insert %d: %v", i, err)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for s.autoCheckpoints.Load() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("no automatic checkpoint within deadline")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, func() bool { return s.autoCheckpoints.Load() > 0 },
+		"no automatic checkpoint fired for the burst")
 	// Folds ran, but nowhere near one per mutation: every trigger that
 	// arrived while a fold was in flight coalesced into it.
 	if folds := s.store.Status().Checkpoints; folds > 20 {

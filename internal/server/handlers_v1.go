@@ -150,14 +150,16 @@ func (s *Server) handleStartCount(w http.ResponseWriter, r *http.Request, p para
 	}
 	workers := s.clampWorkers(req.Workers)
 	j := s.jobs.create(api.JobKindCount, e.Name)
-	go s.runCountJob(j, e, req.Algorithm, req.Samples, req.Seed, workers)
+	// Jobs outlive the request that starts them (the 202 returns now), so
+	// they run under the server's lifetime context, not r.Context().
+	go s.runCountJob(s.baseCtx, j, e, req.Algorithm, req.Samples, req.Seed, workers)
 	s.writeJob(w, http.StatusAccepted, j)
 }
 
 // runCountJob executes one asynchronous count, publishing ~1%-granularity
 // progress events for exact counts and finishing the job with a CountResult
 // or an error.
-func (s *Server) runCountJob(j *job, e *Entry, algo string, samples int, seed int64, workers int) {
+func (s *Server) runCountJob(ctx context.Context, j *job, e *Entry, algo string, samples int, seed int64, workers int) {
 	start := time.Now()
 	defer func() { s.jobs.observe(j.kind, time.Since(start)) }()
 	j.setRunning(s.jobs.now())
@@ -165,7 +167,7 @@ func (s *Server) runCountJob(j *job, e *Entry, algo string, samples int, seed in
 	if algo == algoExact {
 		progress = throttledProgress(e.Graph.NumEdges(), j.progress)
 	}
-	c, cached, err := s.countProgress(context.Background(), e, algo, samples, seed, workers, progress)
+	c, cached, err := s.countProgress(ctx, e, algo, samples, seed, workers, progress)
 	if err != nil {
 		s.jobs.failed.Add(1)
 		j.finish(nil, err, s.jobs.now())
@@ -200,16 +202,16 @@ func (s *Server) handleStartProfile(w http.ResponseWriter, r *http.Request, p pa
 	}
 	workers := s.clampWorkers(req.Workers)
 	j := s.jobs.create(api.JobKindProfile, e.Name)
-	go s.runProfileJob(j, e, req.Randomizations, req.Seed, workers)
+	go s.runProfileJob(s.baseCtx, j, e, req.Randomizations, req.Seed, workers)
 	s.writeJob(w, http.StatusAccepted, j)
 }
 
 // runProfileJob executes one asynchronous characteristic profile.
-func (s *Server) runProfileJob(j *job, e *Entry, randomizations int, seed int64, workers int) {
+func (s *Server) runProfileJob(ctx context.Context, j *job, e *Entry, randomizations int, seed int64, workers int) {
 	start := time.Now()
 	defer func() { s.jobs.observe(j.kind, time.Since(start)) }()
 	j.setRunning(s.jobs.now())
-	prof, cached, err := s.profile(context.Background(), e, randomizations, seed, workers)
+	prof, cached, err := s.profile(ctx, e, randomizations, seed, workers)
 	if err != nil {
 		s.jobs.failed.Add(1)
 		j.finish(nil, err, s.jobs.now())

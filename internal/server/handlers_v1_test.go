@@ -13,6 +13,7 @@ import (
 
 	"mochy/api"
 	"mochy/internal/hypergraph"
+	"mochy/internal/testutil"
 )
 
 // TestLegacyAliasDeprecationHeaders is the satellite acceptance: every
@@ -213,14 +214,9 @@ func TestBackpressure429(t *testing.T) {
 			s.pool.Release()
 		}
 	}()
-	deadline := time.Now().Add(2 * time.Second)
-	for s.pool.Waiting() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("waiter never queued")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	time.Sleep(5 * time.Millisecond) // outlive the 1ms budget
+	testutil.Eventually(t, 2*time.Second, func() bool { return s.pool.Waiting() > 0 }, "waiter never queued")
+	//lint:ignore sleepytest not synchronization — the queue must age past the 1ms backpressure budget, which only wall-clock time can do
+	time.Sleep(5 * time.Millisecond)
 
 	for _, path := range []string{"/v1/graphs/g/count", "/graphs/g/count", "/v1/graphs/g/profile", "/graphs/g/profile"} {
 		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
@@ -239,9 +235,7 @@ func TestBackpressure429(t *testing.T) {
 
 	// Draining the queue lifts the backpressure.
 	cancelWaiter()
-	for s.pool.Waiting() != 0 {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.Eventually(t, 2*time.Second, func() bool { return s.pool.Waiting() == 0 }, "cancelled waiter never left the queue")
 	resp, err := http.Post(ts.URL+"/v1/graphs/g/count", "application/json", strings.NewReader("{}"))
 	if err != nil {
 		t.Fatal(err)
@@ -269,22 +263,19 @@ func TestJobEventsReplayAfterCompletion(t *testing.T) {
 	}
 
 	// Wait for completion by polling.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	testutil.Eventually(t, 10*time.Second, func() bool {
 		resp, body = getJSON(t, ts.URL+"/v1/jobs/"+id)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("poll: HTTP %d", resp.StatusCode)
 		}
-		if st := field[string](t, body, "state"); st == "done" {
-			break
-		} else if st == "failed" {
+		switch st := field[string](t, body, "state"); st {
+		case "done":
+			return true
+		case "failed":
 			t.Fatalf("job failed: %v", body["error"])
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("job did not finish")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return false
+	}, "job %s did not finish", id)
 
 	evResp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
 	if err != nil {

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"mochy/internal/testutil"
 	"testing"
 	"time"
 )
@@ -83,13 +84,7 @@ func TestPoolSaturationTracking(t *testing.T) {
 // waitFor polls cond until it holds or the test times out.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition not reached in time")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.Eventually(t, 2*time.Second, cond, "pool condition")
 }
 
 func TestPoolClose(t *testing.T) {

@@ -108,6 +108,15 @@ type Server struct {
 	// stopc ends the background cache sweeper; closed once by Close.
 	stopc     chan struct{}
 	closeOnce sync.Once
+	// baseCtx is the server's lifetime context — the one legitimate
+	// context root below main. Asynchronous jobs run under it (not under
+	// the HTTP request that started them, which ends at the 202), so
+	// Close cancels them instead of orphaning them.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// bg tracks the background goroutines Close must wait for: the cache
+	// sweeper and in-flight automatic checkpoints.
+	bg sync.WaitGroup
 }
 
 // New returns a Server with the given configuration.
@@ -141,6 +150,8 @@ func New(cfg Config) *Server {
 		ckptInflight: shardmap.NewMap[struct{}](0),
 		stopc:        make(chan struct{}),
 	}
+	//lint:ignore ctxflow the server's lifetime context is the one legitimate root below main: jobs outlive the requests that start them and must be cancelled by Close, not by a client disconnect
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.store != nil {
 		// Every live graph created from here on gets a write-ahead log
 		// before it can accept its first mutation.
@@ -154,7 +165,11 @@ func New(cfg Config) *Server {
 	// TTLs off) start no goroutine, so constructing one without Close stays
 	// leak-free as it was pre-sweeper.
 	if cfg.CacheSize > 0 && cfg.SamplingTTL > 0 {
-		go s.sweepLoop()
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			s.sweepLoop()
+		}()
 	}
 	return s
 }
@@ -199,7 +214,9 @@ func (s *Server) maybeAutoCheckpoint(g *live.Graph) {
 	if !s.ckptInflight.SetIfAbsent(name, struct{}{}) {
 		return
 	}
+	s.bg.Add(1)
 	go func() {
+		defer s.bg.Done()
 		defer s.ckptInflight.Delete(name)
 		st, replayFrom, err := g.Checkpoint()
 		if err != nil {
@@ -319,18 +336,28 @@ func (s *Server) buildRouter() *router {
 // Registry exposes the graph registry (used by mochyd to preload graphs).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Close stops admitting new counting jobs, stops the background cache
-// sweeper, shuts down every live graph's apply loop, and — when persistence
-// is configured — flushes every WAL buffer and the manifest to disk.
-// Callers drain HTTP traffic first (see cmd/mochyd), so every acknowledged
-// mutation is durable before exit.
-func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.stopc) })
+// Close stops admitting new counting jobs, cancels the server's lifetime
+// context (ending asynchronous jobs), waits for the background sweeper
+// and any in-flight automatic checkpoint, shuts down every live graph's
+// apply loop, and — when persistence is configured — flushes every WAL
+// buffer and the manifest to disk. The store's flush error is returned:
+// it is the difference between "every acknowledged mutation is on disk"
+// and silent data loss at exit. Callers drain HTTP traffic first (see
+// cmd/mochyd). Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stopc)
+		s.baseCancel()
+	})
 	s.pool.Close()
+	// Background checkpoints must finish (or observe the closed graph)
+	// before the store flushes and closes beneath them.
+	s.bg.Wait()
 	s.liveReg.Close()
 	if s.store != nil {
-		_ = s.store.Close()
+		return s.store.Close()
 	}
+	return nil
 }
 
 // ServeHTTP dispatches through the route table.

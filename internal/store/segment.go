@@ -37,15 +37,15 @@ func writeFileAtomic(path string, data []byte) error {
 	defer os.Remove(tmp.Name())
 	trailer := binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(data))
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if _, err := tmp.Write(trailer); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {

@@ -21,6 +21,8 @@
 // The store assumes a single process owns the data directory.
 package store
 
+//lint:file-ignore lockscope s.mu deliberately serializes each manifest mutation with its atomic-rename publication and the unlink of superseded files — bulk segment writes already run outside the lock (see PutGraph and CheckpointLive), and splitting the remainder would let a racing checkpoint publish a manifest naming files another path just removed
+
 import (
 	"bytes"
 	"errors"

@@ -1,5 +1,7 @@
 package store
 
+//lint:file-ignore lockscope group commit is deliberately holding a lock across fsync: the commit leader holds syncMu while it flushes and syncs every waiter's frames in one batch, and Rotate/close serialize against that same fsync so the ack-after-fsync contract survives rotation and shutdown
+
 import (
 	"bufio"
 	"encoding/binary"

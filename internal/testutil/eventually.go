@@ -1,0 +1,42 @@
+// Package testutil holds small helpers shared by mochy's test suites.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// Eventually polls cond until it returns true or timeout elapses, then
+// fails the test with the formatted message. It replaces bare
+// time.Sleep synchronization (see the sleepytest analyzer): instead of
+// guessing how long a goroutine, checkpoint, or daemon needs, tests
+// state the condition they are waiting for and get the fastest pass that
+// satisfies it — and a named failure instead of a flake when it never
+// does.
+//
+// The poll interval starts at 1ms and doubles to a 20ms ceiling, so
+// fast conditions resolve in a few milliseconds while slow ones don't
+// spin the CPU.
+func Eventually(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	interval := time.Millisecond
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(interval)
+		if interval < 20*time.Millisecond {
+			interval *= 2
+		}
+	}
+	// One last check: the condition may have become true while we slept
+	// past the deadline.
+	if cond() {
+		return
+	}
+	t.Fatalf("condition not reached within %v: "+format, append([]any{timeout}, args...)...)
+}

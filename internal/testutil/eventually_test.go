@@ -1,0 +1,54 @@
+package testutil_test
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mochy/internal/testutil"
+)
+
+func TestEventuallyPassesOnceConditionHolds(t *testing.T) {
+	var flag atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		flag.Store(true)
+	}()
+	testutil.Eventually(t, 2*time.Second, flag.Load, "background goroutine never set the flag")
+	<-done
+}
+
+func TestEventuallyPassesImmediately(t *testing.T) {
+	start := time.Now()
+	testutil.Eventually(t, 2*time.Second, func() bool { return true }, "constant-true condition")
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("immediate condition took %v", elapsed)
+	}
+}
+
+// fakeTB records the Fatalf call Eventually makes on timeout.
+type fakeTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func TestEventuallyTimesOutWithMessage(t *testing.T) {
+	tb := &fakeTB{}
+	testutil.Eventually(tb, 10*time.Millisecond, func() bool { return false }, "widget %d never arrived", 7)
+	if !tb.failed {
+		t.Fatal("Eventually did not fail on a never-true condition")
+	}
+	if !strings.Contains(tb.msg, "widget 7 never arrived") {
+		t.Fatalf("failure message %q does not include the formatted condition", tb.msg)
+	}
+}

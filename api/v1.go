@@ -80,6 +80,15 @@ const (
 	EventError    = "error"
 )
 
+// TraceHeader is the request/response header carrying a trace id. A client
+// may send one (1-64 characters of [0-9A-Za-z_-]) to correlate server-side
+// spans and logs with its own telemetry; the server echoes the id it used —
+// the inbound one when valid, a freshly minted one otherwise — on every
+// response. Spans recorded under a trace are queryable at
+// GET /v1/admin/traces, and jobs started by a traced request carry the id
+// in Job.Trace and on every JobEvent.
+const TraceHeader = "X-Mochy-Trace"
+
 // Error is the JSON envelope of every non-2xx response.
 type Error struct {
 	Error string `json:"error"`
@@ -184,6 +193,7 @@ type Job struct {
 	ID         string          `json:"id"`
 	Kind       string          `json:"kind"`
 	Graph      string          `json:"graph"`
+	Trace      string          `json:"trace,omitempty"`
 	State      string          `json:"state"`
 	Done       int             `json:"done,omitempty"`
 	Total      int             `json:"total,omitempty"`
@@ -225,6 +235,44 @@ type JobEvent struct {
 	Total  int             `json:"total,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Trace is the id of the trace that started the job, stamped on every
+	// event so a stream consumer can join events against server-side spans
+	// and logs.
+	Trace string `json:"trace,omitempty"`
+}
+
+// TraceAttr is one key/value annotation on a recorded span.
+type TraceAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TraceSpan is one recorded span of a trace. Parent is the SpanID of the
+// enclosing span, 0 for a root; span ids are unique within the server's
+// flight recorder, so (Parent, ID) edges rebuild the span tree.
+type TraceSpan struct {
+	Name       string      `json:"name"`
+	ID         uint64      `json:"id"`
+	Parent     uint64      `json:"parent,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Attrs      []TraceAttr `json:"attrs,omitempty"`
+}
+
+// Trace is one request's (or job's) span tree as retained by the server's
+// flight recorder. Root names the top-level span; Start and DurationMS span
+// the earliest start to the latest end across all recorded spans.
+type Trace struct {
+	ID         string      `json:"id"`
+	Root       string      `json:"root"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Spans      []TraceSpan `json:"spans"`
+}
+
+// TraceList answers GET /v1/admin/traces, newest trace first.
+type TraceList struct {
+	Traces []Trace `json:"traces"`
 }
 
 // EdgesRequest is the POST /v1/graphs/{name}/edges body: a batch of

@@ -3,6 +3,9 @@ package client
 import (
 	"context"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 
 	"mochy/api"
 )
@@ -22,5 +25,26 @@ func (c *Client) Checkpoint(ctx context.Context, graphs ...string) (api.Checkpoi
 func (c *Client) StoreStatus(ctx context.Context) (api.StoreStatus, error) {
 	var out api.StoreStatus
 	err := c.do(ctx, http.MethodGet, c.url("admin", "store"), "", nil, &out)
+	return out, err
+}
+
+// Traces fetches the daemon's trace flight recorder: recorded request and
+// job span trees, newest first. min > 0 keeps only traces at least that
+// long (the "what was slow" query); limit > 0 caps the trace count. Pair
+// with WithTrace to find a specific operation by its id.
+func (c *Client) Traces(ctx context.Context, min time.Duration, limit int) (api.TraceList, error) {
+	u := c.url("admin", "traces")
+	q := url.Values{}
+	if min > 0 {
+		q.Set("min", min.String())
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var out api.TraceList
+	err := c.do(ctx, http.MethodGet, u, "", nil, &out)
 	return out, err
 }

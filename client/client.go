@@ -136,6 +136,9 @@ func (c *Client) send(ctx context.Context, method, rawurl, contentType string, b
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if id := traceID(ctx); id != "" {
+		req.Header.Set(api.TraceHeader, id)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -222,6 +225,9 @@ func (c *Client) DownloadGraph(ctx context.Context, name string) (*mochy.Hypergr
 		return nil, err
 	}
 	req.Header.Set("Accept", api.ContentTypeBinary)
+	if id := traceID(ctx); id != "" {
+		req.Header.Set(api.TraceHeader, id)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,39 @@
+package client
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// traceCtxKey carries a caller-chosen trace id on a request context.
+type traceCtxKey struct{}
+
+// WithTrace returns a context that stamps id as the X-Mochy-Trace header on
+// every request the client sends under it. mochyd adopts the id, echoes it
+// on the response, tags the request's span tree with it (GET
+// /v1/admin/traces), stamps it on job events, and correlates its log lines
+// with it — so one id follows a logical operation across the SDK, the
+// daemon, and its observability surfaces. Ids are 1-64 characters of
+// [0-9A-Za-z_-]; mochyd mints its own for requests without one.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, id)
+}
+
+// NewTraceID returns a fresh random trace id (16 hex characters) suitable
+// for WithTrace.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable environment breakage; a
+		// fixed id keeps the caller running with degraded correlation.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceID extracts the id set by WithTrace, or "".
+func traceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceCtxKey{}).(string)
+	return id
+}

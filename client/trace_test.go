@@ -1,0 +1,152 @@
+package client_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/server"
+	"mochy/internal/testutil"
+)
+
+var traceIDRe = regexp.MustCompile(`^[0-9A-Za-z_-]{1,64}$`)
+
+// TestTracePropagation is the observability acceptance test for the trace
+// path end to end: the SDK stamps X-Mochy-Trace, the daemon adopts and
+// echoes the id, the async job and its NDJSON events carry it, and
+// /v1/admin/traces returns the request's span tree under the same id.
+func TestTracePropagation(t *testing.T) {
+	s := server.New(server.Config{CacheSize: 64, MaxConcurrent: 4, MaxWorkersPerJob: 8})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.UploadGraph(ctx, "t", testGraph(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A request without the header gets a minted id echoed back.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get(api.TraceHeader); !traceIDRe.MatchString(id) {
+		t.Fatalf("minted trace id %q is not a valid id", id)
+	}
+
+	// A caller-chosen id is adopted and echoed verbatim. The echo check
+	// uses its own id so the count trace below has exactly one root span.
+	echo := client.NewTraceID()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set(api.TraceHeader, echo)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(api.TraceHeader); got != echo {
+		t.Fatalf("echoed trace id %q, want %q", got, echo)
+	}
+
+	id := client.NewTraceID()
+	if !traceIDRe.MatchString(id) {
+		t.Fatalf("NewTraceID returned invalid id %q", id)
+	}
+	tctx := client.WithTrace(ctx, id)
+
+	// The async job inherits the request's trace id...
+	j, err := c.StartCount(tctx, "t", api.CountRequest{Algorithm: api.AlgoExact, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Trace != id {
+		t.Fatalf("job trace %q, want %q", j.Trace, id)
+	}
+
+	// ...and stamps it on every NDJSON job event.
+	eresp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	events := 0
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev api.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event %d: %v", events, err)
+		}
+		if ev.Trace != id {
+			t.Fatalf("event %d (%s) trace %q, want %q", events, ev.Type, ev.Trace, id)
+		}
+		events++
+	}
+	if events == 0 {
+		t.Fatal("no job events streamed")
+	}
+	final, err := c.WaitJob(tctx, j.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Trace != id {
+		t.Fatalf("terminal job trace %q, want %q", final.Trace, id)
+	}
+
+	// The flight recorder retains the span tree under the same id. The
+	// job.count span ends asynchronously just after the job turns
+	// terminal, so poll briefly.
+	var tr api.Trace
+	testutil.Eventually(t, 10*time.Second, func() bool {
+		tl, err := c.Traces(ctx, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cand := range tl.Traces {
+			if cand.ID == id {
+				for _, sp := range cand.Spans {
+					if sp.Name == "job.count" {
+						tr = cand
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}, "trace %s with a job.count span never appeared", id)
+
+	names := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+		if sp.DurationMS < 0 {
+			t.Errorf("span %s has negative duration", sp.Name)
+		}
+	}
+	if !names["POST /v1/graphs/{name}/count"] {
+		t.Errorf("trace lacks the request span; spans: %v", names)
+	}
+	if tr.Root != "POST /v1/graphs/{name}/count" {
+		t.Errorf("trace root %q, want the request span", tr.Root)
+	}
+
+	// min= filters: a floor longer than any retained trace empties the list.
+	tl, err := c.Traces(ctx, time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Traces) != 0 {
+		t.Errorf("min=1h returned %d traces, want 0", len(tl.Traces))
+	}
+}

@@ -14,6 +14,7 @@
 //	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N]
 //	       [-sampling-ttl 15m] [-queue-budget 10s] [-data-dir DIR]
 //	       [-checkpoint-wal-bytes N] [-debug-addr ADDR] [-load name=path ...]
+//	       [-log-format json|text] [-trace-buffer N]
 //
 // With -data-dir, mochyd is durable: uploaded graphs persist as binary
 // segment files, live-graph mutations append to per-graph write-ahead logs
@@ -26,6 +27,15 @@
 // WAL outgrows the threshold is checkpointed in the background, keeping
 // long-running daemons' logs (and their next recovery) bounded.
 //
+// Observability: logs are structured (log/slog; -log-format picks JSON or
+// logfmt text on stderr), GET /v1/metrics is a Prometheus text exposition
+// from a single typed registry, and every request is traced — mochyd mints
+// or adopts an X-Mochy-Trace id, echoes it on the response, stamps it on
+// job events, correlates log lines with it, and records per-request span
+// trees in a fixed ring buffer served by GET /v1/admin/traces.
+// -trace-buffer sizes that ring (0 disables span recording; id propagation
+// stays on).
+//
 // -debug-addr starts a second HTTP listener serving net/http/pprof under
 // /debug/pprof/ for contention and profile diagnosis. It is a separate
 // server on a separate port — the public API mux never mounts the debug
@@ -34,7 +44,7 @@
 // v1 endpoints (see mochy/api for the wire types):
 //
 //	GET    /v1/healthz                   liveness, cache and pool counters
-//	GET    /v1/metrics                   plaintext queue/job/cache/request metrics
+//	GET    /v1/metrics                   Prometheus text exposition (typed registry)
 //	GET    /v1/graphs                    registered graph names (immutable and live)
 //	PUT    /v1/graphs/{name}             upload: binary, text or JSON by Content-Type
 //	GET    /v1/graphs/{name}             download: binary, text or JSON by Accept
@@ -45,6 +55,7 @@
 //	GET    /v1/jobs[/{id}[/events]]      list / poll / stream job progress (NDJSON)
 //	POST   /v1/admin/checkpoint          fold live WALs into base segments
 //	GET    /v1/admin/store               persistence footprint and counters
+//	GET    /v1/admin/traces              recorded request/job span trees (?min=, ?limit=)
 //
 // Live graphs (mutable, incrementally counted):
 //
@@ -67,7 +78,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -77,6 +88,7 @@ import (
 	"time"
 
 	"mochy/internal/hypergraph"
+	"mochy/internal/obs"
 	"mochy/internal/server"
 	"mochy/internal/store"
 )
@@ -108,7 +120,13 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code: every early-error return still unwinds
+// through the deferred srv.Close, so a boot that fails after the store
+// opened (bad preload file, recovery error) flushes WAL buffers and the
+// manifest instead of abandoning them the way log.Fatalf used to.
+func run() (code int) {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		cacheSize     = flag.Int("cache", 256, "result cache capacity in entries (<=0 disables)")
@@ -119,10 +137,15 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "directory for durable graph storage (empty = in-memory only)")
 		ckptWALBytes  = flag.Int64("checkpoint-wal-bytes", 0, "checkpoint a live graph automatically once its WAL exceeds this many bytes (0 = manual checkpoints only; requires -data-dir)")
 		debugAddr     = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled; never exposed on -addr)")
+		logFormat     = flag.String("log-format", obs.LogFormatJSON, "structured log format: json or text")
+		traceBuffer   = flag.Int("trace-buffer", 512, "retained spans in the trace flight recorder (0 disables recording; ids still propagate)")
 		loads         loadFlags
 	)
 	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
 	flag.Parse()
+
+	logger := obs.NewLogger(*logFormat, os.Stderr)
+	slog.SetDefault(logger)
 
 	if *cacheSize == 0 {
 		*cacheSize = -1 // flag 0 means "disable", Config 0 means "default"
@@ -133,6 +156,9 @@ func main() {
 	if *queueBudget == 0 {
 		*queueBudget = -1 // flag 0 means "no backpressure", Config 0 means "default"
 	}
+	if *traceBuffer == 0 {
+		*traceBuffer = -1 // flag 0 means "disable recording", Config 0 means "default"
+	}
 	cfg := server.Config{
 		CacheSize:          *cacheSize,
 		MaxConcurrent:      *maxConcurrent,
@@ -140,45 +166,62 @@ func main() {
 		SamplingTTL:        *samplingTTL,
 		QueueBudget:        *queueBudget,
 		CheckpointWALBytes: *ckptWALBytes,
+		Logger:             logger,
+		TraceBuffer:        *traceBuffer,
 	}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
 		if err != nil {
-			log.Fatalf("open data dir %s: %v", *dataDir, err)
+			logger.Error("open data dir failed", "dir", *dataDir, "error", err)
+			return 1
 		}
 		cfg.Store = st // the server owns it from here; srv.Close flushes it
 	}
 	srv := server.New(cfg)
-	// Safety net for the log.Fatalf paths below; the normal exits close
-	// explicitly so a failed WAL/manifest flush is reported. Close is
-	// idempotent.
-	defer srv.Close()
+	// Every exit path — early error returns included — flushes the store.
+	// An error here is the difference between "every acknowledged mutation
+	// is on disk" and silent data loss at exit, so it forces a non-zero
+	// code for supervisors. Close is idempotent; the happy path below
+	// closes explicitly after draining and this defer sees nil.
+	defer func() {
+		if err := srv.Close(); err != nil {
+			logger.Error("close failed", "error", err)
+			code = 1
+		}
+	}()
 
 	if *dataDir != "" {
 		stats, err := srv.Recover()
 		if err != nil {
-			log.Fatalf("recover %s: %v", *dataDir, err)
+			logger.Error("recovery failed", "dir", *dataDir, "error", err)
+			return 1
 		}
-		log.Printf("recovered %s: %d graphs, %d live graphs, %d wal records (%d torn tails) in %s",
-			*dataDir, stats.Graphs, stats.LiveGraphs, stats.WALRecords, stats.TornTails, stats.Duration.Round(time.Millisecond))
+		logger.Info("recovery complete", "dir", *dataDir,
+			"graphs", stats.Graphs, "live_graphs", stats.LiveGraphs,
+			"wal_records", stats.WALRecords, "torn_tails", stats.TornTails,
+			"duration", stats.Duration.Round(time.Millisecond).String())
 	}
 
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatalf("preload %s: %v", spec, err)
+			logger.Error("preload failed", "spec", spec, "error", err)
+			return 1
 		}
 		g, err := hypergraph.Parse(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("preload %s: %v", spec, err)
+			logger.Error("preload failed", "spec", spec, "error", err)
+			return 1
 		}
 		res, err := srv.LoadGraph(name, g)
 		if err != nil {
-			log.Fatalf("preload %s: %v", spec, err)
+			logger.Error("preload failed", "spec", spec, "error", err)
+			return 1
 		}
-		log.Printf("loaded %q: %d nodes, %d hyperedges", name, res.Stats.NumNodes, res.Stats.NumEdges)
+		logger.Info("graph preloaded", "graph", name,
+			"nodes", res.Stats.NumNodes, "edges", res.Stats.NumEdges)
 	}
 
 	if *debugAddr != "" {
@@ -188,11 +231,11 @@ func main() {
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			log.Printf("debug server (pprof) listening on %s", *debugAddr)
+			logger.Info("debug server (pprof) listening", "addr", *debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				// The debug listener is diagnostics, not service: losing it
 				// must not take mochyd down.
-				log.Printf("debug server: %v", err)
+				logger.Warn("debug server failed", "error", err)
 			}
 		}()
 	}
@@ -207,34 +250,28 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mochyd listening on %s (cache=%d, jobs=%d)", *addr, *cacheSize, *maxConcurrent)
+	logger.Info("mochyd listening", "addr", *addr,
+		"cache", *cacheSize, "jobs", *maxConcurrent, "trace_buffer", *traceBuffer)
 
 	select {
 	case err := <-errc:
-		// log.Fatalf would skip the deferred Close and leave WAL buffers
-		// unflushed; close explicitly, then exit non-zero.
-		if cerr := srv.Close(); cerr != nil {
-			log.Printf("close: %v", cerr)
-		}
-		log.Printf("serve: %v", err)
-		os.Exit(1)
+		logger.Error("serve failed", "error", err)
+		return 1
 	case <-ctx.Done():
 	}
 	// Graceful shutdown: stop accepting work and drain in-flight requests
-	// first, then srv.Close (deferred above) flushes every WAL buffer and
-	// the manifest so no acknowledged mutation is lost.
-	log.Printf("shutting down")
+	// first, then the deferred srv.Close flushes every WAL buffer and the
+	// manifest so no acknowledged mutation is lost.
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown incomplete", "error", err)
 	}
-	// An error here is the difference between "every acknowledged mutation
-	// is on disk" and silent data loss at exit — exit non-zero so
-	// supervisors notice.
 	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
-		os.Exit(1)
+		logger.Error("close failed", "error", err)
+		return 1
 	}
-	log.Printf("flushed; exiting")
+	logger.Info("flushed; exiting")
+	return 0
 }

@@ -9,10 +9,10 @@
 // server's own lifetime context — is created once at construction and
 // carries a justified //lint:ignore.
 //
-// The analyzer applies to packages named server, store, and live (the
-// daemon's serving and durability layers; library packages like the
-// counting kernel are free to be context-less), skips _test.go files,
-// and reports:
+// The analyzer applies to packages named server, store, live, and obs
+// (the daemon's serving, durability, and observability layers; library
+// packages like the counting kernel are free to be context-less), skips
+// _test.go files, and reports:
 //
 //   - any call to context.Background or context.TODO;
 //   - any function whose parameter list takes a context.Context
@@ -42,6 +42,7 @@ var scopedPackages = map[string]bool{
 	"server": true,
 	"store":  true,
 	"live":   true,
+	"obs":    true,
 }
 
 func run(pass *framework.Pass) error {

@@ -8,9 +8,11 @@
 // call to an error-returning Close, Sync, or Flush must have its error
 // consumed: checked, assigned, or — on paths already propagating an
 // earlier error — explicitly discarded with `_ =`, which at least
-// records the decision in the source. Deferred calls are exempt (defer
-// discards results by construction, and `defer f.Close()` on read-only
-// files is idiomatic); _test.go files are exempt.
+// records the decision in the source. The observability layer
+// (internal/obs) is in scope too: its exposition writer sits on the
+// scrape path. Deferred calls are exempt (defer discards results by
+// construction, and `defer f.Close()` on read-only files is idiomatic);
+// _test.go files are exempt.
 package syncerr
 
 import (
@@ -32,6 +34,7 @@ var scopedPackages = map[string]bool{
 	"store":  true,
 	"server": true,
 	"live":   true,
+	"obs":    true,
 }
 
 // methodNames are the flush-like methods whose errors carry the fate of

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// The obs micro-benchmarks bound the primitive costs the acceptance
+// criteria are built on: an increment or observation must stay in the
+// tens-of-nanoseconds range for the per-request and per-fsync call sites
+// to be negligible.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsVecResolveInc(b *testing.B) {
+	r := NewRegistry()
+	v := r.NewCounterVec("bench_vec_total", "", "route", "code")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.With("GET /v1/healthz", "200").Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("bench_seconds", "", []float64{0.001, 0.01, 0.1, 1, 10})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.042)
+		}
+	})
+}
+
+func BenchmarkObsSpanStartEnd(b *testing.B) {
+	tr := NewTracer(1024)
+	ctx := WithTraceID(context.Background(), "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	ctx := WithTraceID(context.Background(), "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkObsWriteProm(b *testing.B) {
+	r := NewRegistry()
+	for _, name := range []string{"a_total", "b_total", "c_total"} {
+		r.NewCounter("bench_"+name, "").Add(7)
+	}
+	v := r.NewHistogramVec("bench_hist_seconds", "", []float64{0.001, 0.01, 0.1, 1}, "kind")
+	v.With("count").Observe(0.5)
+	v.With("profile").Observe(0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteProm(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger (and mochyd's -log-format flag).
+const (
+	LogFormatJSON = "json"
+	LogFormatText = "text"
+)
+
+// NewLogger builds a structured logger writing to w: line-delimited JSON
+// (the machine-ingestible default) or slog's logfmt-style text. Every
+// record logged with a context method (InfoContext, ErrorContext, ...)
+// under a traced context gains a "trace" attribute, so log lines join
+// against /v1/admin/traces and job events on the same id.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var h slog.Handler
+	if strings.EqualFold(format, LogFormatText) {
+		h = slog.NewTextHandler(w, opts)
+	} else {
+		h = slog.NewJSONHandler(w, opts)
+	}
+	return slog.New(&traceHandler{inner: h})
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// subsystems whose owner did not wire a logger, so call sites never
+// nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+// traceHandler decorates records with the context's trace id.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := TraceID(ctx); id != "" {
+		rec.AddAttrs(slog.String("trace", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// nopHandler drops every record.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONLoggerCarriesTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(LogFormatJSON, &buf)
+	ctx := WithTraceID(context.Background(), "deadbeef")
+	l.InfoContext(ctx, "job failed", "job", "j1")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["trace"] != "deadbeef" {
+		t.Fatalf("trace = %v, want deadbeef in %s", rec["trace"], buf.String())
+	}
+	if rec["msg"] != "job failed" || rec["job"] != "j1" {
+		t.Fatalf("unexpected record %s", buf.String())
+	}
+}
+
+func TestUntracedContextOmitsTraceAttr(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(LogFormatJSON, &buf)
+	l.InfoContext(context.Background(), "hello")
+	if strings.Contains(buf.String(), `"trace"`) {
+		t.Fatalf("trace attr on untraced record: %s", buf.String())
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(LogFormatText, &buf)
+	ctx := WithTraceID(context.Background(), "t1")
+	l.InfoContext(ctx, "starting", "addr", ":8080")
+	out := buf.String()
+	if !strings.Contains(out, "msg=starting") || !strings.Contains(out, "trace=t1") {
+		t.Fatalf("unexpected text output: %s", out)
+	}
+	if json.Valid(buf.Bytes()) {
+		t.Fatalf("text format produced JSON: %s", out)
+	}
+}
+
+func TestWithAttrsKeepsTraceDecoration(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(LogFormatJSON, &buf).With("sub", "store")
+	ctx := WithTraceID(context.Background(), "abc")
+	l.WarnContext(ctx, "fsync slow")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if rec["trace"] != "abc" || rec["sub"] != "store" {
+		t.Fatalf("record = %s", buf.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	l.Info("dropped", "k", "v")
+	l.ErrorContext(context.Background(), "also dropped")
+	if l.Enabled(context.Background(), 0) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+}

@@ -1,0 +1,427 @@
+// Package obs is mochyd's observability substrate: a typed Prometheus-
+// style metrics registry, a fixed-cost span tracer, and slog plumbing
+// with trace correlation. It is stdlib-only and dependency-free so every
+// layer of the daemon (server, store, live) can instrument itself without
+// import cycles or third-party baggage.
+//
+// The metrics half is deliberately small: counters and gauges are single
+// atomic cells, histograms are fixed-bucket atomic arrays, and labeled
+// families resolve their children through a sync.Map so the hot path —
+// an increment or an observation — never takes a mutex. The exposition
+// writer renders the classic Prometheus text format (HELP/TYPE comments,
+// cumulative le-buckets, %q-quoted label values) and is the sole author
+// of GET /v1/metrics.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric family types in the exposition output.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// labelSep joins label values into a child key; it cannot appear in any
+// reasonable label value (it is not valid UTF-8 text in this position) so
+// distinct value tuples never collide.
+const labelSep = "\xff"
+
+// Registry holds metric families in registration order and renders them
+// as one Prometheus text exposition. Registration (New*) is meant for
+// startup; reads and increments afterwards are concurrency-safe and
+// lock-free per cell.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+	hooks  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// OnScrape registers fn to run at the start of every WriteProm call,
+// before any family is rendered. Gauges that mirror external state (pool
+// occupancy, store footprint) are refreshed here — one collection pass
+// per scrape, however many gauges it feeds, instead of one callback per
+// metric re-walking the same source.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// family is one named metric with zero or more label dimensions.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	bounds []float64 // histogram bucket upper bounds
+
+	single any      // the unlabeled cell; nil for labeled families
+	cells  sync.Map // joined label values -> cell
+}
+
+// register adds a family, panicking on duplicate or malformed names —
+// both are programmer errors that would silently corrupt the exposition.
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.fams = append(r.fams, f)
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: typeCounter, single: c})
+	return c
+}
+
+// NewCounterVec registers a counter family with the given label keys.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	f := &family{name: name, help: help, typ: typeCounter, labels: labels}
+	r.register(f)
+	return &CounterVec{f: f}
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: typeGauge, single: g})
+	return g
+}
+
+// NewGaugeVec registers a gauge family with the given label keys.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := &family{name: name, help: help, typ: typeGauge, labels: labels}
+	r.register(f)
+	return &GaugeVec{f: f}
+}
+
+// NewHistogram registers an unlabeled histogram with the given bucket
+// upper bounds (ascending, in the observed unit — seconds by convention).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&family{name: name, help: help, typ: typeHistogram, bounds: bounds, single: h})
+	return h
+}
+
+// NewHistogramVec registers a histogram family with the given bucket
+// bounds and label keys.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	f := &family{name: name, help: help, typ: typeHistogram, bounds: bounds, labels: labels}
+	r.register(f)
+	return &HistogramVec{f: f}
+}
+
+// Counter is a monotonically increasing atomic cell.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Set overwrites the count. It exists for mirroring monotonic sources
+// owned elsewhere (typically refreshed from an OnScrape hook); code
+// instrumenting its own events should use Inc or Add.
+func (c *Counter) Set(v uint64) { c.v.Store(v) }
+
+// Gauge is a settable value (stored as float64 bits in one atomic cell).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram: Observe is a bucket
+// search plus three atomic adds, cheap enough for per-request and
+// per-fsync paths.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound, plus a +Inf overflow bucket
+	sumBits atomic.Uint64   // float64 bits, CAS-accumulated
+	n       atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (same unit as the bucket bounds).
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s finds the first bound >= v, matching Prometheus "le"
+	// semantics; beyond the last bound lands in +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	h.n.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves (creating if absent) the child for the given label
+// values. Hot paths should resolve once and keep the *Counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves (creating if absent) the child for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With resolves (creating if absent) the child for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	bounds := v.f.bounds
+	return v.f.child(values, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// cell pairs a child's label values with its metric for exposition.
+type cell struct {
+	values []string
+	metric any
+}
+
+// child resolves one labeled child, creating it on first use. The fast
+// path is a single sync.Map load.
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	if c, ok := f.cells.Load(key); ok {
+		return c.(*cell).metric
+	}
+	c := &cell{values: append([]string(nil), values...), metric: mk()}
+	actual, _ := f.cells.LoadOrStore(key, c)
+	return actual.(*cell).metric
+}
+
+// WriteProm renders every family, in registration order, as Prometheus
+// text exposition. Scrape hooks run first so mirrored gauges are fresh.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := append([]*family{}, r.fams...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	var buf bytes.Buffer
+	for _, f := range fams {
+		f.writeProm(&buf)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeProm renders one family: HELP/TYPE comments, then each series.
+// Labeled children are emitted in sorted label-value order so the output
+// is deterministic across scrapes.
+func (f *family) writeProm(buf *bytes.Buffer) {
+	if f.help != "" {
+		buf.WriteString("# HELP ")
+		buf.WriteString(f.name)
+		buf.WriteByte(' ')
+		buf.WriteString(escapeHelp(f.help))
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("# TYPE ")
+	buf.WriteString(f.name)
+	buf.WriteByte(' ')
+	buf.WriteString(f.typ)
+	buf.WriteByte('\n')
+	if f.single != nil {
+		f.writeSeries(buf, nil, f.single)
+		return
+	}
+	var cs []*cell
+	f.cells.Range(func(_, v any) bool {
+		cs = append(cs, v.(*cell))
+		return true
+	})
+	sort.Slice(cs, func(a, b int) bool {
+		return strings.Join(cs[a].values, labelSep) < strings.Join(cs[b].values, labelSep)
+	})
+	for _, c := range cs {
+		f.writeSeries(buf, c.values, c.metric)
+	}
+}
+
+// writeSeries renders one child: a single sample for counters and gauges,
+// the bucket/sum/count triple for histograms.
+func (f *family) writeSeries(buf *bytes.Buffer, values []string, m any) {
+	switch m := m.(type) {
+	case *Counter:
+		writeSample(buf, f.name, f.labels, values, "", formatValue(float64(m.Value())))
+	case *Gauge:
+		writeSample(buf, f.name, f.labels, values, "", formatValue(m.Value()))
+	case *Histogram:
+		var cum uint64
+		for i, b := range m.bounds {
+			cum += m.counts[i].Load()
+			writeSample(buf, f.name+"_bucket", f.labels, values, formatBound(b), strconv.FormatUint(cum, 10))
+		}
+		cum += m.counts[len(m.bounds)].Load()
+		writeSample(buf, f.name+"_bucket", f.labels, values, "+Inf", strconv.FormatUint(cum, 10))
+		sum := math.Float64frombits(m.sumBits.Load())
+		writeSample(buf, f.name+"_sum", f.labels, values, "", formatFloat(sum))
+		writeSample(buf, f.name+"_count", f.labels, values, "", strconv.FormatUint(m.n.Load(), 10))
+	}
+}
+
+// writeSample renders one exposition line. le, when non-empty, is
+// appended as the final label (histogram bucket lines).
+func writeSample(buf *bytes.Buffer, name string, labels, values []string, le, val string) {
+	buf.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(l)
+			buf.WriteByte('=')
+			buf.WriteString(strconv.Quote(values[i]))
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(`le="`)
+			buf.WriteString(le)
+			buf.WriteByte('"')
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte(' ')
+	buf.WriteString(val)
+	buf.WriteByte('\n')
+}
+
+// formatValue renders a sample value: integral values print as integers
+// (preserving the pre-registry "%d" output byte for byte — a 10 MB gauge
+// must stay "10000000", not "1e+07"), everything else in shortest-float
+// form, which matches fmt's %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return formatFloat(v)
+}
+
+// formatFloat renders a float in %g shortest form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatBound renders a bucket bound the way %g did in the pre-registry
+// histogram writer.
+func formatBound(b float64) string { return formatFloat(b) }
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether s is a legal Prometheus metric name.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal Prometheus label name.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expositionOf(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	return sb.String()
+}
+
+func wantLine(t *testing.T, out, line string) {
+	t.Helper()
+	if !strings.Contains(out, line+"\n") {
+		t.Fatalf("exposition missing line %q in:\n%s", line, out)
+	}
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "operations")
+	g := r.NewGauge("test_depth", "queue depth")
+	c.Add(3)
+	c.Inc()
+	g.SetInt(42)
+
+	out := expositionOf(t, r)
+	wantLine(t, out, "# HELP test_ops_total operations")
+	wantLine(t, out, "# TYPE test_ops_total counter")
+	wantLine(t, out, "test_ops_total 4")
+	wantLine(t, out, "# TYPE test_depth gauge")
+	wantLine(t, out, "test_depth 42")
+}
+
+func TestGaugeValueFormatting(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_bytes", "")
+	// Large integral values must print as integers, never scientific
+	// notation: pre-registry output used %d and scrapers may substring-match.
+	g.SetInt(10000000)
+	out := expositionOf(t, r)
+	wantLine(t, out, "test_bytes 10000000")
+
+	g.Set(0.0625)
+	out = expositionOf(t, r)
+	wantLine(t, out, "test_bytes 0.0625")
+}
+
+func TestLabeledVecSortedAndQuoted(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_requests_total", "", "route", "deprecated")
+	v.With("PUT /v1/graphs/{name}", "false").Add(2)
+	v.With("GET /v1/healthz", "false").Inc()
+
+	out := expositionOf(t, r)
+	wantLine(t, out, `test_requests_total{route="PUT /v1/graphs/{name}",deprecated="false"} 2`)
+	wantLine(t, out, `test_requests_total{route="GET /v1/healthz",deprecated="false"} 1`)
+	// Children render in sorted label-value order, deterministically.
+	if strings.Index(out, "GET /v1/healthz") > strings.Index(out, "PUT /v1/graphs") {
+		t.Fatalf("children not sorted:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_weird", "", "k")
+	v.With(`a"b\c`).SetInt(1)
+	out := expositionOf(t, r)
+	wantLine(t, out, `test_weird{k="a\"b\\c"} 1`)
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.001, 0.5, 1}
+	v := r.NewHistogramVec("test_seconds", "", bounds, "kind")
+	h := v.With("count")
+	v.With("profile") // registered but never observed: must still render
+	h.Observe(0.0005)
+	h.Observe(0.25)
+	h.Observe(2)
+
+	out := expositionOf(t, r)
+	wantLine(t, out, `test_seconds_bucket{kind="count",le="0.001"} 1`)
+	wantLine(t, out, `test_seconds_bucket{kind="count",le="0.5"} 2`)
+	wantLine(t, out, `test_seconds_bucket{kind="count",le="1"} 2`)
+	wantLine(t, out, `test_seconds_bucket{kind="count",le="+Inf"} 3`)
+	wantLine(t, out, `test_seconds_sum{kind="count"} 2.2505`)
+	wantLine(t, out, `test_seconds_count{kind="count"} 3`)
+	wantLine(t, out, `test_seconds_bucket{kind="profile",le="+Inf"} 0`)
+	wantLine(t, out, `test_seconds_count{kind="profile"} 0`)
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_le", "", []float64{1, 5})
+	h.Observe(1) // le="1" is inclusive per Prometheus semantics
+	out := expositionOf(t, r)
+	wantLine(t, out, `test_le_bucket{le="1"} 1`)
+}
+
+func TestOnScrapeRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_mirror", "")
+	n := 0
+	r.OnScrape(func() {
+		n += 7
+		g.SetInt(int64(n))
+	})
+	out := expositionOf(t, r)
+	wantLine(t, out, "test_mirror 7")
+	out = expositionOf(t, r)
+	wantLine(t, out, "test_mirror 14")
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("test_dup", "")
+	mustPanic("duplicate", func() { r.NewGauge("test_dup", "") })
+	mustPanic("bad name", func() { r.NewCounter("1leading_digit", "") })
+	mustPanic("bad name chars", func() { r.NewCounter("has-dash", "") })
+	mustPanic("bad label", func() { r.NewCounterVec("test_v", "", "__reserved") })
+	v := r.NewCounterVec("test_arity", "", "a", "b")
+	mustPanic("arity", func() { v.With("only-one") })
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_conc_total", "")
+	v := r.NewHistogramVec("test_conc_seconds", "", []float64{0.1, 1}, "kind")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With("a").Observe(0.05)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		var sb strings.Builder
+		_ = r.WriteProm(&sb)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := v.With("a").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

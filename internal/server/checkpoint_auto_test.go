@@ -40,7 +40,7 @@ func TestAutoCheckpointFoldsLongWAL(t *testing.T) {
 	if _, err := c.InsertEdges(ctx, "hot", [][]int32{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}); err != nil {
 		t.Fatalf("insert: %v", err)
 	}
-	testutil.Eventually(t, 10*time.Second, func() bool { return s.autoCheckpoints.Load() > 0 },
+	testutil.Eventually(t, 10*time.Second, func() bool { return s.autoCheckpoints.Value() > 0 },
 		"no automatic checkpoint fired")
 	if got := s.store.Status().Checkpoints; got == 0 {
 		t.Fatalf("auto counter fired but store recorded %d checkpoints", got)
@@ -82,7 +82,7 @@ func TestAutoCheckpointDisabledByDefault(t *testing.T) {
 	if n := s.store.Status().Checkpoints; n != 0 {
 		t.Fatalf("store recorded %d checkpoints with auto-checkpointing disabled", n)
 	}
-	if n := s.autoCheckpoints.Load(); n != 0 {
+	if n := s.autoCheckpoints.Value(); n != 0 {
 		t.Fatalf("auto counter = %d with auto-checkpointing disabled", n)
 	}
 }
@@ -100,7 +100,7 @@ func TestAutoCheckpointCoalesces(t *testing.T) {
 			t.Fatalf("insert %d: %v", i, err)
 		}
 	}
-	testutil.Eventually(t, 10*time.Second, func() bool { return s.autoCheckpoints.Load() > 0 },
+	testutil.Eventually(t, 10*time.Second, func() bool { return s.autoCheckpoints.Value() > 0 },
 		"no automatic checkpoint fired for the burst")
 	// Folds ran, but nowhere near one per mutation: every trigger that
 	// arrived while a fold was in flight coalesced into it.

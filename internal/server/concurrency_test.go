@@ -192,7 +192,7 @@ func TestJobStoreConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				j := st.create(api.JobKindCount, fmt.Sprintf("g%d", w))
+				j := st.create(api.JobKindCount, fmt.Sprintf("g%d", w), "")
 				if _, ok := st.get(j.id); !ok {
 					t.Errorf("created job %s not gettable", j.id)
 				}

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"mochy/api"
+	"mochy/internal/obs"
 )
 
 // handleCheckpoint serves POST /v1/admin/checkpoint: it folds each named
@@ -57,6 +60,88 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, _ para
 		out.Checkpointed = append(out.Checkpointed, entry)
 	}
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraces serves GET /v1/admin/traces: the span flight recorder's
+// retained traces, newest first. Spans are grouped by trace id and sorted
+// by start time within each trace, so a consumer can rebuild the span tree
+// from the parent ids. ?min=DURATION keeps only traces at least that long
+// (the "what was slow" query); ?limit=N caps the trace count.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request, _ params) {
+	var minDur time.Duration
+	if q := r.URL.Query().Get("min"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid min duration %q: %v", q, err)
+			return
+		}
+		minDur = d
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", q)
+			return
+		}
+		limit = n
+	}
+
+	recs := s.tracer.Snapshot()
+	byTrace := make(map[string][]obs.SpanRecord)
+	order := make([]string, 0, 8) // trace ids by oldest retained span
+	for _, rec := range recs {
+		if _, seen := byTrace[rec.TraceID]; !seen {
+			order = append(order, rec.TraceID)
+		}
+		byTrace[rec.TraceID] = append(byTrace[rec.TraceID], rec)
+	}
+
+	out := api.TraceList{Traces: []api.Trace{}}
+	// Snapshot is oldest-first; walk trace ids in reverse so the response
+	// leads with the most recent activity.
+	for i := len(order) - 1; i >= 0; i-- {
+		spans := byTrace[order[i]]
+		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+		start, end := spans[0].Start, spans[0].End
+		root, haveRoot := spans[0].Name, false
+		for _, rec := range spans {
+			if rec.End.After(end) {
+				end = rec.End
+			}
+			if rec.ParentID == 0 && !haveRoot {
+				root, haveRoot = rec.Name, true
+			}
+		}
+		if end.Sub(start) < minDur {
+			continue
+		}
+		tr := api.Trace{
+			ID:         order[i],
+			Root:       root,
+			Start:      start,
+			DurationMS: float64(end.Sub(start).Microseconds()) / 1000,
+			Spans:      make([]api.TraceSpan, len(spans)),
+		}
+		for si, rec := range spans {
+			sp := api.TraceSpan{
+				Name:       rec.Name,
+				ID:         rec.SpanID,
+				Parent:     rec.ParentID,
+				Start:      rec.Start,
+				DurationMS: float64(rec.Duration().Microseconds()) / 1000,
+			}
+			for _, a := range rec.Attrs {
+				sp.Attrs = append(sp.Attrs, api.TraceAttr{Key: a.Key, Value: a.Value})
+			}
+			tr.Spans[si] = sp
+		}
+		out.Traces = append(out.Traces, tr)
+		if limit > 0 && len(out.Traces) >= limit {
+			break
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -303,7 +303,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, p params
 			return
 		}
 		if err := s.store.PutCounts(target, e.Gen, counts); err != nil {
-			s.persistErrs.Add(1)
+			s.persistErrs.Inc()
+			s.logger.WarnContext(r.Context(), "persist snapshot counts failed",
+				"graph", target, "error", err)
 		}
 	}
 	writeJSON(w, http.StatusCreated, api.SnapshotResult{

@@ -11,6 +11,7 @@ import (
 
 	"mochy/api"
 	"mochy/internal/hypergraph"
+	"mochy/internal/obs"
 )
 
 // contentType extracts the media type of a request body, defaulting to
@@ -149,10 +150,12 @@ func (s *Server) handleStartCount(w http.ResponseWriter, r *http.Request, p para
 		return
 	}
 	workers := s.clampWorkers(req.Workers)
-	j := s.jobs.create(api.JobKindCount, e.Name)
+	j := s.jobs.create(api.JobKindCount, e.Name, obs.TraceID(r.Context()))
 	// Jobs outlive the request that starts them (the 202 returns now), so
-	// they run under the server's lifetime context, not r.Context().
-	go s.runCountJob(s.baseCtx, j, e, req.Algorithm, req.Samples, req.Seed, workers)
+	// they run under the server's lifetime context, not r.Context() — but
+	// they inherit the request's trace identity, so the job's spans and
+	// logs join the trace that started it.
+	go s.runCountJob(obs.InheritTrace(s.baseCtx, r.Context()), j, e, req.Algorithm, req.Samples, req.Seed, workers)
 	s.writeJob(w, http.StatusAccepted, j)
 }
 
@@ -162,6 +165,10 @@ func (s *Server) handleStartCount(w http.ResponseWriter, r *http.Request, p para
 func (s *Server) runCountJob(ctx context.Context, j *job, e *Entry, algo string, samples int, seed int64, workers int) {
 	start := time.Now()
 	defer func() { s.jobs.observe(j.kind, time.Since(start)) }()
+	ctx, span := s.tracer.StartSpan(ctx, "job.count")
+	span.SetAttr("job", j.id)
+	span.SetAttr("graph", e.Name)
+	span.SetAttr("algorithm", algo)
 	j.setRunning(s.jobs.now())
 	var progress func(done, total int)
 	if algo == algoExact {
@@ -171,10 +178,15 @@ func (s *Server) runCountJob(ctx context.Context, j *job, e *Entry, algo string,
 	if err != nil {
 		s.jobs.failed.Add(1)
 		j.finish(nil, err, s.jobs.now())
+		span.SetAttr("error", err.Error())
+		span.End()
+		s.logger.WarnContext(ctx, "count job failed", "job", j.id, "graph", e.Name, "algorithm", algo, "error", err.Error())
 		return
 	}
 	s.jobs.finished.Add(1)
 	j.finish(toCountResult(e.Name, algo, c, cached, time.Since(start)), nil, s.jobs.now())
+	span.SetAttr("cached", boolLabel(cached))
+	span.End()
 }
 
 // handleStartProfile serves POST /v1/graphs/{name}/profile as a job.
@@ -201,8 +213,8 @@ func (s *Server) handleStartProfile(w http.ResponseWriter, r *http.Request, p pa
 		return
 	}
 	workers := s.clampWorkers(req.Workers)
-	j := s.jobs.create(api.JobKindProfile, e.Name)
-	go s.runProfileJob(s.baseCtx, j, e, req.Randomizations, req.Seed, workers)
+	j := s.jobs.create(api.JobKindProfile, e.Name, obs.TraceID(r.Context()))
+	go s.runProfileJob(obs.InheritTrace(s.baseCtx, r.Context()), j, e, req.Randomizations, req.Seed, workers)
 	s.writeJob(w, http.StatusAccepted, j)
 }
 
@@ -210,14 +222,21 @@ func (s *Server) handleStartProfile(w http.ResponseWriter, r *http.Request, p pa
 func (s *Server) runProfileJob(ctx context.Context, j *job, e *Entry, randomizations int, seed int64, workers int) {
 	start := time.Now()
 	defer func() { s.jobs.observe(j.kind, time.Since(start)) }()
+	ctx, span := s.tracer.StartSpan(ctx, "job.profile")
+	span.SetAttr("job", j.id)
+	span.SetAttr("graph", e.Name)
 	j.setRunning(s.jobs.now())
 	prof, cached, err := s.profile(ctx, e, randomizations, seed, workers)
 	if err != nil {
 		s.jobs.failed.Add(1)
 		j.finish(nil, err, s.jobs.now())
+		span.SetAttr("error", err.Error())
+		span.End()
+		s.logger.WarnContext(ctx, "profile job failed", "job", j.id, "graph", e.Name, "error", err.Error())
 		return
 	}
 	s.jobs.finished.Add(1)
+	defer span.End()
 	j.finish(api.ProfileResult{
 		Graph:          e.Name,
 		Randomizations: randomizations,
@@ -296,73 +315,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, p param
 	}
 }
 
-// handleMetrics serves GET /v1/metrics: Prometheus-style plaintext gauges
-// and counters for queue depth, jobs, cache effectiveness, and per-route
-// request counts.
+// handleMetrics serves GET /v1/metrics: the full Prometheus text exposition
+// rendered by the obs registry. Every family mochyd exposes — request,
+// job, cache, kernel, store, and runtime — registers there; this handler
+// owns no metric lines of its own. Mirrored gauges are refreshed by the
+// registry's scrape hook (see collectMetrics) before rendering.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, _ params) {
-	// One Stats() sweep feeds both the global cache gauges and the
-	// per-partition lines: each partition's lock is taken once per scrape,
-	// and the globals are exactly the sum of the partition lines.
-	cacheStats := s.cache.Stats()
-	var entries int
-	var hits, misses, evictions uint64
-	for _, ps := range cacheStats {
-		entries += ps.Entries
-		hits += ps.Hits
-		misses += ps.Misses
-		evictions += ps.Evictions
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "mochyd_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
-	fmt.Fprintf(w, "mochyd_graphs %d\n", s.registry.Len())
-	fmt.Fprintf(w, "mochyd_live_graphs %d\n", s.liveReg.Len())
-	fmt.Fprintf(w, "mochyd_cache_entries %d\n", entries)
-	fmt.Fprintf(w, "mochyd_cache_hits %d\n", hits)
-	fmt.Fprintf(w, "mochyd_cache_misses %d\n", misses)
-	fmt.Fprintf(w, "mochyd_cache_evictions %d\n", evictions)
-	fmt.Fprintf(w, "mochyd_cache_partitions %d\n", len(cacheStats))
-	for i, ps := range cacheStats {
-		fmt.Fprintf(w, "mochyd_cache_partition_entries{partition=\"%d\"} %d\n", i, ps.Entries)
-		fmt.Fprintf(w, "mochyd_cache_partition_hits{partition=\"%d\"} %d\n", i, ps.Hits)
-		fmt.Fprintf(w, "mochyd_cache_partition_misses{partition=\"%d\"} %d\n", i, ps.Misses)
-		fmt.Fprintf(w, "mochyd_cache_partition_evictions{partition=\"%d\"} %d\n", i, ps.Evictions)
-		fmt.Fprintf(w, "mochyd_cache_partition_expired{partition=\"%d\"} %d\n", i, ps.Expired)
-	}
-	fmt.Fprintf(w, "mochyd_pool_active %d\n", s.pool.Active())
-	fmt.Fprintf(w, "mochyd_pool_capacity %d\n", s.pool.Capacity())
-	fmt.Fprintf(w, "mochyd_queue_depth %d\n", s.pool.Waiting())
-	fmt.Fprintf(w, "mochyd_jobs_inflight %d\n", s.jobs.inflight())
-	fmt.Fprintf(w, "mochyd_jobs_started_total %d\n", s.jobs.started.Load())
-	fmt.Fprintf(w, "mochyd_jobs_done_total %d\n", s.jobs.finished.Load())
-	fmt.Fprintf(w, "mochyd_jobs_failed_total %d\n", s.jobs.failed.Load())
-	s.jobs.visitHist(func(kind string, h *latencyHistogram) {
-		h.writeProm(w, "mochyd_job_duration_seconds", kind)
-	})
-	if s.store != nil {
-		st := s.store.Status()
-		fmt.Fprintf(w, "mochyd_store_enabled 1\n")
-		fmt.Fprintf(w, "mochyd_store_segments %d\n", st.Graphs)
-		fmt.Fprintf(w, "mochyd_store_live_wals %d\n", st.LiveGraphs)
-		fmt.Fprintf(w, "mochyd_store_segment_bytes %d\n", st.SegmentBytes)
-		fmt.Fprintf(w, "mochyd_store_wal_bytes %d\n", st.WALBytes)
-		fmt.Fprintf(w, "mochyd_store_wal_records_total %d\n", st.WALRecords)
-		fmt.Fprintf(w, "mochyd_store_wal_syncs_total %d\n", st.WALSyncs)
-		fmt.Fprintf(w, "mochyd_store_checkpoints_total %d\n", st.Checkpoints)
-		fmt.Fprintf(w, "mochyd_store_checkpoints_auto_total %d\n", s.autoCheckpoints.Load())
-		fmt.Fprintf(w, "mochyd_store_checkpoints_auto_errors_total %d\n", s.autoCheckpointErrs.Load())
-		fmt.Fprintf(w, "mochyd_store_persist_errors_total %d\n", s.persistErrs.Load())
-		fmt.Fprintf(w, "mochyd_store_recovered_graphs %d\n", st.RecoveredGraphs)
-		fmt.Fprintf(w, "mochyd_store_recovered_live_graphs %d\n", st.RecoveredLive)
-		fmt.Fprintf(w, "mochyd_store_recovered_wal_records %d\n", st.RecoveredRecords)
-		fmt.Fprintf(w, "mochyd_store_recovery_seconds %g\n", st.RecoveryDuration.Seconds())
-	} else {
-		fmt.Fprintf(w, "mochyd_store_enabled 0\n")
-	}
-	fmt.Fprintf(w, "mochyd_requests_unmatched_total %d\n", s.router.unmatched.Load())
-	s.router.visitCounters(func(method, pattern string, deprecated bool, count uint64) {
-		fmt.Fprintf(w, "mochyd_requests_total{route=%q,deprecated=%q} %d\n",
-			method+" "+pattern, boolLabel(deprecated), count)
-	})
+	_ = s.mets.reg.WriteProm(w)
 }
 
 func boolLabel(b bool) string {

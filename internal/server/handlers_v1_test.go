@@ -314,12 +314,12 @@ func TestJobRetention(t *testing.T) {
 	now := time.Unix(1000, 0)
 	st.setNow(func() time.Time { return now })
 
-	j1 := st.create(api.JobKindCount, "g")
+	j1 := st.create(api.JobKindCount, "g", "")
 	j1.finish(api.CountResult{Graph: "g"}, nil, now)
-	j2 := st.create(api.JobKindCount, "g") // stays in flight
+	j2 := st.create(api.JobKindCount, "g", "") // stays in flight
 
 	now = now.Add(jobRetain + time.Minute)
-	st.create(api.JobKindCount, "g") // triggers pruning
+	st.create(api.JobKindCount, "g", "") // triggers pruning
 
 	if _, ok := st.get(j1.id); ok {
 		t.Fatal("finished job survived past the retention window")

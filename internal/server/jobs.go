@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mochy/api"
+	"mochy/internal/obs"
 	"mochy/internal/shardmap"
 )
 
@@ -29,6 +30,7 @@ type job struct {
 	seq   uint64 // creation order, for retention pruning and stable listing
 	kind  string // api.JobKindCount or api.JobKindProfile
 	graph string
+	trace string // trace id of the request that started the job
 
 	mu          sync.Mutex
 	state       string
@@ -52,6 +54,7 @@ func (j *job) snapshot() api.Job {
 		ID:        j.id,
 		Kind:      j.kind,
 		Graph:     j.graph,
+		Trace:     j.trace,
 		State:     j.state,
 		Done:      j.done,
 		Total:     j.total,
@@ -85,7 +88,7 @@ func (j *job) setRunning(now time.Time) {
 func (j *job) progress(done, total int) {
 	j.mu.Lock()
 	j.done, j.total = done, total
-	ev := api.JobEvent{Type: api.EventProgress, Done: done, Total: total}
+	ev := api.JobEvent{Type: api.EventProgress, Done: done, Total: total, Trace: j.trace}
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -123,9 +126,9 @@ func (j *job) terminalEvent() api.JobEvent {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == api.JobFailed {
-		return api.JobEvent{Type: api.EventError, Error: j.errMsg}
+		return api.JobEvent{Type: api.EventError, Error: j.errMsg, Trace: j.trace}
 	}
-	return api.JobEvent{Type: api.EventResult, Result: j.result}
+	return api.JobEvent{Type: api.EventResult, Result: j.result, Trace: j.trace}
 }
 
 // subscribe registers an events channel. The buffer absorbs progress bursts;
@@ -156,8 +159,10 @@ type jobStore struct {
 	nowMu sync.Mutex
 	nowFn func() time.Time // injectable clock for retention tests
 
-	histMu sync.Mutex
-	hist   map[string]*latencyHistogram
+	// durations is the per-kind job latency histogram
+	// (mochyd_job_duration_seconds); nil in bare test stores built without a
+	// server's metrics registry.
+	durations *obs.HistogramVec
 
 	pruneMu   sync.Mutex   // one pruner at a time; creation never waits on one
 	lastPrune atomic.Int64 // unix nanos of the last prune scan (store clock)
@@ -171,10 +176,6 @@ func newJobStore() *jobStore {
 	return &jobStore{
 		jobs:  shardmap.NewMap[*job](0),
 		nowFn: time.Now,
-		hist: map[string]*latencyHistogram{
-			api.JobKindCount:   newLatencyHistogram(),
-			api.JobKindProfile: newLatencyHistogram(),
-		},
 	}
 }
 
@@ -196,36 +197,14 @@ func (st *jobStore) setNow(fn func() time.Time) {
 // latency histogram (surfaced as mochyd_job_duration_seconds on
 // /v1/metrics).
 func (st *jobStore) observe(kind string, d time.Duration) {
-	st.histMu.Lock()
-	h := st.hist[kind]
-	if h == nil {
-		h = newLatencyHistogram()
-		st.hist[kind] = h
-	}
-	st.histMu.Unlock()
-	h.observe(d)
-}
-
-// visitHist walks the per-kind histograms in sorted kind order.
-func (st *jobStore) visitHist(fn func(kind string, h *latencyHistogram)) {
-	st.histMu.Lock()
-	kinds := make([]string, 0, len(st.hist))
-	for kind := range st.hist {
-		kinds = append(kinds, kind)
-	}
-	hists := make([]*latencyHistogram, len(kinds))
-	sort.Strings(kinds)
-	for i, kind := range kinds {
-		hists[i] = st.hist[kind]
-	}
-	st.histMu.Unlock()
-	for i, kind := range kinds {
-		fn(kind, hists[i])
+	if st.durations != nil {
+		st.durations.With(kind).Observe(d.Seconds())
 	}
 }
 
-// create registers a new queued job.
-func (st *jobStore) create(kind, graph string) *job {
+// create registers a new queued job, stamped with the creating request's
+// trace id (empty when untraced).
+func (st *jobStore) create(kind, graph, trace string) *job {
 	st.prune()
 	seq := st.seq.Add(1)
 	j := &job{
@@ -233,6 +212,7 @@ func (st *jobStore) create(kind, graph string) *job {
 		seq:     seq,
 		kind:    kind,
 		graph:   graph,
+		trace:   trace,
 		state:   api.JobQueued,
 		created: st.now(),
 		subs:    make(map[chan api.JobEvent]struct{}),

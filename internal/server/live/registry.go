@@ -3,10 +3,12 @@ package live
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
 	"mochy/internal/dynamic"
+	"mochy/internal/obs"
 	"mochy/internal/shardmap"
 	"mochy/internal/stream"
 )
@@ -36,6 +38,30 @@ type Registry struct {
 	// the write-ahead log of every graph GetOrCreate makes. Restored graphs
 	// arrive with their journal already open.
 	journals func(name string) (Journal, error)
+	// lmu guards logger, installed once at boot like journals.
+	lmu    sync.Mutex
+	logger *slog.Logger
+}
+
+// SetLogger routes the registry's lifecycle logs (graph created, restored,
+// deleted) to l. Call before the registry is exposed to traffic; the
+// default discards everything.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	r.lmu.Lock()
+	r.logger = l
+	r.lmu.Unlock()
+}
+
+func (r *Registry) log() *slog.Logger {
+	r.lmu.Lock()
+	defer r.lmu.Unlock()
+	if r.logger == nil {
+		return obs.NopLogger()
+	}
+	return r.logger
 }
 
 // NewRegistry returns an empty live registry. nodeLimit caps the node
@@ -99,6 +125,7 @@ func (r *Registry) GetOrCreate(name string) (g *Graph, created bool, err error) 
 			}
 			jrn = j
 		}
+		r.log().Info("live graph created", "graph", name, "journaled", jrn != nil)
 		return newGraph(name, r.nodeLimit, jrn), nil
 	})
 }
@@ -159,6 +186,8 @@ func (r *Registry) Restore(name string, base *State, tail []Rec, jrn Journal) (*
 		return nil, fmt.Errorf("live: restore %q: already registered", name)
 	}
 	go g.loop(st)
+	r.log().Info("live graph restored", "graph", name,
+		"version", g.Version(), "replayed", len(tail))
 	return g, nil
 }
 
@@ -194,6 +223,7 @@ func (r *Registry) Delete(name string) (*Graph, bool) {
 	if ok {
 		r.release()
 		g.Close()
+		r.log().Info("live graph deleted", "graph", name)
 	}
 	return g, ok
 }

@@ -4,17 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"mochy/internal/cp"
 	counting "mochy/internal/mochy"
 	"mochy/internal/nullmodel"
+	"mochy/internal/obs"
 	"mochy/internal/projection"
 	"mochy/internal/server/live"
 	"mochy/internal/shardmap"
@@ -68,6 +69,15 @@ type Config struct {
 	// next recovery) bounded without a manual POST /v1/admin/checkpoint.
 	// <= 0 leaves checkpointing manual-only.
 	CheckpointWALBytes int64
+	// Logger receives the server's structured logs (job failures,
+	// auto-checkpoint outcomes, graph lifecycle). nil discards them —
+	// embedded servers and tests stay silent by default; mochyd wires one.
+	Logger *slog.Logger
+	// TraceBuffer is the flight recorder's capacity: how many finished
+	// spans GET /v1/admin/traces retains. 0 selects the default; negative
+	// disables span recording. Trace-id propagation (the X-Mochy-Trace
+	// header, job stamping, log correlation) is always on regardless.
+	TraceBuffer int
 }
 
 // DefaultConfig returns the configuration mochyd starts with.
@@ -78,6 +88,7 @@ func DefaultConfig() Config {
 		MaxWorkersPerJob: runtime.GOMAXPROCS(0),
 		SamplingTTL:      15 * time.Minute,
 		QueueBudget:      10 * time.Second,
+		TraceBuffer:      512,
 	}
 }
 
@@ -96,15 +107,21 @@ type Server struct {
 	cfg      Config
 	start    time.Time
 	router   *router
+	// mets owns every /v1/metrics family; tracer is the span flight
+	// recorder behind /v1/admin/traces; logger receives structured logs
+	// (never nil — a nop logger when the config left it unset).
+	mets   *serverMetrics
+	tracer *obs.Tracer
+	logger *slog.Logger
 	// persistErrs counts best-effort persistence failures (exact-count
 	// sidecar writes); hard failures surface on the request instead.
-	persistErrs atomic.Uint64
+	persistErrs *obs.Counter
 	// ckptInflight marks graphs with an automatic checkpoint in progress,
 	// so a burst of mutations past the WAL threshold schedules one fold,
 	// not one per request.
 	ckptInflight       *shardmap.Map[struct{}]
-	autoCheckpoints    atomic.Uint64
-	autoCheckpointErrs atomic.Uint64
+	autoCheckpoints    *obs.Counter
+	autoCheckpointErrs *obs.Counter
 	// stopc ends the background cache sweeper; closed once by Close.
 	stopc     chan struct{}
 	closeOnce sync.Once
@@ -137,6 +154,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueBudget == 0 {
 		cfg.QueueBudget = def.QueueBudget
 	}
+	if cfg.TraceBuffer == 0 {
+		cfg.TraceBuffer = def.TraceBuffer
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	s := &Server{
 		registry:     NewRegistry(),
 		liveReg:      live.NewRegistry(maxGraphNodes, maxLiveGraphs),
@@ -147,9 +170,18 @@ func New(cfg Config) *Server {
 		store:        cfg.Store,
 		cfg:          cfg,
 		start:        time.Now(),
+		logger:       cfg.Logger,
+		mets:         newServerMetrics(cfg.Store != nil),
+		tracer:       obs.NewTracer(cfg.TraceBuffer),
 		ckptInflight: shardmap.NewMap[struct{}](0),
 		stopc:        make(chan struct{}),
 	}
+	s.mets.reg.OnScrape(s.collectMetrics)
+	s.tracer.CountSpans(s.mets.traceSpans)
+	s.jobs.durations = s.mets.jobDuration
+	s.persistErrs = s.mets.persistErrs
+	s.autoCheckpoints = s.mets.autoCheckpoints
+	s.autoCheckpointErrs = s.mets.autoCheckpointErr
 	//lint:ignore ctxflow the server's lifetime context is the one legitimate root below main: jobs outlive the requests that start them and must be cancelled by Close, not by a client disconnect
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.store != nil {
@@ -158,7 +190,13 @@ func New(cfg Config) *Server {
 		s.liveReg.SetJournalFactory(func(name string) (live.Journal, error) {
 			return s.store.CreateLive(name)
 		})
+		// The store shares the server's registry (WAL fsync and checkpoint
+		// latency histograms) and logger. Both are wired before any request
+		// or recovery can drive the store.
+		s.store.Instrument(s.mets.reg)
+		s.store.SetLogger(s.logger)
 	}
+	s.liveReg.SetLogger(s.logger)
 	s.router = s.buildRouter()
 	// The sweeper only exists for TTL'd entries, which only the sampling
 	// TTL produces; servers that cannot accumulate them (cache disabled, or
@@ -223,7 +261,8 @@ func (s *Server) maybeAutoCheckpoint(g *live.Graph) {
 			// A closed graph (deleted mid-trigger) is the normal way a
 			// scheduled fold becomes moot, not a persistence failure.
 			if !errors.Is(err, live.ErrClosed) {
-				s.autoCheckpointErrs.Add(1)
+				s.autoCheckpointErrs.Inc()
+				s.logger.Warn("auto-checkpoint failed", "graph", name, "error", err.Error())
 			}
 			return
 		}
@@ -234,11 +273,13 @@ func (s *Server) maybeAutoCheckpoint(g *live.Graph) {
 			// the daemon shutting down, or the graph deleted/recreated
 			// mid-fold — are not persistence failures.
 			if !errors.Is(err, store.ErrClosed) && !errors.Is(err, store.ErrSuperseded) {
-				s.autoCheckpointErrs.Add(1)
+				s.autoCheckpointErrs.Inc()
+				s.logger.Warn("auto-checkpoint failed", "graph", name, "error", err.Error())
 			}
 			return
 		}
-		s.autoCheckpoints.Add(1)
+		s.autoCheckpoints.Inc()
+		s.logger.Info("auto-checkpoint complete", "graph", name, "replay_from", replayFrom)
 	}()
 }
 
@@ -276,65 +317,72 @@ func (s *Server) Recover() (store.RecoveryStats, error) {
 // buildRouter assembles the route table: the canonical /v1 surface plus the
 // pre-v1 unversioned routes as deprecated aliases with identical behavior.
 func (s *Server) buildRouter() *router {
-	rt := newRouter()
+	rt := newRouter(s.mets, s.tracer)
 
 	// v1: service meta.
-	rt.handle(http.MethodGet, "/v1/healthz", s.handleHealthz)
-	rt.handle(http.MethodGet, "/v1/metrics", s.handleMetrics)
+	rt.handle(s.mets, http.MethodGet, "/v1/healthz", s.handleHealthz)
+	rt.handle(s.mets, http.MethodGet, "/v1/metrics", s.handleMetrics)
 
 	// v1: immutable graph transport (content negotiated).
-	rt.handle(http.MethodGet, "/v1/graphs", s.handleList)
-	rt.handle(http.MethodPut, "/v1/graphs/{name}", s.handleUploadGraph)
-	rt.handle(http.MethodGet, "/v1/graphs/{name}", s.handleDownloadGraph)
-	rt.handle(http.MethodDelete, "/v1/graphs/{name}", s.handleDeleteGraph)
-	rt.handle(http.MethodGet, "/v1/graphs/{name}/stats", s.handleStats)
+	rt.handle(s.mets, http.MethodGet, "/v1/graphs", s.handleList)
+	rt.handle(s.mets, http.MethodPut, "/v1/graphs/{name}", s.handleUploadGraph)
+	rt.handle(s.mets, http.MethodGet, "/v1/graphs/{name}", s.handleDownloadGraph)
+	rt.handle(s.mets, http.MethodDelete, "/v1/graphs/{name}", s.handleDeleteGraph)
+	rt.handle(s.mets, http.MethodGet, "/v1/graphs/{name}/stats", s.handleStats)
 
 	// v1: asynchronous job protocol.
-	rt.handle(http.MethodPost, "/v1/graphs/{name}/count", s.handleStartCount)
-	rt.handle(http.MethodPost, "/v1/graphs/{name}/profile", s.handleStartProfile)
-	rt.handle(http.MethodGet, "/v1/jobs", s.handleJobs)
-	rt.handle(http.MethodGet, "/v1/jobs/{id}", s.handleJob)
-	rt.handle(http.MethodGet, "/v1/jobs/{id}/events", s.handleJobEvents)
+	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/count", s.handleStartCount)
+	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/profile", s.handleStartProfile)
+	rt.handle(s.mets, http.MethodGet, "/v1/jobs", s.handleJobs)
+	rt.handle(s.mets, http.MethodGet, "/v1/jobs/{id}", s.handleJob)
+	rt.handle(s.mets, http.MethodGet, "/v1/jobs/{id}/events", s.handleJobEvents)
 
-	// v1: persistence administration.
-	rt.handle(http.MethodPost, "/v1/admin/checkpoint", s.handleCheckpoint)
-	rt.handle(http.MethodGet, "/v1/admin/store", s.handleStoreStatus)
+	// v1: persistence administration and the trace flight recorder.
+	rt.handle(s.mets, http.MethodPost, "/v1/admin/checkpoint", s.handleCheckpoint)
+	rt.handle(s.mets, http.MethodGet, "/v1/admin/store", s.handleStoreStatus)
+	rt.handle(s.mets, http.MethodGet, "/v1/admin/traces", s.handleTraces)
 
 	// v1: live graphs and stream ingest.
-	rt.handle(http.MethodPost, "/v1/graphs/{name}/edges", s.handleInsertEdges)
-	rt.handle(http.MethodGet, "/v1/graphs/{name}/edges", s.handleListEdges)
-	rt.handle(http.MethodDelete, "/v1/graphs/{name}/edges/{id}", s.handleDeleteEdge)
-	rt.handle(http.MethodPatch, "/v1/graphs/{name}", s.handlePatchGraph)
-	rt.handle(http.MethodGet, "/v1/graphs/{name}/counts", s.handleLiveCounts)
-	rt.handle(http.MethodPost, "/v1/graphs/{name}/snapshot", s.handleSnapshot)
-	rt.handle(http.MethodPost, "/v1/streams/{name}", s.handleStreamIngest)
-	rt.handle(http.MethodGet, "/v1/streams/{name}", s.handleStreamGet)
+	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/edges", s.handleInsertEdges)
+	rt.handle(s.mets, http.MethodGet, "/v1/graphs/{name}/edges", s.handleListEdges)
+	rt.handle(s.mets, http.MethodDelete, "/v1/graphs/{name}/edges/{id}", s.handleDeleteEdge)
+	rt.handle(s.mets, http.MethodPatch, "/v1/graphs/{name}", s.handlePatchGraph)
+	rt.handle(s.mets, http.MethodGet, "/v1/graphs/{name}/counts", s.handleLiveCounts)
+	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/snapshot", s.handleSnapshot)
+	rt.handle(s.mets, http.MethodPost, "/v1/streams/{name}", s.handleStreamIngest)
+	rt.handle(s.mets, http.MethodGet, "/v1/streams/{name}", s.handleStreamGet)
 
 	// Legacy unversioned aliases (deprecated): the bootstrap API, kept
 	// byte-compatible. Count and profile stay synchronous here; /v1 moved
 	// them onto the job protocol.
-	rt.handleDeprecated(http.MethodGet, "/healthz", s.handleHealthz)
-	rt.handleDeprecated(http.MethodGet, "/graphs", s.handleList)
-	rt.handleDeprecated(http.MethodPost, "/graphs", s.handleLegacyLoad)
-	rt.handleDeprecated(http.MethodGet, "/graphs/{name}", s.handleStats)
-	rt.handleDeprecated(http.MethodGet, "/graphs/{name}/stats", s.handleStats)
-	rt.handleDeprecated(http.MethodDelete, "/graphs/{name}", s.handleDeleteGraph)
-	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/count", s.handleSyncCount)
-	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/profile", s.handleSyncProfile)
-	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/edges", s.handleInsertEdges)
-	rt.handleDeprecated(http.MethodGet, "/graphs/{name}/edges", s.handleListEdges)
-	rt.handleDeprecated(http.MethodDelete, "/graphs/{name}/edges/{id}", s.handleDeleteEdge)
-	rt.handleDeprecated(http.MethodPatch, "/graphs/{name}", s.handlePatchGraph)
-	rt.handleDeprecated(http.MethodGet, "/graphs/{name}/counts", s.handleLiveCounts)
-	rt.handleDeprecated(http.MethodPost, "/graphs/{name}/snapshot", s.handleSnapshot)
-	rt.handleDeprecated(http.MethodPost, "/streams/{name}", s.handleStreamIngest)
-	rt.handleDeprecated(http.MethodGet, "/streams/{name}", s.handleStreamGet)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/healthz", s.handleHealthz)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/graphs", s.handleList)
+	rt.handleDeprecated(s.mets, http.MethodPost, "/graphs", s.handleLegacyLoad)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/graphs/{name}", s.handleStats)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/graphs/{name}/stats", s.handleStats)
+	rt.handleDeprecated(s.mets, http.MethodDelete, "/graphs/{name}", s.handleDeleteGraph)
+	rt.handleDeprecated(s.mets, http.MethodPost, "/graphs/{name}/count", s.handleSyncCount)
+	rt.handleDeprecated(s.mets, http.MethodPost, "/graphs/{name}/profile", s.handleSyncProfile)
+	rt.handleDeprecated(s.mets, http.MethodPost, "/graphs/{name}/edges", s.handleInsertEdges)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/graphs/{name}/edges", s.handleListEdges)
+	rt.handleDeprecated(s.mets, http.MethodDelete, "/graphs/{name}/edges/{id}", s.handleDeleteEdge)
+	rt.handleDeprecated(s.mets, http.MethodPatch, "/graphs/{name}", s.handlePatchGraph)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/graphs/{name}/counts", s.handleLiveCounts)
+	rt.handleDeprecated(s.mets, http.MethodPost, "/graphs/{name}/snapshot", s.handleSnapshot)
+	rt.handleDeprecated(s.mets, http.MethodPost, "/streams/{name}", s.handleStreamIngest)
+	rt.handleDeprecated(s.mets, http.MethodGet, "/streams/{name}", s.handleStreamGet)
 
 	return rt
 }
 
 // Registry exposes the graph registry (used by mochyd to preload graphs).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics exposes the server's metrics registry, so embedders (benchmark
+// harnesses, a future in-process scraper) can register their own families
+// next to the built-in ones or render the exposition without an HTTP round
+// trip.
+func (s *Server) Metrics() *obs.Registry { return s.mets.reg }
 
 // Close stops admitting new counting jobs, cancels the server's lifetime
 // context (ending asynchronous jobs), waits for the background sweeper
@@ -479,23 +527,63 @@ const (
 // queued behind a saturated pool would outrank a genuinely expensive exact
 // count.
 func (s *Server) runCount(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int, progress func(done, total int)) (c counting.Counts, cost time.Duration, err error) {
+	wait0 := time.Now()
 	if err := s.pool.Acquire(ctx); err != nil {
+		s.tracer.RecordSpan(ctx, "pool.wait", wait0, time.Now(), obs.Attr{Key: "error", Value: err.Error()})
 		return counting.Counts{}, 0, err
 	}
+	s.tracer.RecordSpan(ctx, "pool.wait", wait0, time.Now())
 	defer s.pool.Release()
 	t0 := time.Now()
 	p := e.Projection()
+	kctx, kspan := s.tracer.StartSpan(ctx, "kernel."+algo)
 	switch algo {
 	case algoExact:
+		if progress != nil {
+			progress = s.stagedProgress(kctx, progress)
+		}
 		c = counting.CountExactProgress(e.Graph, p, workers, progress)
 	case algoEdge:
 		c = counting.CountEdgeSamples(e.Graph, p, samples, seed, workers)
 	case algoWedge:
 		c = counting.CountWedgeSamples(e.Graph, p, p, samples, seed, workers)
 	default:
+		kspan.End()
 		return counting.Counts{}, 0, fmt.Errorf("unknown algorithm %q (want %s, %s or %s)", algo, algoExact, algoEdge, algoWedge)
 	}
-	return c, time.Since(t0), nil
+	cost = time.Since(t0)
+	kspan.SetAttr("workers", strconv.Itoa(workers))
+	kspan.End()
+	s.mets.kernelStage.With(algo).Observe(cost.Seconds())
+	return c, cost, nil
+}
+
+// stagedProgress wraps an exact count's progress callback to leave the
+// enumeration's quartile boundaries behind as retroactive spans: "which
+// quarter of the anchor space was slow" is visible per trace without paying
+// a span per progress callback. The kernel serializes progress callbacks,
+// but the wrapper stays mutex-guarded for safety, not speed — it only runs
+// on traced exact counts that already report progress.
+func (s *Server) stagedProgress(ctx context.Context, inner func(done, total int)) func(done, total int) {
+	if !s.tracer.Enabled() || obs.TraceID(ctx) == "" {
+		return inner
+	}
+	var mu sync.Mutex
+	stage := 1
+	last := time.Now()
+	return func(done, total int) {
+		inner(done, total)
+		mu.Lock()
+		for stage <= 4 && total > 0 && done*4 >= total*stage {
+			now := time.Now()
+			s.tracer.RecordSpan(ctx, fmt.Sprintf("enumerate.q%d", stage), last, now,
+				obs.Attr{Key: "done", Value: strconv.Itoa(done)},
+				obs.Attr{Key: "total", Value: strconv.Itoa(total)})
+			last = now
+			stage++
+		}
+		mu.Unlock()
+	}
 }
 
 // countProgress returns the (possibly cached) counts for one query,
@@ -524,15 +612,22 @@ func (s *Server) countProgress(ctx context.Context, e *Entry, algo string, sampl
 		if algo != algoExact {
 			ttl = s.samplingTTL()
 		}
+		cw0 := time.Now()
 		s.putIfCurrent(e, key, c, ttl, cost)
+		s.tracer.RecordSpan(dctx, "cache.write", cw0, time.Now())
 		// A freshly computed exact count is the most expensive thing the
 		// server makes; persist it next to the graph's segment so the next
 		// boot seeds the cache instead of recounting. Best-effort: the
 		// count itself is already correct and cached.
 		if algo == algoExact && s.store != nil {
 			if cur, ok := s.registry.Get(e.Name); ok && cur.Gen == e.Gen {
+				p0 := time.Now()
 				if perr := s.store.PutCounts(e.Name, e.Gen, c); perr != nil {
-					s.persistErrs.Add(1)
+					s.persistErrs.Inc()
+					s.logger.WarnContext(dctx, "persist counts failed", "graph", e.Name, "error", perr.Error())
+					s.tracer.RecordSpan(dctx, "persist.counts", p0, time.Now(), obs.Attr{Key: "error", Value: perr.Error()})
+				} else {
+					s.tracer.RecordSpan(dctx, "persist.counts", p0, time.Now())
 				}
 			}
 		}
@@ -574,6 +669,7 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 		defer s.pool.Release()
 		// Cost clock starts after admission: queue wait is not compute.
 		t0 := time.Now()
+		_, kspan := s.tracer.StartSpan(dctx, "kernel.null-model")
 		copies := nullmodel.NewRandomizer(e.Graph).GenerateN(randomizations, seed)
 		randomized := make([]*counting.Counts, len(copies))
 		for i, c := range copies {
@@ -581,10 +677,14 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 			randomized[i] = &cc
 		}
 		prof := cp.Compute(&real, randomized)
+		cost := time.Since(t0)
+		kspan.SetAttr("randomizations", strconv.Itoa(randomizations))
+		kspan.End()
+		s.mets.kernelStage.With("null-model").Observe(cost.Seconds())
 		// Profiles depend on sampled null models, so they take the
 		// sampling TTL like the other randomization-based results; the
 		// measured cost covers the null-model half actually computed here.
-		s.putIfCurrent(e, key, prof, s.samplingTTL(), time.Since(t0))
+		s.putIfCurrent(e, key, prof, s.samplingTTL(), cost)
 		return prof, nil
 	})
 	if err != nil {

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"log/slog"
+	"time"
+
+	"mochy/internal/obs"
+)
+
+// Histogram bucket bounds (seconds) for the store's two latency-critical
+// operations: WAL fsync batches (the acknowledged-write floor) and
+// checkpoint folds (base segment write + manifest swap + WAL truncation).
+var (
+	fsyncBounds      = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 5}
+	checkpointBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 60}
+)
+
+// Instrument registers the store's latency histograms on reg:
+// mochyd_store_wal_fsync_seconds (one observation per group-commit fsync,
+// so committers that rode a leader's sync do not observe) and
+// mochyd_store_checkpoint_seconds (one per CheckpointLive, failures
+// included). Call once, before the store sees traffic; an uninstrumented
+// store skips the observations.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.fsyncHist = reg.NewHistogram("mochyd_store_wal_fsync_seconds",
+		"WAL group-commit fsync latency.", fsyncBounds)
+	s.ckptHist = reg.NewHistogram("mochyd_store_checkpoint_seconds",
+		"Live-graph checkpoint fold duration.", checkpointBounds)
+}
+
+// SetLogger routes the store's structured logs (recovery summary, torn-tail
+// truncations) to l. Call before the store sees traffic; the default
+// discards everything.
+func (s *Store) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.logger = l
+	}
+}
+
+func (s *Store) observeFsync(t0 time.Time) {
+	if s.fsyncHist != nil {
+		s.fsyncHist.ObserveSince(t0)
+	}
+}
+
+func (s *Store) observeCheckpoint(t0 time.Time) {
+	if s.ckptHist != nil {
+		s.ckptHist.ObserveSince(t0)
+	}
+}

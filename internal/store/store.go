@@ -27,6 +27,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -38,6 +39,7 @@ import (
 
 	"mochy/internal/hypergraph"
 	counting "mochy/internal/mochy"
+	"mochy/internal/obs"
 	"mochy/internal/server/live"
 )
 
@@ -73,6 +75,13 @@ type Store struct {
 	walSyncs    atomic.Uint64
 	walBytes    atomic.Int64
 	checkpoints atomic.Uint64
+
+	// Observability, wired by the owning server via Instrument/SetLogger
+	// before the store sees traffic (see obs.go). logger is never nil;
+	// the histograms are nil until instrumented.
+	logger    *slog.Logger
+	fsyncHist *obs.Histogram
+	ckptHist  *obs.Histogram
 }
 
 // Open prepares a data directory (creating it if needed) and loads its
@@ -92,6 +101,7 @@ func Open(dir string) (*Store, error) {
 		man:       man,
 		wals:      make(map[string]*walHandle),
 		graphGens: make(map[string]uint64),
+		logger:    obs.NopLogger(),
 	}, nil
 }
 
@@ -233,6 +243,13 @@ func (s *Store) Recover() (*Recovery, error) {
 	}
 	out.Stats = s.stats
 	s.recovered = true
+	s.logger.Info("store recovered",
+		"dir", s.dir,
+		"graphs", s.stats.Graphs,
+		"live_graphs", s.stats.LiveGraphs,
+		"wal_records", s.stats.WALRecords,
+		"torn_tails", s.stats.TornTails,
+		"duration", s.stats.Duration)
 	return out, nil
 }
 
@@ -297,6 +314,9 @@ func (s *Store) recoverLive(name string, e *liveEntry, gens map[uint64]string, o
 			if err := os.Truncate(path, valid); err != nil {
 				return nil, fmt.Errorf("recover live graph %q: truncate torn wal: %w", name, err)
 			}
+			s.logger.Warn("truncated torn wal tail",
+				"graph", name, "generation", gen,
+				"kept_bytes", valid, "dropped_bytes", int64(len(raw))-valid)
 			out.Stats.TornTails++
 		}
 		tail = append(tail, recs...)
@@ -627,6 +647,8 @@ type CheckpointInfo struct {
 // generations — silently resurrecting deleted data and losing acknowledged
 // mutations.
 func (s *Store) CheckpointLive(name string, jrn live.Journal, st live.State, replayFrom uint64) (CheckpointInfo, error) {
+	t0 := time.Now()
+	defer s.observeCheckpoint(t0)
 	h, _ := jrn.(*walHandle)
 	if h == nil {
 		return CheckpointInfo{}, fmt.Errorf("store: live graph %q has no store journal", name)

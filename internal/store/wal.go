@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"mochy/internal/server/live"
 )
@@ -248,12 +249,14 @@ func (h *walHandle) Commit(seq uint64) error {
 	target := h.seq
 	f := h.f
 	h.mu.Unlock()
+	t0 := time.Now()
 	if err := f.Sync(); err != nil {
 		h.mu.Lock()
 		h.err = err
 		h.mu.Unlock()
 		return err
 	}
+	h.store.observeFsync(t0)
 	h.synced = target
 	h.store.walSyncs.Add(1)
 	return nil
@@ -274,10 +277,12 @@ func (h *walHandle) Rotate() (uint64, error) {
 		h.err = err
 		return 0, err
 	}
+	t0 := time.Now()
 	if err := h.f.Sync(); err != nil {
 		h.err = err
 		return 0, err
 	}
+	h.store.observeFsync(t0)
 	if err := h.f.Close(); err != nil {
 		h.err = err
 		return 0, err

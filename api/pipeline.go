@@ -1,0 +1,318 @@
+package api
+
+import "encoding/json"
+
+// Pipeline wire types: the declarative multi-stage analytics plan served by
+// POST /v1/graphs/{name}/pipeline. A plan is a small typed DAG of stages
+// over one registered graph — counting, null-model significance, ranking,
+// anomaly scoring, clustering, temporal evolution, characteristic profiles —
+// validated server-side (stage kinds, dependency acyclicity, per-stage
+// parameters, a stage-count cap) before the 202 accept, then executed as one
+// asynchronous job whose NDJSON event stream carries per-stage progress.
+
+// JobKindPipeline identifies pipeline jobs in Job.Kind.
+const JobKindPipeline = "pipeline"
+
+// Stage kinds accepted in PipelineStage.Kind.
+const (
+	StageCount     = "count"      // params: CountRequest   -> CountResult
+	StageNullModel = "null_model" // params: NullModelParams -> SignificanceResult
+	StageRank      = "rank"       // params: RankParams     -> RankResult
+	StageAnomaly   = "anomaly"    // params: AnomalyParams  -> AnomalyResult
+	StageCluster   = "cluster"    // params: ClusterParams  -> ClusterResult
+	StageTemporal  = "temporal"   // params: TemporalParams -> TemporalResult
+	StageProfile   = "profile"    // params: ProfileRequest -> ProfileResult
+)
+
+// Null models accepted by NullModelParams.Model.
+const (
+	NullModelChungLu  = "chung-lu"  // soft degree/size preservation (paper Section 2.3)
+	NullModelEdgeSwap = "edge-swap" // exact degree/size preservation via double-edge swaps
+)
+
+// Rank weightings accepted by RankParams.Weights.
+const (
+	RankWeightOverlap     = "overlap"      // projected-graph node overlap ω(∧ij)
+	RankWeightMotif       = "motif"        // h-motif co-participation counts
+	RankWeightClosedMotif = "closed-motif" // co-participation restricted to closed instances
+)
+
+// Additional JobEvent types emitted by pipeline jobs, interleaved with
+// "progress" lines and closed by the usual terminal "result"/"error" event.
+const (
+	// EventStageStart marks a stage beginning execution; Stage and Kind
+	// identify it.
+	EventStageStart = "stage_start"
+	// EventStageDone marks a stage completing; Cached reports whether its
+	// result came from the partitioned result cache.
+	EventStageDone = "stage_done"
+)
+
+// PipelineRequest is the POST /v1/graphs/{name}/pipeline body: the full
+// declarative plan. Stage order in the list is irrelevant; execution order
+// is the topological order of the After edges.
+type PipelineRequest struct {
+	Stages []PipelineStage `json:"stages"`
+}
+
+// PipelineStage is one node of the plan DAG.
+type PipelineStage struct {
+	// ID names the stage within the plan; it must be unique. Empty defaults
+	// to the stage kind (so a plan using each kind at most once never needs
+	// explicit ids).
+	ID string `json:"id,omitempty"`
+	// Kind selects the operator (one of the Stage* constants).
+	Kind string `json:"kind"`
+	// After lists the stage IDs this stage depends on. Dependencies order
+	// execution and let downstream stages reuse upstream outputs (a
+	// null_model stage reads its exact counts from a completed count stage
+	// instead of recounting).
+	After []string `json:"after,omitempty"`
+	// Params is the kind-specific parameter document; unknown fields are
+	// rejected. See the Stage* constants for the accepted shape per kind.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// NullModelParams parameterizes a null_model stage: an ensemble of
+// randomized copies of the graph is generated, each copy's h-motifs are
+// counted exactly, and the real counts are scored against the ensemble
+// (per-motif mean, standard deviation, z-score, and the paper's Equation 1
+// significance).
+type NullModelParams struct {
+	// Model is "chung-lu" (default) or "edge-swap".
+	Model string `json:"model,omitempty"`
+	// Randomizations is the ensemble size (default 3, max 64).
+	Randomizations int `json:"randomizations,omitempty"`
+	// Seed drives the ensemble generation. The default is 0 — a fixed,
+	// documented seed, not a time-derived one — so replaying the same plan
+	// always reproduces the same ensemble and the same z-scores.
+	Seed int64 `json:"seed,omitempty"`
+	// SwapsPerIncidence scales the edge-swap chain length (default 10);
+	// rejected for chung-lu.
+	SwapsPerIncidence int `json:"swaps_per_incidence,omitempty"`
+	// Workers is the per-count parallelism; 0 means the server maximum.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SignificanceResult is the result payload of a null_model stage. All
+// per-motif vectors are indexed by h-motif id minus one (length 26).
+type SignificanceResult struct {
+	Graph          string    `json:"graph"`
+	Model          string    `json:"model"`
+	Randomizations int       `json:"randomizations"`
+	Seed           int64     `json:"seed"`
+	Real           []float64 `json:"real"`
+	Mean           []float64 `json:"mean"`
+	Std            []float64 `json:"std"`
+	// Z is the per-motif z-score (real - mean) / std; 0 where the ensemble
+	// standard deviation is 0.
+	Z []float64 `json:"z"`
+	// Significance is the paper's Equation 1 Δt, bounded to [-1, 1].
+	Significance []float64 `json:"significance"`
+	// Profile is the L2-normalized significance vector (Equation 2).
+	Profile   []float64 `json:"profile"`
+	Cached    bool      `json:"cached"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// RankParams parameterizes a rank stage: motif-aware PageRank over the
+// projected hyperedge graph.
+type RankParams struct {
+	// Weights is "overlap" (default), "motif" or "closed-motif".
+	Weights string `json:"weights,omitempty"`
+	// Damping is the PageRank damping factor in [0, 1); 0 means 0.85.
+	Damping float64 `json:"damping,omitempty"`
+	// MaxIter bounds power iterations; 0 means 200.
+	MaxIter int `json:"max_iter,omitempty"`
+	// TopK is how many top-ranked hyperedges to return (default 10,
+	// max 1024).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// RankEntry is one ranked hyperedge.
+type RankEntry struct {
+	Edge  int     `json:"edge"`
+	Score float64 `json:"score"`
+}
+
+// RankResult is the result payload of a rank stage.
+type RankResult struct {
+	Graph     string      `json:"graph"`
+	Weights   string      `json:"weights"`
+	Damping   float64     `json:"damping"`
+	Edges     int         `json:"edges"`
+	Top       []RankEntry `json:"top"`
+	Cached    bool        `json:"cached"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// AnomalyParams parameterizes an anomaly stage: hyperedges scored by how
+// far their h-motif participation distribution deviates from the dataset
+// aggregate.
+type AnomalyParams struct {
+	// TopK is how many top-deviation hyperedges to return (default 10,
+	// max 1024).
+	TopK int `json:"top_k,omitempty"`
+	// Workers is the per-edge counting parallelism; 0 means the server
+	// maximum.
+	Workers int `json:"workers,omitempty"`
+}
+
+// AnomalyEntry is one scored hyperedge.
+type AnomalyEntry struct {
+	Edge          int     `json:"edge"`
+	Deviation     float64 `json:"deviation"`
+	Participation int64   `json:"participation"`
+	Dominant      int     `json:"dominant"`
+}
+
+// AnomalyResult is the result payload of an anomaly stage.
+type AnomalyResult struct {
+	Graph     string         `json:"graph"`
+	Edges     int            `json:"edges"`
+	Top       []AnomalyEntry `json:"top"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// ClusterParams parameterizes a cluster stage: weighted label propagation
+// over the h-motif co-participation graph.
+type ClusterParams struct {
+	// ClosedOnly restricts co-participation weights to closed instances.
+	ClosedOnly bool `json:"closed_only,omitempty"`
+	// MinWeight drops hyperedge pairs sharing fewer instances than this.
+	MinWeight int64 `json:"min_weight,omitempty"`
+	// MaxIter bounds propagation rounds; 0 means 50.
+	MaxIter int `json:"max_iter,omitempty"`
+	// Seed drives the propagation order shuffle (default 0, reproducible).
+	Seed int64 `json:"seed,omitempty"`
+	// TopK is how many largest-cluster sizes to return (default 10,
+	// max 1024).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// ClusterResult is the result payload of a cluster stage.
+type ClusterResult struct {
+	Graph    string `json:"graph"`
+	Edges    int    `json:"edges"`
+	Clusters int    `json:"clusters"`
+	// Sizes holds the hyperedge counts of the TopK largest clusters,
+	// largest first.
+	Sizes []int `json:"sizes"`
+	// Singletons counts clusters containing exactly one hyperedge.
+	Singletons int     `json:"singletons"`
+	Cached     bool    `json:"cached"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// TemporalParams parameterizes a temporal stage: sliding-window h-motif
+// censuses over a timed graph (uploads whose text form carries t=...
+// fields). The stage fails at execution time if the graph is untimed.
+type TemporalParams struct {
+	// Width is the window width in timestamp units (required, positive).
+	Width int64 `json:"width"`
+	// Stride advances the window start (required, positive).
+	Stride int64 `json:"stride"`
+}
+
+// TemporalWindow is one window's census summary.
+type TemporalWindow struct {
+	Start        int64   `json:"start"`
+	End          int64   `json:"end"`
+	Edges        int     `json:"edges"`
+	Total        float64 `json:"total"`
+	OpenFraction float64 `json:"open_fraction"`
+}
+
+// TemporalResult is the result payload of a temporal stage.
+type TemporalResult struct {
+	Graph   string           `json:"graph"`
+	Windows []TemporalWindow `json:"windows"`
+	// Drift is one minus the Pearson correlation between consecutive
+	// windows' motif-fraction vectors (length len(Windows)-1).
+	Drift []float64 `json:"drift,omitempty"`
+	// MostAnomalous is the index into Windows of the largest drift, -1 with
+	// fewer than two windows.
+	MostAnomalous int     `json:"most_anomalous"`
+	Cached        bool    `json:"cached"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// StageResult is one completed stage inside a PipelineResult. Result holds
+// the kind-specific payload (see the Stage* constants).
+type StageResult struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Cached reports whether the stage's result was served from the result
+	// cache (or shared from a concurrent identical computation) instead of
+	// computed.
+	Cached    bool            `json:"cached"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// PipelineResult is the result payload of a pipeline job: every stage's
+// outcome in execution order.
+type PipelineResult struct {
+	Graph     string        `json:"graph"`
+	Stages    []StageResult `json:"stages"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+// PipelineResult decodes the job's result as a PipelineResult.
+func (j *Job) PipelineResult() (PipelineResult, error) {
+	var r PipelineResult
+	err := json.Unmarshal(j.Result, &r)
+	return r, err
+}
+
+// Decode helpers for the per-stage payloads inside a PipelineResult.
+
+// CountResult decodes the stage's result as a CountResult.
+func (s *StageResult) CountResult() (CountResult, error) {
+	var r CountResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}
+
+// SignificanceResult decodes the stage's result as a SignificanceResult.
+func (s *StageResult) SignificanceResult() (SignificanceResult, error) {
+	var r SignificanceResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}
+
+// RankResult decodes the stage's result as a RankResult.
+func (s *StageResult) RankResult() (RankResult, error) {
+	var r RankResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}
+
+// AnomalyResult decodes the stage's result as an AnomalyResult.
+func (s *StageResult) AnomalyResult() (AnomalyResult, error) {
+	var r AnomalyResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}
+
+// ClusterResult decodes the stage's result as a ClusterResult.
+func (s *StageResult) ClusterResult() (ClusterResult, error) {
+	var r ClusterResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}
+
+// TemporalResult decodes the stage's result as a TemporalResult.
+func (s *StageResult) TemporalResult() (TemporalResult, error) {
+	var r TemporalResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}
+
+// ProfileResult decodes the stage's result as a ProfileResult.
+func (s *StageResult) ProfileResult() (ProfileResult, error) {
+	var r ProfileResult
+	err := json.Unmarshal(s.Result, &r)
+	return r, err
+}

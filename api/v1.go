@@ -16,6 +16,7 @@
 //	GET    /v1/graphs/{name}/stats       Stats
 //	POST   /v1/graphs/{name}/count       CountRequest -> 202 Job
 //	POST   /v1/graphs/{name}/profile     ProfileRequest -> 202 Job
+//	POST   /v1/graphs/{name}/pipeline    PipelineRequest -> 202 Job
 //	GET    /v1/jobs                      JobList
 //	GET    /v1/jobs/{id}                 Job
 //	GET    /v1/jobs/{id}/events          NDJSON JobEvent stream
@@ -228,13 +229,24 @@ type JobList struct {
 
 // JobEvent is one NDJSON line of a /v1/jobs/{id}/events stream: progress
 // events while the job runs, then exactly one terminal "result" or "error"
-// event.
+// event. Pipeline jobs additionally interleave "stage_start"/"stage_done"
+// events, and stamp Stage on the progress events emitted inside a stage.
 type JobEvent struct {
 	Type   string          `json:"type"`
 	Done   int             `json:"done,omitempty"`
 	Total  int             `json:"total,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Stage identifies the pipeline stage an event belongs to; empty on
+	// non-pipeline jobs and on the terminal event.
+	Stage string `json:"stage,omitempty"`
+	// Kind is the stage's operator kind on stage_start/stage_done events.
+	Kind string `json:"kind,omitempty"`
+	// Cached reports, on stage_done events, whether the stage was served
+	// from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// ElapsedMS is the stage's wall-clock duration on stage_done events.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 	// Trace is the id of the trace that started the job, stamped on every
 	// event so a stream consumer can join events against server-side spans
 	// and logs.

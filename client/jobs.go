@@ -80,7 +80,24 @@ func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
 // unavailable or breaks. A done job is returned with its result; a failed
 // job returns *JobError. Cancelling ctx aborts the wait (not the job).
 func (c *Client) WaitJob(ctx context.Context, id string, onProgress func(done, total int)) (api.Job, error) {
-	j, err, terminal := c.waitEvents(ctx, id, onProgress)
+	var onEvent func(api.JobEvent)
+	if onProgress != nil {
+		onEvent = func(ev api.JobEvent) {
+			if ev.Type == api.EventProgress {
+				onProgress(ev.Done, ev.Total)
+			}
+		}
+	}
+	return c.WaitJobEvents(ctx, id, onEvent)
+}
+
+// WaitJobEvents is WaitJob's general form: onEvent, when non-nil, observes
+// every non-terminal event on the job's stream — progress lines plus, for
+// pipeline jobs, stage_start/stage_done lifecycle events. If the stream
+// breaks before a terminal event the wait falls back to polling, where only
+// synthesized progress events can be observed.
+func (c *Client) WaitJobEvents(ctx context.Context, id string, onEvent func(api.JobEvent)) (api.Job, error) {
+	j, err, terminal := c.waitEvents(ctx, id, onEvent)
 	if terminal {
 		return j, err
 	}
@@ -90,13 +107,13 @@ func (c *Client) WaitJob(ctx context.Context, id string, onProgress func(done, t
 	// The events stream broke before a terminal event (proxy dropped the
 	// connection, server restarted mid-stream, ...): the job may well still
 	// finish, so fall back to polling the job resource.
-	return c.pollJob(ctx, id, onProgress)
+	return c.pollJob(ctx, id, onEvent)
 }
 
 // waitEvents consumes the job's event stream. terminal reports whether a
 // terminal event was observed (in which case j/err are the outcome);
 // otherwise the caller should fall back to polling.
-func (c *Client) waitEvents(ctx context.Context, id string, onProgress func(done, total int)) (j api.Job, err error, terminal bool) {
+func (c *Client) waitEvents(ctx context.Context, id string, onEvent func(api.JobEvent)) (j api.Job, err error, terminal bool) {
 	resp, err := c.send(ctx, http.MethodGet, c.url("jobs", id, "events"), "", nil)
 	if err != nil {
 		if apiErr, ok := err.(*APIError); ok && apiErr.StatusCode == http.StatusNotFound {
@@ -117,23 +134,24 @@ func (c *Client) waitEvents(ctx context.Context, id string, onProgress func(done
 			return api.Job{}, err, false
 		}
 		switch ev.Type {
-		case api.EventProgress:
-			if onProgress != nil {
-				onProgress(ev.Done, ev.Total)
-			}
 		case api.EventResult:
 			// Re-poll for the authoritative resource (timestamps, state).
 			j, err := c.Job(ctx, id)
 			return j, err, true
 		case api.EventError:
 			return api.Job{}, &JobError{ID: id, Message: ev.Error}, true
+		default:
+			if onEvent != nil {
+				onEvent(ev)
+			}
 		}
 	}
 	return api.Job{}, sc.Err(), false
 }
 
-// pollJob polls the job resource until it is terminal.
-func (c *Client) pollJob(ctx context.Context, id string, onProgress func(done, total int)) (api.Job, error) {
+// pollJob polls the job resource until it is terminal, synthesizing progress
+// events from the resource's done/total counters.
+func (c *Client) pollJob(ctx context.Context, id string, onEvent func(api.JobEvent)) (api.Job, error) {
 	ticker := time.NewTicker(c.pollInterval)
 	defer ticker.Stop()
 	lastDone := -1
@@ -142,9 +160,9 @@ func (c *Client) pollJob(ctx context.Context, id string, onProgress func(done, t
 		if err != nil {
 			return api.Job{}, err
 		}
-		if onProgress != nil && j.Total > 0 && j.Done > lastDone {
+		if onEvent != nil && j.Total > 0 && j.Done > lastDone {
 			lastDone = j.Done
-			onProgress(j.Done, j.Total)
+			onEvent(api.JobEvent{Type: api.EventProgress, Done: j.Done, Total: j.Total})
 		}
 		switch j.State {
 		case api.JobDone:

@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"mochy/api"
+)
+
+// Plan is a fluent builder for pipeline requests: stages append in
+// declaration order, dependencies are named by stage id, and the first
+// marshaling error sticks until Request surfaces it.
+//
+//	plan := client.NewPlan().
+//		Count("count", api.CountRequest{Algorithm: api.AlgoExact}).
+//		NullModel("sig", api.NullModelParams{Randomizations: 5, Seed: 42}, "count").
+//		Rank("rank", api.RankParams{Weights: api.RankWeightMotif}, "sig")
+//	res, err := c.RunPlan(ctx, "mygraph", plan)
+type Plan struct {
+	stages []api.PipelineStage
+	err    error
+}
+
+// NewPlan returns an empty plan builder.
+func NewPlan() *Plan { return &Plan{} }
+
+// Stage appends one stage. params is any JSON-marshalable value — typically
+// the matching api.*Params struct — or nil for all defaults; after names the
+// stage ids this stage depends on.
+func (p *Plan) Stage(id, kind string, params any, after ...string) *Plan {
+	if p.err != nil {
+		return p
+	}
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			p.err = fmt.Errorf("stage %q: marshal params: %v", id, err)
+			return p
+		}
+		raw = b
+	}
+	p.stages = append(p.stages, api.PipelineStage{ID: id, Kind: kind, After: after, Params: raw})
+	return p
+}
+
+// Count appends a count stage.
+func (p *Plan) Count(id string, req api.CountRequest, after ...string) *Plan {
+	return p.Stage(id, api.StageCount, req, after...)
+}
+
+// NullModel appends a null-model significance stage.
+func (p *Plan) NullModel(id string, params api.NullModelParams, after ...string) *Plan {
+	return p.Stage(id, api.StageNullModel, params, after...)
+}
+
+// Rank appends a motif-aware PageRank stage.
+func (p *Plan) Rank(id string, params api.RankParams, after ...string) *Plan {
+	return p.Stage(id, api.StageRank, params, after...)
+}
+
+// Anomaly appends an anomaly-scoring stage.
+func (p *Plan) Anomaly(id string, params api.AnomalyParams, after ...string) *Plan {
+	return p.Stage(id, api.StageAnomaly, params, after...)
+}
+
+// Cluster appends a co-participation clustering stage.
+func (p *Plan) Cluster(id string, params api.ClusterParams, after ...string) *Plan {
+	return p.Stage(id, api.StageCluster, params, after...)
+}
+
+// Temporal appends a sliding-window temporal stage.
+func (p *Plan) Temporal(id string, params api.TemporalParams, after ...string) *Plan {
+	return p.Stage(id, api.StageTemporal, params, after...)
+}
+
+// Profile appends a characteristic-profile stage.
+func (p *Plan) Profile(id string, req api.ProfileRequest, after ...string) *Plan {
+	return p.Stage(id, api.StageProfile, req, after...)
+}
+
+// Request renders the built plan as its wire form, or the first builder
+// error.
+func (p *Plan) Request() (api.PipelineRequest, error) {
+	return api.PipelineRequest{Stages: p.stages}, p.err
+}
+
+// StartPipeline submits a declarative multi-stage plan for the named graph
+// and returns the job resource without waiting for it. Plan validation
+// errors (unknown stage kinds, dependency cycles, bad parameters, too many
+// stages) surface here as *APIError with status 400.
+func (c *Client) StartPipeline(ctx context.Context, name string, req api.PipelineRequest) (api.Job, error) {
+	var out api.Job
+	err := c.postJSON(ctx, c.url("graphs", name, "pipeline"), req, &out)
+	return out, err
+}
+
+// RunPipeline runs a plan to completion (see Count for the waiting
+// semantics): every stage's payload comes back in execution order.
+func (c *Client) RunPipeline(ctx context.Context, name string, req api.PipelineRequest) (api.PipelineResult, error) {
+	j, err := c.StartPipeline(ctx, name, req)
+	if err != nil {
+		return api.PipelineResult{}, err
+	}
+	return c.WaitPipeline(ctx, j.ID, nil)
+}
+
+// RunPlan is RunPipeline over a builder-constructed plan.
+func (c *Client) RunPlan(ctx context.Context, name string, p *Plan) (api.PipelineResult, error) {
+	req, err := p.Request()
+	if err != nil {
+		return api.PipelineResult{}, err
+	}
+	return c.RunPipeline(ctx, name, req)
+}
+
+// WaitPipeline blocks until the pipeline job reaches a terminal state and
+// decodes its PipelineResult. onEvent, when non-nil, observes every
+// non-terminal event as it streams: stage_start and stage_done lifecycle
+// events plus stage-stamped progress.
+func (c *Client) WaitPipeline(ctx context.Context, id string, onEvent func(api.JobEvent)) (api.PipelineResult, error) {
+	j, err := c.WaitJobEvents(ctx, id, onEvent)
+	if err != nil {
+		return api.PipelineResult{}, err
+	}
+	return j.PipelineResult()
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/generator"
+	"mochy/internal/testutil"
+)
+
+// TestMochydPipelineEndToEnd drives the declarative plan engine through the
+// real daemon over the SDK: a count → chung-lu significance → rank plan runs
+// as one async job with stage-bracketed NDJSON events, the request's trace id
+// reaches every stage span in the flight recorder, a prefix re-run is served
+// from the result cache, and the -pipeline-max-stages flag caps admission.
+func TestMochydPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mochyd")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build mochyd: %v\n%s", err, out)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	daemon := exec.CommandContext(ctx, bin, "-addr", addr, "-pipeline-max-stages", "4")
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		_ = daemon.Wait()
+	})
+
+	c := client.New("http://" + addr)
+	testutil.Eventually(t, 10*time.Second, func() bool {
+		_, err := c.Health(ctx)
+		return err == nil
+	}, "mochyd did not become healthy")
+
+	g := generator.Generate(generator.Config{
+		Domain: generator.Contact, Nodes: 200, Edges: 900, Seed: 29,
+	})
+	if _, err := c.UploadGraph(ctx, "pipe", g); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	// Tag the whole run with one client-minted trace id.
+	traceID := client.NewTraceID()
+	tctx := client.WithTrace(ctx, traceID)
+
+	plan := client.NewPlan().
+		Count("count", api.CountRequest{Algorithm: api.AlgoExact}).
+		NullModel("sig", api.NullModelParams{Model: api.NullModelChungLu, Randomizations: 2, Seed: 42}, "count").
+		Rank("rank", api.RankParams{TopK: 5}, "sig")
+	req, err := plan.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.StartPipeline(tctx, "pipe", req)
+	if err != nil {
+		t.Fatalf("start pipeline: %v", err)
+	}
+
+	var events []api.JobEvent
+	res, err := c.WaitPipeline(tctx, j.ID, func(ev api.JobEvent) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatalf("pipeline job: %v", err)
+	}
+
+	// Terminal result: three stage payloads in execution order.
+	if res.Graph != "pipe" || len(res.Stages) != 3 {
+		t.Fatalf("result = %+v, want 3 stages on pipe", res)
+	}
+	sig, err := res.Stages[1].SignificanceResult()
+	if err != nil || sig.Model != api.NullModelChungLu || sig.Seed != 42 {
+		t.Fatalf("significance payload = %+v (%v)", sig, err)
+	}
+	rank, err := res.Stages[2].RankResult()
+	if err != nil || len(rank.Top) != 5 {
+		t.Fatalf("rank payload = %+v (%v)", rank, err)
+	}
+
+	// Staged NDJSON events: every observed lifecycle event is bracketed and
+	// in topological order (the subscription races only the job's very first
+	// emits, so the tail must match exactly), progress is stage-stamped, and
+	// every event carries the job's trace id.
+	var lifecycle []string
+	for _, ev := range events {
+		if ev.Trace != traceID {
+			t.Fatalf("event %+v carries trace %q, want %q", ev, ev.Trace, traceID)
+		}
+		switch ev.Type {
+		case api.EventStageStart, api.EventStageDone:
+			lifecycle = append(lifecycle, ev.Type+":"+ev.Stage)
+		case api.EventProgress:
+			if ev.Stage == "" {
+				t.Fatalf("pipeline progress event missing stage id: %+v", ev)
+			}
+		}
+	}
+	full := []string{
+		"stage_start:count", "stage_done:count",
+		"stage_start:sig", "stage_done:sig",
+		"stage_start:rank", "stage_done:rank",
+	}
+	if len(lifecycle) == 0 || len(lifecycle) > len(full) {
+		t.Fatalf("lifecycle events = %v", lifecycle)
+	}
+	want := full[len(full)-len(lifecycle):]
+	if strings.Join(lifecycle, ",") != strings.Join(want, ",") {
+		t.Fatalf("lifecycle events = %v, want ordered suffix of %v", lifecycle, full)
+	}
+
+	// The client's trace id reached the job and every stage span in the
+	// flight recorder.
+	traces, err := c.Traces(ctx, 0, 64)
+	if err != nil {
+		t.Fatalf("traces: %v", err)
+	}
+	var spanNames []string
+	for _, tr := range traces.Traces {
+		if tr.ID != traceID {
+			continue
+		}
+		for _, sp := range tr.Spans {
+			spanNames = append(spanNames, sp.Name)
+		}
+	}
+	joined := strings.Join(spanNames, ",")
+	for _, wantSpan := range []string{"job.pipeline", "stage.count", "stage.null_model", "stage.rank"} {
+		if !strings.Contains(joined, wantSpan) {
+			t.Errorf("trace %s missing span %q (got %v)", traceID, wantSpan, spanNames)
+		}
+	}
+
+	// Prefix re-run: same count → null_model prefix, different rank
+	// parameters. The expensive prefix must be served from the cache.
+	rerun := client.NewPlan().
+		Count("count", api.CountRequest{Algorithm: api.AlgoExact}).
+		NullModel("sig", api.NullModelParams{Model: api.NullModelChungLu, Randomizations: 2, Seed: 42}, "count").
+		Rank("rank", api.RankParams{TopK: 3, Weights: api.RankWeightMotif}, "sig")
+	res2, err := c.RunPlan(ctx, "pipe", rerun)
+	if err != nil {
+		t.Fatalf("prefix re-run: %v", err)
+	}
+	for i := range res2.Stages {
+		st := &res2.Stages[i]
+		switch st.ID {
+		case "count", "sig":
+			if !st.Cached {
+				t.Errorf("stage %q missed the cache on an identical prefix", st.ID)
+			}
+		case "rank":
+			if st.Cached {
+				t.Error("rank stage with changed params reported a cache hit")
+			}
+		}
+	}
+
+	// The -pipeline-max-stages flag gates admission: a 5-stage plan against
+	// the daemon's cap of 4 is a 400 before any job is created.
+	over := client.NewPlan().
+		Count("a", api.CountRequest{}).
+		Rank("b", api.RankParams{}, "a").
+		Anomaly("c", api.AnomalyParams{}, "a").
+		Cluster("d", api.ClusterParams{}, "a").
+		Temporal("e", api.TemporalParams{Width: 10, Stride: 5}, "a")
+	_, err = c.RunPlan(ctx, "pipe", over)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("5-stage plan past a cap of 4: err = %v, want 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "cap of 4") {
+		t.Fatalf("cap error = %q, want the configured cap named", apiErr.Message)
+	}
+}

@@ -3,8 +3,11 @@
 // (uploaded once, shared across requests), a registry of live graphs whose
 // exact h-motif counts stay current under hyperedge insertions and
 // deletions, an LRU cache of count and profile results with cost-weighted
-// eviction, a bounded pool of counting jobs with queue backpressure, and an
-// asynchronous job store.
+// eviction, a bounded pool of counting jobs with queue backpressure, an
+// asynchronous job store, and a declarative pipeline engine that chains the
+// analytics library — null-model significance, motif-aware PageRank, anomaly
+// scoring, clustering, temporal evolution — into multi-stage jobs
+// (-pipeline-max-stages caps plan size).
 //
 // Go programs should use the typed SDK in mochy/client rather than
 // hand-rolling HTTP.
@@ -14,7 +17,7 @@
 //	mochyd [-addr :8080] [-cache 256] [-max-concurrent N] [-max-workers N]
 //	       [-sampling-ttl 15m] [-queue-budget 10s] [-data-dir DIR]
 //	       [-checkpoint-wal-bytes N] [-debug-addr ADDR] [-load name=path ...]
-//	       [-log-format json|text] [-trace-buffer N]
+//	       [-log-format json|text] [-trace-buffer N] [-pipeline-max-stages N]
 //
 // With -data-dir, mochyd is durable: uploaded graphs persist as binary
 // segment files, live-graph mutations append to per-graph write-ahead logs
@@ -52,6 +55,7 @@
 //	GET    /v1/graphs/{name}/stats       structural statistics
 //	POST   /v1/graphs/{name}/count       start an exact / edge-sample / wedge-sample job -> 202
 //	POST   /v1/graphs/{name}/profile     start a characteristic-profile job -> 202
+//	POST   /v1/graphs/{name}/pipeline    start a declarative multi-stage plan -> 202
 //	GET    /v1/jobs[/{id}[/events]]      list / poll / stream job progress (NDJSON)
 //	POST   /v1/admin/checkpoint          fold live WALs into base segments
 //	GET    /v1/admin/store               persistence footprint and counters
@@ -139,6 +143,7 @@ func run() (code int) {
 		debugAddr     = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled; never exposed on -addr)")
 		logFormat     = flag.String("log-format", obs.LogFormatJSON, "structured log format: json or text")
 		traceBuffer   = flag.Int("trace-buffer", 512, "retained spans in the trace flight recorder (0 disables recording; ids still propagate)")
+		pipeMaxStages = flag.Int("pipeline-max-stages", 0, "max stages per pipeline plan (0 = default)")
 		loads         loadFlags
 	)
 	flag.Var(&loads, "load", "preload a graph as name=path (repeatable)")
@@ -168,6 +173,7 @@ func run() (code int) {
 		CheckpointWALBytes: *ckptWALBytes,
 		Logger:             logger,
 		TraceBuffer:        *traceBuffer,
+		PipelineMaxStages:  *pipeMaxStages,
 	}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)

@@ -39,10 +39,11 @@ var Analyzer = &framework.Analyzer{
 
 // scopedPackages names the package layers the invariant covers.
 var scopedPackages = map[string]bool{
-	"server": true,
-	"store":  true,
-	"live":   true,
-	"obs":    true,
+	"server":   true,
+	"store":    true,
+	"live":     true,
+	"obs":      true,
+	"pipeline": true,
 }
 
 func run(pass *framework.Pass) error {

@@ -31,10 +31,11 @@ var Analyzer = &framework.Analyzer{
 // scopedPackages names the layers where a lost Close/Sync error is a
 // lost durability or shutdown signal.
 var scopedPackages = map[string]bool{
-	"store":  true,
-	"server": true,
-	"live":   true,
-	"obs":    true,
+	"store":    true,
+	"server":   true,
+	"live":     true,
+	"obs":      true,
+	"pipeline": true,
 }
 
 // methodNames are the flush-like methods whose errors carry the fate of

@@ -1,0 +1,314 @@
+// Package pipeline is mochyd's declarative plan engine: it validates and
+// executes the multi-stage analytics jobs served by
+// POST /v1/graphs/{name}/pipeline, wiring the library's dormant analytics
+// operators — null-model significance (Chung-Lu and edge-swap ensembles),
+// motif-aware PageRank, anomaly scoring, co-participation clustering,
+// temporal evolution — behind one typed DAG of stages next to the counting
+// and profiling the server already offered.
+//
+// A plan is parsed and validated up front (stage kinds, unique ids,
+// dependency acyclicity, per-stage parameters, a stage-count cap), so a bad
+// plan is a 400 before the 202 accept, never a failed job. Execution walks
+// the stages in a deterministic topological order; each stage's compute runs
+// under the server's bounded job pool, its result flows through the
+// partitioned result cache (keyed by graph identity + stage parameters, so a
+// re-run sharing a plan prefix is a cache hit), and its lifecycle is
+// reported as stage_start / progress / stage_done NDJSON events with spans
+// and a per-stage duration histogram threaded through.
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mochy/api"
+)
+
+// DefaultMaxStages caps plan size when the server does not configure its
+// own cap: enough for every sensible analysis chain, small enough that one
+// plan cannot monopolize the job pool.
+const DefaultMaxStages = 16
+
+// maxTopK bounds every stage's top-k response size.
+const maxTopK = 1024
+
+// maxRandomizations bounds a null-model ensemble: each copy costs one full
+// exact count.
+const maxRandomizations = 64
+
+// Stage is one validated node of a plan.
+type Stage struct {
+	ID    string
+	Kind  string
+	After []string
+	// Params is the decoded kind-specific parameter struct:
+	// *api.CountRequest, *api.NullModelParams, *api.RankParams,
+	// *api.AnomalyParams, *api.ClusterParams, *api.TemporalParams or
+	// *api.ProfileRequest, with defaults applied.
+	Params any
+}
+
+// Plan is a validated pipeline: stages in execution (topological) order.
+type Plan struct {
+	Stages []*Stage
+}
+
+// Parse validates a wire plan into an executable one. maxStages <= 0
+// selects DefaultMaxStages. The returned plan's stages are in a
+// deterministic topological order: among ready stages, declaration order
+// breaks ties, so identical requests always execute identically.
+func Parse(req *api.PipelineRequest, maxStages int) (*Plan, error) {
+	if maxStages <= 0 {
+		maxStages = DefaultMaxStages
+	}
+	if len(req.Stages) == 0 {
+		return nil, fmt.Errorf("plan has no stages")
+	}
+	if len(req.Stages) > maxStages {
+		return nil, fmt.Errorf("plan has %d stages, exceeding the server's cap of %d", len(req.Stages), maxStages)
+	}
+
+	stages := make([]*Stage, len(req.Stages))
+	index := make(map[string]int, len(req.Stages))
+	for i := range req.Stages {
+		ws := &req.Stages[i]
+		id := ws.ID
+		if id == "" {
+			id = ws.Kind
+		}
+		if id == "" {
+			return nil, fmt.Errorf("stage %d: kind is required", i)
+		}
+		if len(id) > 64 {
+			return nil, fmt.Errorf("stage %q: id exceeds 64 characters", id[:64])
+		}
+		if _, dup := index[id]; dup {
+			return nil, fmt.Errorf("duplicate stage id %q (give stages of the same kind explicit ids)", id)
+		}
+		params, err := parseParams(ws.Kind, ws.Params)
+		if err != nil {
+			return nil, fmt.Errorf("stage %q: %w", id, err)
+		}
+		stages[i] = &Stage{ID: id, Kind: ws.Kind, After: ws.After, Params: params}
+		index[id] = i
+	}
+
+	// Dependency edges must name declared stages; self-dependencies are
+	// cycles of length one and get the clearer message.
+	indeg := make([]int, len(stages))
+	succ := make([][]int, len(stages))
+	for i, st := range stages {
+		seen := make(map[string]bool, len(st.After))
+		for _, dep := range st.After {
+			j, ok := index[dep]
+			if !ok {
+				return nil, fmt.Errorf("stage %q depends on undeclared stage %q", st.ID, dep)
+			}
+			if j == i {
+				return nil, fmt.Errorf("stage %q depends on itself", st.ID)
+			}
+			if seen[dep] {
+				continue // duplicate edge, harmless
+			}
+			seen[dep] = true
+			succ[j] = append(succ[j], i)
+			indeg[i]++
+		}
+	}
+
+	// Kahn topological sort with a sorted ready set: deterministic order,
+	// and a non-empty remainder is a cycle.
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]*Stage, 0, len(stages))
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, stages[i])
+		for _, j := range succ[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(order) != len(stages) {
+		var cyclic []string
+		for i, d := range indeg {
+			if d > 0 {
+				cyclic = append(cyclic, stages[i].ID)
+			}
+		}
+		return nil, fmt.Errorf("plan has a dependency cycle through stages %v", cyclic)
+	}
+	return &Plan{Stages: order}, nil
+}
+
+// decodeStrict unmarshals raw into out, rejecting unknown fields — a typo'd
+// parameter name must be an error, not a silently applied default. A nil or
+// empty document selects all defaults.
+func decodeStrict(raw json.RawMessage, out any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("invalid params: %v", err)
+	}
+	return nil
+}
+
+// parseParams decodes and validates the kind-specific parameter document,
+// applying defaults in place.
+func parseParams(kind string, raw json.RawMessage) (any, error) {
+	switch kind {
+	case api.StageCount:
+		p := &api.CountRequest{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if p.Algorithm == "" {
+			p.Algorithm = api.AlgoExact
+		}
+		switch p.Algorithm {
+		case api.AlgoExact:
+		case api.AlgoEdge, api.AlgoWedge:
+			if p.Samples <= 0 {
+				return nil, fmt.Errorf("samples must be positive for %s", p.Algorithm)
+			}
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q (want %s, %s or %s)",
+				p.Algorithm, api.AlgoExact, api.AlgoEdge, api.AlgoWedge)
+		}
+		return p, nil
+
+	case api.StageNullModel:
+		p := &api.NullModelParams{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if p.Model == "" {
+			p.Model = api.NullModelChungLu
+		}
+		switch p.Model {
+		case api.NullModelChungLu:
+			if p.SwapsPerIncidence != 0 {
+				return nil, fmt.Errorf("swaps_per_incidence applies only to %s", api.NullModelEdgeSwap)
+			}
+		case api.NullModelEdgeSwap:
+			if p.SwapsPerIncidence < 0 {
+				return nil, fmt.Errorf("swaps_per_incidence must be non-negative")
+			}
+		default:
+			return nil, fmt.Errorf("unknown null model %q (want %s or %s)",
+				p.Model, api.NullModelChungLu, api.NullModelEdgeSwap)
+		}
+		if p.Randomizations == 0 {
+			p.Randomizations = 3
+		}
+		if p.Randomizations < 1 || p.Randomizations > maxRandomizations {
+			return nil, fmt.Errorf("randomizations must be in [1, %d]", maxRandomizations)
+		}
+		return p, nil
+
+	case api.StageRank:
+		p := &api.RankParams{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if p.Weights == "" {
+			p.Weights = api.RankWeightOverlap
+		}
+		switch p.Weights {
+		case api.RankWeightOverlap, api.RankWeightMotif, api.RankWeightClosedMotif:
+		default:
+			return nil, fmt.Errorf("unknown weights %q (want %s, %s or %s)",
+				p.Weights, api.RankWeightOverlap, api.RankWeightMotif, api.RankWeightClosedMotif)
+		}
+		if p.Damping == 0 {
+			p.Damping = 0.85
+		}
+		if p.Damping < 0 || p.Damping >= 1 {
+			return nil, fmt.Errorf("damping must be in [0, 1)")
+		}
+		if p.MaxIter < 0 {
+			return nil, fmt.Errorf("max_iter must be non-negative")
+		}
+		if err := clampTopK(&p.TopK); err != nil {
+			return nil, err
+		}
+		return p, nil
+
+	case api.StageAnomaly:
+		p := &api.AnomalyParams{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if err := clampTopK(&p.TopK); err != nil {
+			return nil, err
+		}
+		return p, nil
+
+	case api.StageCluster:
+		p := &api.ClusterParams{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if p.MinWeight < 0 {
+			return nil, fmt.Errorf("min_weight must be non-negative")
+		}
+		if p.MaxIter < 0 {
+			return nil, fmt.Errorf("max_iter must be non-negative")
+		}
+		if err := clampTopK(&p.TopK); err != nil {
+			return nil, err
+		}
+		return p, nil
+
+	case api.StageTemporal:
+		p := &api.TemporalParams{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if p.Width <= 0 || p.Stride <= 0 {
+			return nil, fmt.Errorf("width and stride must be positive")
+		}
+		return p, nil
+
+	case api.StageProfile:
+		p := &api.ProfileRequest{}
+		if err := decodeStrict(raw, p); err != nil {
+			return nil, err
+		}
+		if p.Randomizations == 0 {
+			p.Randomizations = 3
+		}
+		if p.Randomizations < 1 || p.Randomizations > maxRandomizations {
+			return nil, fmt.Errorf("randomizations must be in [1, %d]", maxRandomizations)
+		}
+		return p, nil
+
+	default:
+		return nil, fmt.Errorf("unknown stage kind %q (want %s, %s, %s, %s, %s, %s or %s)",
+			kind, api.StageCount, api.StageNullModel, api.StageRank, api.StageAnomaly,
+			api.StageCluster, api.StageTemporal, api.StageProfile)
+	}
+}
+
+// clampTopK applies the default and cap shared by every top-k parameter.
+func clampTopK(k *int) error {
+	if *k == 0 {
+		*k = 10
+	}
+	if *k < 1 || *k > maxTopK {
+		return fmt.Errorf("top_k must be in [1, %d]", maxTopK)
+	}
+	return nil
+}

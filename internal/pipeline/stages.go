@@ -1,0 +1,332 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mochy/api"
+	"mochy/internal/anomaly"
+	"mochy/internal/cluster"
+	"mochy/internal/cp"
+	"mochy/internal/hypergraph"
+	counting "mochy/internal/mochy"
+	"mochy/internal/motif"
+	"mochy/internal/nullmodel"
+	"mochy/internal/projection"
+	"mochy/internal/rank"
+	"mochy/internal/temporal"
+)
+
+// maxTemporalWindows bounds a temporal sweep's output: the per-window work is
+// amortized, but the response still carries one summary per window.
+const maxTemporalWindows = 4096
+
+// key builds a "pipe|<graphID>|<kind>|<params>" cache key. The graph-identity
+// prefix matches the partitioning and generation-purge scheme of the server's
+// count/profile keys; worker counts never appear because they change speed,
+// not results.
+func (env *Env) key(kind, params string) string {
+	return "pipe|" + env.GraphID + "|" + kind + "|" + params
+}
+
+// cacheGet fetches a cached payload of type T and marks the copy cached.
+func cacheGet[T any](env *Env, key string, mark func(*T)) (T, bool) {
+	var zero T
+	if env.Cache == nil {
+		return zero, false
+	}
+	v, ok := env.Cache.Get(key)
+	if !ok {
+		return zero, false
+	}
+	r, ok := v.(T)
+	if !ok {
+		return zero, false
+	}
+	mark(&r)
+	return r, true
+}
+
+// cachePut stores a freshly computed payload.
+func (env *Env) cachePut(key string, v any, randomized bool, cost time.Duration) {
+	if env.Cache != nil {
+		env.Cache.Put(key, v, randomized, cost)
+	}
+}
+
+// runNullModel scores the graph's real h-motif counts against an ensemble of
+// randomized copies: per-motif mean, standard deviation, z-score, and the
+// paper's Equation 1 significance / Equation 2 profile. The real counts come
+// from a dependency count stage when the plan declares one, else from the
+// server's (cached) count path — both happen before pool admission, so the
+// stage never holds a slot while asking for another.
+func runNullModel(ctx context.Context, env *Env, st *Stage, p *api.NullModelParams, exact map[string]*counting.Counts) (api.SignificanceResult, bool, error) {
+	key := env.key("null_model", fmt.Sprintf("m=%s|n=%d|seed=%d|spi=%d", p.Model, p.Randomizations, p.Seed, p.SwapsPerIncidence))
+	if r, ok := cacheGet(env, key, func(r *api.SignificanceResult) { r.Cached = true }); ok {
+		return r, true, nil
+	}
+	if env.Graph.TotalIncidence() == 0 {
+		return api.SignificanceResult{}, false, fmt.Errorf("graph has no incidences to randomize")
+	}
+	start := time.Now()
+
+	var real *counting.Counts
+	for _, dep := range st.After {
+		if c, ok := exact[dep]; ok {
+			real = c
+			break
+		}
+	}
+	if real == nil {
+		c, _, err := env.Count(ctx, api.AlgoExact, 0, 0, env.MaxWorkers, nil)
+		if err != nil {
+			return api.SignificanceResult{}, false, err
+		}
+		real = &c
+	}
+
+	if err := env.Pool.Acquire(ctx); err != nil {
+		return api.SignificanceResult{}, false, err
+	}
+	defer env.Pool.Release()
+
+	var copies []*hypergraph.Hypergraph
+	switch p.Model {
+	case api.NullModelEdgeSwap:
+		r := nullmodel.NewSwapRandomizer(env.Graph)
+		r.SwapsPerIncidence = p.SwapsPerIncidence
+		copies = r.GenerateN(p.Randomizations, p.Seed)
+	default:
+		copies = nullmodel.NewRandomizer(env.Graph).GenerateN(p.Randomizations, p.Seed)
+	}
+
+	workers := env.workers(p.Workers)
+	randCounts := make([]*counting.Counts, len(copies))
+	for i, copyG := range copies {
+		if err := ctx.Err(); err != nil {
+			return api.SignificanceResult{}, false, err
+		}
+		c := counting.CountExact(copyG, projection.Build(copyG), workers)
+		randCounts[i] = &c
+		env.emit(api.JobEvent{Type: api.EventProgress, Stage: st.ID, Done: i + 1, Total: len(copies)})
+	}
+
+	n := float64(len(randCounts))
+	var mean, std, z [motif.Count]float64
+	for _, c := range randCounts {
+		for m, v := range c {
+			mean[m] += v
+		}
+	}
+	for m := range mean {
+		mean[m] /= n
+	}
+	for _, c := range randCounts {
+		for m, v := range c {
+			d := v - mean[m]
+			std[m] += d * d
+		}
+	}
+	for m := range std {
+		std[m] = math.Sqrt(std[m] / n)
+		if std[m] > 0 {
+			z[m] = (real[m] - mean[m]) / std[m]
+		}
+	}
+	delta := cp.Significance(real, randCounts)
+	profile := cp.FromSignificance(delta)
+
+	res := api.SignificanceResult{
+		Graph:          env.Name,
+		Model:          p.Model,
+		Randomizations: p.Randomizations,
+		Seed:           p.Seed,
+		Real:           real[:],
+		Mean:           mean[:],
+		Std:            std[:],
+		Z:              z[:],
+		Significance:   delta[:],
+		Profile:        profile[:],
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	env.cachePut(key, res, false, time.Since(start))
+	return res, false, nil
+}
+
+// runRank computes motif-aware PageRank over the projected hyperedge graph.
+func runRank(ctx context.Context, env *Env, p *api.RankParams) (api.RankResult, bool, error) {
+	key := env.key("rank", fmt.Sprintf("w=%s|d=%g|it=%d|k=%d", p.Weights, p.Damping, p.MaxIter, p.TopK))
+	if r, ok := cacheGet(env, key, func(r *api.RankResult) { r.Cached = true }); ok {
+		return r, true, nil
+	}
+	start := time.Now()
+	if err := env.Pool.Acquire(ctx); err != nil {
+		return api.RankResult{}, false, err
+	}
+	defer env.Pool.Release()
+
+	var weighting rank.Weighting
+	switch p.Weights {
+	case api.RankWeightMotif:
+		weighting = rank.WeightMotif
+	case api.RankWeightClosedMotif:
+		weighting = rank.WeightClosedMotif
+	default:
+		weighting = rank.WeightOverlap
+	}
+	scores, err := rank.Scores(env.Graph, env.Proj, rank.Config{
+		Weights: weighting,
+		Damping: p.Damping,
+		MaxIter: p.MaxIter,
+	})
+	if err != nil {
+		return api.RankResult{}, false, err
+	}
+	top := rank.Top(scores, p.TopK)
+	entries := make([]api.RankEntry, len(top))
+	for i, e := range top {
+		entries[i] = api.RankEntry{Edge: e, Score: scores[e]}
+	}
+	res := api.RankResult{
+		Graph:     env.Name,
+		Weights:   p.Weights,
+		Damping:   p.Damping,
+		Edges:     env.Graph.NumEdges(),
+		Top:       entries,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	env.cachePut(key, res, false, time.Since(start))
+	return res, false, nil
+}
+
+// runAnomaly scores every hyperedge's deviation from the dataset's aggregate
+// motif-participation distribution and returns the top-k.
+func runAnomaly(ctx context.Context, env *Env, p *api.AnomalyParams) (api.AnomalyResult, bool, error) {
+	key := env.key("anomaly", fmt.Sprintf("k=%d", p.TopK))
+	if r, ok := cacheGet(env, key, func(r *api.AnomalyResult) { r.Cached = true }); ok {
+		return r, true, nil
+	}
+	start := time.Now()
+	if err := env.Pool.Acquire(ctx); err != nil {
+		return api.AnomalyResult{}, false, err
+	}
+	defer env.Pool.Release()
+
+	scores := anomaly.ScoresParallel(env.Graph, env.Proj, env.workers(p.Workers))
+	top := anomaly.Top(scores, p.TopK)
+	entries := make([]api.AnomalyEntry, len(top))
+	for i, s := range top {
+		entries[i] = api.AnomalyEntry{
+			Edge:          s.Edge,
+			Deviation:     s.Deviation,
+			Participation: s.Participation,
+			Dominant:      s.Dominant,
+		}
+	}
+	res := api.AnomalyResult{
+		Graph:     env.Name,
+		Edges:     env.Graph.NumEdges(),
+		Top:       entries,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	env.cachePut(key, res, false, time.Since(start))
+	return res, false, nil
+}
+
+// runCluster label-propagates over the h-motif co-participation graph and
+// summarizes the partition.
+func runCluster(ctx context.Context, env *Env, p *api.ClusterParams) (api.ClusterResult, bool, error) {
+	key := env.key("cluster", fmt.Sprintf("closed=%t|minw=%d|it=%d|seed=%d|k=%d", p.ClosedOnly, p.MinWeight, p.MaxIter, p.Seed, p.TopK))
+	if r, ok := cacheGet(env, key, func(r *api.ClusterResult) { r.Cached = true }); ok {
+		return r, true, nil
+	}
+	start := time.Now()
+	if err := env.Pool.Acquire(ctx); err != nil {
+		return api.ClusterResult{}, false, err
+	}
+	defer env.Pool.Release()
+
+	labels := cluster.Labels(env.Graph, env.Proj, cluster.Config{
+		ClosedOnly: p.ClosedOnly,
+		MinWeight:  p.MinWeight,
+		MaxIter:    p.MaxIter,
+		Seed:       p.Seed,
+	})
+	var sizes []int
+	singletons := 0
+	for _, s := range cluster.Sizes(labels) {
+		if s == 0 {
+			continue
+		}
+		if s == 1 {
+			singletons++
+		}
+		sizes = append(sizes, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	clusters := len(sizes)
+	if len(sizes) > p.TopK {
+		sizes = sizes[:p.TopK]
+	}
+	res := api.ClusterResult{
+		Graph:      env.Name,
+		Edges:      env.Graph.NumEdges(),
+		Clusters:   clusters,
+		Sizes:      sizes,
+		Singletons: singletons,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	env.cachePut(key, res, false, time.Since(start))
+	return res, false, nil
+}
+
+// runTemporal sweeps sliding windows over a timed graph, summarizing each
+// window's census plus the drift series between consecutive windows.
+func runTemporal(ctx context.Context, env *Env, p *api.TemporalParams) (api.TemporalResult, bool, error) {
+	key := env.key("temporal", fmt.Sprintf("w=%d|s=%d", p.Width, p.Stride))
+	if r, ok := cacheGet(env, key, func(r *api.TemporalResult) { r.Cached = true }); ok {
+		return r, true, nil
+	}
+	if env.Graph.NumEdges() > 0 {
+		if !env.Graph.Timed() {
+			return api.TemporalResult{}, false, temporal.ErrUntimed
+		}
+		lo, hi := env.Graph.TimeRange()
+		if windows := (hi-lo)/p.Stride + 1; windows > maxTemporalWindows {
+			return api.TemporalResult{}, false, fmt.Errorf("stride %d yields %d windows over time range [%d, %d], exceeding the cap of %d", p.Stride, windows, lo, hi, maxTemporalWindows)
+		}
+	}
+	start := time.Now()
+	if err := env.Pool.Acquire(ctx); err != nil {
+		return api.TemporalResult{}, false, err
+	}
+	defer env.Pool.Release()
+
+	windows, err := temporal.Sweep(env.Graph, temporal.Config{Width: p.Width, Stride: p.Stride})
+	if err != nil {
+		return api.TemporalResult{}, false, err
+	}
+	ws := make([]api.TemporalWindow, len(windows))
+	for i := range windows {
+		w := &windows[i]
+		ws[i] = api.TemporalWindow{
+			Start:        w.Start,
+			End:          w.End,
+			Edges:        w.Edges,
+			Total:        w.Counts.Total(),
+			OpenFraction: w.OpenFraction(),
+		}
+	}
+	res := api.TemporalResult{
+		Graph:         env.Name,
+		Windows:       ws,
+		Drift:         temporal.Drift(windows),
+		MostAnomalous: temporal.MostAnomalous(windows),
+		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+	}
+	env.cachePut(key, res, false, time.Since(start))
+	return res, false, nil
+}

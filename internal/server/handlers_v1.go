@@ -281,6 +281,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, p param
 	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the response head out now: a subscriber to a still-queued
+		// job must see the 200 and start reading before the first event,
+		// not block behind it.
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 	emit := func(ev api.JobEvent) {
 		_ = enc.Encode(ev)

@@ -28,7 +28,7 @@ const (
 type job struct {
 	id    string
 	seq   uint64 // creation order, for retention pruning and stable listing
-	kind  string // api.JobKindCount or api.JobKindProfile
+	kind  string // api.JobKindCount, api.JobKindProfile or api.JobKindPipeline
 	graph string
 	trace string // trace id of the request that started the job
 
@@ -89,6 +89,25 @@ func (j *job) progress(done, total int) {
 	j.mu.Lock()
 	j.done, j.total = done, total
 	ev := api.JobEvent{Type: api.EventProgress, Done: done, Total: total, Trace: j.trace}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// publish fans a non-terminal event (pipeline stage lifecycle, stage-stamped
+// progress) out to every events subscriber, stamped with the job's trace id.
+// Like progress, slow subscribers drop events rather than stall the job; the
+// terminal event never travels this path.
+func (j *job) publish(ev api.JobEvent) {
+	j.mu.Lock()
+	if ev.Type == api.EventProgress {
+		j.done, j.total = ev.Done, ev.Total
+	}
+	ev.Trace = j.trace
 	for ch := range j.subs {
 		select {
 		case ch <- ev:

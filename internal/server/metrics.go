@@ -58,12 +58,13 @@ type serverMetrics struct {
 	poolCapacity *obs.Gauge
 	queueDepth   *obs.Gauge
 
-	jobsInflight *obs.Gauge
-	jobsStarted  *obs.Counter
-	jobsDone     *obs.Counter
-	jobsFailed   *obs.Counter
-	jobDuration  *obs.HistogramVec
-	kernelStage  *obs.HistogramVec
+	jobsInflight  *obs.Gauge
+	jobsStarted   *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobDuration   *obs.HistogramVec
+	kernelStage   *obs.HistogramVec
+	pipelineStage *obs.HistogramVec
 
 	storeEnabled *obs.Gauge
 	// The store families below are registered only when persistence is
@@ -134,7 +135,12 @@ func newServerMetrics(withStore bool) *serverMetrics {
 	// join on series that must exist before the first profile job runs.
 	m.jobDuration.With(api.JobKindCount)
 	m.jobDuration.With(api.JobKindProfile)
+	m.jobDuration.With(api.JobKindPipeline)
 	m.kernelStage = r.NewHistogramVec("mochyd_kernel_stage_seconds", "Pure compute time per counting kernel run, by stage.", kernelStageBounds, "stage")
+	m.pipelineStage = r.NewHistogramVec("mochyd_pipeline_stage_duration_seconds", "Wall-clock pipeline stage duration by stage kind.", jobDurationBounds, "stage")
+	for _, kind := range []string{api.StageCount, api.StageNullModel, api.StageRank, api.StageAnomaly, api.StageCluster, api.StageTemporal, api.StageProfile} {
+		m.pipelineStage.With(kind)
+	}
 
 	m.storeEnabled = r.NewGauge("mochyd_store_enabled", "1 when persistence is configured, else 0.")
 	if withStore {

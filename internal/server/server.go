@@ -16,6 +16,7 @@ import (
 	counting "mochy/internal/mochy"
 	"mochy/internal/nullmodel"
 	"mochy/internal/obs"
+	"mochy/internal/pipeline"
 	"mochy/internal/projection"
 	"mochy/internal/server/live"
 	"mochy/internal/shardmap"
@@ -56,6 +57,10 @@ type Config struct {
 	// more work unboundedly. 0 selects the default; negative disables
 	// backpressure.
 	QueueBudget time.Duration
+	// PipelineMaxStages caps how many stages one pipeline plan may declare,
+	// so a single plan cannot monopolize the job pool. 0 selects the
+	// default (pipeline.DefaultMaxStages).
+	PipelineMaxStages int
 	// Store, when non-nil, makes the server durable: uploads become
 	// segment files, live mutations append to per-graph write-ahead logs
 	// before they are acknowledged, and Recover rebuilds everything on
@@ -83,12 +88,13 @@ type Config struct {
 // DefaultConfig returns the configuration mochyd starts with.
 func DefaultConfig() Config {
 	return Config{
-		CacheSize:        256,
-		MaxConcurrent:    runtime.GOMAXPROCS(0),
-		MaxWorkersPerJob: runtime.GOMAXPROCS(0),
-		SamplingTTL:      15 * time.Minute,
-		QueueBudget:      10 * time.Second,
-		TraceBuffer:      512,
+		CacheSize:         256,
+		MaxConcurrent:     runtime.GOMAXPROCS(0),
+		MaxWorkersPerJob:  runtime.GOMAXPROCS(0),
+		SamplingTTL:       15 * time.Minute,
+		QueueBudget:       10 * time.Second,
+		TraceBuffer:       512,
+		PipelineMaxStages: pipeline.DefaultMaxStages,
 	}
 }
 
@@ -156,6 +162,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.TraceBuffer == 0 {
 		cfg.TraceBuffer = def.TraceBuffer
+	}
+	if cfg.PipelineMaxStages <= 0 {
+		cfg.PipelineMaxStages = def.PipelineMaxStages
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
@@ -333,6 +342,7 @@ func (s *Server) buildRouter() *router {
 	// v1: asynchronous job protocol.
 	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/count", s.handleStartCount)
 	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/profile", s.handleStartProfile)
+	rt.handle(s.mets, http.MethodPost, "/v1/graphs/{name}/pipeline", s.handleStartPipeline)
 	rt.handle(s.mets, http.MethodGet, "/v1/jobs", s.handleJobs)
 	rt.handle(s.mets, http.MethodGet, "/v1/jobs/{id}", s.handleJob)
 	rt.handle(s.mets, http.MethodGet, "/v1/jobs/{id}/events", s.handleJobEvents)
@@ -441,13 +451,16 @@ func profileKey(e *Entry, randomizations int, seed int64) string {
 
 // graphKeyGen extracts the generation from a cache key belonging to graph
 // name, reporting false for keys of other graphs. Key layout is
-// "count|<name>#<gen>|..." / "profile|<name>#<gen>|...": requiring the
-// segment after name+"#" to be pure digits keeps a graph named "a" from
-// matching keys of a graph named "a#1".
+// "count|<name>#<gen>|..." / "profile|<name>#<gen>|..." /
+// "pipe|<name>#<gen>|...": requiring the segment after name+"#" to be pure
+// digits keeps a graph named "a" from matching keys of a graph named "a#1".
 func graphKeyGen(key, name string) (uint64, bool) {
 	rest, ok := strings.CutPrefix(key, "count|")
 	if !ok {
 		rest, ok = strings.CutPrefix(key, "profile|")
+	}
+	if !ok {
+		rest, ok = strings.CutPrefix(key, "pipe|")
 	}
 	if !ok {
 		return 0, false

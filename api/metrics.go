@@ -1,0 +1,431 @@
+package api
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the /v1/metrics wire surface: a parser for
+// the Prometheus text exposition mochyd emits, with typed lookup and
+// histogram quantile estimation. The server renders the exposition
+// (internal/obs); everything that *consumes* it — the SDK's typed scrape
+// helper, the mochybench load harness, external tooling — decodes through
+// here, so both directions of the format live against one grammar.
+
+// MetricPoint is one exposition sample: a metric name, its label set, and
+// the sample value. Histogram series (_bucket/_sum/_count) appear as plain
+// points too; MetricsSnapshot.Histogram reassembles them.
+type MetricPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// HistogramBucket is one cumulative le-bucket of a histogram sample.
+type HistogramBucket struct {
+	// UpperBound is the bucket's inclusive upper bound in the observed
+	// unit; math.Inf(1) for the +Inf bucket.
+	UpperBound float64
+	// CumulativeCount is the number of observations <= UpperBound.
+	CumulativeCount uint64
+}
+
+// HistogramSample is one reassembled histogram child: its label set (minus
+// "le"), cumulative buckets in ascending bound order, and the _sum/_count
+// pair.
+type HistogramSample struct {
+	Labels  map[string]string
+	Buckets []HistogramBucket
+	Sum     float64
+	Count   uint64
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observations by
+// linear interpolation *within* the bucket holding the target rank — not by
+// snapping to the bucket's upper bound, which would bias every estimate high
+// by up to a full bucket width and make regression gates compare bucket
+// layouts instead of latencies. The first finite bucket interpolates from
+// zero (observations are durations), and ranks landing in the +Inf bucket
+// return the highest finite bound, matching Prometheus histogram_quantile.
+// A histogram with no observations returns NaN.
+func (h *HistogramSample) Quantile(q float64) float64 {
+	if h == nil || len(h.Buckets) == 0 {
+		return math.NaN()
+	}
+	total := h.Buckets[len(h.Buckets)-1].CumulativeCount
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, b := range h.Buckets {
+		if float64(b.CumulativeCount) < rank {
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			// Beyond the last finite bound there is no width to
+			// interpolate across; report the largest value the histogram
+			// can still resolve.
+			if i == 0 {
+				return math.NaN()
+			}
+			return h.Buckets[i-1].UpperBound
+		}
+		lo, lcum := 0.0, uint64(0)
+		if i > 0 {
+			lo = h.Buckets[i-1].UpperBound
+			lcum = h.Buckets[i-1].CumulativeCount
+		}
+		in := b.CumulativeCount - lcum
+		if in == 0 {
+			return b.UpperBound
+		}
+		return lo + (b.UpperBound-lo)*(rank-float64(lcum))/float64(in)
+	}
+	return h.Buckets[len(h.Buckets)-1].UpperBound
+}
+
+// Sub returns the windowed delta h - prev: per-bucket cumulative counts,
+// sum and count all subtracted, for deriving quantiles over a measurement
+// interval from two scrapes of a cumulative histogram. prev must be an
+// earlier scrape of the same series (same bucket layout); a nil prev
+// returns a copy of h.
+func (h *HistogramSample) Sub(prev *HistogramSample) (*HistogramSample, error) {
+	out := &HistogramSample{
+		Labels:  h.Labels,
+		Buckets: make([]HistogramBucket, len(h.Buckets)),
+		Sum:     h.Sum,
+		Count:   h.Count,
+	}
+	copy(out.Buckets, h.Buckets)
+	if prev == nil {
+		return out, nil
+	}
+	if len(prev.Buckets) != len(h.Buckets) {
+		return nil, fmt.Errorf("api: histogram window mismatch: %d vs %d buckets", len(h.Buckets), len(prev.Buckets))
+	}
+	for i := range out.Buckets {
+		if prev.Buckets[i].UpperBound != h.Buckets[i].UpperBound {
+			return nil, fmt.Errorf("api: histogram window mismatch at bucket %d: le=%g vs le=%g",
+				i, h.Buckets[i].UpperBound, prev.Buckets[i].UpperBound)
+		}
+		if prev.Buckets[i].CumulativeCount > out.Buckets[i].CumulativeCount {
+			return nil, fmt.Errorf("api: histogram window went backwards at le=%g", h.Buckets[i].UpperBound)
+		}
+		out.Buckets[i].CumulativeCount -= prev.Buckets[i].CumulativeCount
+	}
+	if prev.Count > out.Count {
+		return nil, fmt.Errorf("api: histogram count went backwards")
+	}
+	out.Sum -= prev.Sum
+	out.Count -= prev.Count
+	return out, nil
+}
+
+// MergeHistograms returns the element-wise sum of hs, which must share one bucket
+// layout — the "overall" view across the children of a labeled histogram
+// family (e.g. every route's latency merged into one distribution). Merging
+// nothing returns nil.
+func MergeHistograms(hs []*HistogramSample) (*HistogramSample, error) {
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	out := &HistogramSample{Buckets: make([]HistogramBucket, len(hs[0].Buckets))}
+	copy(out.Buckets, hs[0].Buckets)
+	out.Sum, out.Count = hs[0].Sum, hs[0].Count
+	for _, h := range hs[1:] {
+		if len(h.Buckets) != len(out.Buckets) {
+			return nil, fmt.Errorf("api: merge mismatch: %d vs %d buckets", len(h.Buckets), len(out.Buckets))
+		}
+		for i := range out.Buckets {
+			if h.Buckets[i].UpperBound != out.Buckets[i].UpperBound {
+				return nil, fmt.Errorf("api: merge mismatch at bucket %d", i)
+			}
+			out.Buckets[i].CumulativeCount += h.Buckets[i].CumulativeCount
+		}
+		out.Sum += h.Sum
+		out.Count += h.Count
+	}
+	return out, nil
+}
+
+// MetricsSnapshot is one parsed scrape of the exposition. Lookup methods
+// match on the full label set for scalar samples; histogram reassembly
+// matches on the label set minus "le".
+type MetricsSnapshot struct {
+	points []MetricPoint
+	// byName indexes points for lookup without rescanning the scrape.
+	byName map[string][]int
+}
+
+// ParseMetrics decodes a Prometheus text exposition. Comment and blank
+// lines are skipped; malformed sample lines are an error (the scrape
+// grammar is part of mochyd's compatibility surface, so a consumer that
+// silently dropped lines would hide a server-side format break).
+func ParseMetrics(r io.Reader) (*MetricsSnapshot, error) {
+	s := &MetricsSnapshot{byName: make(map[string][]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("api: metrics line %d: %w", lineno, err)
+		}
+		s.byName[p.Name] = append(s.byName[p.Name], len(s.points))
+		s.points = append(s.points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSampleLine decodes one `name{l="v",...} value` sample.
+func parseSampleLine(line string) (MetricPoint, error) {
+	var p MetricPoint
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return p, fmt.Errorf("no value in %q", line)
+	} else {
+		p.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		// The closing brace must be found outside quoted label values:
+		// mochyd's route labels legitimately contain braces
+		// ("PUT /v1/graphs/{name}").
+		end, inQuote := -1, false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return p, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return p, fmt.Errorf("%v in %q", err, line)
+		}
+		p.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp suffix is legal exposition; mochyd never emits one, but
+	// tolerate it so the parser stays a general consumer.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseSampleValue(rest)
+	if err != nil {
+		return p, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	p.Value = v
+	return p, nil
+}
+
+// parseSampleValue decodes a sample value, including the +Inf/-Inf/NaN
+// spellings the exposition format uses.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels decodes the inside of a {...} label set.
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string, 4)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value")
+		}
+		name := s[:eq]
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		// Values are %q-quoted by the writer; scan to the closing quote
+		// honoring backslash escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		val, err := strconv.Unquote(s[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value %s", s[:i+1])
+		}
+		labels[name] = val
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+	return labels, nil
+}
+
+// Value returns the sample of name whose label set equals labels exactly
+// (nil matches an unlabeled sample). The second return reports presence.
+func (s *MetricsSnapshot) Value(name string, labels map[string]string) (float64, bool) {
+	for _, i := range s.byName[name] {
+		if labelsEqual(s.points[i].Labels, labels) {
+			return s.points[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Points returns every sample of name, in exposition order.
+func (s *MetricsSnapshot) Points(name string) []MetricPoint {
+	idx := s.byName[name]
+	out := make([]MetricPoint, len(idx))
+	for i, j := range idx {
+		out[i] = s.points[j]
+	}
+	return out
+}
+
+// Histogram reassembles the histogram child of name whose non-le labels
+// equal labels exactly. The second return reports presence.
+func (s *MetricsSnapshot) Histogram(name string, labels map[string]string) (*HistogramSample, bool) {
+	for _, h := range s.Histograms(name) {
+		if labelsEqual(h.Labels, labels) {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// Histograms reassembles every child of the histogram family name, one
+// HistogramSample per distinct non-le label set, buckets in ascending
+// bound order.
+func (s *MetricsSnapshot) Histograms(name string) []*HistogramSample {
+	children := make(map[string]*HistogramSample)
+	var order []string
+	for _, i := range s.byName[name+"_bucket"] {
+		p := s.points[i]
+		leStr, ok := p.Labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := parseSampleValue(leStr)
+		if err != nil {
+			continue
+		}
+		rest := withoutLabel(p.Labels, "le")
+		key := labelKey(rest)
+		h, ok := children[key]
+		if !ok {
+			h = &HistogramSample{Labels: rest}
+			children[key] = h
+			order = append(order, key)
+		}
+		h.Buckets = append(h.Buckets, HistogramBucket{UpperBound: le, CumulativeCount: uint64(p.Value)})
+	}
+	for _, i := range s.byName[name+"_sum"] {
+		p := s.points[i]
+		if h, ok := children[labelKey(p.Labels)]; ok {
+			h.Sum = p.Value
+		}
+	}
+	for _, i := range s.byName[name+"_count"] {
+		p := s.points[i]
+		if h, ok := children[labelKey(p.Labels)]; ok {
+			h.Count = uint64(p.Value)
+		}
+	}
+	out := make([]*HistogramSample, 0, len(order))
+	for _, key := range order {
+		h := children[key]
+		sort.Slice(h.Buckets, func(a, b int) bool { return h.Buckets[a].UpperBound < h.Buckets[b].UpperBound })
+		out = append(out, h)
+	}
+	return out
+}
+
+// withoutLabel copies labels minus key; nil when nothing remains, so the
+// result compares equal to an unlabeled lookup.
+func withoutLabel(labels map[string]string, key string) map[string]string {
+	if len(labels) <= 1 {
+		return nil
+	}
+	out := make(map[string]string, len(labels)-1)
+	for k, v := range labels {
+		if k != key {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// labelKey renders a label set as a canonical string for map keying.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package api
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP mochyd_uptime_seconds Seconds since the server started.
+# TYPE mochyd_uptime_seconds gauge
+mochyd_uptime_seconds 42
+# TYPE mochyd_build_info gauge
+mochyd_build_info{version="(devel)",go="go1.21.0"} 1
+# TYPE mochyd_http_responses_total counter
+mochyd_http_responses_total{route="GET /v1/healthz",code="200"} 7
+mochyd_http_responses_total{route="PUT /v1/graphs/{name}",code="200"} 3
+mochyd_http_responses_total{route="PUT /v1/graphs/{name}",code="500"} 1
+# TYPE mochyd_http_request_duration_seconds histogram
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/healthz",le="0.0005"} 2
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/healthz",le="0.001"} 5
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/healthz",le="0.005"} 7
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/healthz",le="+Inf"} 7
+mochyd_http_request_duration_seconds_sum{route="GET /v1/healthz"} 0.0061
+mochyd_http_request_duration_seconds_count{route="GET /v1/healthz"} 7
+`
+
+func TestParseMetricsValues(t *testing.T) {
+	s, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	if v, ok := s.Value("mochyd_uptime_seconds", nil); !ok || v != 42 {
+		t.Fatalf("uptime = %v, %v; want 42, true", v, ok)
+	}
+	if v, ok := s.Value("mochyd_build_info", map[string]string{"version": "(devel)", "go": "go1.21.0"}); !ok || v != 1 {
+		t.Fatalf("build_info = %v, %v; want 1, true", v, ok)
+	}
+	if _, ok := s.Value("mochyd_build_info", map[string]string{"version": "(devel)"}); ok {
+		t.Fatal("partial label set must not match")
+	}
+	if v, ok := s.Value("mochyd_http_responses_total", map[string]string{"route": "PUT /v1/graphs/{name}", "code": "500"}); !ok || v != 1 {
+		t.Fatalf("responses 500 = %v, %v; want 1, true", v, ok)
+	}
+	if pts := s.Points("mochyd_http_responses_total"); len(pts) != 3 {
+		t.Fatalf("Points(responses) = %d, want 3", len(pts))
+	}
+}
+
+func TestParseMetricsHistogramAssembly(t *testing.T) {
+	s, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	h, ok := s.Histogram("mochyd_http_request_duration_seconds", map[string]string{"route": "GET /v1/healthz"})
+	if !ok {
+		t.Fatal("histogram child not found")
+	}
+	if len(h.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(h.Buckets))
+	}
+	if !math.IsInf(h.Buckets[3].UpperBound, 1) {
+		t.Fatalf("last bound = %v, want +Inf", h.Buckets[3].UpperBound)
+	}
+	if h.Count != 7 || h.Sum != 0.0061 {
+		t.Fatalf("count/sum = %d/%v, want 7/0.0061", h.Count, h.Sum)
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"metric_without_value\n",
+		"m{unterminated=\"x\n",
+		"m{le=\"0.1\"} notanumber\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+// histFrom builds a HistogramSample by observing values into the given
+// bounds the same way obs.Histogram does (first bound >= v).
+func histFrom(bounds []float64, values []float64) *HistogramSample {
+	counts := make([]uint64, len(bounds)+1)
+	var sum float64
+	for _, v := range values {
+		i := sort.SearchFloat64s(bounds, v)
+		counts[i]++
+		sum += v
+	}
+	h := &HistogramSample{Sum: sum, Count: uint64(len(values))}
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		h.Buckets = append(h.Buckets, HistogramBucket{UpperBound: b, CumulativeCount: cum})
+	}
+	cum += counts[len(bounds)]
+	h.Buckets = append(h.Buckets, HistogramBucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+	return h
+}
+
+// exactQuantile is the reference quantile of the raw values.
+func exactQuantile(values []float64, q float64) float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	idx := int(q*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// TestQuantileInterpolatesWithinBuckets pins the load-bearing property of
+// the regression gate's p99: against a known uniform distribution the
+// interpolated estimate must land near the true quantile, while an
+// upper-bound snap would report the whole bucket's ceiling.
+func TestQuantileInterpolatesWithinBuckets(t *testing.T) {
+	bounds := []float64{0.01, 0.05, 0.1, 0.5, 1}
+	// 1000 evenly spread values in (0, 0.5]: uniform within each bucket, so
+	// linear interpolation is exact up to rank granularity.
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = 0.5 * float64(i+1) / 1000
+	}
+	h := histFrom(bounds, values)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := exactQuantile(values, q)
+		if math.Abs(got-want) > 0.002 {
+			t.Errorf("Quantile(%v) = %v, want ~%v (interpolation off by %v)", q, got, want, got-want)
+		}
+		// The snapped estimate is the upper bound of the target bucket;
+		// assert we beat it whenever the true quantile is interior.
+		snap := snapQuantile(h, q)
+		if math.Abs(snap-want) <= math.Abs(got-want) {
+			t.Errorf("Quantile(%v): interpolated %v no better than snapped %v (true %v)", q, got, snap, want)
+		}
+	}
+}
+
+// snapQuantile is the pre-fix estimator: the upper bound of the bucket
+// holding the target rank.
+func snapQuantile(h *HistogramSample, q float64) float64 {
+	total := h.Buckets[len(h.Buckets)-1].CumulativeCount
+	rank := q * float64(total)
+	for _, b := range h.Buckets {
+		if float64(b.CumulativeCount) >= rank {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{0.1, 1}
+	empty := histFrom(bounds, nil)
+	if !math.IsNaN(empty.Quantile(0.99)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// Everything beyond the last finite bound: report that bound, not +Inf.
+	over := histFrom(bounds, []float64{5, 6, 7})
+	if got := over.Quantile(0.99); got != 1 {
+		t.Errorf("overflow-only quantile = %v, want 1 (last finite bound)", got)
+	}
+	// All mass in the first bucket: interpolate from zero.
+	low := histFrom(bounds, []float64{0.05, 0.05, 0.05, 0.05})
+	if got := low.Quantile(0.5); got <= 0 || got > 0.1 {
+		t.Errorf("first-bucket quantile = %v, want within (0, 0.1]", got)
+	}
+}
+
+func TestHistogramSubWindow(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1}
+	before := histFrom(bounds, []float64{0.005, 0.05, 0.5})
+	afterVals := []float64{0.005, 0.05, 0.5, 0.02, 0.02, 0.09}
+	after := histFrom(bounds, afterVals)
+	win, err := after.Sub(before)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if win.Count != 3 {
+		t.Fatalf("window count = %d, want 3", win.Count)
+	}
+	// The window holds only the three new observations, all in (0.01, 0.1].
+	if got := win.Quantile(0.99); got <= 0.01 || got > 0.1 {
+		t.Errorf("window p99 = %v, want within (0.01, 0.1]", got)
+	}
+	if _, err := before.Sub(after); err == nil {
+		t.Error("backwards window must error")
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1}
+	a := histFrom(bounds, []float64{0.005, 0.005})
+	b := histFrom(bounds, []float64{0.5, 0.5})
+	m, err := MergeHistograms([]*HistogramSample{a, b})
+	if err != nil {
+		t.Fatalf("MergeHistograms: %v", err)
+	}
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", m.Count)
+	}
+	med := m.Quantile(0.5)
+	if med <= 0 || med > 0.1 {
+		t.Errorf("merged median = %v, want in (0, 0.1]", med)
+	}
+}

@@ -423,6 +423,40 @@ type StoreStatus struct {
 	RecoveryMS       float64 `json:"recovery_ms"`
 }
 
+// StoreReadiness is the persistence half of a Readiness report.
+type StoreReadiness struct {
+	// Recovered reports whether boot recovery has replayed the store into
+	// the registries; a daemon serving before recovery would answer reads
+	// from an empty world.
+	Recovered bool `json:"recovered"`
+	// Flushed reports that no appended WAL record is awaiting an fsync.
+	// Group commit syncs before every ack, so this is false only while a
+	// mutation batch is mid-commit.
+	Flushed bool `json:"flushed"`
+	// PendingWALRecords is the number of records behind Flushed == false.
+	PendingWALRecords uint64 `json:"pending_wal_records"`
+	WALBytes          int64  `json:"wal_bytes"`
+}
+
+// Readiness answers GET /v1/admin/healthz: whether the daemon should be
+// receiving traffic right now, with the state that decided it. The endpoint
+// answers 200 when Ready and 503 otherwise (body present either way), so
+// load balancers and harnesses can gate on the status code alone.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// Status is "ready", "saturated" (job queue over the backpressure
+	// budget) or "recovering" (persistence configured but not yet
+	// replayed).
+	Status       string `json:"status"`
+	Graphs       int    `json:"graphs"`
+	LiveGraphs   int    `json:"live_graphs"`
+	PoolActive   int    `json:"pool_active"`
+	PoolCapacity int    `json:"pool_capacity"`
+	QueueDepth   int    `json:"queue_depth"`
+	// Store is nil when mochyd runs in-memory only.
+	Store *StoreReadiness `json:"store,omitempty"`
+}
+
 // Health answers GET /v1/healthz.
 type Health struct {
 	Status        string `json:"status"`

@@ -10,6 +10,21 @@ import (
 	"mochy/api"
 )
 
+// Ready probes GET /v1/admin/healthz, the readiness endpoint: whether the
+// daemon should be receiving traffic right now (job queue inside the
+// backpressure budget, store recovered and flushed). A not-ready daemon
+// answers 503 with the same Readiness body, which is decoded and returned
+// alongside the *APIError — poll until err == nil (or Ready is true) to
+// gate traffic on a ready daemon. Liveness is the cheaper /v1/healthz
+// (Health).
+func (c *Client) Ready(ctx context.Context) (api.Readiness, error) {
+	var out api.Readiness
+	if err := c.do(ctx, http.MethodGet, c.url("admin", "healthz"), "", nil, &out); err != nil {
+		return out, decodeErrBody(err, &out)
+	}
+	return out, nil
+}
+
 // Checkpoint folds the named live graphs' write-ahead logs into fresh base
 // segments and truncates them; no names means every live graph. Requires a
 // mochyd started with -data-dir (409 otherwise). Per-graph failures are

@@ -283,3 +283,18 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
 }
+
+// MetricsSnapshot fetches /v1/metrics and parses it into a typed snapshot:
+// counter/gauge lookup by name and label set, histogram reassembly with
+// interpolated quantiles (api.ParseMetrics). Two snapshots subtracted
+// (HistogramSample.Sub) bound a measurement window — this is how the
+// mochybench load harness reads p50/p99 per route straight off the
+// daemon's own instrumentation.
+func (c *Client) MetricsSnapshot(ctx context.Context) (*api.MetricsSnapshot, error) {
+	resp, err := c.send(ctx, http.MethodGet, c.url("metrics"), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return api.ParseMetrics(resp.Body)
+}

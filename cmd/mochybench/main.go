@@ -1,0 +1,185 @@
+// Command mochybench is the sustained-load harness for mochyd: it drives
+// mixed weighted workloads at fixed graph-scale points over the client SDK
+// and measures nothing itself — every latency, throughput and error figure
+// is read back off the daemon's flight recorder, and requests that blow
+// the SLO get their span trees attached as explanations.
+//
+// Two modes:
+//
+//	mochybench                          # embedded: starts an in-process mochyd on loopback
+//	mochybench -addr http://host:8080   # external: drives a running daemon, scrapes /v1/metrics
+//
+// With -baseline, the fresh report is held against a committed
+// BENCH_load.json by the regression gate: >15% p99 growth (beyond a 2ms
+// noise floor) or a doubled error rate on any cell exits nonzero with a
+// per-SLO diff table — the CI tripwire for perf regressions.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mochy/client"
+	"mochy/internal/loadgen"
+	"mochy/internal/loadgen/gate"
+	"mochy/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, testably: parses flags, runs the bench, optionally gates.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mochybench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "base URL of a running mochyd; empty starts an embedded daemon on loopback")
+		scales    = fs.String("scales", "", `comma-separated scale points as name:nodes:edges (default "small:200:600,medium:1500:6000")`)
+		workloads = fs.String("workloads", "", "comma-separated workload names (default all: upload-heavy,mutation-heavy,read-heavy,pipeline)")
+		rate      = fs.Float64("rate", 200, "open-loop arrival rate, ops/sec")
+		warmup    = fs.Duration("warmup", 2*time.Second, "per-cell warmup before the measurement window")
+		measure   = fs.Duration("measure", 5*time.Second, "per-cell measurement window")
+		inflight  = fs.Int("inflight", 64, "max in-flight ops; arrivals beyond this are dropped and counted")
+		seed      = fs.Int64("seed", 1, "seed for graph generation and op selection")
+		slo       = fs.Duration("slo", 100*time.Millisecond, "latency budget; slower requests get flight-recorder span trees attached")
+		out       = fs.String("out", "", "write the machine-readable report (BENCH_load.json) here")
+		note      = fs.String("note", "", "free-form note recorded in the report")
+		baseline  = fs.String("baseline", "", "compare against this committed report; regressions exit nonzero")
+		p99Factor = fs.Float64("p99-factor", 1.15, "gate: max allowed current/baseline p99 ratio")
+		p99Floor  = fs.Float64("p99-floor", 2, "gate: absolute p99 growth (ms) absorbed as scheduling noise")
+		errFactor = fs.Float64("err-factor", 2, "gate: max allowed current/baseline error-rate ratio")
+		quick     = fs.Bool("quick", false, "CI preset: 600ms warmup, 2s measure, small scales")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := loadgen.Config{
+		Rate:        *rate,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		MaxInflight: *inflight,
+		Seed:        *seed,
+		SLO:         *slo,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	}
+	if *quick {
+		cfg.Warmup = 600 * time.Millisecond
+		cfg.Measure = 2 * time.Second
+		cfg.Scales = []loadgen.ScalePoint{
+			{Name: "small", Nodes: 120, Edges: 360},
+			{Name: "medium", Nodes: 400, Edges: 1400},
+		}
+	}
+	if *scales != "" {
+		pts, err := parseScales(*scales)
+		if err != nil {
+			fmt.Fprintln(stderr, "mochybench:", err)
+			return 2
+		}
+		cfg.Scales = pts
+	}
+	if *workloads != "" {
+		wls, err := loadgen.WorkloadsByName(strings.Split(*workloads, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, "mochybench:", err)
+			return 2
+		}
+		cfg.Workloads = wls
+	}
+
+	ctx := context.Background()
+	if *addr == "" {
+		// Embedded mode: a real daemon on a real loopback listener — the
+		// full HTTP stack is measured — but scraped in-process straight off
+		// its registry.
+		s := server.New(server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "mochybench:", err)
+			return 1
+		}
+		hs := &http.Server{Handler: s}
+		go hs.Serve(ln)
+		defer func() {
+			shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			hs.Shutdown(shctx)
+			s.Close()
+		}()
+		cfg.Client = client.New("http://" + ln.Addr().String())
+		cfg.Target = loadgen.RegistryTarget{R: s.Metrics()}
+		fmt.Fprintf(stderr, "mochybench: embedded mochyd on %s\n", ln.Addr())
+	} else {
+		c := client.New(strings.TrimRight(*addr, "/"))
+		cfg.Client = c
+		cfg.Target = loadgen.HTTPTarget{C: c}
+	}
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "mochybench:", err)
+		return 1
+	}
+	rep.Note = *note
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	rep.WriteTable(stdout)
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(stderr, "mochybench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "mochybench: report written to %s\n", *out)
+	}
+
+	if *baseline != "" {
+		base, err := loadgen.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "mochybench:", err)
+			return 1
+		}
+		rules := gate.Default()
+		rules.P99Factor = *p99Factor
+		rules.P99FloorMS = *p99Floor
+		rules.ErrFactor = *errFactor
+		verdict := gate.Compare(base, rep, rules)
+		fmt.Fprintf(stdout, "\ngate vs %s:\n", *baseline)
+		verdict.WriteTable(stdout)
+		if verdict.Failed() {
+			fmt.Fprintln(stderr, "mochybench: FAIL — SLO regression against baseline")
+			return 1
+		}
+		fmt.Fprintln(stdout, "gate: ok")
+	}
+	return 0
+}
+
+// parseScales parses "name:nodes:edges,name:nodes:edges".
+func parseScales(s string) ([]loadgen.ScalePoint, error) {
+	var out []loadgen.ScalePoint
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad scale %q, want name:nodes:edges", part)
+		}
+		nodes, err1 := strconv.Atoi(fields[1])
+		edges, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || nodes <= 0 || edges <= 0 {
+			return nil, fmt.Errorf("bad scale %q, want positive integer nodes and edges", part)
+		}
+		out = append(out, loadgen.ScalePoint{Name: fields[0], Nodes: nodes, Edges: edges})
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mochy/internal/loadgen"
+)
+
+// benchArgs is a fast embedded-mode configuration shared by the tests.
+func benchArgs(extra ...string) []string {
+	base := []string{
+		"-scales", "xs:40:100",
+		"-workloads", "read-heavy",
+		"-rate", "300",
+		"-warmup", "150ms",
+		"-measure", "400ms",
+		"-seed", "7",
+	}
+	return append(base, extra...)
+}
+
+// TestBenchAndSelfGate runs the full embedded flow — real daemon on
+// loopback, load, flight-recorder derivation, report — then feeds the
+// report back as its own baseline: a daemon compared against itself must
+// pass the gate.
+func TestBenchAndSelfGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-load run")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	if rc := run(benchArgs("-out", out), &stdout, &stderr); rc != 0 {
+		t.Fatalf("bench run exited %d:\n%s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "xs") || !strings.Contains(stdout.String(), "read-heavy") {
+		t.Fatalf("table missing the cell:\n%s", stdout.String())
+	}
+	rep, err := loadgen.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Overall.Requests == 0 {
+		t.Fatalf("report = %+v, want one populated cell", rep)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if rc := run(benchArgs("-baseline", out), &stdout, &stderr); rc != 0 {
+		t.Fatalf("self-gate exited %d:\n%s\n%s", rc, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gate: ok") {
+		t.Fatalf("self-gate did not report ok:\n%s", stdout.String())
+	}
+}
+
+// TestGateFailsOnInjectedRegression doctors a baseline 100x faster than
+// the daemon can possibly be, so the fresh run IS the regression: the CLI
+// must print a FAIL diff row and exit nonzero. The noise floor is lowered
+// to match the doctored magnitudes — this is exactly the knob an operator
+// would use to tighten the envelope.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-load run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	if rc := run(benchArgs("-out", out), &stdout, &stderr); rc != 0 {
+		t.Fatalf("bench run exited %d:\n%s", rc, stderr.String())
+	}
+	rep, err := loadgen.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Cells {
+		rep.Cells[i].Overall.P99MS /= 100
+		for j := range rep.Cells[i].Routes {
+			rep.Cells[i].Routes[j].P99MS /= 100
+		}
+	}
+	doctored := filepath.Join(dir, "doctored.json")
+	if err := rep.WriteFile(doctored); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	rc := run(benchArgs("-baseline", doctored, "-p99-floor", "0.001"), &stdout, &stderr)
+	if rc == 0 {
+		t.Fatalf("gate passed a 100x p99 regression:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL") {
+		t.Fatalf("diff table does not mark the regression:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "SLO regression") {
+		t.Fatalf("stderr missing the failure summary:\n%s", stderr.String())
+	}
+}
+
+// TestGateFailsOnMissingCell: a baseline cell the current run no longer
+// produces is a lost measurement and must fail.
+func TestGateFailsOnMissingCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-load run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	if rc := run(benchArgs("-out", out), &stdout, &stderr); rc != 0 {
+		t.Fatalf("bench run exited %d:\n%s", rc, stderr.String())
+	}
+	rep, err := loadgen.LoadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Cells[0].Workload = "mutation-heavy" // current run only does read-heavy
+	doctored := filepath.Join(dir, "doctored.json")
+	if err := rep.WriteFile(doctored); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if rc := run(benchArgs("-baseline", doctored), &stdout, &stderr); rc == 0 {
+		t.Fatalf("gate passed with a baseline cell missing from the run:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "missing") {
+		t.Fatalf("diff table does not explain the missing cell:\n%s", stdout.String())
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-scales", "bogus"}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("bad -scales exited %d, want 2", rc)
+	}
+	if rc := run([]string{"-workloads", "no-such-mix"}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("bad -workloads exited %d, want 2", rc)
+	}
+}

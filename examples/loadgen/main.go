@@ -1,0 +1,71 @@
+// Example: drive mochyd with mochybench's load engine and read the
+// results off the daemon's own flight recorder. The example starts an
+// in-process server, runs two workload mixes against one small scale
+// point, and prints the derived per-route latency/error table plus any
+// span-tree explanations for requests that blew the SLO — the exact
+// measurement path `mochybench` and the CI regression gate use.
+//
+// The part worth copying: the harness never times requests itself. It
+// scrapes mochyd_http_request_duration_seconds before and after the
+// window and subtracts — so the report and the operator's dashboard can
+// never disagree.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"mochy/client"
+	"mochy/internal/loadgen"
+	"mochy/internal/loadgen/gate"
+	"mochy/internal/server"
+)
+
+func main() {
+	// Stand up mochyd in-process. Against a real daemon this block is
+	// replaced by c := client.New("http://localhost:8080") and a
+	// loadgen.HTTPTarget{C: c} that scrapes GET /v1/metrics.
+	s := server.New(server.DefaultConfig())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	workloads, err := loadgen.WorkloadsByName([]string{"read-heavy", "mutation-heavy"})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Client:    c,
+		Target:    loadgen.RegistryTarget{R: s.Metrics()},
+		Scales:    []loadgen.ScalePoint{{Name: "demo", Nodes: 150, Edges: 450}},
+		Workloads: workloads,
+		Rate:      250, // open-loop arrivals/sec, dispatched whether or not the daemon keeps up
+		Warmup:    500 * time.Millisecond,
+		Measure:   2 * time.Second, // bounded by two flight-recorder scrapes
+		Seed:      21,
+		SLO:       5 * time.Millisecond, // slower requests get span trees attached
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println()
+	rep.WriteTable(os.Stdout)
+
+	// A report compared against itself passes the regression gate; in CI
+	// the baseline side is the committed BENCH_load.json instead.
+	verdict := gate.Compare(rep, rep, gate.Default())
+	fmt.Println("\ngate vs self:")
+	verdict.WriteTable(os.Stdout)
+	if verdict.Failed() {
+		fmt.Println("regression detected")
+	} else {
+		fmt.Println("gate: ok")
+	}
+}

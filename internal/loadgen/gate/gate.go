@@ -1,0 +1,184 @@
+// Package gate is mochybench's regression comparator: it holds a current
+// load report against a committed baseline and fails the run when a
+// latency or reliability SLO regressed beyond the allowed envelope. The
+// envelope is deliberately two-sided — a relative factor AND an absolute
+// floor — so that a 40% "regression" from 0.2ms to 0.28ms (pure
+// scheduling noise) passes, while a 16% slide on a 50ms p99 fails.
+package gate
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mochy/internal/loadgen"
+)
+
+// Rules is the regression envelope.
+type Rules struct {
+	// P99Factor is the maximum allowed current/baseline p99 ratio
+	// (default 1.15: >15% slower fails).
+	P99Factor float64
+	// P99FloorMS is the absolute slack: p99 growth smaller than this many
+	// milliseconds never fails, whatever the ratio (default 2ms).
+	P99FloorMS float64
+	// ErrFactor is the maximum allowed current/baseline error-rate ratio
+	// (default 2).
+	ErrFactor float64
+	// ErrFloor is the absolute error-rate slack: current rates at or under
+	// it never fail (default 0.005).
+	ErrFloor float64
+	// MinRequests skips route-level comparison for series with fewer
+	// windowed requests on either side — too little data for a stable p99
+	// (default 20). Cell-level (overall) series are always compared.
+	MinRequests uint64
+}
+
+// Default returns the standard envelope.
+func Default() Rules {
+	return Rules{P99Factor: 1.15, P99FloorMS: 2, ErrFactor: 2, ErrFloor: 0.005, MinRequests: 20}
+}
+
+func (r Rules) withDefaults() Rules {
+	d := Default()
+	if r.P99Factor <= 0 {
+		r.P99Factor = d.P99Factor
+	}
+	if r.P99FloorMS <= 0 {
+		r.P99FloorMS = d.P99FloorMS
+	}
+	if r.ErrFactor <= 0 {
+		r.ErrFactor = d.ErrFactor
+	}
+	if r.ErrFloor <= 0 {
+		r.ErrFloor = d.ErrFloor
+	}
+	if r.MinRequests == 0 {
+		r.MinRequests = d.MinRequests
+	}
+	return r
+}
+
+// Diff is one compared series.
+type Diff struct {
+	Cell      string  // "scale/workload"
+	Route     string  // "overall" or a route label
+	Metric    string  // "p99_ms" or "err_rate"
+	Base      float64 // baseline value
+	Current   float64 // current value
+	Limit     float64 // highest passing value under the rules
+	Regressed bool
+	// Note carries structural failures: missing cells, missing reports.
+	Note string
+}
+
+// Verdict is a full comparison result.
+type Verdict struct {
+	Diffs []Diff
+}
+
+// Failed reports whether any compared series regressed.
+func (v *Verdict) Failed() bool {
+	for _, d := range v.Diffs {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare holds current against base under the rules. Every overall
+// (per-cell) series produces a Diff, pass or fail, so the table always
+// shows what was checked; route-level series only surface when they
+// regress. A cell present in the baseline but absent from the current
+// report is a failure — losing a measurement is how regressions hide.
+func Compare(base, current *loadgen.Report, rules Rules) *Verdict {
+	rules = rules.withDefaults()
+	v := &Verdict{}
+	for i := range base.Cells {
+		bc := &base.Cells[i]
+		cc := current.Cell(bc.Key())
+		if cc == nil {
+			v.Diffs = append(v.Diffs, Diff{
+				Cell: bc.Key(), Route: "overall", Metric: "presence",
+				Regressed: true, Note: "cell missing from current report",
+			})
+			continue
+		}
+		v.compareStats(rules, bc.Key(), "overall", bc.Overall, cc.Overall, true)
+		for _, brs := range bc.Routes {
+			crs := findRoute(cc.Routes, brs.Route)
+			if crs == nil {
+				// A route that vanished is usually a workload-mix change,
+				// not a perf regression; skip rather than fail, the overall
+				// series still covers the cell.
+				continue
+			}
+			if brs.Requests < rules.MinRequests || crs.Requests < rules.MinRequests {
+				continue
+			}
+			v.compareStats(rules, bc.Key(), brs.Route, brs, *crs, false)
+		}
+	}
+	return v
+}
+
+// compareStats holds one series pair against the envelope. always forces
+// a Diff row even when passing (cell-level series); route-level rows only
+// appear on regression.
+func (v *Verdict) compareStats(rules Rules, cell, route string, base, cur loadgen.RouteStats, always bool) {
+	p99Limit := base.P99MS * rules.P99Factor
+	if floor := base.P99MS + rules.P99FloorMS; floor > p99Limit {
+		p99Limit = floor
+	}
+	p99 := Diff{
+		Cell: cell, Route: route, Metric: "p99_ms",
+		Base: base.P99MS, Current: cur.P99MS, Limit: p99Limit,
+		Regressed: cur.P99MS > p99Limit,
+	}
+
+	errLimit := base.ErrRate * rules.ErrFactor
+	if rules.ErrFloor > errLimit {
+		errLimit = rules.ErrFloor
+	}
+	errs := Diff{
+		Cell: cell, Route: route, Metric: "err_rate",
+		Base: base.ErrRate, Current: cur.ErrRate, Limit: errLimit,
+		Regressed: cur.ErrRate > errLimit,
+	}
+
+	for _, d := range []Diff{p99, errs} {
+		if always || d.Regressed {
+			v.Diffs = append(v.Diffs, d)
+		}
+	}
+}
+
+func findRoute(routes []loadgen.RouteStats, name string) *loadgen.RouteStats {
+	for i := range routes {
+		if routes[i].Route == name {
+			return &routes[i]
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the per-SLO diff table: one row per compared series,
+// regressions marked FAIL with the limit they broke.
+func (v *Verdict) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tSERIES\tMETRIC\tBASE\tCURRENT\tLIMIT\tVERDICT")
+	for _, d := range v.Diffs {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "FAIL"
+		}
+		if d.Note != "" {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t-\t-\t-\t%s (%s)\n", d.Cell, d.Route, d.Metric, verdict, d.Note)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.4g\t%.4g\t%.4g\t%s\n",
+			d.Cell, d.Route, d.Metric, d.Base, d.Current, d.Limit, verdict)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,174 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+
+	"mochy/internal/loadgen"
+)
+
+// golden builds the synthetic baseline report the comparison tests mutate.
+func golden() *loadgen.Report {
+	return &loadgen.Report{
+		Tool: "mochybench",
+		Cells: []loadgen.Cell{
+			{
+				Scale: "small", Workload: "read-heavy",
+				Overall: loadgen.RouteStats{Route: "overall", Requests: 1000, P99MS: 50, ErrRate: 0.01},
+				Routes: []loadgen.RouteStats{
+					{Route: "GET /v1/graphs/{name}/stats", Requests: 600, P99MS: 10, ErrRate: 0},
+					{Route: "POST /v1/graphs/{name}/count", Requests: 400, P99MS: 80, ErrRate: 0.02},
+				},
+			},
+			{
+				Scale: "small", Workload: "upload-heavy",
+				Overall: loadgen.RouteStats{Route: "overall", Requests: 800, P99MS: 0.2, ErrRate: 0},
+				Routes: []loadgen.RouteStats{
+					{Route: "PUT /v1/graphs/{name}", Requests: 790, P99MS: 0.25, ErrRate: 0},
+					{Route: "GET /v1/graphs", Requests: 10, P99MS: 0.1, ErrRate: 0},
+				},
+			},
+		},
+	}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	v := Compare(golden(), golden(), Rules{})
+	if v.Failed() {
+		var sb strings.Builder
+		v.WriteTable(&sb)
+		t.Fatalf("identical reports failed the gate:\n%s", sb.String())
+	}
+	// Both cells' overall p99 and err_rate rows must be present even when
+	// passing — the table shows what was checked.
+	if len(v.Diffs) != 4 {
+		t.Fatalf("diffs = %d, want 4 overall rows (2 cells x 2 metrics): %+v", len(v.Diffs), v.Diffs)
+	}
+}
+
+func TestP99RegressionFails(t *testing.T) {
+	cur := golden()
+	cur.Cells[0].Overall.P99MS = 60 // 50 -> 60: +20%, above the 15% factor and 2ms floor
+	v := Compare(golden(), cur, Rules{})
+	if !v.Failed() {
+		t.Fatal("20% p99 regression passed the gate")
+	}
+	d := findDiff(t, v, "small/read-heavy", "overall", "p99_ms")
+	if !d.Regressed || d.Limit < 57.49 || d.Limit > 57.51 {
+		t.Fatalf("diff = %+v, want regressed with limit ~57.5", d)
+	}
+	var sb strings.Builder
+	v.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("table does not mark the failure:\n%s", sb.String())
+	}
+}
+
+func TestRouteLevelRegressionFails(t *testing.T) {
+	cur := golden()
+	cur.Cells[0].Routes[1].P99MS = 120 // count route 80 -> 120, overall untouched
+	v := Compare(golden(), cur, Rules{})
+	if !v.Failed() {
+		t.Fatal("route-level p99 regression passed the gate")
+	}
+	d := findDiff(t, v, "small/read-heavy", "POST /v1/graphs/{name}/count", "p99_ms")
+	if !d.Regressed {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	cur := golden()
+	cur.Cells[0].Overall.P99MS = 20
+	cur.Cells[0].Overall.ErrRate = 0
+	if v := Compare(golden(), cur, Rules{}); v.Failed() {
+		t.Fatal("an improvement failed the gate")
+	}
+}
+
+// TestAbsoluteFloorAbsorbsNoise: +40% on a 0.2ms p99 is scheduling
+// jitter, not a regression — the 2ms absolute floor must absorb it.
+func TestAbsoluteFloorAbsorbsNoise(t *testing.T) {
+	cur := golden()
+	cur.Cells[1].Overall.P99MS = 0.28
+	cur.Cells[1].Routes[0].P99MS = 0.35
+	if v := Compare(golden(), cur, Rules{}); v.Failed() {
+		var sb strings.Builder
+		v.WriteTable(&sb)
+		t.Fatalf("sub-floor jitter failed the gate:\n%s", sb.String())
+	}
+}
+
+func TestErrRateRegressionFails(t *testing.T) {
+	cur := golden()
+	cur.Cells[0].Overall.ErrRate = 0.03 // 0.01 -> 0.03: 3x, above the 2x factor
+	v := Compare(golden(), cur, Rules{})
+	if !v.Failed() {
+		t.Fatal("3x error-rate regression passed the gate")
+	}
+	d := findDiff(t, v, "small/read-heavy", "overall", "err_rate")
+	if !d.Regressed || d.Limit != 0.02 {
+		t.Fatalf("diff = %+v, want regressed with limit 0.02", d)
+	}
+}
+
+// TestErrFloorAbsorbsFirstErrors: a zero-error baseline must not fail on
+// any nonzero rate — rates at or under the 0.5% floor pass.
+func TestErrFloorAbsorbsFirstErrors(t *testing.T) {
+	cur := golden()
+	cur.Cells[1].Overall.ErrRate = 0.004
+	if v := Compare(golden(), cur, Rules{}); v.Failed() {
+		t.Fatal("0.4% errors against a zero baseline failed the gate")
+	}
+	cur.Cells[1].Overall.ErrRate = 0.02
+	if v := Compare(golden(), cur, Rules{}); !v.Failed() {
+		t.Fatal("2% errors against a zero baseline passed the gate")
+	}
+}
+
+func TestMissingCellFails(t *testing.T) {
+	cur := golden()
+	cur.Cells = cur.Cells[:1]
+	v := Compare(golden(), cur, Rules{})
+	if !v.Failed() {
+		t.Fatal("a vanished cell passed the gate")
+	}
+	d := findDiff(t, v, "small/upload-heavy", "overall", "presence")
+	if !d.Regressed || d.Note == "" {
+		t.Fatalf("diff = %+v, want a noted presence failure", d)
+	}
+}
+
+// TestNewCellPasses: a cell only the current report has (new workload) is
+// not a regression.
+func TestNewCellPasses(t *testing.T) {
+	cur := golden()
+	cur.Cells = append(cur.Cells, loadgen.Cell{
+		Scale: "large", Workload: "read-heavy",
+		Overall: loadgen.RouteStats{Requests: 100, P99MS: 500, ErrRate: 0.2},
+	})
+	if v := Compare(golden(), cur, Rules{}); v.Failed() {
+		t.Fatal("a new cell failed the gate")
+	}
+}
+
+// TestThinRoutesSkipped: route series under MinRequests on either side
+// are too noisy to compare.
+func TestThinRoutesSkipped(t *testing.T) {
+	cur := golden()
+	cur.Cells[1].Routes[1].P99MS = 100 // "GET /v1/graphs" has only 10 requests
+	if v := Compare(golden(), cur, Rules{}); v.Failed() {
+		t.Fatal("a 10-request route series failed the gate")
+	}
+}
+
+func findDiff(t *testing.T, v *Verdict, cell, route, metric string) Diff {
+	t.Helper()
+	for _, d := range v.Diffs {
+		if d.Cell == cell && d.Route == route && d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no diff for %s %s %s in %+v", cell, route, metric, v.Diffs)
+	return Diff{}
+}

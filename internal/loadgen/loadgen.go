@@ -1,0 +1,334 @@
+// Package loadgen is mochybench's engine: it drives a real mochyd over the
+// public client SDK with mixed, weighted workloads at fixed graph-scale
+// points, paces arrivals open-loop (a saturated daemon gets drops counted
+// against it, not a politely backed-off load), and — deliberately — owns no
+// stopwatch of its own. Every latency, throughput and error figure in a
+// Report is derived from the daemon's flight recorder: two scrapes of the
+// mochyd_http_request_duration_seconds and mochyd_http_responses_total
+// families bound the measurement window, and tail samples blowing the SLO
+// are explained by pulling their span trees from GET /v1/admin/traces.
+// What the harness reports is therefore exactly what operators see on the
+// daemon's own /v1/metrics — there is no second measurement pipeline to
+// disagree with the first.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"mochy"
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/generator"
+)
+
+// ScalePoint fixes one graph-size operating point. Workloads run against
+// worlds generated at this size, so two reports at the same scale are
+// comparing like with like.
+type ScalePoint struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// DefaultScales are the two standard operating points: "small" is
+// interactive-scale, "medium" is where counting kernels start to dominate
+// handler time.
+var DefaultScales = []ScalePoint{
+	{Name: "small", Nodes: 200, Edges: 600},
+	{Name: "medium", Nodes: 1500, Edges: 6000},
+}
+
+// op is one weighted operation inside a workload mix.
+type op struct {
+	name   string
+	weight int
+	run    func(ctx context.Context, w *world, rng *rand.Rand) error
+}
+
+// Workload is a named, weighted operation mix.
+type Workload struct {
+	Name string
+	ops  []op
+	// total is the sum of op weights, cached for the picker.
+	total int
+}
+
+// pick selects an op by weight from rng.
+func (wl *Workload) pick(rng *rand.Rand) *op {
+	n := rng.Intn(wl.total)
+	for i := range wl.ops {
+		if n < wl.ops[i].weight {
+			return &wl.ops[i]
+		}
+		n -= wl.ops[i].weight
+	}
+	return &wl.ops[len(wl.ops)-1]
+}
+
+func newWorkload(name string, ops ...op) Workload {
+	wl := Workload{Name: name, ops: ops}
+	for _, o := range ops {
+		if o.weight <= 0 {
+			panic(fmt.Sprintf("loadgen: op %s.%s has weight %d", name, o.name, o.weight))
+		}
+		wl.total += o.weight
+	}
+	return wl
+}
+
+// AllWorkloads returns every built-in workload in canonical order.
+func AllWorkloads() []Workload {
+	return []Workload{uploadHeavy(), mutationHeavy(), readHeavy(), pipelineMix()}
+}
+
+// WorkloadsByName resolves names against the built-in workloads,
+// preserving the given order.
+func WorkloadsByName(names []string) ([]Workload, error) {
+	all := AllWorkloads()
+	out := make([]Workload, 0, len(names))
+	for _, name := range names {
+		found := false
+		for _, wl := range all {
+			if wl.Name == name {
+				out = append(out, wl)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, len(all))
+			for i, wl := range all {
+				known[i] = wl.Name
+			}
+			return nil, fmt.Errorf("loadgen: unknown workload %q (have %v)", name, known)
+		}
+	}
+	return out, nil
+}
+
+// world is the per-scale-point universe the ops act on: a handful of
+// pre-registered static graphs, one live graph, and pre-generated payloads
+// for the upload ops so generation cost never pollutes the arrival loop.
+// Ops run concurrently; mutable fields are atomics.
+type world struct {
+	c     *client.Client
+	scale ScalePoint
+
+	statics []string            // registered static graph names
+	payload []*mochy.Hypergraph // pre-generated upload bodies
+	live    string              // live graph name
+
+	uploadSeq atomic.Uint64 // rotates upload target names
+	liveSeq   atomic.Uint64 // feeds fresh edge ids into mutations
+
+	// liveIDs tracks a bounded sample of edge ids known to exist in the
+	// live graph, so delete ops hit real edges instead of 404-ing.
+	mu      sync.Mutex
+	liveIDs []int32
+}
+
+// uploadSlots bounds how many rotating upload names a world cycles
+// through, so upload-heavy runs do not grow the registry without bound.
+const uploadSlots = 4
+
+// setupWorld generates and registers the static graphs and seeds the live
+// graph for one scale point. Deterministic in seed.
+func setupWorld(ctx context.Context, c *client.Client, scale ScalePoint, seed int64) (*world, error) {
+	w := &world{c: c, scale: scale, live: fmt.Sprintf("lg-%s-live", scale.Name)}
+	domains := []generator.Domain{generator.Contact, generator.Coauthorship, generator.Email}
+	for i, dom := range domains {
+		g := generator.Generate(generator.Config{Domain: dom, Nodes: scale.Nodes, Edges: scale.Edges, Seed: seed + int64(i)})
+		name := fmt.Sprintf("lg-%s-%d", scale.Name, i)
+		if _, err := c.UploadGraph(ctx, name, g); err != nil {
+			return nil, fmt.Errorf("setup %s: upload %s: %w", scale.Name, name, err)
+		}
+		w.statics = append(w.statics, name)
+		w.payload = append(w.payload, g)
+	}
+	// Seed the live graph with a slice of the first static world so
+	// mutation workloads start from a populated graph.
+	seedEdges := randomEdges(rand.New(rand.NewSource(seed)), scale.Nodes, min(64, scale.Edges))
+	res, err := c.InsertEdges(ctx, w.live, seedEdges)
+	if err != nil {
+		return nil, fmt.Errorf("setup %s: seed live graph: %w", scale.Name, err)
+	}
+	w.rememberIDs(res.Results)
+	return w, nil
+}
+
+// teardown unregisters everything the world created.
+func (w *world) teardown(ctx context.Context) {
+	for _, name := range w.statics {
+		_, _ = w.c.DeleteGraph(ctx, name)
+	}
+	for i := 0; i < uploadSlots; i++ {
+		_, _ = w.c.DeleteGraph(ctx, fmt.Sprintf("lg-%s-up-%d", w.scale.Name, i))
+	}
+	_, _ = w.c.DeleteGraph(ctx, w.live)
+}
+
+// rememberIDs records freshly inserted edge ids, keeping the sample
+// bounded.
+func (w *world) rememberIDs(results []api.OpResult) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, opr := range results {
+		if opr.Op == "insert" && opr.Error == "" {
+			w.liveIDs = append(w.liveIDs, opr.ID)
+		}
+	}
+	if len(w.liveIDs) > 4096 {
+		w.liveIDs = w.liveIDs[len(w.liveIDs)-2048:]
+	}
+}
+
+// takeID pops a known-live edge id, or ok=false when none are tracked.
+func (w *world) takeID() (int32, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.liveIDs) == 0 {
+		return 0, false
+	}
+	id := w.liveIDs[len(w.liveIDs)-1]
+	w.liveIDs = w.liveIDs[:len(w.liveIDs)-1]
+	return id, true
+}
+
+// randomEdges synthesizes n hyperedges of size 2-5 over the node universe.
+func randomEdges(rng *rand.Rand, nodes, n int) [][]int32 {
+	edges := make([][]int32, n)
+	for i := range edges {
+		k := 2 + rng.Intn(4)
+		e := make([]int32, 0, k)
+		seen := make(map[int32]bool, k)
+		for len(e) < k {
+			v := int32(rng.Intn(nodes))
+			if !seen[v] {
+				seen[v] = true
+				e = append(e, v)
+			}
+		}
+		edges[i] = e
+	}
+	return edges
+}
+
+func (w *world) static(rng *rand.Rand) string {
+	return w.statics[rng.Intn(len(w.statics))]
+}
+
+// The operation library. Every op issues exactly one logical SDK call; the
+// server's per-route histograms do the timing.
+
+func opUpload(ctx context.Context, w *world, rng *rand.Rand) error {
+	slot := w.uploadSeq.Add(1) % uploadSlots
+	g := w.payload[rng.Intn(len(w.payload))]
+	_, err := w.c.UploadGraph(ctx, fmt.Sprintf("lg-%s-up-%d", w.scale.Name, slot), g)
+	return err
+}
+
+func opStats(ctx context.Context, w *world, rng *rand.Rand) error {
+	_, err := w.c.Stats(ctx, w.static(rng))
+	return err
+}
+
+func opList(ctx context.Context, w *world, _ *rand.Rand) error {
+	_, err := w.c.Graphs(ctx)
+	return err
+}
+
+func opDownload(ctx context.Context, w *world, rng *rand.Rand) error {
+	_, err := w.c.DownloadGraph(ctx, w.static(rng))
+	return err
+}
+
+// opCount runs a seeded sampling count: the first arrival computes, the
+// rest exercise the result cache — the shape of a dashboard hammering the
+// same query.
+func opCount(ctx context.Context, w *world, rng *rand.Rand) error {
+	_, err := w.c.Count(ctx, w.static(rng), api.CountRequest{
+		Algorithm: api.AlgoEdge,
+		Samples:   500,
+		Seed:      7,
+		Workers:   2,
+	})
+	return err
+}
+
+func opInsert(ctx context.Context, w *world, rng *rand.Rand) error {
+	res, err := w.c.InsertEdges(ctx, w.live, randomEdges(rng, w.scale.Nodes, 1+rng.Intn(4)))
+	if err == nil {
+		w.rememberIDs(res.Results)
+	}
+	return err
+}
+
+func opDelete(ctx context.Context, w *world, rng *rand.Rand) error {
+	id, ok := w.takeID()
+	if !ok {
+		// Nothing known to delete; insert instead so the mix keeps moving.
+		return opInsert(ctx, w, rng)
+	}
+	_, err := w.c.DeleteEdge(ctx, w.live, id)
+	return err
+}
+
+func opLiveCounts(ctx context.Context, w *world, _ *rand.Rand) error {
+	_, err := w.c.LiveCounts(ctx, w.live)
+	return err
+}
+
+// opPipeline runs a two-stage declarative plan: sampling count feeding a
+// motif-aware rank.
+func opPipeline(ctx context.Context, w *world, rng *rand.Rand) error {
+	plan := client.NewPlan().
+		Count("count", api.CountRequest{Algorithm: api.AlgoEdge, Samples: 500, Seed: 7, Workers: 2}).
+		Rank("rank", api.RankParams{TopK: 10}, "count")
+	_, err := w.c.RunPlan(ctx, w.static(rng), plan)
+	return err
+}
+
+// uploadHeavy models bulk (re)registration traffic: the write path of the
+// binary transport dominates, with light read checks interleaved.
+func uploadHeavy() Workload {
+	return newWorkload("upload-heavy",
+		op{name: "upload", weight: 6, run: opUpload},
+		op{name: "stats", weight: 2, run: opStats},
+		op{name: "list", weight: 2, run: opList},
+	)
+}
+
+// mutationHeavy models a live-graph firehose: inserts and deletes with
+// incremental count reads.
+func mutationHeavy() Workload {
+	return newWorkload("mutation-heavy",
+		op{name: "insert", weight: 5, run: opInsert},
+		op{name: "delete", weight: 2, run: opDelete},
+		op{name: "live-counts", weight: 2, run: opLiveCounts},
+		op{name: "stats", weight: 1, run: opStats},
+	)
+}
+
+// readHeavy models dashboard traffic: stats, downloads and cached counts.
+func readHeavy() Workload {
+	return newWorkload("read-heavy",
+		op{name: "stats", weight: 4, run: opStats},
+		op{name: "count", weight: 2, run: opCount},
+		op{name: "download", weight: 2, run: opDownload},
+		op{name: "list", weight: 2, run: opList},
+	)
+}
+
+// pipelineMix models analytical sessions: multi-stage plans with count and
+// stats reads around them.
+func pipelineMix() Workload {
+	return newWorkload("pipeline",
+		op{name: "pipeline", weight: 4, run: opPipeline},
+		op{name: "count", weight: 3, run: opCount},
+		op{name: "stats", weight: 3, run: opStats},
+	)
+}

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// Environment records where a report was produced — enough to judge
+// whether two reports are comparable at all.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// Cell is one (scale point, workload) measurement.
+type Cell struct {
+	Scale    string `json:"scale"`
+	Workload string `json:"workload"`
+
+	// Client-side arrival bookkeeping. Dropped arrivals mean the daemon
+	// could not absorb the configured rate with the configured in-flight
+	// bound — a saturation signal the server-side stats alone cannot show.
+	Sent    int64 `json:"sent"`
+	Failed  int64 `json:"failed"`
+	Dropped int64 `json:"dropped"`
+
+	// Overall and Routes are derived exclusively from the daemon's
+	// flight-recorder metrics over the measurement window.
+	Overall RouteStats   `json:"overall"`
+	Routes  []RouteStats `json:"routes"`
+
+	Runtime    RuntimeStats `json:"runtime"`
+	SlowTraces []SlowTrace  `json:"slow_traces,omitempty"`
+}
+
+// Key identifies a cell across reports for baseline comparison.
+func (c *Cell) Key() string { return c.Scale + "/" + c.Workload }
+
+// Report is mochybench's machine-readable output (BENCH_load.json).
+type Report struct {
+	Description string  `json:"description"`
+	Tool        string  `json:"tool"`
+	GeneratedAt string  `json:"generated_at,omitempty"`
+	Note        string  `json:"note,omitempty"`
+	Seed        int64   `json:"seed"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+	MeasureSec  float64 `json:"measure_sec"`
+	MaxInflight int     `json:"max_inflight"`
+	SLOMS       float64 `json:"slo_ms"`
+
+	Environment Environment `json:"environment"`
+	Cells       []Cell      `json:"cells"`
+}
+
+// Cell returns the cell with the given key, or nil.
+func (r *Report) Cell(key string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Key() == key {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads a report written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteTable renders the human view: one summary row per cell, then each
+// cell's per-route breakdown and any attached slow-trace explanations.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "mochybench: %.0f ops/s open-loop, %gs measure, seed %d, SLO %gms\n",
+		r.RatePerSec, r.MeasureSec, r.Seed, r.SLOMS)
+	fmt.Fprintf(w, "environment: %s %s/%s GOMAXPROCS=%d\n\n",
+		r.Environment.GoVersion, r.Environment.OS, r.Environment.Arch, r.Environment.GOMAXPROCS)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCALE\tWORKLOAD\tREQS\tOPS/S\tP50(ms)\tP99(ms)\tERR%\tDROPS\tGC-P99(ms)")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\t%.2f\t%.2f\t%d\t%.2f\n",
+			c.Scale, c.Workload, c.Overall.Requests, c.Overall.OpsPerSec,
+			c.Overall.P50MS, c.Overall.P99MS, c.Overall.ErrRate*100,
+			c.Dropped, c.Runtime.GCPauseP99MS)
+	}
+	tw.Flush()
+
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(w, "\n%s routes:\n", c.Key())
+		rt := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(rt, "  ROUTE\tREQS\tOPS/S\tP50(ms)\tP99(ms)\tERR%")
+		for _, rs := range c.Routes {
+			fmt.Fprintf(rt, "  %s\t%d\t%.0f\t%.2f\t%.2f\t%.2f\n",
+				rs.Route, rs.Requests, rs.OpsPerSec, rs.P50MS, rs.P99MS, rs.ErrRate*100)
+		}
+		rt.Flush()
+		for _, st := range c.SlowTraces {
+			fmt.Fprintf(w, "  slow trace %s (%s, %.1fms):\n", st.ID, st.Root, st.DurationMS)
+			for _, line := range st.Spans {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
+		}
+	}
+}

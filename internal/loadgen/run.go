@@ -1,0 +1,290 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mochy/client"
+)
+
+// Config parameterizes one mochybench run.
+type Config struct {
+	// Client drives the workload and pulls trace explanations. Required.
+	Client *client.Client
+	// Target is the metrics source. Required; HTTPTarget for an external
+	// daemon, RegistryTarget for an embedded one.
+	Target Target
+
+	Scales    []ScalePoint // default DefaultScales
+	Workloads []Workload   // default AllWorkloads()
+
+	// Rate is the open-loop arrival rate in ops/sec (default 200). The
+	// pacer dispatches at this rate regardless of completions; when
+	// MaxInflight ops are already outstanding the arrival is dropped and
+	// counted — saturation shows up as drops, not as a slower generator.
+	Rate        float64
+	MaxInflight int // default 64
+
+	Warmup  time.Duration // per cell, excluded from measurement (default 2s)
+	Measure time.Duration // per cell measurement window (default 5s)
+
+	// Seed makes graph generation, op selection and payloads reproducible.
+	Seed int64
+	// SLO is the latency budget: measured requests slower than this get
+	// their span trees pulled from the flight recorder and attached to the
+	// cell (default 100ms).
+	SLO time.Duration
+	// TraceLimit caps attached slow traces per cell (default 3).
+	TraceLimit int
+
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) withDefaults() Config {
+	out := *cfg
+	if len(out.Scales) == 0 {
+		out.Scales = DefaultScales
+	}
+	if len(out.Workloads) == 0 {
+		out.Workloads = AllWorkloads()
+	}
+	if out.Rate <= 0 {
+		out.Rate = 200
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 64
+	}
+	if out.Warmup <= 0 {
+		out.Warmup = 2 * time.Second
+	}
+	if out.Measure <= 0 {
+		out.Measure = 5 * time.Second
+	}
+	if out.SLO <= 0 {
+		out.SLO = 100 * time.Millisecond
+	}
+	if out.TraceLimit <= 0 {
+		out.TraceLimit = 3
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// phaseCounts is the client-side bookkeeping of one phase — sanity data
+// only; latency and error stats come from the daemon's metrics.
+type phaseCounts struct {
+	sent    atomic.Int64
+	failed  atomic.Int64
+	dropped atomic.Int64
+}
+
+// Run executes every (scale, workload) cell and returns the report. The
+// daemon must be reachable and ready; Run polls the readiness endpoint
+// before generating load.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Client == nil || cfg.Target == nil {
+		return nil, fmt.Errorf("loadgen: Config.Client and Config.Target are required")
+	}
+	if err := awaitReady(ctx, cfg.Client); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Description: "mochybench sustained-load report: per-route latency, error rate and throughput derived from the daemon's flight-recorder metrics over a fixed measurement window",
+		Tool:        "mochybench",
+		Seed:        cfg.Seed,
+		RatePerSec:  cfg.Rate,
+		WarmupSec:   cfg.Warmup.Seconds(),
+		MeasureSec:  cfg.Measure.Seconds(),
+		MaxInflight: cfg.MaxInflight,
+		SLOMS:       float64(cfg.SLO.Milliseconds()),
+		Environment: Environment{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+		},
+	}
+
+	for _, scale := range cfg.Scales {
+		w, err := setupWorld(ctx, cfg.Client, scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for wi := range cfg.Workloads {
+			wl := &cfg.Workloads[wi]
+			cell, err := runCell(ctx, cfg, w, wl)
+			if err != nil {
+				w.teardown(context.WithoutCancel(ctx))
+				return nil, fmt.Errorf("cell %s/%s: %w", scale.Name, wl.Name, err)
+			}
+			rep.Cells = append(rep.Cells, *cell)
+		}
+		w.teardown(context.WithoutCancel(ctx))
+	}
+	return rep, nil
+}
+
+// runCell runs warmup and measurement for one (scale, workload) cell and
+// derives its stats from the flight recorder.
+func runCell(ctx context.Context, cfg Config, w *world, wl *Workload) (*Cell, error) {
+	cfg.Logf("cell %s/%s: warming up %s at %.0f ops/s", w.scale.Name, wl.Name, cfg.Warmup, cfg.Rate)
+	if _, err := runPhase(ctx, cfg, w, wl, cfg.Warmup, cfg.Seed); err != nil {
+		return nil, err
+	}
+
+	before, err := cfg.Target.Scrape(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("opening scrape: %w", err)
+	}
+	measureStart := time.Now()
+	cfg.Logf("cell %s/%s: measuring %s", w.scale.Name, wl.Name, cfg.Measure)
+	counts, err := runPhase(ctx, cfg, w, wl, cfg.Measure, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	after, err := cfg.Target.Scrape(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("closing scrape: %w", err)
+	}
+
+	// The window is bounded by the scrapes, which also cover the in-flight
+	// drain after the last arrival — wall time between them is the honest
+	// throughput denominator. Latency quantiles need no clock at all.
+	elapsed := time.Since(measureStart).Seconds()
+	overall, routes, err := deriveWindow(before, after, elapsed)
+	if err != nil {
+		return nil, err
+	}
+
+	cell := &Cell{
+		Scale:      w.scale.Name,
+		Workload:   wl.Name,
+		Sent:       counts.sent.Load(),
+		Failed:     counts.failed.Load(),
+		Dropped:    counts.dropped.Load(),
+		Overall:    overall,
+		Routes:     routes,
+		Runtime:    deriveRuntime(before, after),
+		SlowTraces: nil,
+	}
+	cell.SlowTraces = slowTraces(ctx, cfg, measureStart)
+	cfg.Logf("cell %s/%s: %d reqs, p50 %.2fms, p99 %.2fms, err %.2f%%, %d dropped",
+		w.scale.Name, wl.Name, overall.Requests, overall.P50MS, overall.P99MS, overall.ErrRate*100, cell.Dropped)
+	return cell, nil
+}
+
+// runPhase paces arrivals open-loop for d: one dispatch per tick whether
+// or not earlier ops finished, a bounded in-flight pool, drops counted
+// when the pool is full. Returns after every dispatched op has drained.
+func runPhase(ctx context.Context, cfg Config, w *world, wl *Workload, d time.Duration, seed int64) (*phaseCounts, error) {
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticks := int(d / interval)
+	if ticks < 1 {
+		ticks = 1
+	}
+
+	counts := &phaseCounts{}
+	sem := make(chan struct{}, cfg.MaxInflight)
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	for tick := 0; tick < ticks; tick++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return counts, ctx.Err()
+		case <-ticker.C:
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop: the daemon could not absorb the arrival rate.
+			counts.dropped.Add(1)
+			continue
+		}
+		rng := rand.New(rand.NewSource(mixSeed(seed, int64(tick))))
+		o := wl.pick(rng)
+		counts.sent.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			opCtx := client.WithTrace(ctx, client.NewTraceID())
+			if err := o.run(opCtx, w, rng); err != nil && ctx.Err() == nil {
+				counts.failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return counts, nil
+}
+
+// mixSeed decorrelates per-tick rand streams: sequential seeds fed
+// straight to math/rand produce near-identical first draws, which made
+// "random" edges collide as duplicate inserts. SplitMix64 finalizer.
+func mixSeed(seed, tick int64) int64 {
+	z := uint64(seed) + uint64(tick)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// slowTraces pulls the flight recorder's explanation for requests that
+// blew the SLO during the measurement window: span trees, newest first,
+// harness self-traffic excluded.
+func slowTraces(ctx context.Context, cfg Config, since time.Time) []SlowTrace {
+	list, err := cfg.Client.Traces(ctx, cfg.SLO, 0)
+	if err != nil {
+		cfg.Logf("trace drill-down unavailable: %v", err)
+		return nil
+	}
+	var out []SlowTrace
+	for _, tr := range list.Traces {
+		if tr.Start.Before(since) || selfRoutes[tr.Root] {
+			continue
+		}
+		out = append(out, renderTrace(tr))
+		if len(out) >= cfg.TraceLimit {
+			break
+		}
+	}
+	return out
+}
+
+// awaitReady polls the readiness endpoint until the daemon reports ready,
+// with a bounded budget — generating load against a recovering or
+// saturated daemon would measure the wrong thing.
+func awaitReady(ctx context.Context, c *client.Client) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rd, err := c.Ready(ctx)
+		if err == nil && rd.Ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: daemon not ready: %w", err)
+			}
+			return fmt.Errorf("loadgen: daemon not ready: status %q", rd.Status)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/server"
+)
+
+// TestDeriveWindow feeds hand-built scrapes through the derivation: the
+// stats must come out of the histogram deltas, self-traffic must vanish,
+// and error rates must count only >= 400 codes.
+func TestDeriveWindow(t *testing.T) {
+	before := parseExposition(t, `
+# TYPE mochyd_http_request_duration_seconds histogram
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/graphs",le="0.001"} 10
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/graphs",le="0.1"} 10
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/graphs",le="+Inf"} 10
+mochyd_http_request_duration_seconds_sum{route="GET /v1/graphs"} 0.005
+mochyd_http_request_duration_seconds_count{route="GET /v1/graphs"} 10
+# TYPE mochyd_http_responses_total counter
+mochyd_http_responses_total{route="GET /v1/graphs",code="200"} 10
+`)
+	after := parseExposition(t, `
+# TYPE mochyd_http_request_duration_seconds histogram
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/graphs",le="0.001"} 60
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/graphs",le="0.1"} 110
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/graphs",le="+Inf"} 110
+mochyd_http_request_duration_seconds_sum{route="GET /v1/graphs"} 2.505
+mochyd_http_request_duration_seconds_count{route="GET /v1/graphs"} 110
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/metrics",le="0.001"} 7
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/metrics",le="0.1"} 7
+mochyd_http_request_duration_seconds_bucket{route="GET /v1/metrics",le="+Inf"} 7
+mochyd_http_request_duration_seconds_sum{route="GET /v1/metrics"} 0.001
+mochyd_http_request_duration_seconds_count{route="GET /v1/metrics"} 7
+# TYPE mochyd_http_responses_total counter
+mochyd_http_responses_total{route="GET /v1/graphs",code="200"} 85
+mochyd_http_responses_total{route="GET /v1/graphs",code="404"} 20
+mochyd_http_responses_total{route="GET /v1/graphs",code="503"} 5
+`)
+
+	overall, routes, err := deriveWindow(before, after, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 {
+		t.Fatalf("routes = %+v, want exactly the workload route (self-traffic excluded)", routes)
+	}
+	rs := routes[0]
+	if rs.Route != "GET /v1/graphs" || rs.Requests != 100 {
+		t.Fatalf("route stats = %+v, want 100 windowed requests", rs)
+	}
+	// Window: 50 in (0, 1ms], 50 in (1ms, 100ms] — p50 at the first
+	// bucket's edge, p99 interpolated inside the second.
+	if rs.P50MS < 0.5 || rs.P50MS > 1.01 {
+		t.Fatalf("p50 = %vms, want ~1ms", rs.P50MS)
+	}
+	if rs.P99MS < 90 || rs.P99MS > 100 {
+		t.Fatalf("p99 = %vms, want interpolated inside (1, 100]ms near 98ms", rs.P99MS)
+	}
+	// Errors: (20-0) 404s + (5-0) 503s out of 100 = 25%.
+	if rs.Errors != 25 || rs.ErrRate != 0.25 {
+		t.Fatalf("errors = %d rate %v, want 25 / 0.25", rs.Errors, rs.ErrRate)
+	}
+	if rs.OpsPerSec != 10 {
+		t.Fatalf("ops/s = %v, want 10", rs.OpsPerSec)
+	}
+	if overall.Requests != 100 || overall.Errors != 25 {
+		t.Fatalf("overall = %+v", overall)
+	}
+}
+
+func parseExposition(t *testing.T, text string) *api.MetricsSnapshot {
+	t.Helper()
+	snap, err := api.ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestRunEndToEnd drives every built-in workload at two scale points
+// against a real in-process mochyd, measuring through the registry target
+// — the embedded mode mochybench itself uses. The SLO is set to 1ns so
+// every measured request is "slow" and the flight-recorder drill-down path
+// must attach span trees.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-load run")
+	}
+	s := server.New(server.Config{CacheSize: 64, MaxConcurrent: 4, MaxWorkersPerJob: 4})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c := client.New(ts.URL)
+
+	scales := []ScalePoint{
+		{Name: "xs", Nodes: 30, Edges: 80},
+		{Name: "s", Nodes: 80, Edges: 220},
+	}
+	rep, err := Run(context.Background(), Config{
+		Client:      c,
+		Target:      RegistryTarget{R: s.Metrics()},
+		Scales:      scales,
+		Workloads:   AllWorkloads(),
+		Rate:        300,
+		MaxInflight: 32,
+		Warmup:      150 * time.Millisecond,
+		Measure:     500 * time.Millisecond,
+		Seed:        42,
+		SLO:         time.Nanosecond,
+		TraceLimit:  2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := len(scales) * len(AllWorkloads()); len(rep.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), want)
+	}
+	seen := map[string]bool{}
+	var traced bool
+	for i := range rep.Cells {
+		cell := &rep.Cells[i]
+		key := cell.Key()
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if cell.Sent == 0 {
+			t.Fatalf("cell %s dispatched nothing", key)
+		}
+		if cell.Overall.Requests == 0 {
+			t.Fatalf("cell %s: flight recorder saw no requests — measurement is not coming from the daemon", key)
+		}
+		if cell.Overall.P99MS <= 0 {
+			t.Fatalf("cell %s: p99 = %v, want > 0", key, cell.Overall.P99MS)
+		}
+		if len(cell.Routes) == 0 {
+			t.Fatalf("cell %s: no per-route stats", key)
+		}
+		for _, rs := range cell.Routes {
+			if selfRoutes[rs.Route] {
+				t.Fatalf("cell %s: harness self-traffic %q leaked into stats", key, rs.Route)
+			}
+		}
+		if len(cell.SlowTraces) > 0 {
+			traced = true
+			for _, st := range cell.SlowTraces {
+				if len(st.Spans) == 0 {
+					t.Fatalf("cell %s: slow trace %s has no spans", key, st.ID)
+				}
+			}
+		}
+	}
+	if !traced {
+		t.Fatal("no cell attached a slow trace despite a 1ns SLO")
+	}
+
+	// The table renderer must cover every cell.
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	for key := range seen {
+		if !strings.Contains(sb.String(), key) {
+			t.Fatalf("table output missing cell %s:\n%s", key, sb.String())
+		}
+	}
+
+	// Round-trip through the JSON form the gate consumes.
+	path := t.TempDir() + "/BENCH_load.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Cells) != len(rep.Cells) || loaded.Seed != rep.Seed {
+		t.Fatalf("report did not round-trip: %+v", loaded)
+	}
+}

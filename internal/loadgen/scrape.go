@@ -1,0 +1,244 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mochy/api"
+	"mochy/client"
+	"mochy/internal/obs"
+)
+
+// Target is where the harness reads the daemon's measurements from. Both
+// implementations yield the identical exposition the daemon serves on
+// /v1/metrics — the harness never measures through a different pipeline
+// than the one operators scrape.
+type Target interface {
+	Scrape(ctx context.Context) (*api.MetricsSnapshot, error)
+}
+
+// HTTPTarget scrapes GET /v1/metrics over the wire — the external-daemon
+// mode. The scrape itself lands in the daemon's request histograms under
+// "GET /v1/metrics", which the derivation excludes as harness self-traffic.
+type HTTPTarget struct {
+	C *client.Client
+}
+
+func (t HTTPTarget) Scrape(ctx context.Context) (*api.MetricsSnapshot, error) {
+	return t.C.MetricsSnapshot(ctx)
+}
+
+// RegistryTarget renders an in-process obs.Registry — the embedded mode,
+// where mochybench owns the server and reads its registry without spending
+// an HTTP request per scrape.
+type RegistryTarget struct {
+	R *obs.Registry
+}
+
+func (t RegistryTarget) Scrape(ctx context.Context) (*api.MetricsSnapshot, error) {
+	var buf bytes.Buffer
+	if err := t.R.WriteProm(&buf); err != nil {
+		return nil, err
+	}
+	return api.ParseMetrics(&buf)
+}
+
+// Metric families the derivation reads.
+const (
+	famDuration  = "mochyd_http_request_duration_seconds"
+	famResponses = "mochyd_http_responses_total"
+	famGCPause   = "mochyd_go_gc_pause_seconds"
+)
+
+// selfRoutes is harness observation traffic: scrapes, trace pulls and
+// readiness probes never count toward the workload's SLO.
+var selfRoutes = map[string]bool{
+	"GET /v1/metrics":       true,
+	"GET /v1/admin/traces":  true,
+	"GET /v1/admin/healthz": true,
+}
+
+// RouteStats is the derived per-route view of one measurement window.
+type RouteStats struct {
+	Route     string  `json:"route"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	ErrRate   float64 `json:"err_rate"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+}
+
+// deriveWindow turns two scrapes bounding a measurement window into
+// per-route and overall stats, entirely from the daemon's own histograms
+// and response counters. elapsed is the window length in seconds (for
+// throughput; latency needs no clock at all).
+func deriveWindow(before, after *api.MetricsSnapshot, elapsed float64) (overall RouteStats, routes []RouteStats, err error) {
+	prevHists := histsByRoute(before)
+	var windows []*api.HistogramSample
+	for route, cur := range histsByRoute(after) {
+		if selfRoutes[route] {
+			continue
+		}
+		win := cur
+		if prev, ok := prevHists[route]; ok {
+			win, err = cur.Sub(prev)
+			if err != nil {
+				return overall, nil, fmt.Errorf("route %s: %w", route, err)
+			}
+		}
+		if win.Count == 0 {
+			continue
+		}
+		errs := countErrors(before, after, route)
+		rs := RouteStats{
+			Route:    route,
+			Requests: win.Count,
+			Errors:   errs,
+			ErrRate:  float64(errs) / float64(win.Count),
+			P50MS:    win.Quantile(0.50) * 1000,
+			P99MS:    win.Quantile(0.99) * 1000,
+			MeanMS:   win.Sum / float64(win.Count) * 1000,
+		}
+		if elapsed > 0 {
+			rs.OpsPerSec = float64(win.Count) / elapsed
+		}
+		routes = append(routes, rs)
+		windows = append(windows, win)
+	}
+	sort.Slice(routes, func(a, b int) bool { return routes[a].Requests > routes[b].Requests })
+
+	merged, err := api.MergeHistograms(windows)
+	if err != nil {
+		return overall, nil, err
+	}
+	if merged != nil && merged.Count > 0 {
+		overall = RouteStats{
+			Route:    "overall",
+			Requests: merged.Count,
+			P50MS:    merged.Quantile(0.50) * 1000,
+			P99MS:    merged.Quantile(0.99) * 1000,
+			MeanMS:   merged.Sum / float64(merged.Count) * 1000,
+		}
+		for _, rs := range routes {
+			overall.Errors += rs.Errors
+		}
+		overall.ErrRate = float64(overall.Errors) / float64(overall.Requests)
+		if elapsed > 0 {
+			overall.OpsPerSec = float64(overall.Requests) / elapsed
+		}
+	}
+	return overall, routes, nil
+}
+
+// histsByRoute indexes the request-duration histograms by their route
+// label.
+func histsByRoute(snap *api.MetricsSnapshot) map[string]*api.HistogramSample {
+	out := make(map[string]*api.HistogramSample)
+	for _, h := range snap.Histograms(famDuration) {
+		if route, ok := h.Labels["route"]; ok {
+			out[route] = h
+		}
+	}
+	return out
+}
+
+// countErrors sums the window's >= 400 response deltas for one route.
+func countErrors(before, after *api.MetricsSnapshot, route string) uint64 {
+	var errs float64
+	for _, pt := range after.Points(famResponses) {
+		if pt.Labels["route"] != route || !isErrorCode(pt.Labels["code"]) {
+			continue
+		}
+		delta := pt.Value
+		if prev, ok := before.Value(famResponses, pt.Labels); ok {
+			delta -= prev
+		}
+		if delta > 0 {
+			errs += delta
+		}
+	}
+	return uint64(errs)
+}
+
+func isErrorCode(code string) bool {
+	n, err := strconv.Atoi(code)
+	return err == nil && n >= 400
+}
+
+// RuntimeStats is the Go-runtime view of one measurement window, read off
+// the same scrapes: it puts allocation pressure next to latency so a perf
+// regression's cause is in the same report as its symptom.
+type RuntimeStats struct {
+	GCPauses      uint64  `json:"gc_pauses"`
+	GCPauseP99MS  float64 `json:"gc_pause_p99_ms"`
+	HeapAllocMB   float64 `json:"heap_alloc_mb"`
+	Goroutines    float64 `json:"goroutines"`
+	SchedLatP99MS float64 `json:"sched_lat_p99_ms"`
+}
+
+// deriveRuntime reads the runtime families: pause distribution windowed
+// between the scrapes, gauges from the closing scrape.
+func deriveRuntime(before, after *api.MetricsSnapshot) RuntimeStats {
+	var rs RuntimeStats
+	if cur, ok := after.Histogram(famGCPause, nil); ok {
+		win := cur
+		if prev, ok := before.Histogram(famGCPause, nil); ok {
+			if d, err := cur.Sub(prev); err == nil {
+				win = d
+			}
+		}
+		rs.GCPauses = win.Count
+		if win.Count > 0 {
+			rs.GCPauseP99MS = win.Quantile(0.99) * 1000
+		}
+	}
+	if cur, ok := after.Histogram("mochyd_go_sched_latency_seconds", nil); ok {
+		win := cur
+		if prev, ok := before.Histogram("mochyd_go_sched_latency_seconds", nil); ok {
+			if d, err := cur.Sub(prev); err == nil {
+				win = d
+			}
+		}
+		if win.Count > 0 {
+			rs.SchedLatP99MS = win.Quantile(0.99) * 1000
+		}
+	}
+	if v, ok := after.Value("mochyd_mem_alloc_bytes", nil); ok {
+		rs.HeapAllocMB = v / (1 << 20)
+	}
+	if v, ok := after.Value("mochyd_goroutines", nil); ok {
+		rs.Goroutines = v
+	}
+	return rs
+}
+
+// SlowTrace is one flight-recorder explanation attached to a cell: a
+// request that exceeded the SLO, with its span tree flattened into
+// indented "name duration" lines.
+type SlowTrace struct {
+	ID         string   `json:"id"`
+	Root       string   `json:"root"`
+	DurationMS float64  `json:"duration_ms"`
+	Spans      []string `json:"spans"`
+}
+
+// renderTrace flattens an api.Trace into parent-indented span lines.
+func renderTrace(tr api.Trace) SlowTrace {
+	st := SlowTrace{ID: tr.ID, Root: tr.Root, DurationMS: tr.DurationMS}
+	depth := make(map[uint64]int, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		d := 0
+		if sp.Parent != 0 {
+			d = depth[sp.Parent] + 1
+		}
+		depth[sp.ID] = d
+		st.Spans = append(st.Spans, fmt.Sprintf("%s%s %.3fms", strings.Repeat("  ", d), sp.Name, sp.DurationMS))
+	}
+	return st
+}

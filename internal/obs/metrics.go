@@ -210,6 +210,27 @@ func (h *Histogram) Observe(v float64) {
 // ObserveSince records the seconds elapsed since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
 
+// SetSnapshot replaces the histogram's contents wholesale: perBucket is
+// one count per bound plus the +Inf overflow (len(bounds)+1), sum and n
+// the matching totals. It exists for histograms mirroring a cumulative
+// distribution owned elsewhere — runtime/metrics GC-pause and scheduler
+// histograms, refreshed from an OnScrape hook — where Observe would have
+// to replay deltas. Cells are stored individually, so a concurrent reader
+// may see a torn mix of old and new buckets; mirrored histograms are only
+// written from scrape hooks, which WriteProm runs to completion before
+// rendering. Panics on a length mismatch — a programmer error that would
+// silently misreport the distribution.
+func (h *Histogram) SetSnapshot(perBucket []uint64, sum float64, n uint64) {
+	if len(perBucket) != len(h.counts) {
+		panic(fmt.Sprintf("obs: SetSnapshot wants %d buckets, got %d", len(h.counts), len(perBucket)))
+	}
+	for i, v := range perBucket {
+		h.counts[i].Store(v)
+	}
+	h.sumBits.Store(math.Float64bits(sum))
+	h.n.Store(n)
+}
+
 // Count reads the number of observations.
 func (h *Histogram) Count() uint64 { return h.n.Load() }
 

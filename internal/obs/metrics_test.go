@@ -104,6 +104,34 @@ func TestHistogramBoundaryIsInclusive(t *testing.T) {
 	wantLine(t, out, `test_le_bucket{le="1"} 1`)
 }
 
+func TestHistogramSetSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_mirror_seconds", "", []float64{0.01, 0.1, 1})
+	h.Observe(0.5) // stale self-observation, replaced wholesale below
+
+	h.SetSnapshot([]uint64{3, 2, 1, 4}, 7.25, 10)
+	out := expositionOf(t, r)
+	wantLine(t, out, `test_mirror_seconds_bucket{le="0.01"} 3`)
+	wantLine(t, out, `test_mirror_seconds_bucket{le="0.1"} 5`)
+	wantLine(t, out, `test_mirror_seconds_bucket{le="1"} 6`)
+	wantLine(t, out, `test_mirror_seconds_bucket{le="+Inf"} 10`)
+	wantLine(t, out, `test_mirror_seconds_sum 7.25`)
+	wantLine(t, out, `test_mirror_seconds_count 10`)
+
+	// A second snapshot replaces the first — mirrored state, not deltas.
+	h.SetSnapshot([]uint64{0, 0, 0, 0}, 0, 0)
+	out = expositionOf(t, r)
+	wantLine(t, out, `test_mirror_seconds_bucket{le="+Inf"} 0`)
+	wantLine(t, out, `test_mirror_seconds_count 0`)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSnapshot with the wrong bucket count should panic")
+		}
+	}()
+	h.SetSnapshot([]uint64{1, 2}, 1, 3)
+}
+
 func TestOnScrapeRefreshesGauges(t *testing.T) {
 	r := NewRegistry()
 	g := r.NewGauge("test_mirror", "")

@@ -145,6 +145,46 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request, _ params) 
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleReadyz serves GET /v1/admin/healthz: readiness, as distinct from
+// the liveness of /v1/healthz. A live daemon may still be one that traffic
+// should avoid — its job queue saturated past the backpressure budget, or
+// its store not yet recovered — and this is the endpoint load balancers,
+// deployment gates and the mochybench harness key on: 200 when ready, 503
+// with the same body otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request, _ params) {
+	out := api.Readiness{
+		Status:       "ready",
+		Graphs:       s.registry.Len(),
+		LiveGraphs:   s.liveReg.Len(),
+		PoolActive:   s.pool.Active(),
+		PoolCapacity: s.pool.Capacity(),
+		QueueDepth:   s.pool.Waiting(),
+	}
+	ready := true
+	if s.store != nil {
+		pending, recovered := s.store.FlushState()
+		st := s.store.Status()
+		out.Store = &api.StoreReadiness{
+			Recovered:         recovered,
+			Flushed:           pending == 0,
+			PendingWALRecords: pending,
+			WALBytes:          st.WALBytes,
+		}
+		if !recovered {
+			ready, out.Status = false, "recovering"
+		}
+	}
+	if s.overBudget() {
+		ready, out.Status = false, "saturated"
+	}
+	out.Ready = ready
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
+}
+
 // handleStoreStatus serves GET /v1/admin/store: the persistence
 // subsystem's footprint and counters, or {"enabled": false} when mochyd
 // runs in-memory only.

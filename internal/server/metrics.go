@@ -40,6 +40,15 @@ type serverMetrics struct {
 	memSys     *obs.Gauge
 	gcCycles   *obs.Gauge
 
+	// Runtime-sourced families (see metrics_runtime.go): the two
+	// distributions MemStats never exposed, plus the sampler that also
+	// re-sources the legacy goroutine/heap gauges above from
+	// runtime/metrics, dropping the ReadMemStats stop-the-world.
+	gcPause      *obs.Histogram
+	schedLatency *obs.Histogram
+	heapFree     *obs.Gauge
+	rt           *runtimeSampler
+
 	graphs     *obs.Gauge
 	liveGraphs *obs.Gauge
 
@@ -107,6 +116,10 @@ func newServerMetrics(withStore bool) *serverMetrics {
 	m.memAlloc = r.NewGauge("mochyd_mem_alloc_bytes", "Heap bytes allocated and in use.")
 	m.memSys = r.NewGauge("mochyd_mem_sys_bytes", "Bytes obtained from the OS.")
 	m.gcCycles = r.NewGauge("mochyd_gc_cycles", "Completed GC cycles.")
+	m.gcPause = r.NewHistogram("mochyd_go_gc_pause_seconds", "Stop-the-world GC pause distribution (runtime/metrics /gc/pauses:seconds).", gcPauseBounds)
+	m.schedLatency = r.NewHistogram("mochyd_go_sched_latency_seconds", "Runnable-goroutine scheduling latency distribution (runtime/metrics /sched/latencies:seconds).", schedLatencyBounds)
+	m.heapFree = r.NewGauge("mochyd_go_heap_free_bytes", "Idle heap memory retained from the OS for future allocation.")
+	m.rt = newRuntimeSampler()
 
 	m.graphs = r.NewGauge("mochyd_graphs", "Registered immutable graphs.")
 	m.liveGraphs = r.NewGauge("mochyd_live_graphs", "Registered live graphs.")
@@ -196,12 +209,9 @@ func (s *Server) collectMetrics() {
 	m := s.mets
 	m.uptime.SetInt(int64(time.Since(s.start).Seconds()))
 	m.gomaxprocs.SetInt(int64(runtime.GOMAXPROCS(0)))
-	m.goroutines.SetInt(int64(runtime.NumGoroutine()))
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	m.memAlloc.SetInt(int64(ms.HeapAlloc))
-	m.memSys.SetInt(int64(ms.Sys))
-	m.gcCycles.SetInt(int64(ms.NumGC))
+	// Goroutine count, heap gauges, GC cycle count, and the pause and
+	// scheduler-latency histograms all come from one runtime/metrics read.
+	m.rt.collect(m)
 
 	m.graphs.SetInt(int64(s.registry.Len()))
 	m.liveGraphs.SetInt(int64(s.liveReg.Len()))

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"math"
+	"runtime/metrics"
+	"sort"
+
+	"mochy/internal/obs"
+)
+
+// Bounds for the histograms mirrored out of runtime/metrics, in seconds.
+// The runtime reports its own variable bucket edges that shift between Go
+// releases; folding them into a fixed ladder keeps the exposition stable.
+var (
+	// gcPauseBounds: stop-the-world pauses run tens of microseconds on a
+	// healthy heap; anything past 10ms is an allocation-pressure incident.
+	gcPauseBounds = []float64{0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1}
+	// schedLatencyBounds: how long runnable goroutines wait for a thread —
+	// the earliest signal that the load harness has saturated the daemon.
+	schedLatencyBounds = []float64{0.000001, 0.00001, 0.0001, 0.001, 0.01, 0.1, 1}
+)
+
+// Sampled runtime/metrics names; indices into runtimeSampler.samples.
+const (
+	rmGCPauses = iota
+	rmSchedLatencies
+	rmHeapObjects
+	rmHeapFree
+	rmTotalBytes
+	rmGCCycles
+	rmGoroutines
+	rmCount
+)
+
+var runtimeMetricNames = [rmCount]string{
+	rmGCPauses:       "/gc/pauses:seconds",
+	rmSchedLatencies: "/sched/latencies:seconds",
+	rmHeapObjects:    "/memory/classes/heap/objects:bytes",
+	rmHeapFree:       "/memory/classes/heap/free:bytes",
+	rmTotalBytes:     "/memory/classes/total:bytes",
+	rmGCCycles:       "/gc/cycles/total:gc-cycles",
+	rmGoroutines:     "/sched/goroutines:goroutines",
+}
+
+// runtimeSampler mirrors the Go runtime's own telemetry into the registry:
+// one metrics.Read per scrape replaces the old stop-the-world
+// runtime.ReadMemStats sweep and additionally surfaces the distributions
+// MemStats never had — GC pause and scheduler latency histograms. A name
+// the running toolchain does not recognize comes back KindBad and is
+// skipped, leaving that family at its previous value rather than zeroing
+// it.
+type runtimeSampler struct {
+	samples [rmCount]metrics.Sample
+
+	// Reused fold scratch, one slot per fixed bucket plus +Inf overflow.
+	gcBuf, schedBuf []uint64
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{
+		gcBuf:    make([]uint64, len(gcPauseBounds)+1),
+		schedBuf: make([]uint64, len(schedLatencyBounds)+1),
+	}
+	for i, name := range runtimeMetricNames {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// collect refreshes every runtime-sourced family from one metrics.Read.
+func (s *runtimeSampler) collect(m *serverMetrics) {
+	metrics.Read(s.samples[:])
+	if h := s.hist(rmGCPauses); h != nil {
+		foldFloat64Histogram(m.gcPause, gcPauseBounds, s.gcBuf, h)
+	}
+	if h := s.hist(rmSchedLatencies); h != nil {
+		foldFloat64Histogram(m.schedLatency, schedLatencyBounds, s.schedBuf, h)
+	}
+	if v, ok := s.uint64(rmHeapObjects); ok {
+		m.memAlloc.SetInt(int64(v))
+	}
+	if v, ok := s.uint64(rmHeapFree); ok {
+		m.heapFree.SetInt(int64(v))
+	}
+	if v, ok := s.uint64(rmTotalBytes); ok {
+		m.memSys.SetInt(int64(v))
+	}
+	if v, ok := s.uint64(rmGCCycles); ok {
+		m.gcCycles.SetInt(int64(v))
+	}
+	if v, ok := s.uint64(rmGoroutines); ok {
+		m.goroutines.SetInt(int64(v))
+	}
+}
+
+func (s *runtimeSampler) hist(i int) *metrics.Float64Histogram {
+	if s.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.samples[i].Value.Float64Histogram()
+}
+
+func (s *runtimeSampler) uint64(i int) (uint64, bool) {
+	if s.samples[i].Value.Kind() != metrics.KindUint64 {
+		return 0, false
+	}
+	return s.samples[i].Value.Uint64(), true
+}
+
+// foldFloat64Histogram folds the runtime's variable-edge histogram
+// (Counts[i] observations in (Buckets[i], Buckets[i+1]]) into dst's fixed
+// bounds. Each runtime bucket lands in the first fixed bucket whose bound
+// covers its upper edge, so the fold is conservative: a quantile read off
+// the fixed buckets never under-reports the runtime's own. The sum is
+// approximated from bucket midpoints — the runtime does not report one.
+func foldFloat64Histogram(dst *obs.Histogram, bounds []float64, buf []uint64, h *metrics.Float64Histogram) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	var sum float64
+	var n uint64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var rep float64
+		switch {
+		case math.IsInf(hi, 1) && math.IsInf(lo, -1):
+			// Degenerate single-bucket histogram; no representative value.
+		case math.IsInf(hi, 1):
+			rep = lo
+		case math.IsInf(lo, -1):
+			rep = hi
+		default:
+			rep = (lo + hi) / 2
+		}
+		idx := len(bounds)
+		if !math.IsInf(hi, 1) {
+			idx = sort.SearchFloat64s(bounds, hi)
+		}
+		buf[idx] += count
+		sum += rep * float64(count)
+		n += count
+	}
+	dst.SetSnapshot(buf, sum, n)
+}

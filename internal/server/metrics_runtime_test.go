@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+
+	"mochy/api"
+	"mochy/internal/obs"
+)
+
+func TestFoldFloat64Histogram(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	dst := newTestRegistryHistogram(t, bounds)
+	buf := make([]uint64, len(bounds)+1)
+
+	// Runtime-style edges: open lower end, finite middles, open upper end.
+	src := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 5, 3, 1},
+		Buckets: []float64{math.Inf(-1), 0.0005, 0.05, 0.1, math.Inf(1)},
+	}
+	foldFloat64Histogram(dst, bounds, buf, src)
+
+	if got := dst.Count(); got != 11 {
+		t.Fatalf("count = %d, want 11", got)
+	}
+	// (−Inf, 0.0005] folds under bound 0.001; (0.0005, 0.05] under 0.1
+	// (conservative: first bound covering the upper edge); (0.05, 0.1]
+	// under 0.1; (0.1, +Inf) overflows.
+	want := []uint64{2, 0, 8, 1}
+	for i, w := range want {
+		if buf[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, buf[i], w, buf)
+		}
+	}
+
+	// Refolding a shrunken source replaces, never accumulates.
+	src.Counts = []uint64{0, 0, 1, 0}
+	foldFloat64Histogram(dst, bounds, buf, src)
+	if got := dst.Count(); got != 1 {
+		t.Fatalf("count after refold = %d, want 1", got)
+	}
+}
+
+// newTestRegistryHistogram registers a throwaway histogram to fold into.
+func newTestRegistryHistogram(t *testing.T, bounds []float64) *obs.Histogram {
+	t.Helper()
+	return obs.NewRegistry().NewHistogram("test_fold_seconds", "", bounds)
+}
+
+// TestRuntimeMetricsExposed scrapes a live server and checks that the
+// runtime/metrics-sourced families carry real values: a forced GC must
+// show up in the pause histogram, and the heap and goroutine gauges must
+// be plausible for a running process.
+func TestRuntimeMetricsExposed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	runtime.GC() // guarantee at least one pause before the scrape
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := api.ParseMetrics(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pause, ok := snap.Histogram("mochyd_go_gc_pause_seconds", nil)
+	if !ok {
+		t.Fatal("exposition missing mochyd_go_gc_pause_seconds")
+	}
+	if pause.Count == 0 {
+		t.Fatal("GC pause histogram empty after runtime.GC()")
+	}
+	if q := pause.Quantile(0.99); math.IsNaN(q) || q <= 0 || q > 10 {
+		t.Fatalf("implausible GC pause p99: %v", q)
+	}
+	if _, ok := snap.Histogram("mochyd_go_sched_latency_seconds", nil); !ok {
+		t.Fatal("exposition missing mochyd_go_sched_latency_seconds")
+	}
+	if v, ok := snap.Value("mochyd_go_heap_free_bytes", nil); !ok || v < 0 {
+		t.Fatalf("heap free bytes = %v (present=%v)", v, ok)
+	}
+	if v, ok := snap.Value("mochyd_goroutines", nil); !ok || v < 1 {
+		t.Fatalf("goroutines = %v (present=%v), want >= 1", v, ok)
+	}
+	if v, ok := snap.Value("mochyd_mem_alloc_bytes", nil); !ok || v <= 0 {
+		t.Fatalf("mem alloc bytes = %v (present=%v), want > 0", v, ok)
+	}
+}

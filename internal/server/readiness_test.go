@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mochy/api"
+	"mochy/internal/store"
+)
+
+func getReadiness(t *testing.T, base string) (*http.Response, api.Readiness) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/admin/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out api.Readiness
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode readiness: %v", err)
+	}
+	return resp, out
+}
+
+func TestReadinessInMemory(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, out := getReadiness(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if !out.Ready || out.Status != "ready" {
+		t.Fatalf("readiness = %+v, want ready", out)
+	}
+	if out.Store != nil {
+		t.Fatalf("in-memory server must not report a store section: %+v", out.Store)
+	}
+	if out.PoolCapacity <= 0 {
+		t.Fatalf("pool capacity = %d, want > 0", out.PoolCapacity)
+	}
+}
+
+func TestReadinessGatesOnRecovery(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{CacheSize: 16, Store: st})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	// Before Recover: the daemon must refuse readiness — serving now would
+	// answer reads from an empty world.
+	resp, out := getReadiness(t, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-recovery status = %d, want 503", resp.StatusCode)
+	}
+	if out.Ready || out.Status != "recovering" {
+		t.Fatalf("pre-recovery readiness = %+v, want recovering", out)
+	}
+	if out.Store == nil || out.Store.Recovered {
+		t.Fatalf("pre-recovery store section = %+v, want recovered=false", out.Store)
+	}
+
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp, out = getReadiness(t, ts.URL)
+	if resp.StatusCode != http.StatusOK || !out.Ready {
+		t.Fatalf("post-recovery = %d %+v, want 200 ready", resp.StatusCode, out)
+	}
+	if out.Store == nil || !out.Store.Recovered || !out.Store.Flushed {
+		t.Fatalf("post-recovery store section = %+v, want recovered+flushed", out.Store)
+	}
+	if out.Store.PendingWALRecords != 0 {
+		t.Fatalf("pending WAL records = %d, want 0 between requests", out.Store.PendingWALRecords)
+	}
+}

@@ -348,6 +348,7 @@ func (s *Server) buildRouter() *router {
 	rt.handle(s.mets, http.MethodGet, "/v1/jobs/{id}/events", s.handleJobEvents)
 
 	// v1: persistence administration and the trace flight recorder.
+	rt.handle(s.mets, http.MethodGet, "/v1/admin/healthz", s.handleReadyz)
 	rt.handle(s.mets, http.MethodPost, "/v1/admin/checkpoint", s.handleCheckpoint)
 	rt.handle(s.mets, http.MethodGet, "/v1/admin/store", s.handleStoreStatus)
 	rt.handle(s.mets, http.MethodGet, "/v1/admin/traces", s.handleTraces)

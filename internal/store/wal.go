@@ -226,6 +226,23 @@ func (h *walHandle) Append(recs []live.Rec) (uint64, error) {
 	return h.seq, nil
 }
 
+// pending reports how many appended records are not yet known durable. The
+// two counters live under different locks, so the answer can transiently
+// overshoot mid-commit; it is advisory (readiness reporting), never a
+// durability decision.
+func (h *walHandle) pending() uint64 {
+	h.syncMu.Lock()
+	synced := h.synced
+	h.syncMu.Unlock()
+	h.mu.Lock()
+	seq := h.seq
+	h.mu.Unlock()
+	if seq > synced {
+		return seq - synced
+	}
+	return 0
+}
+
 // Commit implements live.Journal: it returns once every record up to seq is
 // durable. The syncMu serializes leaders; a committer that waited behind a
 // leader whose fsync already covered its records returns without another

@@ -90,7 +90,8 @@ type NullModelParams struct {
 	// SwapsPerIncidence scales the edge-swap chain length (default 10);
 	// rejected for chung-lu.
 	SwapsPerIncidence int `json:"swaps_per_incidence,omitempty"`
-	// Workers is the per-count parallelism; 0 means the server maximum.
+	// Workers is the per-count parallelism; 0 means
+	// min(GOMAXPROCS, the server's max-workers-per-job cap).
 	Workers int `json:"workers,omitempty"`
 }
 
@@ -153,8 +154,8 @@ type AnomalyParams struct {
 	// TopK is how many top-deviation hyperedges to return (default 10,
 	// max 1024).
 	TopK int `json:"top_k,omitempty"`
-	// Workers is the per-edge counting parallelism; 0 means the server
-	// maximum.
+	// Workers is the per-edge counting parallelism; 0 means
+	// min(GOMAXPROCS, the server's max-workers-per-job cap).
 	Workers int `json:"workers,omitempty"`
 }
 

@@ -149,7 +149,10 @@ type CountRequest struct {
 	Samples int `json:"samples,omitempty"`
 	// Seed makes sampling estimates reproducible.
 	Seed int64 `json:"seed,omitempty"`
-	// Workers is the per-job parallelism; 0 means the server maximum.
+	// Workers is the per-job parallelism. 0 means min(GOMAXPROCS, the
+	// server's max-workers-per-job cap): more workers than scheduler
+	// threads add overhead, not speed, so an unset value never overshoots
+	// the machine. Values above the cap clamp to it.
 	Workers int `json:"workers,omitempty"`
 }
 
@@ -171,7 +174,8 @@ type ProfileRequest struct {
 	Randomizations int `json:"randomizations,omitempty"`
 	// Seed drives the null-model generation.
 	Seed int64 `json:"seed,omitempty"`
-	// Workers is the per-count parallelism; 0 means the server maximum.
+	// Workers is the per-count parallelism; 0 means
+	// min(GOMAXPROCS, the server's max-workers-per-job cap).
 	Workers int `json:"workers,omitempty"`
 }
 

@@ -1,36 +1,57 @@
 package mochy
 
 import (
+	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"mochy/internal/hypergraph"
 	"mochy/internal/motif"
 	"mochy/internal/projection"
 )
 
+// sampleBlock is the unit of work the sampling estimators schedule: workers
+// grab blocks of this many samples from an atomic cursor. Each block owns an
+// RNG stream derived from (seed, block index), so the sample set — and with
+// it the estimate — depends only on the seed, not on the worker count or on
+// which worker drains which block. 64 samples amortize the cursor add and the
+// RNG construction while keeping redistribution fine-grained: a worker stuck
+// on samples that hit hub hyperedges gives up the rest of the sample budget.
+const sampleBlock = 64
+
 // CountEdgeSamples runs MoCHy-A (Algorithm 4): it samples s hyperedges
 // uniformly at random with replacement, counts every h-motif instance
 // containing each sample, and rescales by |E|/(3s), which makes every
-// per-motif estimate unbiased (Theorem 2). Sampling is split across workers
-// goroutines with independent RNG streams derived from seed; results are
-// deterministic for a fixed (seed, workers) pair.
+// per-motif estimate unbiased (Theorem 2). Sampling is distributed over
+// workers goroutines; results are deterministic for a fixed seed at every
+// worker count.
 func CountEdgeSamples(g *hypergraph.Hypergraph, p projection.Projector, s int, seed int64, workers int) Counts {
+	c, _ := CountEdgeSamplesCtx(context.Background(), g, p, s, seed, workers)
+	return c
+}
+
+// CountEdgeSamplesCtx is CountEdgeSamples with cancellation: if ctx is
+// cancelled the run stops at the next sample block on every worker and
+// returns the cancellation cause.
+func CountEdgeSamplesCtx(ctx context.Context, g *hypergraph.Hypergraph, p projection.Projector, s int, seed int64, workers int) (Counts, error) {
 	if s <= 0 || g.NumEdges() == 0 {
-		return Counts{}
+		return Counts{}, nil
 	}
-	total := parallelSamples(workers, s, seed, func(rng *rand.Rand, quota int, out *Counts) {
-		var buf nbrBuffers
+	total, err := parallelSamples(ctx, workers, s, seed, func(rng *rand.Rand, quota int, out *Counts, buf *nbrBuffers) {
 		for n := 0; n < quota; n++ {
 			i := int32(rng.Intn(g.NumEdges()))
-			countContaining(g, p, i, out, &buf)
+			countContaining(g, p, i, out, buf)
 		}
 	})
+	if err != nil {
+		return Counts{}, err
+	}
 	scale := float64(g.NumEdges()) / (3 * float64(s))
 	for t := range total {
 		total[t] *= scale
 	}
-	return total
+	return total, nil
 }
 
 // nbrBuffers holds per-worker neighborhood copies, reused across samples so
@@ -76,19 +97,30 @@ func countContaining(g *hypergraph.Hypergraph, p projection.Projector, i int32, 
 // uniformly at random with replacement via sampler, counts every h-motif
 // instance containing each sampled wedge, and rescales open-motif estimates
 // by |∧|/(2r) and closed-motif estimates by |∧|/(3r), which makes every
-// estimate unbiased (Theorem 4).
+// estimate unbiased (Theorem 4). Results are deterministic for a fixed seed
+// at every worker count.
 func CountWedgeSamples(g *hypergraph.Hypergraph, p projection.Projector, sampler projection.WedgeSampler, r int, seed int64, workers int) Counts {
+	c, _ := CountWedgeSamplesCtx(context.Background(), g, p, sampler, r, seed, workers)
+	return c
+}
+
+// CountWedgeSamplesCtx is CountWedgeSamples with cancellation: if ctx is
+// cancelled the run stops at the next sample block on every worker and
+// returns the cancellation cause.
+func CountWedgeSamplesCtx(ctx context.Context, g *hypergraph.Hypergraph, p projection.Projector, sampler projection.WedgeSampler, r int, seed int64, workers int) (Counts, error) {
 	numWedges := p.NumWedges()
 	if r <= 0 || numWedges == 0 {
-		return Counts{}
+		return Counts{}, nil
 	}
-	total := parallelSamples(workers, r, seed, func(rng *rand.Rand, quota int, out *Counts) {
-		var buf nbrBuffers
+	total, err := parallelSamples(ctx, workers, r, seed, func(rng *rand.Rand, quota int, out *Counts, buf *nbrBuffers) {
 		for n := 0; n < quota; n++ {
 			i, j := sampler.SampleWedge(rng)
-			countContainingWedge(g, p, i, j, out, &buf)
+			countContainingWedge(g, p, i, j, out, buf)
 		}
 	})
+	if err != nil {
+		return Counts{}, err
+	}
 	for id := 1; id <= motif.Count; id++ {
 		if motif.IsOpen(id) {
 			total[id-1] *= float64(numWedges) / (2 * float64(r))
@@ -96,7 +128,7 @@ func CountWedgeSamples(g *hypergraph.Hypergraph, p projection.Projector, sampler
 			total[id-1] *= float64(numWedges) / (3 * float64(r))
 		}
 	}
-	return total
+	return total, nil
 }
 
 // countContainingWedge accumulates one raw count for every h-motif instance
@@ -132,35 +164,63 @@ func countContainingWedge(g *hypergraph.Hypergraph, p projection.Projector, i, j
 	}
 }
 
-// parallelSamples distributes n samples over workers goroutines, giving each
-// an independent deterministic RNG stream, and merges the per-worker counts.
-func parallelSamples(workers, n int, seed int64, run func(rng *rand.Rand, quota int, out *Counts)) Counts {
+// parallelSamples distributes n samples over workers goroutines in blocks of
+// sampleBlock, each block with an RNG stream derived from (seed, block
+// index). Workers grab blocks from an atomic cursor, so a worker whose
+// samples land on expensive hyperedges does not strand the rest of the
+// budget; because streams attach to blocks rather than workers, and raw
+// per-motif counts are integer increments (merge order cannot perturb them),
+// the result is identical for every worker count.
+func parallelSamples(ctx context.Context, workers, n int, seed int64, run func(rng *rand.Rand, quota int, out *Counts, buf *nbrBuffers)) (Counts, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > n {
-		workers = n
+	blocks := (n + sampleBlock - 1) / sampleBlock
+	if workers > blocks {
+		workers = blocks
 	}
+	var doneCh <-chan struct{}
+	if ctx != nil {
+		doneCh = ctx.Done()
+	}
+	var cursor atomic.Int64
 	results := make([]Counts, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		quota := n / workers
-		if w < n%workers {
-			quota++
-		}
 		wg.Add(1)
-		go func(w, quota int) {
+		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*0x9e3779b9))
-			run(rng, quota, &results[w])
-		}(w, quota)
+			var buf nbrBuffers
+			for {
+				if doneCh != nil {
+					select {
+					case <-doneCh:
+						return
+					default:
+					}
+				}
+				b := int(cursor.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				quota := sampleBlock
+				if rem := n - b*sampleBlock; rem < quota {
+					quota = rem
+				}
+				rng := rand.New(rand.NewSource(seed + int64(b)*0x9e3779b9))
+				run(rng, quota, &results[w], &buf)
+			}
+		}(w)
 	}
 	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return Counts{}, context.Cause(ctx)
+	}
 	var total Counts
 	for w := range results {
 		total.add(&results[w])
 	}
-	return total
+	return total, nil
 }
 
 // containsEdge binary-searches a sorted neighborhood for edge k.

@@ -1,8 +1,10 @@
 package mochy
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mochy/internal/hypergraph"
 	"mochy/internal/projection"
@@ -15,64 +17,215 @@ type Instance struct {
 	Motif   int   // 1..26
 }
 
-// CountExact runs MoCHy-E (Algorithm 2): for every hyperedge e_i and every
-// unordered pair {e_j, e_k} of its projected-graph neighbors, the instance
-// {e_i, e_j, e_k} is counted once — immediately if e_j and e_k are disjoint
-// (open motifs, counted at their center), and only from the smallest-ID
-// member if they overlap (closed motifs). workers ≥ 1 selects the number of
-// goroutines; hyperedges are distributed across workers and per-worker count
-// vectors are merged once (Section 3.4).
-func CountExact(g *hypergraph.Hypergraph, p projection.Projector, workers int) Counts {
-	if workers < 1 {
-		workers = 1
-	}
-	n := g.NumEdges()
-	results := make([]Counts, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := &results[w]
-			var ns []projection.Neighbor
-			for i := w; i < n; i += workers {
-				ns = countAnchored(g, p, int32(i), local, ns)
-			}
-		}(w)
-	}
-	wg.Wait()
-	var total Counts
-	for w := range results {
-		total.add(&results[w])
-	}
-	return total
+// Options configures a counting kernel run.
+type Options struct {
+	// Workers is the number of goroutines; values < 1 mean 1.
+	Workers int
+	// Progress, when non-nil, is invoked with (done, total) anchor hyperedges
+	// as the run advances. It may be called concurrently from multiple
+	// workers and must be goroutine-safe; it is always invoked once with
+	// done == total before a successful return.
+	Progress func(done, total int)
 }
 
-// countAnchored accumulates the instances anchored at hyperedge i per the
-// Algorithm 2 dedup rule. The neighborhood is copied into buf (returned for
-// reuse) because projectors only guarantee the slice until the next call.
-func countAnchored(g *hypergraph.Hypergraph, p projection.Projector, i int32, out *Counts, buf []projection.Neighbor) []projection.Neighbor {
-	ns := append(buf[:0], p.Neighbors(i)...)
-	for a := 0; a < len(ns); a++ {
+// mergeFactor gates the merge-style intersection in the pair loop: when the
+// shared neighbor e_j has degree below mergeFactor × the remaining anchor
+// neighborhood, one merge walk over N(e_j) (cost deg(j) + rest) beats a
+// binary search per pair (cost rest × log deg(j)).
+const mergeFactor = 8
+
+// kern bundles a counting run's inputs with the optional projector
+// capabilities the kernel exploits when present: cheapest-side overlap
+// probing and O(1) degrees (which also make Neighbors slices stable, the
+// precondition for holding N(e_j) across a merge walk).
+type kern struct {
+	g   *hypergraph.Hypergraph
+	p   projection.Projector
+	ori orientedProjector // nil when p has no oriented overlap
+	deg degreeProjector   // nil when p has no O(1) degree
+}
+
+func newKern(g *hypergraph.Hypergraph, p projection.Projector) kern {
+	k := kern{g: g, p: p}
+	if o, ok := p.(orientedProjector); ok {
+		k.ori = o
+	}
+	if d, ok := p.(degreeProjector); ok {
+		k.deg = d
+	}
+	return k
+}
+
+// overlap returns ω(∧jk), probing the cheaper neighborhood when the
+// projector supports orientation.
+func (k *kern) overlap(j, kk int32) int32 {
+	if k.ori != nil {
+		return k.ori.OverlapOriented(j, kk)
+	}
+	return k.p.Overlap(j, kk)
+}
+
+// anchorPairs enumerates the instances anchored at hyperedge i per the
+// Algorithm 2 dedup rule (closed triples counted only from their smallest
+// member) and invokes visit for each classified instance. The anchor
+// neighborhood is copied into buf (returned for reuse) because projectors
+// only guarantee the slice until the next Neighbors call.
+//
+// For each neighbor e_j, the remaining pairs {e_j, e_k} need ω(∧jk). Two
+// strategies: an overlap probe per pair (cheapest side first when the
+// projector is oriented), or — when e_j's own neighborhood is small relative
+// to the remaining pairs and the projector hands out stable sorted slices —
+// one merge-style walk of N(e_j) against the rest of the anchor
+// neighborhood, which visits each side once instead of paying a search per
+// pair.
+func (k *kern) anchorPairs(i int32, buf []projection.Neighbor, visit func(i, j, kk int32, id int)) []projection.Neighbor {
+	ns := append(buf[:0], k.p.Neighbors(i)...)
+	for a := 0; a+1 < len(ns); a++ {
 		j, wij := ns[a].Edge, ns[a].Overlap
-		for b := a + 1; b < len(ns); b++ {
-			k, wik := ns[b].Edge, ns[b].Overlap
-			wjk := p.Overlap(j, k)
-			if wjk != 0 && (i > j || i > k) {
-				continue // closed: counted only from the smallest ID
+		rest := ns[a+1:]
+		if k.deg != nil && k.deg.Degree(j) < mergeFactor*len(rest) {
+			adjJ := k.p.Neighbors(j)
+			m := 0
+			for b := range rest {
+				kk, wik := rest[b].Edge, rest[b].Overlap
+				for m < len(adjJ) && adjJ[m].Edge < kk {
+					m++
+				}
+				var wjk int32
+				if m < len(adjJ) && adjJ[m].Edge == kk {
+					wjk = adjJ[m].Overlap
+				}
+				if wjk != 0 && (i > j || i > kk) {
+					continue // closed: counted only from the smallest ID
+				}
+				if id := classify(k.g, i, j, kk, wij, wjk, wik); id != 0 {
+					visit(i, j, kk, id)
+				}
 			}
-			if id := classify(g, i, j, k, wij, wjk, wik); id != 0 {
-				out[id-1]++
+			continue
+		}
+		for b := range rest {
+			kk, wik := rest[b].Edge, rest[b].Overlap
+			wjk := k.overlap(j, kk)
+			if wjk != 0 && (i > j || i > kk) {
+				continue
+			}
+			if id := classify(k.g, i, j, kk, wij, wjk, wik); id != 0 {
+				visit(i, j, kk, id)
 			}
 		}
 	}
 	return ns
 }
 
+// CountExact runs MoCHy-E (Algorithm 2): for every hyperedge e_i and every
+// unordered pair {e_j, e_k} of its projected-graph neighbors, the instance
+// {e_i, e_j, e_k} is counted once — immediately if e_j and e_k are disjoint
+// (open motifs, counted at their center), and only from the smallest-ID
+// member if they overlap (closed motifs). workers ≥ 1 selects the number of
+// goroutines. See CountExactOpts for the scheduling model.
+func CountExact(g *hypergraph.Hypergraph, p projection.Projector, workers int) Counts {
+	c, _, _ := CountExactOpts(context.Background(), g, p, Options{Workers: workers})
+	return c
+}
+
+// CountExactOpts is the full-control MoCHy-E entry point. Anchor hyperedges
+// are handed to workers through an atomic chunk cursor over ranges sized by
+// estimated pair work (C(deg, 2) prefix sums when the projector reports
+// degrees), so a worker that lands on a projected-graph hub does not serialize
+// the run the way a static stride partition would. Counts accumulate in
+// per-worker vectors merged once at the end; results are identical for every
+// worker count.
+//
+// If ctx is cancelled the run stops at the next anchor boundary on every
+// worker and returns the cancellation cause; the returned Counts are
+// meaningless in that case. The returned KernelStats describe the run's
+// scheduling and phase timings whether or not it completed.
+func CountExactOpts(ctx context.Context, g *hypergraph.Hypergraph, p projection.Projector, opts Options) (Counts, KernelStats, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumEdges()
+	stats := KernelStats{Workers: workers}
+
+	setupStart := time.Now()
+	sched := newChunkSched(p, n, workers)
+	k := newKern(g, p)
+	stats.Chunks = sched.numChunks()
+	stats.CostAware = sched.costAware
+	stats.Setup = time.Since(setupStart)
+
+	var doneCh <-chan struct{}
+	if ctx != nil {
+		doneCh = ctx.Done()
+	}
+
+	results := make([]Counts, workers)
+	grabs := make([]int64, workers)
+	busy := make([]time.Duration, workers)
+	var reported atomic.Int64
+	enumStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			defer func() { busy[w] = time.Since(start) }()
+			local := &results[w]
+			visit := func(_, _, _ int32, id int) { local[id-1]++ }
+			var ns []projection.Neighbor
+			sinceReport := 0
+			for {
+				c := sched.next()
+				if c < 0 {
+					break
+				}
+				grabs[w]++
+				lo, hi := sched.chunk(c)
+				for i := lo; i < hi; i++ {
+					if doneCh != nil {
+						select {
+						case <-doneCh:
+							return
+						default:
+						}
+					}
+					ns = k.anchorPairs(i, ns, visit)
+					if opts.Progress != nil {
+						if sinceReport++; sinceReport == progressStride {
+							opts.Progress(int(reported.Add(int64(sinceReport))), n)
+							sinceReport = 0
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.Enumerate = time.Since(enumStart)
+	stats.Steals, stats.Imbalance = sched.balance(grabs, busy)
+	if ctx != nil && ctx.Err() != nil {
+		return Counts{}, stats, context.Cause(ctx)
+	}
+	mergeStart := time.Now()
+	var total Counts
+	for w := range results {
+		total.add(&results[w])
+	}
+	stats.Merge = time.Since(mergeStart)
+	if opts.Progress != nil {
+		opts.Progress(n, n)
+	}
+	return total, stats, nil
+}
+
 // Enumerate runs MoCHy-EENUM (Algorithm 3): it visits every h-motif instance
 // exactly once, in no particular order, invoking fn for each. Enumeration
 // stops early if fn returns false. Instances are reported with A < B < C.
 func Enumerate(g *hypergraph.Hypergraph, p projection.Projector, fn func(Instance) bool) {
+	k := newKern(g, p)
 	n := g.NumEdges()
 	var ns []projection.Neighbor
 	for i := int32(0); int(i) < n; i++ {
@@ -80,16 +233,16 @@ func Enumerate(g *hypergraph.Hypergraph, p projection.Projector, fn func(Instanc
 		for a := 0; a < len(ns); a++ {
 			j, wij := ns[a].Edge, ns[a].Overlap
 			for b := a + 1; b < len(ns); b++ {
-				k, wik := ns[b].Edge, ns[b].Overlap
-				wjk := p.Overlap(j, k)
-				if wjk != 0 && (i > j || i > k) {
+				kk, wik := ns[b].Edge, ns[b].Overlap
+				wjk := k.overlap(j, kk)
+				if wjk != 0 && (i > j || i > kk) {
 					continue
 				}
-				id := classify(g, i, j, k, wij, wjk, wik)
+				id := classify(g, i, j, kk, wij, wjk, wik)
 				if id == 0 {
 					continue
 				}
-				x, y, z := sort3(i, j, k)
+				x, y, z := sort3(i, j, kk)
 				if !fn(Instance{A: x, B: y, C: z, Motif: id}) {
 					return
 				}
@@ -118,47 +271,79 @@ func PerEdgeCounts(g *hypergraph.Hypergraph, p projection.Projector) ([][]int64,
 	return per, total
 }
 
-// PerEdgeCountsParallel is PerEdgeCounts distributed over worker
-// goroutines: anchor hyperedges are partitioned as in CountExact and counts
-// land in a flat atomic array, so results are identical to the serial path.
+// PerEdgeCountsParallel is PerEdgeCounts distributed over worker goroutines.
+// Anchors are scheduled through the same cost-aware chunk cursor as
+// CountExactOpts, and every worker writes into a private dense shard of the
+// per-edge matrix (an instance touches three arbitrary rows, so shared rows
+// would need an atomic add per touch — measured as the dominant cost of the
+// old implementation). Shards are merged once, in parallel over row ranges.
+// Results are identical to the serial path. The shards cost
+// workers × NumEdges × 26 int64s of transient memory, which is the price of
+// contention-free writes.
 func PerEdgeCountsParallel(g *hypergraph.Hypergraph, p projection.Projector, workers int) ([][]int64, Counts) {
 	if workers < 1 {
 		workers = 1
 	}
 	n := g.NumEdges()
-	flat := make([]int64, n*26)
+	k := newKern(g, p)
+	sched := newChunkSched(p, n, workers)
+	shards := make([][]int64, workers)
 	totals := make([]Counts, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			shard := make([]int64, n*26)
+			shards[w] = shard
+			local := &totals[w]
+			visit := func(i, j, kk int32, id int) {
+				t := id - 1
+				shard[int(i)*26+t]++
+				shard[int(j)*26+t]++
+				shard[int(kk)*26+t]++
+				local[t]++
+			}
 			var ns []projection.Neighbor
-			for i := int32(w); int(i) < n; i += int32(workers) {
-				ns = append(ns[:0], p.Neighbors(i)...)
-				for a := 0; a < len(ns); a++ {
-					j, wij := ns[a].Edge, ns[a].Overlap
-					for b := a + 1; b < len(ns); b++ {
-						k, wik := ns[b].Edge, ns[b].Overlap
-						wjk := p.Overlap(j, k)
-						if wjk != 0 && (i > j || i > k) {
-							continue
-						}
-						id := classify(g, i, j, k, wij, wjk, wik)
-						if id == 0 {
-							continue
-						}
-						t := id - 1
-						atomic.AddInt64(&flat[int(i)*26+t], 1)
-						atomic.AddInt64(&flat[int(j)*26+t], 1)
-						atomic.AddInt64(&flat[int(k)*26+t], 1)
-						totals[w][t]++
-					}
+			for {
+				c := sched.next()
+				if c < 0 {
+					break
+				}
+				lo, hi := sched.chunk(c)
+				for i := lo; i < hi; i++ {
+					ns = k.anchorPairs(i, ns, visit)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	flat := shards[0]
+	if workers > 1 {
+		rows := (n + workers - 1) / workers
+		var mg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*rows, (w+1)*rows
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			mg.Add(1)
+			go func(lo, hi int) {
+				defer mg.Done()
+				dst := flat[lo*26 : hi*26]
+				for s := 1; s < workers; s++ {
+					src := shards[s][lo*26 : hi*26]
+					for x, v := range src {
+						dst[x] += v
+					}
+				}
+			}(lo, hi)
+		}
+		mg.Wait()
+	}
 	var total Counts
 	for w := range totals {
 		total.add(&totals[w])

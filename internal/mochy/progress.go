@@ -1,8 +1,7 @@
 package mochy
 
 import (
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"mochy/internal/hypergraph"
 	"mochy/internal/projection"
@@ -21,41 +20,6 @@ const progressStride = 256
 // is always invoked once with done == total before the function returns. The
 // returned counts are identical to CountExact with the same worker count.
 func CountExactProgress(g *hypergraph.Hypergraph, p projection.Projector, workers int, progress func(done, total int)) Counts {
-	if progress == nil {
-		return CountExact(g, p, workers)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	n := g.NumEdges()
-	var done atomic.Int64
-	results := make([]Counts, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := &results[w]
-			var ns []projection.Neighbor
-			sinceReport := 0
-			for i := w; i < n; i += workers {
-				ns = countAnchored(g, p, int32(i), local, ns)
-				sinceReport++
-				if sinceReport == progressStride {
-					progress(int(done.Add(int64(sinceReport))), n)
-					sinceReport = 0
-				}
-			}
-			if sinceReport > 0 {
-				done.Add(int64(sinceReport))
-			}
-		}(w)
-	}
-	wg.Wait()
-	var total Counts
-	for w := range results {
-		total.add(&results[w])
-	}
-	progress(n, n)
-	return total
+	c, _, _ := CountExactOpts(context.Background(), g, p, Options{Workers: workers, Progress: progress})
+	return c
 }

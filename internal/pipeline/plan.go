@@ -8,13 +8,15 @@
 //
 // A plan is parsed and validated up front (stage kinds, unique ids,
 // dependency acyclicity, per-stage parameters, a stage-count cap), so a bad
-// plan is a 400 before the 202 accept, never a failed job. Execution walks
-// the stages in a deterministic topological order; each stage's compute runs
-// under the server's bounded job pool, its result flows through the
-// partitioned result cache (keyed by graph identity + stage parameters, so a
-// re-run sharing a plan prefix is a cache hit), and its lifecycle is
-// reported as stage_start / progress / stage_done NDJSON events with spans
-// and a per-stage duration histogram threaded through.
+// plan is a 400 before the 202 accept, never a failed job. Execution fans
+// independent DAG branches out concurrently — a stage starts as soon as its
+// After dependencies complete — while results report in a deterministic
+// topological order; each stage's compute runs under the server's bounded
+// job pool, its result flows through the partitioned result cache (keyed by
+// graph identity + stage parameters, so a re-run sharing a plan prefix is a
+// cache hit), and its lifecycle is reported as stage_start / progress /
+// stage_done NDJSON events with spans and a per-stage duration histogram
+// threaded through.
 package pipeline
 
 import (

@@ -46,6 +46,10 @@ type Env struct {
 	GraphID string
 	// MaxWorkers caps per-stage worker parameters.
 	MaxWorkers int
+	// DefaultWorkers resolves a stage's unset (0) workers parameter; 0 falls
+	// back to MaxWorkers. The server sets it to min(GOMAXPROCS, MaxWorkers),
+	// matching the count endpoints' default.
+	DefaultWorkers int
 
 	Pool   Pool
 	Cache  Cache
@@ -69,60 +73,149 @@ func (env *Env) emit(ev api.JobEvent) {
 	}
 }
 
-// workers clamps a stage's workers parameter to [1, MaxWorkers].
+// workers clamps a stage's workers parameter to [1, MaxWorkers]. An unset
+// parameter (0 or negative) resolves to DefaultWorkers when the env sets
+// one, else MaxWorkers.
 func (env *Env) workers(w int) int {
-	if w < 1 || w > env.MaxWorkers {
+	if w < 1 {
+		w = env.DefaultWorkers
+		if w < 1 {
+			w = env.MaxWorkers
+		}
+	}
+	if w > env.MaxWorkers {
 		return env.MaxWorkers
 	}
 	return w
 }
 
-// Run executes a validated plan against env's graph. Stages run sequentially
-// in the plan's topological order — dependencies are data edges, and the
-// bounded pool already provides cross-job parallelism. The result carries
-// every stage's payload in execution order; the first stage failure aborts
-// the run with an error naming the stage.
+// exactStore shares completed count stages' exact counts with dependent
+// stages. Independent DAG branches run concurrently, so one branch may write
+// while another reads; the mutex makes the map safe without imposing any
+// ordering beyond the plan's own dependency edges.
+type exactStore struct {
+	mu sync.Mutex
+	m  map[string]*counting.Counts
+}
+
+func (s *exactStore) get(id string) (*counting.Counts, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[id]
+	return c, ok
+}
+
+func (s *exactStore) put(id string, c *counting.Counts) {
+	s.mu.Lock()
+	s.m[id] = c
+	s.mu.Unlock()
+}
+
+// Run executes a validated plan against env's graph. Independent DAG
+// branches fan out concurrently: every stage starts as soon as the stages it
+// names in After have completed, and per-stage compute still passes through
+// the server's bounded pool, so a wide plan gains wall-clock without
+// exceeding the server's global compute budget. The result carries every
+// stage's payload in the plan's topological order regardless of completion
+// order; the first stage failure cancels the remaining stages and aborts the
+// run with an error naming the stage.
 func Run(ctx context.Context, env *Env, plan *Plan) (api.PipelineResult, error) {
 	start := time.Now()
-	out := api.PipelineResult{Graph: env.Name, Stages: make([]api.StageResult, 0, len(plan.Stages))}
-	// exact[id] holds the exact counts produced by a completed count stage,
-	// so a dependent null_model stage reuses them even when the result
-	// cache is disabled.
-	exact := make(map[string]*counting.Counts, len(plan.Stages))
-	for _, st := range plan.Stages {
-		if err := ctx.Err(); err != nil {
-			return out, fmt.Errorf("stage %q (%s): %w", st.ID, st.Kind, err)
+	n := len(plan.Stages)
+	out := api.PipelineResult{Graph: env.Name, Stages: make([]api.StageResult, 0, n)}
+	index := make(map[string]int, n)
+	for i, st := range plan.Stages {
+		index[st.ID] = i
+	}
+	// exact holds the exact counts produced by completed count stages, so a
+	// dependent null_model stage reuses them even when the result cache is
+	// disabled.
+	exact := &exactStore{m: make(map[string]*counting.Counts, n)}
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		results  = make([]*api.StageResult, n)
+		done     = make([]chan struct{}, n) // closed when stage i succeeds
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		env.emit(api.JobEvent{Type: api.EventStageStart, Stage: st.ID, Kind: st.Kind})
-		sctx, span := env.Tracer.StartSpan(ctx, "stage."+st.Kind)
-		span.SetAttr("stage", st.ID)
-		t0 := time.Now()
-		payload, counts, cached, err := runStage(sctx, env, st, exact)
-		elapsed := time.Since(t0)
-		if env.Observe != nil {
-			env.Observe(st.Kind, elapsed)
-		}
-		if err != nil {
-			span.SetAttr("error", err.Error())
+		mu.Unlock()
+		cancel(err)
+	}
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	for i, st := range plan.Stages {
+		wg.Add(1)
+		go func(i int, st *Stage) {
+			defer wg.Done()
+			for _, dep := range st.After {
+				select {
+				case <-done[index[dep]]:
+				case <-runCtx.Done():
+					return
+				}
+			}
+			if runCtx.Err() != nil {
+				return
+			}
+			env.emit(api.JobEvent{Type: api.EventStageStart, Stage: st.ID, Kind: st.Kind})
+			sctx, span := env.Tracer.StartSpan(runCtx, "stage."+st.Kind)
+			span.SetAttr("stage", st.ID)
+			t0 := time.Now()
+			payload, counts, cached, err := runStage(sctx, env, st, exact)
+			elapsed := time.Since(t0)
+			if env.Observe != nil {
+				env.Observe(st.Kind, elapsed)
+			}
+			if err != nil {
+				span.SetAttr("error", err.Error())
+				span.End()
+				fail(fmt.Errorf("stage %q (%s): %w", st.ID, st.Kind, err))
+				return
+			}
+			if cached {
+				span.SetAttr("cached", "true")
+			}
 			span.End()
-			return out, fmt.Errorf("stage %q (%s): %w", st.ID, st.Kind, err)
+			raw, merr := json.Marshal(payload)
+			if merr != nil {
+				fail(fmt.Errorf("stage %q (%s): encode result: %v", st.ID, st.Kind, merr))
+				return
+			}
+			ms := float64(elapsed.Microseconds()) / 1000
+			mu.Lock()
+			results[i] = &api.StageResult{ID: st.ID, Kind: st.Kind, Cached: cached, ElapsedMS: ms, Result: raw}
+			mu.Unlock()
+			if counts != nil {
+				exact.put(st.ID, counts)
+			}
+			env.emit(api.JobEvent{Type: api.EventStageDone, Stage: st.ID, Kind: st.Kind, Cached: cached, ElapsedMS: ms})
+			close(done[i])
+		}(i, st)
+	}
+	wg.Wait()
+	// Completed stages report in topological order whatever order branches
+	// finished in.
+	for _, r := range results {
+		if r != nil {
+			out.Stages = append(out.Stages, *r)
 		}
-		if cached {
-			span.SetAttr("cached", "true")
-		}
-		span.End()
-		raw, merr := json.Marshal(payload)
-		if merr != nil {
-			return out, fmt.Errorf("stage %q (%s): encode result: %v", st.ID, st.Kind, merr)
-		}
-		ms := float64(elapsed.Microseconds()) / 1000
-		out.Stages = append(out.Stages, api.StageResult{
-			ID: st.ID, Kind: st.Kind, Cached: cached, ElapsedMS: ms, Result: raw,
-		})
-		if counts != nil {
-			exact[st.ID] = counts
-		}
-		env.emit(api.JobEvent{Type: api.EventStageDone, Stage: st.ID, Kind: st.Kind, Cached: cached, ElapsedMS: ms})
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	// No stage failed but the parent context may have been cancelled between
+	// dependency waits (every stage returned silently in that case).
+	if err := ctx.Err(); err != nil && len(out.Stages) < n {
+		return out, context.Cause(ctx)
 	}
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	return out, nil
@@ -131,7 +224,7 @@ func Run(ctx context.Context, env *Env, plan *Plan) (api.PipelineResult, error) 
 // runStage dispatches one stage. It returns the wire payload, the exact
 // counts when the stage produced them (for dependents), and whether the
 // result came from a cache.
-func runStage(ctx context.Context, env *Env, st *Stage, exact map[string]*counting.Counts) (payload any, counts *counting.Counts, cached bool, err error) {
+func runStage(ctx context.Context, env *Env, st *Stage, exact *exactStore) (payload any, counts *counting.Counts, cached bool, err error) {
 	switch p := st.Params.(type) {
 	case *api.CountRequest:
 		return runCountStage(ctx, env, st, p)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,13 +24,27 @@ type testPool struct{}
 func (testPool) Acquire(ctx context.Context) error { return ctx.Err() }
 func (testPool) Release()                          {}
 
-// mapCache is a plain map behind the executor's Cache interface.
-type mapCache struct{ m map[string]any }
+// mapCache is a plain locked map behind the executor's Cache interface
+// (concurrent DAG branches hit it in parallel).
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]any
+}
 
 func newMapCache() *mapCache { return &mapCache{m: make(map[string]any)} }
 
-func (c *mapCache) Get(key string) (any, bool)                     { v, ok := c.m[key]; return v, ok }
-func (c *mapCache) Put(key string, v any, _ bool, _ time.Duration) { c.m[key] = v }
+func (c *mapCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *mapCache) Put(key string, v any, _ bool, _ time.Duration) {
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+}
 
 // testEnv binds a graph to stub infrastructure, counting how many times the
 // count path is invoked.
@@ -288,5 +303,63 @@ func TestRunAllStageKinds(t *testing.T) {
 	cl, err := res.Stages[4].ClusterResult()
 	if err != nil || cl.Clusters == 0 {
 		t.Fatalf("cluster result empty or undecodable: %+v err=%v", cl, err)
+	}
+}
+
+// TestRunIndependentBranchesConcurrent asserts the DAG fan-out: two count
+// stages with no dependency between them must be in flight at the same time.
+// Each branch's count blocks until the other has arrived, so a sequential
+// executor would stall the first stage and trip the timeout instead of
+// finishing.
+func TestRunIndependentBranchesConcurrent(t *testing.T) {
+	g := testGraph(t)
+	proj := projection.Build(g)
+	arrived := make(chan struct{}, 2)
+	proceed := make(chan struct{})
+	env := &Env{
+		Graph: g, Proj: proj, Name: "g", GraphID: "g#1", MaxWorkers: 2,
+		Pool: testPool{},
+		Count: func(ctx context.Context, algo string, samples int, seed int64, workers int, progress func(done, total int)) (counting.Counts, bool, error) {
+			arrived <- struct{}{}
+			select {
+			case <-proceed:
+			case <-time.After(10 * time.Second):
+				return counting.Counts{}, false, context.DeadlineExceeded
+			}
+			return counting.CountExact(g, proj, workers), false, nil
+		},
+	}
+	go func() {
+		<-arrived
+		<-arrived
+		close(proceed)
+	}()
+	plan := mustParse(t,
+		stage("left", "count", ""),
+		stage("right", "count", ""),
+	)
+	res, err := Run(context.Background(), env, plan)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Stages) != 2 || res.Stages[0].ID != "left" || res.Stages[1].ID != "right" {
+		t.Fatalf("stages = %+v, want left and right in declaration order", res.Stages)
+	}
+}
+
+// TestRunParentCancellation asserts a cancelled parent context stops the plan
+// before any further stage starts and surfaces the cancellation cause.
+func TestRunParentCancellation(t *testing.T) {
+	g := testGraph(t)
+	env, countCalls := testEnv(g, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan := mustParse(t, stage("count", "count", ""))
+	_, err := Run(ctx, env, plan)
+	if err == nil {
+		t.Fatalf("Run succeeded under a cancelled context")
+	}
+	if *countCalls != 0 {
+		t.Fatalf("count path invoked %d times under a cancelled context, want 0", *countCalls)
 	}
 }

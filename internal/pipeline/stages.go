@@ -63,7 +63,7 @@ func (env *Env) cachePut(key string, v any, randomized bool, cost time.Duration)
 // from a dependency count stage when the plan declares one, else from the
 // server's (cached) count path — both happen before pool admission, so the
 // stage never holds a slot while asking for another.
-func runNullModel(ctx context.Context, env *Env, st *Stage, p *api.NullModelParams, exact map[string]*counting.Counts) (api.SignificanceResult, bool, error) {
+func runNullModel(ctx context.Context, env *Env, st *Stage, p *api.NullModelParams, exact *exactStore) (api.SignificanceResult, bool, error) {
 	key := env.key("null_model", fmt.Sprintf("m=%s|n=%d|seed=%d|spi=%d", p.Model, p.Randomizations, p.Seed, p.SwapsPerIncidence))
 	if r, ok := cacheGet(env, key, func(r *api.SignificanceResult) { r.Cached = true }); ok {
 		return r, true, nil
@@ -75,13 +75,13 @@ func runNullModel(ctx context.Context, env *Env, st *Stage, p *api.NullModelPara
 
 	var real *counting.Counts
 	for _, dep := range st.After {
-		if c, ok := exact[dep]; ok {
+		if c, ok := exact.get(dep); ok {
 			real = c
 			break
 		}
 	}
 	if real == nil {
-		c, _, err := env.Count(ctx, api.AlgoExact, 0, 0, env.MaxWorkers, nil)
+		c, _, err := env.Count(ctx, api.AlgoExact, 0, 0, env.workers(0), nil)
 		if err != nil {
 			return api.SignificanceResult{}, false, err
 		}
@@ -106,10 +106,10 @@ func runNullModel(ctx context.Context, env *Env, st *Stage, p *api.NullModelPara
 	workers := env.workers(p.Workers)
 	randCounts := make([]*counting.Counts, len(copies))
 	for i, copyG := range copies {
-		if err := ctx.Err(); err != nil {
+		c, _, err := counting.CountExactOpts(ctx, copyG, projection.Build(copyG), counting.Options{Workers: workers})
+		if err != nil {
 			return api.SignificanceResult{}, false, err
 		}
-		c := counting.CountExact(copyG, projection.Build(copyG), workers)
 		randCounts[i] = &c
 		env.emit(api.JobEvent{Type: api.EventProgress, Stage: st.ID, Done: i + 1, Total: len(copies)})
 	}

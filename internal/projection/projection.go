@@ -92,6 +92,19 @@ func (p *Projected) Overlap(i, j int32) int32 {
 	return lookupOverlap(p.adj[i], j)
 }
 
+// OverlapOriented returns ω(∧ij) like Overlap, but probes the smaller of the
+// two neighborhoods — the cheapest-side-first ordering the counting kernels
+// use. Overlap always binary-searches N(i); when i is a projected-graph hub
+// that search pays log|N(i)| per probe even though the other endpoint may
+// have a handful of neighbors.
+func (p *Projected) OverlapOriented(i, j int32) int32 {
+	ni, nj := p.adj[i], p.adj[j]
+	if len(nj) < len(ni) {
+		return lookupOverlap(nj, i)
+	}
+	return lookupOverlap(ni, j)
+}
+
 // NumWedges returns |∧|.
 func (p *Projected) NumWedges() int64 { return p.numWedges }
 

@@ -225,3 +225,31 @@ func randomHypergraph(rng *rand.Rand, nodes, edges, maxSize int) *hypergraph.Hyp
 	}
 	return g
 }
+
+// TestOverlapOrientedMatchesOverlap pins the cheapest-side probe to the
+// symmetric Overlap on both projector implementations: orientation is a pure
+// performance choice and must never change the answer.
+func TestOverlapOrientedMatchesOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomHypergraph(rng, 25, 60, 5)
+	p := Build(g)
+	m := NewMemoized(g, 1<<16, PolicyDegree)
+	n := int32(g.NumEdges())
+	for i := int32(0); i < n; i++ {
+		for j := int32(0); j < n; j++ {
+			if i == j {
+				continue // self-overlap is unspecified: projections exclude self-pairs
+			}
+			want := p.Overlap(i, j)
+			if got := p.OverlapOriented(i, j); got != want {
+				t.Fatalf("Projected.OverlapOriented(%d, %d) = %d, want %d", i, j, got, want)
+			}
+			if got := p.OverlapOriented(j, i); got != want {
+				t.Fatalf("Projected.OverlapOriented(%d, %d) = %d, want %d", j, i, got, want)
+			}
+			if got := m.OverlapOriented(i, j); got != want {
+				t.Fatalf("Memoized.OverlapOriented(%d, %d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}

@@ -81,9 +81,12 @@ func (s *Server) pipelineEnv(e *Entry, j *job) *pipeline.Env {
 		Name:       e.Name,
 		GraphID:    fmt.Sprintf("%s#%d", e.Name, e.Gen),
 		MaxWorkers: s.cfg.MaxWorkersPerJob,
-		Pool:       s.pool,
-		Cache:      &pipelineCache{s: s, e: e},
-		Tracer:     s.tracer,
+		// Stages that leave workers unset get the same default as the count
+		// endpoints: min(GOMAXPROCS, MaxWorkersPerJob).
+		DefaultWorkers: s.clampWorkers(0),
+		Pool:           s.pool,
+		Cache:          &pipelineCache{s: s, e: e},
+		Tracer:         s.tracer,
 		Observe: func(kind string, d time.Duration) {
 			s.mets.pipelineStage.With(kind).Observe(d.Seconds())
 		},

@@ -75,6 +75,16 @@ type serverMetrics struct {
 	kernelStage   *obs.HistogramVec
 	pipelineStage *obs.HistogramVec
 
+	// Counting-kernel scheduler families: how the chunk-cursor runs inside
+	// exact counts balanced. Workers/imbalance are last-run gauges (the
+	// natural "what did the most recent kernel do" question); chunks and
+	// steals accumulate.
+	kernelWorkers   *obs.Gauge
+	kernelChunks    *obs.Counter
+	kernelSteals    *obs.Counter
+	kernelImbalance *obs.Gauge
+	kernelSched     *obs.HistogramVec
+
 	storeEnabled *obs.Gauge
 	// The store families below are registered only when persistence is
 	// configured, mirroring the old exposition which omitted them entirely
@@ -150,6 +160,14 @@ func newServerMetrics(withStore bool) *serverMetrics {
 	m.jobDuration.With(api.JobKindProfile)
 	m.jobDuration.With(api.JobKindPipeline)
 	m.kernelStage = r.NewHistogramVec("mochyd_kernel_stage_seconds", "Pure compute time per counting kernel run, by stage.", kernelStageBounds, "stage")
+	m.kernelWorkers = r.NewGauge("mochyd_kernel_workers", "Worker goroutines of the most recent exact-count kernel run.")
+	m.kernelChunks = r.NewCounter("mochyd_kernel_chunks_total", "Scheduler chunks handed out across exact-count kernel runs.")
+	m.kernelSteals = r.NewCounter("mochyd_kernel_steals_total", "Chunks grabbed beyond a worker's static fair share (work redistributed by the chunk cursor).")
+	m.kernelImbalance = r.NewGauge("mochyd_kernel_imbalance_ratio", "Max-over-mean per-worker busy time of the most recent exact-count kernel run (1.0 = perfectly even).")
+	m.kernelSched = r.NewHistogramVec("mochyd_kernel_sched_phase_seconds", "Exact-count kernel phase durations: scheduler setup, enumeration, merge.", kernelStageBounds, "phase")
+	for _, phase := range []string{"setup", "enumerate", "merge"} {
+		m.kernelSched.With(phase)
+	}
 	m.pipelineStage = r.NewHistogramVec("mochyd_pipeline_stage_duration_seconds", "Wall-clock pipeline stage duration by stage kind.", jobDurationBounds, "stage")
 	for _, kind := range []string{api.StageCount, api.StageNullModel, api.StageRank, api.StageAnomaly, api.StageCluster, api.StageTemporal, api.StageProfile} {
 		m.pipelineStage.With(kind)

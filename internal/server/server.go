@@ -424,10 +424,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.router.ServeHTTP(w, r)
 }
 
-// clampWorkers resolves a request's workers parameter to [1, MaxWorkersPerJob].
+// clampWorkers resolves a request's workers parameter to [1,
+// MaxWorkersPerJob]. A request that leaves workers unset (0 or negative)
+// gets min(GOMAXPROCS, MaxWorkersPerJob): the scheduler cannot run more
+// kernel goroutines than GOMAXPROCS in parallel, so defaulting to an
+// administratively raised MaxWorkersPerJob would only add scheduling
+// overhead, not speed.
 func (s *Server) clampWorkers(workers int) int {
 	if workers < 1 {
-		workers = s.cfg.MaxWorkersPerJob
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > s.cfg.MaxWorkersPerJob {
 		workers = s.cfg.MaxWorkersPerJob
@@ -556,20 +561,54 @@ func (s *Server) runCount(ctx context.Context, e *Entry, algo string, samples in
 		if progress != nil {
 			progress = s.stagedProgress(kctx, progress)
 		}
-		c = counting.CountExactProgress(e.Graph, p, workers, progress)
+		var stats counting.KernelStats
+		c, stats, err = counting.CountExactOpts(kctx, e.Graph, p, counting.Options{Workers: workers, Progress: progress})
+		s.recordKernelStats(kctx, stats, t0)
 	case algoEdge:
-		c = counting.CountEdgeSamples(e.Graph, p, samples, seed, workers)
+		c, err = counting.CountEdgeSamplesCtx(kctx, e.Graph, p, samples, seed, workers)
 	case algoWedge:
-		c = counting.CountWedgeSamples(e.Graph, p, p, samples, seed, workers)
+		c, err = counting.CountWedgeSamplesCtx(kctx, e.Graph, p, p, samples, seed, workers)
 	default:
 		kspan.End()
 		return counting.Counts{}, 0, fmt.Errorf("unknown algorithm %q (want %s, %s or %s)", algo, algoExact, algoEdge, algoWedge)
+	}
+	if err != nil {
+		kspan.SetAttr("error", err.Error())
+		kspan.End()
+		return counting.Counts{}, 0, err
 	}
 	cost = time.Since(t0)
 	kspan.SetAttr("workers", strconv.Itoa(workers))
 	kspan.End()
 	s.mets.kernelStage.With(algo).Observe(cost.Seconds())
 	return c, cost, nil
+}
+
+// recordKernelStats publishes one exact-count kernel run's scheduling stats:
+// the mochyd_kernel_* families, plus retroactive per-phase spans (scheduler
+// setup, enumeration, merge) reconstructed from the phase durations — the
+// phases run back-to-back from start, so their boundaries are the running
+// sum.
+func (s *Server) recordKernelStats(ctx context.Context, stats counting.KernelStats, start time.Time) {
+	s.mets.kernelWorkers.SetInt(int64(stats.Workers))
+	s.mets.kernelChunks.Add(uint64(stats.Chunks))
+	if stats.Steals > 0 {
+		s.mets.kernelSteals.Add(uint64(stats.Steals))
+	}
+	s.mets.kernelImbalance.Set(stats.Imbalance)
+	s.mets.kernelSched.With("setup").Observe(stats.Setup.Seconds())
+	s.mets.kernelSched.With("enumerate").Observe(stats.Enumerate.Seconds())
+	s.mets.kernelSched.With("merge").Observe(stats.Merge.Seconds())
+	setupEnd := start.Add(stats.Setup)
+	enumEnd := setupEnd.Add(stats.Enumerate)
+	s.tracer.RecordSpan(ctx, "kernel.setup", start, setupEnd,
+		obs.Attr{Key: "chunks", Value: strconv.Itoa(stats.Chunks)},
+		obs.Attr{Key: "cost_aware", Value: strconv.FormatBool(stats.CostAware)})
+	s.tracer.RecordSpan(ctx, "kernel.enumerate", setupEnd, enumEnd,
+		obs.Attr{Key: "workers", Value: strconv.Itoa(stats.Workers)},
+		obs.Attr{Key: "steals", Value: strconv.FormatInt(stats.Steals, 10)},
+		obs.Attr{Key: "imbalance", Value: strconv.FormatFloat(stats.Imbalance, 'f', 3, 64)})
+	s.tracer.RecordSpan(ctx, "kernel.merge", enumEnd, enumEnd.Add(stats.Merge))
 }
 
 // stagedProgress wraps an exact count's progress callback to leave the
@@ -605,15 +644,17 @@ func (s *Server) stagedProgress(ctx context.Context, inner func(done, total int)
 // identical cold queries share a single computation, which is detached from
 // the leader's request context: one client disconnecting must neither fail
 // the collapsed waiters nor waste a result every future query would reuse.
-// Only the leader of a collapsed flight observes progress. The second
-// return reports whether the result was served from cache or shared from
-// another caller's flight.
+// The computation runs under the server's lifetime context (keeping the
+// leader's trace identity), so Close cancels an in-flight kernel instead of
+// letting it burn cores into a dead process. Only the leader of a collapsed
+// flight observes progress. The second return reports whether the result was
+// served from cache or shared from another caller's flight.
 func (s *Server) countProgress(ctx context.Context, e *Entry, algo string, samples int, seed int64, workers int, progress func(done, total int)) (counting.Counts, bool, error) {
 	key := countKey(e, algo, samples, seed, workers)
 	if v, ok := s.cache.Get(key); ok {
 		return v.(counting.Counts), true, nil
 	}
-	dctx := context.WithoutCancel(ctx)
+	dctx := obs.InheritTrace(s.baseCtx, ctx)
 	v, err, shared := s.flight.Do(key, func() (any, error) {
 		c, cost, err := s.runCount(dctx, e, algo, samples, seed, workers, progress)
 		if err != nil {
@@ -667,8 +708,8 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 	}
 	// Detached for the same reason as count: the computation is shared with
 	// collapsed waiters and its result is cached, so the leader's client
-	// disconnecting must not cancel it.
-	dctx := context.WithoutCancel(ctx)
+	// disconnecting must not cancel it — but server Close must.
+	dctx := obs.InheritTrace(s.baseCtx, ctx)
 	v, err, shared := s.flight.Do(key, func() (any, error) {
 		// The real graph's exact counts go through the count cache, so a
 		// prior exact count query (or a second profile with a different
@@ -687,7 +728,15 @@ func (s *Server) profile(ctx context.Context, e *Entry, randomizations int, seed
 		copies := nullmodel.NewRandomizer(e.Graph).GenerateN(randomizations, seed)
 		randomized := make([]*counting.Counts, len(copies))
 		for i, c := range copies {
-			cc := counting.CountExact(c, projection.Build(c), workers)
+			// The null-model loop is the longest uncancellable stretch a
+			// profile job used to have; running each copy's kernel under the
+			// detached context lets Close stop it between (and now inside)
+			// copies.
+			cc, _, err := counting.CountExactOpts(dctx, c, projection.Build(c), counting.Options{Workers: workers})
+			if err != nil {
+				kspan.End()
+				return nil, err
+			}
 			randomized[i] = &cc
 		}
 		prof := cp.Compute(&real, randomized)

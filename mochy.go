@@ -20,6 +20,7 @@
 package mochy
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -107,9 +108,26 @@ type Counts = counting.Counts
 // Instance is one h-motif instance: three hyperedge IDs and a motif ID.
 type Instance = counting.Instance
 
+// CountOptions configures a CountExactOpts run.
+type CountOptions = counting.Options
+
+// KernelStats reports how a parallel counting run scheduled and balanced its
+// work: worker and chunk counts, chunks redistributed beyond the static fair
+// share, busy-time imbalance, and per-phase durations.
+type KernelStats = counting.KernelStats
+
 // CountExact runs MoCHy-E (Algorithm 2) with the given worker count.
 func CountExact(g *Hypergraph, p Projector, workers int) Counts {
 	return counting.CountExact(g, p, workers)
+}
+
+// CountExactOpts is the full-control MoCHy-E entry point: anchor hyperedges
+// are scheduled through a cost-aware atomic chunk cursor, ctx cancellation
+// stops the run at the next anchor boundary, and the returned KernelStats
+// describe how the run balanced. Results are identical to CountExact for
+// every worker count.
+func CountExactOpts(ctx context.Context, g *Hypergraph, p Projector, opts CountOptions) (Counts, KernelStats, error) {
+	return counting.CountExactOpts(ctx, g, p, opts)
 }
 
 // CountExactProgress runs MoCHy-E like CountExact, invoking progress(done,
@@ -121,14 +139,28 @@ func CountExactProgress(g *Hypergraph, p Projector, workers int, progress func(d
 	return counting.CountExactProgress(g, p, workers, progress)
 }
 
-// CountEdgeSamples runs MoCHy-A (Algorithm 4): s hyperedge samples.
+// CountEdgeSamples runs MoCHy-A (Algorithm 4): s hyperedge samples. Results
+// are deterministic for a fixed seed at every worker count.
 func CountEdgeSamples(g *Hypergraph, p Projector, s int, seed int64, workers int) Counts {
 	return counting.CountEdgeSamples(g, p, s, seed, workers)
 }
 
+// CountEdgeSamplesCtx is CountEdgeSamples with cancellation: a cancelled ctx
+// stops the run at the next sample block and returns the cancellation cause.
+func CountEdgeSamplesCtx(ctx context.Context, g *Hypergraph, p Projector, s int, seed int64, workers int) (Counts, error) {
+	return counting.CountEdgeSamplesCtx(ctx, g, p, s, seed, workers)
+}
+
 // CountWedgeSamples runs MoCHy-A+ (Algorithm 5): r hyperwedge samples.
+// Results are deterministic for a fixed seed at every worker count.
 func CountWedgeSamples(g *Hypergraph, p Projector, sampler WedgeSampler, r int, seed int64, workers int) Counts {
 	return counting.CountWedgeSamples(g, p, sampler, r, seed, workers)
+}
+
+// CountWedgeSamplesCtx is CountWedgeSamples with cancellation: a cancelled
+// ctx stops the run at the next sample block and returns the cause.
+func CountWedgeSamplesCtx(ctx context.Context, g *Hypergraph, p Projector, sampler WedgeSampler, r int, seed int64, workers int) (Counts, error) {
+	return counting.CountWedgeSamplesCtx(ctx, g, p, sampler, r, seed, workers)
 }
 
 // Enumerate visits every h-motif instance exactly once (Algorithm 3),
